@@ -1,0 +1,117 @@
+//! The independence-model baseline: the product of first-order marginals.
+//!
+//! This is exactly the model the memo's procedure *starts from* (Eqs. 57–62)
+//! and never improves if no cell tests significant.  Comparing the acquired
+//! model against it quantifies how much the discovered constraints are
+//! worth.
+
+use pka_contingency::{Assignment, ContingencyTable};
+use pka_maxent::JointDistribution;
+
+/// The product-of-marginals model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndependenceModel {
+    joint: JointDistribution,
+}
+
+impl IndependenceModel {
+    /// Fits the model from a contingency table's first-order marginals.
+    pub fn fit(table: &ContingencyTable) -> Self {
+        let schema = table.shared_schema();
+        let n = table.total() as f64;
+        let marginals: Vec<Vec<f64>> = (0..schema.len())
+            .map(|attr| {
+                (0..schema.cardinality(attr).expect("attr in schema"))
+                    .map(|v| {
+                        if n == 0.0 {
+                            1.0 / schema.cardinality(attr).expect("attr in schema") as f64
+                        } else {
+                            table.count_matching(&Assignment::single(attr, v)) as f64 / n
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let weights: Vec<f64> = schema
+            .cells()
+            .map(|values| values.iter().enumerate().map(|(a, &v)| marginals[a][v]).product())
+            .collect();
+        Self { joint: JointDistribution::from_unnormalized(schema, weights) }
+    }
+
+    /// The estimated joint distribution.
+    pub fn joint(&self) -> &JointDistribution {
+        &self.joint
+    }
+
+    /// Probability of a (partial) assignment.
+    pub fn probability(&self, assignment: &Assignment) -> f64 {
+        self.joint.probability(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pka_contingency::{Attribute, Schema};
+    use std::sync::Arc;
+
+    fn paper_table() -> ContingencyTable {
+        let schema = Schema::new(vec![
+            Attribute::new("smoking", ["smoker", "non-smoker", "married-to-smoker"]),
+            Attribute::yes_no("cancer"),
+            Attribute::yes_no("family-history"),
+        ])
+        .unwrap()
+        .into_shared();
+        ContingencyTable::from_counts(
+            schema,
+            vec![130, 110, 410, 640, 62, 31, 580, 460, 78, 22, 520, 385],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reproduces_eq_61_predictions() {
+        let t = paper_table();
+        let m = IndependenceModel::fit(&t);
+        let pa = 1290.0 / 3428.0;
+        let pb = 433.0 / 3428.0;
+        let pc = 1780.0 / 3428.0;
+        let p = m.joint().probability_of_values(&[0, 0, 0]);
+        assert!((p - pa * pb * pc).abs() < 1e-12);
+        let p_ab = m.probability(&Assignment::from_pairs([(0, 0), (1, 0)]));
+        assert!((p_ab - pa * pb).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginals_are_preserved_exactly() {
+        let t = paper_table();
+        let m = IndependenceModel::fit(&t);
+        for attr in 0..3 {
+            for v in 0..t.schema().cardinality(attr).unwrap() {
+                let a = Assignment::single(attr, v);
+                assert!((m.probability(&a) - t.frequency(&a)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_table_gives_uniform() {
+        let schema = Schema::uniform(&[2, 3]).unwrap().into_shared();
+        let t = ContingencyTable::zeros(Arc::clone(&schema));
+        let m = IndependenceModel::fit(&t);
+        assert!((m.joint().probability_of_values(&[0, 0]) - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independence_misses_real_associations() {
+        // The independence model assigns the N^AB_11 cell ~.048 while the
+        // data show .07 — the discrepancy the memo's Table 1 flags.
+        let t = paper_table();
+        let m = IndependenceModel::fit(&t);
+        let predicted = m.probability(&Assignment::from_pairs([(0, 0), (1, 0)]));
+        let observed = t.frequency(&Assignment::from_pairs([(0, 0), (1, 0)]));
+        assert!(observed > 1.4 * predicted);
+    }
+}

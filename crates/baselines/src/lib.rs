@@ -1,0 +1,31 @@
+//! # pka-baselines
+//!
+//! Baseline estimators the maximum-entropy knowledge-acquisition system is
+//! compared against in the evaluation harness (experiments X3 and X5 of
+//! DESIGN.md):
+//!
+//! * [`empirical`] — the raw relative-frequency joint distribution (no
+//!   generalisation at all; the strongest possible fit to the training data
+//!   and the weakest on held-out data when cells are sparse).
+//! * [`independence`] — the product of first-order marginals (the memo's
+//!   starting model, Eqs. 57–62, never updated).
+//! * [`naive_bayes`] — a naive-Bayes classifier for a chosen target
+//!   attribute, the classical "expert system from examples" baseline the
+//!   memo contrasts itself with (TIMM/Expert-Ease style decision aids).
+//! * [`chi2_miner`] — an association miner that promotes cells by classical
+//!   per-cell χ² (or G-test) significance instead of the memo's
+//!   minimum-message-length criterion; used in the constraint-selection
+//!   ablation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chi2_miner;
+pub mod empirical;
+pub mod independence;
+pub mod naive_bayes;
+
+pub use chi2_miner::{Chi2Miner, MinedConstraint, SelectionRule};
+pub use empirical::EmpiricalModel;
+pub use independence::IndependenceModel;
+pub use naive_bayes::NaiveBayes;

@@ -1,0 +1,234 @@
+//! A naive-Bayes classifier baseline.
+//!
+//! The memo positions its method against "automatic production of
+//! classification-oriented expert systems from examples" (TIMM,
+//! Expert-Ease).  Naive Bayes is the simplest probabilistic member of that
+//! family: pick one target attribute, assume every other attribute is
+//! conditionally independent given the target, and classify by posterior.
+//! Unlike the memo's method it models only `P(target | rest)` — it cannot
+//! answer arbitrary probability queries — which is exactly the contrast the
+//! comparison experiment draws.
+
+use pka_contingency::{Assignment, ContingencyTable, Schema};
+use std::sync::Arc;
+
+/// A fitted naive-Bayes classifier for one target attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaiveBayes {
+    schema: Arc<Schema>,
+    target: usize,
+    /// `log P(target = t)` for each target value.
+    log_prior: Vec<f64>,
+    /// `log P(attribute = v | target = t)` indexed `[target][attribute][value]`.
+    log_likelihood: Vec<Vec<Vec<f64>>>,
+    alpha: f64,
+}
+
+impl NaiveBayes {
+    /// Fits the classifier from a contingency table with add-`alpha`
+    /// (Laplace) smoothing.
+    ///
+    /// # Panics
+    /// Panics if `target` is out of range or `alpha` is negative.
+    pub fn fit(table: &ContingencyTable, target: usize, alpha: f64) -> Self {
+        let schema = table.shared_schema();
+        assert!(target < schema.len(), "target attribute out of range");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be non-negative");
+        let target_card = schema.cardinality(target).expect("target in schema");
+        let n = table.total() as f64;
+
+        let mut log_prior = Vec::with_capacity(target_card);
+        let mut log_likelihood = Vec::with_capacity(target_card);
+        for t in 0..target_card {
+            let target_assignment = Assignment::single(target, t);
+            let target_count = table.count_matching(&target_assignment) as f64;
+            let prior = (target_count + alpha) / (n + alpha * target_card as f64);
+            log_prior.push(safe_ln(prior));
+
+            let mut per_attr = Vec::with_capacity(schema.len());
+            for attr in 0..schema.len() {
+                let card = schema.cardinality(attr).expect("attr in schema");
+                if attr == target {
+                    per_attr.push(vec![0.0; card]);
+                    continue;
+                }
+                let mut per_value = Vec::with_capacity(card);
+                for v in 0..card {
+                    let joint = table
+                        .count_matching(&Assignment::from_pairs([(target, t), (attr, v)]))
+                        as f64;
+                    let p = (joint + alpha) / (target_count + alpha * card as f64);
+                    per_value.push(safe_ln(p));
+                }
+                per_attr.push(per_value);
+            }
+            log_likelihood.push(per_attr);
+        }
+        Self { schema, target, log_prior, log_likelihood, alpha }
+    }
+
+    /// The target attribute index.
+    pub fn target(&self) -> usize {
+        self.target
+    }
+
+    /// The smoothing parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Posterior distribution `P(target | evidence)` for evidence over any
+    /// subset of the non-target attributes.  Attributes not mentioned in the
+    /// evidence are ignored (marginalised by the naive-Bayes assumption).
+    pub fn posterior(&self, evidence: &Assignment) -> Vec<f64> {
+        let target_card = self.log_prior.len();
+        let mut log_post = Vec::with_capacity(target_card);
+        for t in 0..target_card {
+            let mut lp = self.log_prior[t];
+            for (attr, value) in evidence.pairs() {
+                if attr == self.target || attr >= self.schema.len() {
+                    continue;
+                }
+                lp += self.log_likelihood[t][attr][value];
+            }
+            log_post.push(lp);
+        }
+        // Normalise in log space.
+        let max = log_post.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if !max.is_finite() {
+            return vec![1.0 / target_card as f64; target_card];
+        }
+        let weights: Vec<f64> = log_post.iter().map(|&lp| (lp - max).exp()).collect();
+        let total: f64 = weights.iter().sum();
+        weights.into_iter().map(|w| w / total).collect()
+    }
+
+    /// Probability of a specific target value given evidence.
+    pub fn probability_of(&self, target_value: usize, evidence: &Assignment) -> f64 {
+        self.posterior(evidence)[target_value]
+    }
+
+    /// The most probable target value given evidence.
+    pub fn classify(&self, evidence: &Assignment) -> usize {
+        let post = self.posterior(evidence);
+        post.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))
+            .map(|(i, _)| i)
+            .expect("target has at least one value")
+    }
+
+    /// Classification accuracy over a table (each cell weighted by its
+    /// count), predicting the target from all other attributes.
+    pub fn accuracy(&self, table: &ContingencyTable) -> f64 {
+        if table.total() == 0 {
+            return 0.0;
+        }
+        let mut correct = 0u64;
+        for (values, count) in table.nonzero_cells() {
+            if count == 0 {
+                continue;
+            }
+            let evidence = Assignment::from_pairs(
+                values
+                    .iter()
+                    .enumerate()
+                    .filter(|&(attr, _)| attr != self.target)
+                    .map(|(attr, &v)| (attr, v)),
+            );
+            if self.classify(&evidence) == values[self.target] {
+                correct += count;
+            }
+        }
+        correct as f64 / table.total() as f64
+    }
+}
+
+fn safe_ln(p: f64) -> f64 {
+    if p <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        p.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pka_contingency::{Attribute, Schema};
+
+    fn paper_table() -> ContingencyTable {
+        let schema = Schema::new(vec![
+            Attribute::new("smoking", ["smoker", "non-smoker", "married-to-smoker"]),
+            Attribute::yes_no("cancer"),
+            Attribute::yes_no("family-history"),
+        ])
+        .unwrap()
+        .into_shared();
+        ContingencyTable::from_counts(
+            schema,
+            vec![130, 110, 410, 640, 62, 31, 580, 460, 78, 22, 520, 385],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn prior_matches_marginal() {
+        let t = paper_table();
+        let nb = NaiveBayes::fit(&t, 1, 0.0);
+        let posterior = nb.posterior(&Assignment::empty());
+        assert!((posterior[0] - 433.0 / 3428.0).abs() < 1e-9);
+        assert!((posterior[0] + posterior[1] - 1.0).abs() < 1e-12);
+        assert_eq!(nb.target(), 1);
+        assert_eq!(nb.alpha(), 0.0);
+    }
+
+    #[test]
+    fn smokers_have_higher_cancer_posterior() {
+        let t = paper_table();
+        let nb = NaiveBayes::fit(&t, 1, 1.0);
+        let smoker = nb.probability_of(0, &Assignment::single(0, 0));
+        let nonsmoker = nb.probability_of(0, &Assignment::single(0, 1));
+        assert!(smoker > nonsmoker);
+        // Conditioning only on one attribute reproduces the empirical
+        // conditional (up to smoothing): 240/1290 = .186.
+        assert!((smoker - 240.0 / 1290.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn classify_picks_argmax() {
+        let t = paper_table();
+        let nb = NaiveBayes::fit(&t, 1, 1.0);
+        // Cancer prevalence is low, so the classifier predicts "no" for
+        // every evidence combination in this data.
+        assert_eq!(nb.classify(&Assignment::single(0, 0)), 1);
+        let acc = nb.accuracy(&t);
+        assert!((acc - 2995.0 / 3428.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smoothing_prevents_degenerate_posteriors() {
+        let schema = Schema::uniform(&[2, 2]).unwrap().into_shared();
+        // Target value 1 never observed with attr0 = 0.
+        let t = ContingencyTable::from_counts(schema, vec![10, 0, 5, 5]).unwrap();
+        let raw = NaiveBayes::fit(&t, 1, 0.0);
+        assert_eq!(raw.probability_of(1, &Assignment::single(0, 0)), 0.0);
+        let smoothed = NaiveBayes::fit(&t, 1, 1.0);
+        assert!(smoothed.probability_of(1, &Assignment::single(0, 0)) > 0.0);
+    }
+
+    #[test]
+    fn evidence_on_target_attribute_is_ignored() {
+        let t = paper_table();
+        let nb = NaiveBayes::fit(&t, 1, 1.0);
+        let with = nb.posterior(&Assignment::from_pairs([(0, 0), (1, 0)]));
+        let without = nb.posterior(&Assignment::single(0, 0));
+        assert_eq!(with, without);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_target_panics() {
+        let _ = NaiveBayes::fit(&paper_table(), 9, 1.0);
+    }
+}

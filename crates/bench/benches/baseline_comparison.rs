@@ -1,0 +1,41 @@
+//! Experiment X3 — model quality of the acquired maximum-entropy model
+//! against the empirical and independence baselines, plus a classification
+//! comparison against naive Bayes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_comparison");
+    group.sample_size(10);
+    group.bench_function("density_estimation_4000_train", |b| {
+        b.iter(|| black_box(pka_bench::baseline_comparison(4_000, 1_000, 7)))
+    });
+    group.bench_function("classification_4000_train", |b| {
+        b.iter(|| black_box(pka_bench::classification_comparison(4_000, 2_000, 7)))
+    });
+    group.finish();
+
+    // Print the comparison table and gate on the expected ordering.
+    let rows = pka_bench::baseline_comparison(4_000, 1_000, 7);
+    println!("\ndensity estimation on the survey simulator (4000 train / 1000 test):");
+    println!("{:<22} {:>18} {:>16} {:>14}", "method", "held-out log-loss", "KL from truth", "extra params");
+    for r in &rows {
+        println!(
+            "{:<22} {:>18.4} {:>16.4} {:>14}",
+            r.method, r.held_out_log_loss, r.kl_from_truth, r.extra_parameters
+        );
+    }
+    let maxent = rows.iter().find(|r| r.method == "maxent-acquisition").unwrap();
+    let independence = rows.iter().find(|r| r.method == "independence").unwrap();
+    assert!(maxent.kl_from_truth < independence.kl_from_truth);
+
+    let accuracy = pka_bench::classification_comparison(4_000, 2_000, 7);
+    println!("\nclassification of `cancer` (accuracy):");
+    for (method, acc) in &accuracy {
+        println!("  {method:<22} {acc:.4}");
+    }
+}
+
+criterion_group!(benches, baselines);
+criterion_main!(benches);

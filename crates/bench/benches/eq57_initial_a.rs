@@ -1,0 +1,31 @@
+//! Experiment E1 — Eqs. 48–62 of the memo: the first-order fit whose
+//! a-values reproduce the marginal probabilities and whose predictions are
+//! the independence model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pka_contingency::Assignment;
+use std::hint::black_box;
+
+fn eq57(c: &mut Criterion) {
+    let table = pka_datagen::smoking::table();
+
+    let mut group = c.benchmark_group("eq57_initial_a");
+    group.bench_function("first_order_fit", |b| {
+        b.iter(|| black_box(pka_bench::eq57_initial_model(&table)))
+    });
+    group.finish();
+
+    // Correctness gate: Eq. 61/62 independence predictions.
+    let (model, report) = pka_bench::eq57_initial_model(&table);
+    assert!(report.converged);
+    let pa = 1290.0 / 3428.0;
+    let pb = 433.0 / 3428.0;
+    let pc = 1780.0 / 3428.0;
+    assert!((model.cell_probability(&[0, 0, 0]) - pa * pb * pc).abs() < 1e-9);
+    assert!(
+        (model.probability(&Assignment::from_pairs([(0, 0), (1, 0)])) - pa * pb).abs() < 1e-9
+    );
+}
+
+criterion_group!(benches, eq57);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Experiment X1 — the full acquisition run (all orders, Figure 3) on the
+//! memo's smoking survey, plus rule induction from the resulting knowledge
+//! base.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pka_core::{induce_rules, RuleInductionConfig};
+use std::hint::black_box;
+
+fn full_acquisition(c: &mut Criterion) {
+    let table = pka_datagen::smoking::table();
+
+    let mut group = c.benchmark_group("full_acquisition");
+    group.bench_function("paper_survey_all_orders", |b| {
+        b.iter(|| black_box(pka_bench::full_acquisition(&table)))
+    });
+    let outcome = pka_bench::full_acquisition(&table);
+    group.bench_function("rule_induction", |b| {
+        b.iter(|| {
+            black_box(
+                induce_rules(&outcome.knowledge_base, &RuleInductionConfig::default()).unwrap(),
+            )
+        })
+    });
+    group.finish();
+
+    // Correctness gates: structure is discovered, the model honours it, and
+    // the memo's headline rule is derivable.
+    let kb = &outcome.knowledge_base;
+    assert!(!kb.significant_constraints().is_empty());
+    for constraint in kb.significant_constraints() {
+        assert!((kb.probability(&constraint.assignment) - constraint.probability).abs() < 1e-6);
+    }
+    let p = kb
+        .conditional_by_names(&[("cancer", "yes")], &[("smoking", "smoker")])
+        .expect("query evaluates");
+    assert!(p > 433.0 / 3428.0, "smoking should raise the cancer probability");
+}
+
+criterion_group!(benches, full_acquisition);
+criterion_main!(benches);

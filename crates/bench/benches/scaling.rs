@@ -1,0 +1,43 @@
+//! Experiment X4 — scaling of the acquisition procedure with the number of
+//! attributes, attribute cardinality and sample size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+
+    // Sweep the number of attributes at fixed cardinality and sample size.
+    for &attributes in &[3usize, 4, 5, 6] {
+        let table = pka_bench::scaling_workload(attributes, 3, 5_000, 13);
+        group.bench_with_input(
+            BenchmarkId::new("attributes", attributes),
+            &table,
+            |b, table| b.iter(|| black_box(pka_bench::scaling_acquisition(table))),
+        );
+    }
+
+    // Sweep the attribute cardinality.
+    for &cardinality in &[2usize, 3, 4, 5] {
+        let table = pka_bench::scaling_workload(4, cardinality, 5_000, 13);
+        group.bench_with_input(
+            BenchmarkId::new("cardinality", cardinality),
+            &table,
+            |b, table| b.iter(|| black_box(pka_bench::scaling_acquisition(table))),
+        );
+    }
+
+    // Sweep the sample size (cost is dominated by the candidate screening,
+    // so this should be nearly flat).
+    for &n in &[1_000u64, 10_000, 100_000] {
+        let table = pka_bench::scaling_workload(4, 3, n, 13);
+        group.bench_with_input(BenchmarkId::new("samples", n), &table, |b, table| {
+            b.iter(|| black_box(pka_bench::scaling_acquisition(table)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scaling);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Experiment T1 — Table 1 of the memo: the minimum-message-length
+//! significance screen of all 16 second-order cells against the
+//! independence model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pka_contingency::Assignment;
+use std::hint::black_box;
+
+fn table1(c: &mut Criterion) {
+    let table = pka_datagen::smoking::table();
+
+    let mut group = c.benchmark_group("table1_significance");
+    group.bench_function("score_all_second_order_cells", |b| {
+        b.iter(|| black_box(pka_bench::table1_significance(&table)))
+    });
+    group.finish();
+
+    // Correctness gates mirroring the memo's printed verdicts.
+    let round = pka_bench::table1_significance(&table);
+    assert_eq!(round.evaluations.len(), 16);
+    let find = |pairs: [(usize, usize); 2]| {
+        round
+            .evaluations
+            .iter()
+            .find(|e| e.assignment == Assignment::from_pairs(pairs))
+            .expect("cell present")
+            .clone()
+    };
+    // AB_11: observed 240, ~6 sd, strongly significant (memo: -11.57).
+    let ab11 = find([(0, 0), (1, 0)]);
+    assert!(ab11.significant && ab11.delta < -8.0);
+    // AC_11 and AC_12: strongly significant (memo: -10.54 / -9.95).
+    assert!(find([(0, 0), (2, 0)]).significant);
+    assert!(find([(0, 0), (2, 1)]).significant);
+    // BC_11: > 3 sd but NOT significant (memo: +0.59).
+    let bc11 = find([(1, 0), (2, 0)]);
+    assert!(!bc11.significant && bc11.z_score > 3.0);
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

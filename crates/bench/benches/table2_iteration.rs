@@ -1,0 +1,31 @@
+//! Experiment T2 — Table 2 of the memo: the iterative a-value computation
+//! that incorporates the `N^AC_12` constraint (target probability 0.219).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn table2(c: &mut Criterion) {
+    let table = pka_datagen::smoking::table();
+
+    let mut group = c.benchmark_group("table2_iteration");
+    for &tolerance in &[1e-3f64, 1e-6, 1e-10] {
+        group.bench_with_input(
+            BenchmarkId::new("fit_ac12_constraint", format!("tol_{tolerance:.0e}")),
+            &tolerance,
+            |b, &tol| b.iter(|| black_box(pka_bench::table2_iteration(&table, tol))),
+        );
+    }
+    group.finish();
+
+    // Correctness gate: at the memo's printed precision the iteration
+    // converges in a handful of sweeps and honours the constraint.
+    let report = pka_bench::table2_iteration(&table, 1e-3);
+    assert!(report.converged);
+    assert!(report.iterations <= 20, "took {} sweeps", report.iterations);
+    let last = report.last_record().expect("trace recorded");
+    let fitted_ac12 = *last.fitted.last().expect("constraint fitted");
+    assert!((fitted_ac12 - 750.0 / 3428.0).abs() < 2e-3, "fitted {fitted_ac12}");
+}
+
+criterion_group!(benches, table2);
+criterion_main!(benches);

@@ -1,0 +1,225 @@
+//! Regenerates every table and figure of NASA TM-88224 plus the extension
+//! experiments, printing measured values next to the memo's printed numbers.
+//!
+//! ```text
+//! cargo run -p pka-bench --bin reproduce            # everything
+//! cargo run -p pka-bench --bin reproduce -- table1  # one artefact
+//! ```
+//!
+//! Valid selectors: `fig1`, `fig2`, `eq57`, `table1`, `table2`, `x1`, `x2`,
+//! `x3`, `x5` (the scaling experiment X4 is timing-only and lives in
+//! `cargo bench`).
+
+use pka_contingency::{display, Assignment, VarSet};
+use pka_core::report;
+use pka_datagen::smoking;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+
+    if want("fig1") {
+        fig1();
+    }
+    if want("fig2") {
+        fig2();
+    }
+    if want("eq57") {
+        eq57();
+    }
+    if want("table1") {
+        table1();
+    }
+    if want("table2") {
+        table2();
+    }
+    if want("x1") {
+        x1_full_acquisition();
+    }
+    if want("x2") {
+        x2_recovery();
+    }
+    if want("x3") {
+        x3_baselines();
+    }
+    if want("x5") {
+        x5_ablation();
+    }
+}
+
+fn heading(title: &str) {
+    println!("\n{}", "=".repeat(78));
+    println!("{title}");
+    println!("{}", "=".repeat(78));
+}
+
+fn fig1() {
+    heading("Figure 1 — smoking/cancer survey contingency table (N = 3428)");
+    let table = pka_bench::fig1_contingency();
+    println!("{}", display::render_cells(&table));
+    println!("total N = {} (paper: 3428)", table.total());
+}
+
+fn fig2() {
+    heading("Figure 2 — marginal counts");
+    let table = smoking::table();
+    println!("Figure 2c (smoking x cancer):");
+    println!("{}", display::render_two_way(&table, smoking::SMOKING, smoking::CANCER));
+    println!("paper values: 240/1050, 93/1040, 100/905, totals 1290/1133/1005 and 433/2995");
+    println!("\nsmoking x family-history:");
+    println!("{}", display::render_two_way(&table, smoking::SMOKING, smoking::FAMILY_HISTORY));
+    println!("\ncancer x family-history:");
+    println!("{}", display::render_two_way(&table, smoking::CANCER, smoking::FAMILY_HISTORY));
+}
+
+fn eq57() {
+    heading("Eqs. 48-62 — first-order probabilities, initial a-values, independence predictions");
+    let table = smoking::table();
+    let (model, report) = pka_bench::eq57_initial_model(&table);
+    println!("first-order fit converged in {} sweeps", report.iterations);
+    println!("\nfirst-order probabilities (paper Eq. 48-56: .38/.33/.29, .13/.87, .52/.48):");
+    let schema = table.schema();
+    for attr in 0..schema.len() {
+        for value in 0..schema.cardinality(attr).unwrap() {
+            let a = Assignment::single(attr, value);
+            println!(
+                "  P[{}] = {:.3} (empirical {:.3})",
+                a.describe(schema),
+                model.probability(&a),
+                table.frequency(&a)
+            );
+        }
+    }
+    println!("\nindependence predictions (paper Table 1 column 1):");
+    for (pairs, paper) in [
+        ([(0usize, 0usize), (1usize, 0usize)], 0.048),
+        ([(0, 0), (1, 1)], 0.329),
+        ([(1, 0), (2, 0)], 0.065),
+        ([(0, 0), (2, 0)], 0.195),
+        ([(0, 0), (2, 1)], 0.181),
+    ] {
+        let a = Assignment::from_pairs(pairs);
+        println!("  P[{}] = {:.3} (paper {:.3})", a.describe(schema), model.probability(&a), paper);
+    }
+}
+
+fn table1() {
+    heading("Table 1 — significance of the second-order cells");
+    let table = smoking::table();
+    let round = pka_bench::table1_significance(&table);
+    println!("{}", report::render_table1(table.schema(), &round));
+    println!("paper reference (m2-m1): AB_11 -11.57, AB_12 +1.75, AB_21 -4.74, AB_22 +3.83,");
+    println!("  AB_31 +2.44, AB_32 +4.97, BC_11 +0.59, BC_12 -0.21, BC_21 +4.77, BC_22 +4.62,");
+    println!("  AC_11 -10.54, AC_12 -9.95, AC_21 +2.87, AC_22 +2.63, AC_31 -0.64, AC_32 -1.49");
+}
+
+fn table2() {
+    heading("Table 2 — iterative a-value computation for the N^AC_12 constraint");
+    let table = smoking::table();
+    let solve = pka_bench::table2_iteration(&table, 1e-3);
+    println!("{}", report::render_table2(table.schema(), &solve));
+    println!("paper reference: the hand iteration of Table 2 converges in ~7 passes;");
+    println!("the fitted p^AC_12 approaches 750/3428 = 0.219 (the b-row of the memo's table).");
+}
+
+fn x1_full_acquisition() {
+    heading("X1 — full acquisition on the paper survey");
+    let table = smoking::table();
+    let outcome = pka_bench::full_acquisition(&table);
+    println!("{}", report::render_summary(&outcome.knowledge_base));
+    println!("discovery order:");
+    for (i, round) in outcome.trace.rounds.iter().enumerate() {
+        if let Some(selected) = &round.selected {
+            println!(
+                "  {}. order {} cell {} (m2-m1 = {:+.2})",
+                i + 1,
+                round.order,
+                selected.describe(table.schema()),
+                round.selected_delta.unwrap_or(f64::NAN)
+            );
+        }
+    }
+    println!("\nexample queries:");
+    let kb = &outcome.knowledge_base;
+    for (target, evidence) in [
+        (vec![("cancer", "yes")], vec![("smoking", "smoker")]),
+        (vec![("cancer", "yes")], vec![("smoking", "non-smoker")]),
+        (vec![("cancer", "yes")], vec![("smoking", "smoker"), ("family-history", "yes")]),
+        (vec![("family-history", "yes")], vec![("smoking", "smoker")]),
+    ] {
+        let p = kb.conditional_by_names(&target, &evidence).expect("query evaluates");
+        println!("  P({target:?} | {evidence:?}) = {p:.4}");
+    }
+    println!("\ninduced rules (top 10 by lift):");
+    let rules =
+        pka_core::induce_rules(kb, &pka_core::RuleInductionConfig::default()).expect("rules");
+    for rule in rules.iter().take(10) {
+        println!("  {}", rule.format(kb.schema()));
+    }
+}
+
+fn x2_recovery() {
+    heading("X2 — recovery of planted interactions vs sample size");
+    println!(
+        "{:>8} {:>16} {:>16} {:>16} {:>12}",
+        "N", "cell recovery", "varset recovery", "false positives", "discovered"
+    );
+    for &n in &[250u64, 1_000, 4_000, 16_000, 64_000] {
+        // Average over a few seeds to smooth sampling noise.
+        let seeds = [11u64, 23, 47, 81, 99];
+        let mut cell = 0.0;
+        let mut varset = 0.0;
+        let mut fp = 0usize;
+        let mut found = 0usize;
+        for &seed in &seeds {
+            let point = pka_bench::recovery_experiment(n, 6.0, 2, seed);
+            cell += point.cell_recovery;
+            varset += point.varset_recovery;
+            fp += point.false_positives;
+            found += point.discovered;
+        }
+        let k = seeds.len() as f64;
+        println!(
+            "{:>8} {:>16.2} {:>16.2} {:>16.1} {:>12.1}",
+            n,
+            cell / k,
+            varset / k,
+            fp as f64 / k,
+            found as f64 / k
+        );
+    }
+}
+
+fn x3_baselines() {
+    heading("X3 — model quality vs baselines (survey simulator)");
+    let rows = pka_bench::baseline_comparison(4_000, 1_000, 7);
+    println!(
+        "{:<22} {:>18} {:>16} {:>14}",
+        "method", "held-out log-loss", "KL from truth", "extra params"
+    );
+    for r in &rows {
+        println!(
+            "{:<22} {:>18.4} {:>16.4} {:>14}",
+            r.method, r.held_out_log_loss, r.kl_from_truth, r.extra_parameters
+        );
+    }
+    println!("\nclassification of `cancer` (accuracy):");
+    for (method, acc) in pka_bench::classification_comparison(4_000, 2_000, 7) {
+        println!("  {method:<22} {acc:.4}");
+    }
+}
+
+fn x5_ablation() {
+    heading("X5 — constraint selection: minimum message length vs chi-square vs G-test");
+    let table = smoking::table();
+    let rows = pka_bench::ablation_selection(&table, 0.001);
+    let schema = table.schema();
+    for row in &rows {
+        println!("{} ({} constraints):", row.rule, row.selected.len());
+        for a in &row.selected {
+            let vars: Vec<usize> = a.vars().iter().collect();
+            let _ = VarSet::from_indices(vars);
+            println!("  {}", a.describe(schema));
+        }
+    }
+}

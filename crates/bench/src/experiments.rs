@@ -1,0 +1,470 @@
+//! One entry point per experiment.
+//!
+//! Every function here is deterministic (seeds are explicit parameters) and
+//! returns plain data, so the same code path serves three callers: the
+//! Criterion benchmarks (timing), the `reproduce` binary (printing
+//! paper-vs-measured) and the integration tests (asserting the shape of the
+//! results).
+
+use pka_baselines::{Chi2Miner, EmpiricalModel, IndependenceModel, NaiveBayes, SelectionRule};
+use pka_contingency::{Assignment, ContingencyTable, Marginal, Schema, VarSet};
+use pka_core::{
+    Acquisition, AcquisitionConfig, AcquisitionOutcome, KnowledgeBase, RoundTrace,
+};
+use pka_datagen::{
+    sample_dataset, sample_table, sampler::seeded_rng, smoking, survey, PlantedExperiment,
+};
+use pka_maxent::{
+    metrics, solver::Solver, ConstraintSet, ConvergenceCriteria, JointDistribution,
+    LogLinearModel, SolveReport,
+};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// F1 / F2 — the survey data and its marginals
+// ---------------------------------------------------------------------------
+
+/// Experiment F1: rebuild the contingency table of Figure 1 from the raw
+/// per-respondent samples (Appendix A path: samples → tuples → table).
+pub fn fig1_contingency() -> ContingencyTable {
+    smoking::dataset().to_table()
+}
+
+/// Experiment F2: all first- and second-order marginals of Figure 2.
+pub fn fig2_marginals(table: &ContingencyTable) -> Vec<Marginal> {
+    let schema = table.schema();
+    let mut out = Vec::new();
+    for attr in 0..schema.len() {
+        out.push(table.marginal(VarSet::singleton(attr)));
+    }
+    for pair in schema.all_vars().subsets_of_size(2) {
+        out.push(table.marginal(pair));
+    }
+    out.push(table.marginal(VarSet::empty()));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// E1 — first-order fit (Eqs. 48-62)
+// ---------------------------------------------------------------------------
+
+/// Experiment E1: fit the maximum-entropy model to the first-order marginals
+/// only; the result is the independence model of Eqs. 57–62.
+pub fn eq57_initial_model(table: &ContingencyTable) -> (LogLinearModel, SolveReport) {
+    let constraints = ConstraintSet::first_order_from_table(table).expect("valid table");
+    Solver::default().fit(&constraints).expect("first-order fit always converges")
+}
+
+// ---------------------------------------------------------------------------
+// T1 — Table 1 (second-order significance screen)
+// ---------------------------------------------------------------------------
+
+/// Experiment T1: score every second-order cell of the smoking survey
+/// against the independence model — the memo's Table 1.  Returns the first
+/// round of the order-2 search with all 16 evaluations recorded.
+pub fn table1_significance(table: &ContingencyTable) -> RoundTrace {
+    let outcome = Acquisition::new(
+        AcquisitionConfig::new().with_evaluation_trace().with_max_order(2),
+    )
+    .run(table)
+    .expect("acquisition on the paper data succeeds");
+    outcome
+        .trace
+        .first_round_at_order(2)
+        .expect("order 2 is always searched")
+        .clone()
+}
+
+// ---------------------------------------------------------------------------
+// T2 — Table 2 (iterative a-value computation for the N^AC_12 constraint)
+// ---------------------------------------------------------------------------
+
+/// Experiment T2: add the memo's first discovered constraint
+/// (`p^AC_12 = 750/3428 ≈ 0.219`) to the first-order constraints and record
+/// the solver trace — the modern equivalent of Table 2's hand iteration.
+///
+/// `tolerance` controls how closely the constraint must be honoured; the
+/// memo's printed table corresponds to roughly `1e-3`.
+pub fn table2_iteration(table: &ContingencyTable, tolerance: f64) -> SolveReport {
+    let mut constraints = ConstraintSet::first_order_from_table(table).expect("valid table");
+    constraints
+        .add_from_table(
+            table,
+            Assignment::from_pairs([(smoking::SMOKING, 0), (smoking::FAMILY_HISTORY, 1)]),
+        )
+        .expect("constraint is consistent");
+    let solver =
+        Solver::new(ConvergenceCriteria::new().with_trace().with_tolerance(tolerance));
+    solver.fit(&constraints).expect("the paper constraint set is feasible").1
+}
+
+// ---------------------------------------------------------------------------
+// F5/F6 — Appendix A conversion
+// ---------------------------------------------------------------------------
+
+/// Experiment F5/F6: the Appendix-A conversion path measured end to end —
+/// expand the paper table to raw samples, then tabulate them again.
+pub fn fig6_roundtrip() -> ContingencyTable {
+    let dataset = smoking::dataset();
+    dataset.to_table()
+}
+
+// ---------------------------------------------------------------------------
+// X1 — full acquisition on the paper data
+// ---------------------------------------------------------------------------
+
+/// Experiment X1: the full acquisition run (all orders) on the smoking
+/// survey.
+pub fn full_acquisition(table: &ContingencyTable) -> AcquisitionOutcome {
+    Acquisition::new(AcquisitionConfig::new().with_evaluation_trace())
+        .run(table)
+        .expect("acquisition on the paper data succeeds")
+}
+
+// ---------------------------------------------------------------------------
+// X2 — planted-correlation recovery vs sample size
+// ---------------------------------------------------------------------------
+
+/// One point of the recovery curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryPoint {
+    /// Sample size used.
+    pub n: u64,
+    /// Fraction of planted cells recovered exactly.
+    pub cell_recovery: f64,
+    /// Fraction of planted variable sets recovered.
+    pub varset_recovery: f64,
+    /// Constraints discovered that match no planted variable set.
+    pub false_positives: usize,
+    /// Number of constraints discovered in total.
+    pub discovered: usize,
+}
+
+/// Experiment X2: plant `planted_count` second-order interactions of the
+/// given strength in a 4-attribute schema, sample `n` observations, run
+/// acquisition, and measure recovery.
+pub fn recovery_experiment(n: u64, strength: f64, planted_count: usize, seed: u64) -> RecoveryPoint {
+    let schema = Schema::uniform(&[3, 2, 2, 3]).expect("schema valid").into_shared();
+    let mut rng = seeded_rng(seed);
+    let experiment =
+        PlantedExperiment::generate(Arc::clone(&schema), 2, planted_count, strength, &mut rng);
+    let table = sample_table(&experiment.joint, n, &mut rng);
+    let outcome = Acquisition::new(AcquisitionConfig::new().with_max_order(2))
+        .run(&table)
+        .expect("acquisition succeeds");
+    let discovered: Vec<Assignment> = outcome
+        .knowledge_base
+        .significant_constraints()
+        .iter()
+        .map(|c| c.assignment.clone())
+        .collect();
+    RecoveryPoint {
+        n,
+        cell_recovery: experiment.cell_recovery(&discovered),
+        varset_recovery: experiment.varset_recovery(&discovered),
+        false_positives: experiment.false_positives(&discovered),
+        discovered: discovered.len(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// X3 — model quality vs baselines
+// ---------------------------------------------------------------------------
+
+/// One row of the baseline-comparison table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// Estimator name.
+    pub method: &'static str,
+    /// Average negative log-likelihood (nats) on held-out data.
+    pub held_out_log_loss: f64,
+    /// KL divergence (nats) from the ground-truth distribution to the
+    /// estimate.
+    pub kl_from_truth: f64,
+    /// Number of parameters beyond the first-order marginals (0 for the
+    /// independence baseline; number of cells for the empirical model).
+    pub extra_parameters: usize,
+}
+
+/// Experiment X3: draw a training and a held-out test set from the survey
+/// simulator, fit the acquired model and the baselines on the training data
+/// and compare held-out log-loss and divergence from the ground truth.
+pub fn baseline_comparison(n_train: u64, n_test: u64, seed: u64) -> Vec<ComparisonRow> {
+    let truth = survey::ground_truth();
+    let mut rng = seeded_rng(seed);
+    let train = sample_table(&truth, n_train, &mut rng);
+    let test = sample_dataset(&truth, n_test, &mut rng);
+
+    let kl = |joint: &JointDistribution| {
+        pka_maxent::entropy::kl_divergence(truth.probabilities(), joint.probabilities())
+    };
+
+    // Acquired maximum-entropy model (orders limited to 3 to keep the sweep
+    // bounded; the ground truth has no structure above order 3).
+    let outcome = Acquisition::new(AcquisitionConfig::new().with_max_order(3))
+        .run(&train)
+        .expect("acquisition succeeds");
+    let acquired_joint = outcome.knowledge_base.joint();
+    let acquired_extra = outcome.knowledge_base.significant_constraints().len();
+
+    let independence = IndependenceModel::fit(&train);
+    let empirical = EmpiricalModel::fit_smoothed(&train, 0.5);
+
+    vec![
+        ComparisonRow {
+            method: "maxent-acquisition",
+            held_out_log_loss: metrics::log_loss(&acquired_joint, &test).expect("same schema"),
+            kl_from_truth: kl(&acquired_joint),
+            extra_parameters: acquired_extra,
+        },
+        ComparisonRow {
+            method: "independence",
+            held_out_log_loss: metrics::log_loss(independence.joint(), &test)
+                .expect("same schema"),
+            kl_from_truth: kl(independence.joint()),
+            extra_parameters: 0,
+        },
+        ComparisonRow {
+            method: "empirical+0.5",
+            held_out_log_loss: metrics::log_loss(empirical.joint(), &test).expect("same schema"),
+            kl_from_truth: kl(empirical.joint()),
+            extra_parameters: train.cell_count(),
+        },
+    ]
+}
+
+/// Classification accuracy comparison on the survey simulator: the acquired
+/// model used as a classifier vs naive Bayes, both predicting `cancer`.
+pub fn classification_comparison(n_train: u64, n_test: u64, seed: u64) -> Vec<(String, f64)> {
+    let truth = survey::ground_truth();
+    let mut rng = seeded_rng(seed);
+    let train = sample_table(&truth, n_train, &mut rng);
+    let test = sample_table(&truth, n_test, &mut rng);
+    let target = survey::attrs::CANCER;
+
+    let nb = NaiveBayes::fit(&train, target, 1.0);
+    let nb_accuracy = nb.accuracy(&test);
+
+    let outcome = Acquisition::new(AcquisitionConfig::new().with_max_order(2))
+        .run(&train)
+        .expect("acquisition succeeds");
+    let kb = outcome.knowledge_base;
+    let maxent_accuracy = classify_with_kb(&kb, &test, target);
+
+    vec![
+        ("maxent-acquisition".to_string(), maxent_accuracy),
+        ("naive-bayes".to_string(), nb_accuracy),
+    ]
+}
+
+fn classify_with_kb(kb: &KnowledgeBase, test: &ContingencyTable, target: usize) -> f64 {
+    if test.total() == 0 {
+        return 0.0;
+    }
+    let schema = kb.schema();
+    let card = schema.cardinality(target).expect("target in schema");
+    let mut correct = 0u64;
+    for (values, count) in test.nonzero_cells() {
+        let evidence = Assignment::from_pairs(
+            values.iter().enumerate().filter(|&(a, _)| a != target).map(|(a, &v)| (a, v)),
+        );
+        let prediction = (0..card)
+            .map(|v| {
+                kb.conditional(&Assignment::single(target, v), &evidence).unwrap_or(0.0)
+            })
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .map(|(v, _)| v)
+            .expect("at least one value");
+        if prediction == values[target] {
+            correct += count;
+        }
+    }
+    correct as f64 / test.total() as f64
+}
+
+// ---------------------------------------------------------------------------
+// X4 — scaling
+// ---------------------------------------------------------------------------
+
+/// A scaling workload: a sampled table over a schema with `attributes`
+/// attributes of `cardinality` values each.
+pub fn scaling_workload(attributes: usize, cardinality: usize, n: u64, seed: u64) -> ContingencyTable {
+    let cards = vec![cardinality; attributes];
+    let schema = Schema::uniform(&cards).expect("schema valid").into_shared();
+    let mut rng = seeded_rng(seed);
+    let joint = pka_datagen::synthetic::random_joint(Arc::clone(&schema), 1.0, &mut rng);
+    sample_table(&joint, n, &mut rng)
+}
+
+/// Runs acquisition (up to order 2) on a scaling workload and returns the
+/// number of constraints found — the quantity the scaling bench times.
+pub fn scaling_acquisition(table: &ContingencyTable) -> usize {
+    Acquisition::new(AcquisitionConfig::new().with_max_order(2))
+        .run(table)
+        .expect("acquisition succeeds")
+        .knowledge_base
+        .significant_constraints()
+        .len()
+}
+
+// ---------------------------------------------------------------------------
+// X5 — constraint-selection ablation (MML vs chi-square vs G-test)
+// ---------------------------------------------------------------------------
+
+/// One row of the ablation: which cells each selection rule promotes on the
+/// same data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Selection rule name.
+    pub rule: &'static str,
+    /// Constraints promoted (order ≥ 2), in promotion order.
+    pub selected: Vec<Assignment>,
+}
+
+/// Experiment X5: run the memo's message-length selection and the classical
+/// χ²/G-test selections (at `alpha`) on the same table, restricted to second
+/// order, and report what each promoted.
+pub fn ablation_selection(table: &ContingencyTable, alpha: f64) -> Vec<AblationRow> {
+    let mml = Acquisition::new(AcquisitionConfig::new().with_max_order(2))
+        .run(table)
+        .expect("acquisition succeeds");
+    let mml_selected: Vec<Assignment> = mml
+        .knowledge_base
+        .significant_constraints()
+        .iter()
+        .map(|c| c.assignment.clone())
+        .collect();
+
+    let chi = Chi2Miner::new(alpha, SelectionRule::ChiSquare, 2)
+        .run(table)
+        .expect("miner succeeds")
+        .1
+        .into_iter()
+        .map(|m| m.assignment)
+        .collect();
+    let g = Chi2Miner::new(alpha, SelectionRule::GTest, 2)
+        .run(table)
+        .expect("miner succeeds")
+        .1
+        .into_iter()
+        .map(|m| m.assignment)
+        .collect();
+
+    vec![
+        AblationRow { rule: "minimum-message-length", selected: mml_selected },
+        AblationRow { rule: "chi-square", selected: chi },
+        AblationRow { rule: "g-test", selected: g },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_matches_the_embedded_counts() {
+        let t = fig1_contingency();
+        assert_eq!(t.total(), smoking::TOTAL);
+        assert_eq!(t.counts(), smoking::table().counts());
+    }
+
+    #[test]
+    fn fig2_produces_all_marginals() {
+        let t = smoking::table();
+        let marginals = fig2_marginals(&t);
+        // 3 first-order + 3 second-order + the grand total.
+        assert_eq!(marginals.len(), 7);
+        assert!(marginals.iter().all(|m| m.sum() == smoking::TOTAL));
+    }
+
+    #[test]
+    fn eq57_fit_is_the_independence_model() {
+        let t = smoking::table();
+        let (model, report) = eq57_initial_model(&t);
+        assert!(report.converged);
+        let p = model.probability(&Assignment::from_pairs([(0, 0), (1, 0)]));
+        assert!((p - (1290.0 / 3428.0) * (433.0 / 3428.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_has_sixteen_rows_and_the_memo_verdicts() {
+        let t = smoking::table();
+        let round = table1_significance(&t);
+        assert_eq!(round.evaluations.len(), 16);
+        // The memo's strongly significant cells (m2 − m1 around −10 or
+        // below) all live in the AB and AC tables; the BC table contributes
+        // at most the marginal BC_12 row (m2 − m1 = −0.21 in the memo).
+        let mut by_delta: Vec<_> = round.evaluations.iter().collect();
+        by_delta.sort_by(|a, b| a.delta.partial_cmp(&b.delta).unwrap());
+        let bc = VarSet::from_indices([1, 2]);
+        for strong in by_delta.iter().take(3) {
+            assert!(strong.significant);
+            assert_ne!(strong.assignment.vars(), bc, "a BC cell ranked in the top three");
+        }
+        // BC_11 is more than 3 sd out yet not significant (the memo's point).
+        let bc11 = round
+            .evaluations
+            .iter()
+            .find(|e| e.assignment == Assignment::from_pairs([(1, 0), (2, 0)]))
+            .unwrap();
+        assert!(!bc11.significant);
+    }
+
+    #[test]
+    fn table2_trace_converges_to_the_constraint() {
+        let t = smoking::table();
+        let report = table2_iteration(&t, 1e-3);
+        assert!(report.converged);
+        assert!(report.iterations <= 20);
+        assert!(!report.trace.is_empty());
+    }
+
+    #[test]
+    fn recovery_improves_with_sample_size() {
+        let small = recovery_experiment(300, 6.0, 2, 42);
+        let large = recovery_experiment(20_000, 6.0, 2, 42);
+        assert!(large.varset_recovery >= small.varset_recovery);
+        assert!(large.varset_recovery > 0.0);
+    }
+
+    #[test]
+    fn baseline_comparison_has_expected_shape() {
+        let rows = baseline_comparison(4000, 1000, 7);
+        assert_eq!(rows.len(), 3);
+        let get = |name: &str| rows.iter().find(|r| r.method == name).unwrap();
+        let maxent = get("maxent-acquisition");
+        let independence = get("independence");
+        // The acquired model must beat the independence baseline on both
+        // divergence from the truth and held-out likelihood.
+        assert!(maxent.kl_from_truth < independence.kl_from_truth);
+        assert!(maxent.held_out_log_loss <= independence.held_out_log_loss + 1e-9);
+        assert!(maxent.extra_parameters > 0);
+        assert_eq!(independence.extra_parameters, 0);
+    }
+
+    #[test]
+    fn ablation_rules_agree_on_the_strong_structure() {
+        let t = smoking::table();
+        let rows = ablation_selection(&t, 0.001);
+        assert_eq!(rows.len(), 3);
+        let mml = &rows[0];
+        assert!(!mml.selected.is_empty());
+        // Every rule finds at least one constraint involving smoking (A).
+        for row in &rows {
+            assert!(
+                row.selected.iter().any(|a| a.vars().contains(0)),
+                "rule {} found nothing involving smoking",
+                row.rule
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_workload_shapes() {
+        let t = scaling_workload(4, 3, 2000, 3);
+        assert_eq!(t.schema().len(), 4);
+        assert_eq!(t.total(), 2000);
+        let _found = scaling_acquisition(&t);
+    }
+}

@@ -1,0 +1,14 @@
+//! # pka-bench
+//!
+//! The experiment harness: one function per table/figure of NASA TM-88224
+//! plus the extension experiments of DESIGN.md.  The Criterion benchmarks in
+//! `benches/` time these functions; the `reproduce` binary prints their
+//! results side by side with the numbers printed in the memo
+//! (EXPERIMENTS.md records the comparison).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,151 @@
+//! Named categorical attributes.
+//!
+//! An attribute corresponds to one question of the memo's questionnaire
+//! (e.g. *SMOKING HISTORY* with values *Smoker*, *Non smoker not married to a
+//! smoker*, *Non smoker married to a smoker*).  The memo requires the value
+//! range of every attribute to be **complete** — "made so by adding the value
+//! `other`, if necessary" — so that the per-attribute counts always sum to
+//! the total sample size `N`.  [`Attribute::with_other`] adds that catch-all
+//! value explicitly.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A categorical attribute: a name plus an ordered, exhaustive list of value
+/// names.
+///
+/// The position of a value in the list is its *value index*; the memo's
+/// subscripts (`i`, `j`, `k`, …, numbered from 1) map to indices `0, 1, 2, …`
+/// here.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    name: String,
+    values: Vec<String>,
+}
+
+impl Attribute {
+    /// Creates an attribute from a name and its value names.
+    ///
+    /// Empty value lists are accepted here and rejected when the attribute is
+    /// placed into a [`Schema`](crate::Schema), where the error can carry
+    /// more context.
+    pub fn new<N, I, V>(name: N, values: I) -> Self
+    where
+        N: Into<String>,
+        I: IntoIterator<Item = V>,
+        V: Into<String>,
+    {
+        Self {
+            name: name.into(),
+            values: values.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Creates a two-valued (boolean-like) attribute with values `yes`/`no`,
+    /// the shape of the memo's *CANCER* and *FAMILY HISTORY* questions.
+    pub fn yes_no<N: Into<String>>(name: N) -> Self {
+        Self::new(name, ["yes", "no"])
+    }
+
+    /// Returns a copy with the catch-all value `other` appended, making the
+    /// value range exhaustive as the memo requires.
+    ///
+    /// If a value named `other` is already present the attribute is returned
+    /// unchanged.
+    pub fn with_other(mut self) -> Self {
+        if !self.values.iter().any(|v| v == "other") {
+            self.values.push("other".to_string());
+        }
+        self
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of values (the memo's `I`, `J`, `K`, …).
+    pub fn cardinality(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value names in index order.
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+
+    /// Name of the value with the given index, if in range.
+    pub fn value_name(&self, index: usize) -> Option<&str> {
+        self.values.get(index).map(String::as_str)
+    }
+
+    /// Index of the value with the given name, if present.
+    pub fn value_index(&self, name: &str) -> Option<usize> {
+        self.values.iter().position(|v| v == name)
+    }
+
+    /// True if two values share a name (which a [`Schema`](crate::Schema)
+    /// rejects).
+    pub fn has_duplicate_values(&self) -> Option<&str> {
+        for (i, v) in self.values.iter().enumerate() {
+            if self.values[..i].iter().any(|w| w == v) {
+                return Some(v);
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.name, self.values.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_lookup() {
+        let a = Attribute::new("smoking", ["smoker", "non-smoker", "married-to-smoker"]);
+        assert_eq!(a.name(), "smoking");
+        assert_eq!(a.cardinality(), 3);
+        assert_eq!(a.value_index("non-smoker"), Some(1));
+        assert_eq!(a.value_name(2), Some("married-to-smoker"));
+        assert_eq!(a.value_index("nope"), None);
+        assert_eq!(a.value_name(3), None);
+    }
+
+    #[test]
+    fn yes_no_shape() {
+        let a = Attribute::yes_no("cancer");
+        assert_eq!(a.cardinality(), 2);
+        assert_eq!(a.value_index("yes"), Some(0));
+        assert_eq!(a.value_index("no"), Some(1));
+    }
+
+    #[test]
+    fn with_other_appends_once() {
+        let a = Attribute::new("colour", ["red", "green"]).with_other();
+        assert_eq!(a.cardinality(), 3);
+        assert_eq!(a.value_index("other"), Some(2));
+        let again = a.with_other();
+        assert_eq!(again.cardinality(), 3);
+    }
+
+    #[test]
+    fn duplicate_detection() {
+        let a = Attribute::new("x", ["a", "b", "a"]);
+        assert_eq!(a.has_duplicate_values(), Some("a"));
+        let b = Attribute::new("x", ["a", "b"]);
+        assert_eq!(b.has_duplicate_values(), None);
+    }
+
+    #[test]
+    fn display_contains_values() {
+        let a = Attribute::new("cancer", ["yes", "no"]);
+        let s = a.to_string();
+        assert!(s.contains("cancer") && s.contains("yes") && s.contains("no"));
+    }
+}

@@ -1,0 +1,238 @@
+//! Minimal CSV ingestion for survey-style files.
+//!
+//! The memo's data sources — questionnaires, test logs, telemetry summaries —
+//! typically arrive as delimited text with a header row.  This module reads
+//! such files into a [`Dataset`] without pulling in an external CSV crate:
+//! values are comma-separated, a `#` line is a comment, whitespace around
+//! fields is trimmed, and quoting is not supported (categorical survey codes
+//! do not need it).
+
+use crate::attribute::Attribute;
+use crate::dataset::Dataset;
+use crate::schema::Schema;
+use crate::{ContingencyError, Result};
+
+/// How the schema for a CSV file is obtained.
+#[derive(Debug, Clone)]
+pub enum CsvSchema {
+    /// Use an explicit schema; rows containing unknown values are errors.
+    Fixed(Schema),
+    /// Infer the schema: attribute names from the header row, value lists
+    /// from the distinct strings seen in each column (in order of first
+    /// appearance).
+    Infer,
+}
+
+/// Parses CSV text into a dataset.
+///
+/// The first non-comment line must be a header naming the attributes.  With
+/// [`CsvSchema::Fixed`] the header order may differ from the schema order;
+/// columns are matched by name.
+pub fn parse_csv(text: &str, schema: CsvSchema) -> Result<Dataset> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|&(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+    let (header_line_no, header) = lines
+        .next()
+        .ok_or(ContingencyError::Csv { line: 0, reason: "file contains no header row".into() })?;
+    let columns: Vec<&str> = header.split(',').map(str::trim).collect();
+    if columns.iter().any(|c| c.is_empty()) {
+        return Err(ContingencyError::Csv {
+            line: header_line_no,
+            reason: "header contains an empty column name".into(),
+        });
+    }
+
+    let rows: Vec<(usize, Vec<String>)> = lines
+        .map(|(no, l)| (no, l.split(',').map(|f| f.trim().to_string()).collect::<Vec<_>>()))
+        .collect();
+    for (no, row) in &rows {
+        if row.len() != columns.len() {
+            return Err(ContingencyError::Csv {
+                line: *no,
+                reason: format!("expected {} fields, found {}", columns.len(), row.len()),
+            });
+        }
+    }
+
+    match schema {
+        CsvSchema::Fixed(schema) => {
+            // Map CSV column position -> schema attribute index.
+            let mut col_to_attr = Vec::with_capacity(columns.len());
+            for c in &columns {
+                col_to_attr.push(schema.attribute_index(c)?);
+            }
+            let mut ds = Dataset::new(schema);
+            for (no, row) in rows {
+                let mut values = vec![usize::MAX; ds.schema().len()];
+                for (col, field) in row.iter().enumerate() {
+                    let attr = col_to_attr[col];
+                    let v = ds
+                        .schema()
+                        .attribute(attr)?
+                        .value_index(field)
+                        .ok_or_else(|| ContingencyError::Csv {
+                            line: no,
+                            reason: format!("unknown value `{field}` for attribute `{}`", columns[col]),
+                        })?;
+                    values[attr] = v;
+                }
+                if values.iter().any(|&v| v == usize::MAX) {
+                    return Err(ContingencyError::Csv {
+                        line: no,
+                        reason: "row does not cover every schema attribute".into(),
+                    });
+                }
+                ds.push_values(values)?;
+            }
+            Ok(ds)
+        }
+        CsvSchema::Infer => {
+            // First pass: collect distinct values per column.
+            let mut value_lists: Vec<Vec<String>> = vec![Vec::new(); columns.len()];
+            for (_, row) in &rows {
+                for (col, field) in row.iter().enumerate() {
+                    if !value_lists[col].iter().any(|v| v == field) {
+                        value_lists[col].push(field.clone());
+                    }
+                }
+            }
+            if rows.is_empty() {
+                return Err(ContingencyError::Csv {
+                    line: header_line_no,
+                    reason: "cannot infer a schema from a file with no data rows".into(),
+                });
+            }
+            let attributes: Vec<Attribute> = columns
+                .iter()
+                .zip(value_lists.iter())
+                .map(|(name, values)| Attribute::new(*name, values.clone()))
+                .collect();
+            let schema = Schema::new(attributes)?;
+            let mut ds = Dataset::new(schema);
+            for (_, row) in rows {
+                let values: Vec<usize> = row
+                    .iter()
+                    .enumerate()
+                    .map(|(col, field)| {
+                        ds.schema()
+                            .attribute(col)
+                            .expect("column in schema")
+                            .value_index(field)
+                            .expect("value seen in first pass")
+                    })
+                    .collect();
+                ds.push_values(values)?;
+            }
+            Ok(ds)
+        }
+    }
+}
+
+/// Serialises a dataset back to CSV text (header + one row per sample),
+/// using the schema's value names.  Inverse of [`parse_csv`] with an inferred
+/// schema, up to value-declaration order.
+pub fn to_csv(dataset: &Dataset) -> String {
+    let schema = dataset.schema();
+    let mut out = String::new();
+    let header: Vec<&str> = schema.attributes().iter().map(Attribute::name).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for sample in dataset.iter() {
+        let row: Vec<&str> = sample
+            .values()
+            .iter()
+            .enumerate()
+            .map(|(attr, &v)| {
+                schema.attribute(attr).expect("attr in schema").value_name(v).unwrap_or("?")
+            })
+            .collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::Attribute;
+
+    const SAMPLE_CSV: &str = "\
+# hypothetical survey extract
+smoking,cancer
+smoker,yes
+smoker,no
+non-smoker,no
+non-smoker , no
+";
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("smoking", ["smoker", "non-smoker"]),
+            Attribute::yes_no("cancer"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_with_fixed_schema() {
+        let ds = parse_csv(SAMPLE_CSV, CsvSchema::Fixed(schema())).unwrap();
+        assert_eq!(ds.len(), 4);
+        let t = ds.to_table();
+        assert_eq!(t.count_values(&[0, 0]), 1);
+        assert_eq!(t.count_values(&[1, 1]), 2);
+    }
+
+    #[test]
+    fn parse_with_fixed_schema_and_reordered_columns() {
+        let csv = "cancer,smoking\nyes,smoker\nno,non-smoker\n";
+        let ds = parse_csv(csv, CsvSchema::Fixed(schema())).unwrap();
+        assert_eq!(ds.samples()[0].values(), &[0, 0]);
+        assert_eq!(ds.samples()[1].values(), &[1, 1]);
+    }
+
+    #[test]
+    fn parse_with_inferred_schema() {
+        let ds = parse_csv(SAMPLE_CSV, CsvSchema::Infer).unwrap();
+        assert_eq!(ds.schema().len(), 2);
+        assert_eq!(ds.schema().attribute(0).unwrap().cardinality(), 2);
+        assert_eq!(ds.len(), 4);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_values_and_ragged_rows() {
+        let unknown = "smoking,cancer\nvaper,yes\n";
+        assert!(matches!(
+            parse_csv(unknown, CsvSchema::Fixed(schema())),
+            Err(ContingencyError::Csv { line: 2, .. })
+        ));
+        let ragged = "smoking,cancer\nsmoker\n";
+        assert!(matches!(
+            parse_csv(ragged, CsvSchema::Infer),
+            Err(ContingencyError::Csv { line: 2, .. })
+        ));
+        let unknown_column = "smoking,age\nsmoker,12\n";
+        assert!(parse_csv(unknown_column, CsvSchema::Fixed(schema())).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_empty_input() {
+        assert!(parse_csv("", CsvSchema::Infer).is_err());
+        assert!(parse_csv("# only a comment\n", CsvSchema::Infer).is_err());
+        assert!(parse_csv("a,b\n", CsvSchema::Infer).is_err());
+        assert!(parse_csv("a,,c\nx,y,z\n", CsvSchema::Infer).is_err());
+    }
+
+    #[test]
+    fn to_csv_roundtrips_through_parse() {
+        let ds = parse_csv(SAMPLE_CSV, CsvSchema::Fixed(schema())).unwrap();
+        let text = to_csv(&ds);
+        let back = parse_csv(&text, CsvSchema::Fixed(schema())).unwrap();
+        assert_eq!(back.samples(), ds.samples());
+        assert!(text.starts_with("smoking,cancer\n"));
+    }
+}

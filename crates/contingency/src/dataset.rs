@@ -1,0 +1,211 @@
+//! Collections of samples — the "original data form" of the memo's
+//! Appendix A.
+
+use crate::builder::TableBuilder;
+use crate::sample::Sample;
+use crate::schema::Schema;
+use crate::table::ContingencyTable;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A set of observations over a fixed [`Schema`].
+///
+/// This is the memo's Figure 5: one row per respondent, one mark per
+/// attribute.  The only operation the acquisition pipeline ever needs is the
+/// reduction to a [`ContingencyTable`] ([`Dataset::to_table`]), but the raw
+/// samples are kept so train/test splits and resampling experiments are
+/// possible.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dataset {
+    schema: Arc<Schema>,
+    samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset over a schema.
+    pub fn new(schema: Schema) -> Self {
+        Self { schema: Arc::new(schema), samples: Vec::new() }
+    }
+
+    /// Creates an empty dataset over an already-shared schema.
+    pub fn with_shared_schema(schema: Arc<Schema>) -> Self {
+        Self { schema, samples: Vec::new() }
+    }
+
+    /// Creates a dataset from pre-validated samples.
+    pub fn from_samples(schema: Schema, samples: Vec<Sample>) -> Result<Self> {
+        let mut ds = Self::new(schema);
+        for s in samples {
+            ds.push(s)?;
+        }
+        Ok(ds)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The schema as a shareable handle.
+    pub fn shared_schema(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    /// The samples collected so far.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples (the memo's `N`).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Appends a sample after validating it against the schema.
+    pub fn push(&mut self, sample: Sample) -> Result<()> {
+        let validated = Sample::validated(&self.schema, sample.into_values())?;
+        self.samples.push(validated);
+        Ok(())
+    }
+
+    /// Appends a sample given by raw value indices.
+    pub fn push_values(&mut self, values: Vec<usize>) -> Result<()> {
+        self.push(Sample::new(values))
+    }
+
+    /// Appends a sample given by `(attribute name, value name)` pairs.
+    pub fn push_named(&mut self, pairs: &[(&str, &str)]) -> Result<()> {
+        let s = Sample::from_named(&self.schema, pairs)?;
+        self.samples.push(s);
+        Ok(())
+    }
+
+    /// Reduces the dataset to contingency-table form (Appendix A: sum the
+    /// attribute R-tuples to obtain the `N_{ijk…}` values).
+    pub fn to_table(&self) -> ContingencyTable {
+        let mut builder = TableBuilder::new(Arc::clone(&self.schema));
+        for s in &self.samples {
+            builder.add_sample(s);
+        }
+        builder.build()
+    }
+
+    /// Splits the dataset deterministically into a training and a test part:
+    /// every `k`-th sample (by position, starting at `offset`) goes to the
+    /// test part.  Used by the model-quality experiments; deterministic so
+    /// benchmark runs are reproducible.
+    pub fn split_every(&self, k: usize, offset: usize) -> (Dataset, Dataset) {
+        let k = k.max(1);
+        let mut train = Dataset::with_shared_schema(Arc::clone(&self.schema));
+        let mut test = Dataset::with_shared_schema(Arc::clone(&self.schema));
+        for (i, s) in self.samples.iter().enumerate() {
+            if i % k == offset % k {
+                test.samples.push(s.clone());
+            } else {
+                train.samples.push(s.clone());
+            }
+        }
+        (train, test)
+    }
+
+    /// Keeps only the first `n` samples (useful for learning-curve sweeps).
+    pub fn truncated(&self, n: usize) -> Dataset {
+        Dataset {
+            schema: Arc::clone(&self.schema),
+            samples: self.samples.iter().take(n).cloned().collect(),
+        }
+    }
+
+    /// Iterates over samples.
+    pub fn iter(&self) -> impl Iterator<Item = &Sample> {
+        self.samples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::Attribute;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("a", ["0", "1"]),
+            Attribute::new("b", ["0", "1", "2"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn push_and_count() {
+        let mut d = Dataset::new(schema());
+        d.push_values(vec![0, 2]).unwrap();
+        d.push_values(vec![1, 1]).unwrap();
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        assert!(d.push_values(vec![0, 3]).is_err());
+        assert!(d.push_values(vec![0]).is_err());
+        assert_eq!(d.len(), 2, "failed pushes must not modify the dataset");
+    }
+
+    #[test]
+    fn push_named_resolves() {
+        let mut d = Dataset::new(schema());
+        d.push_named(&[("b", "2"), ("a", "0")]).unwrap();
+        assert_eq!(d.samples()[0].values(), &[0, 2]);
+    }
+
+    #[test]
+    fn to_table_counts_cells() {
+        let mut d = Dataset::new(schema());
+        for _ in 0..3 {
+            d.push_values(vec![0, 1]).unwrap();
+        }
+        d.push_values(vec![1, 2]).unwrap();
+        let t = d.to_table();
+        assert_eq!(t.total(), 4);
+        assert_eq!(t.count_values(&[0, 1]), 3);
+        assert_eq!(t.count_values(&[1, 2]), 1);
+        assert_eq!(t.count_values(&[1, 1]), 0);
+    }
+
+    #[test]
+    fn from_samples_validates_all() {
+        let s = schema();
+        let ok = Dataset::from_samples(s.clone(), vec![Sample::new(vec![0, 0])]);
+        assert!(ok.is_ok());
+        let bad = Dataset::from_samples(s, vec![Sample::new(vec![0, 9])]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn split_every_partitions_without_loss() {
+        let mut d = Dataset::new(schema());
+        for i in 0..10 {
+            d.push_values(vec![i % 2, i % 3]).unwrap();
+        }
+        let (train, test) = d.split_every(5, 0);
+        assert_eq!(train.len() + test.len(), 10);
+        assert_eq!(test.len(), 2);
+        // offset shifts which samples land in the test split
+        let (_, test2) = d.split_every(5, 1);
+        assert_ne!(test.samples(), test2.samples());
+    }
+
+    #[test]
+    fn truncated_takes_prefix() {
+        let mut d = Dataset::new(schema());
+        for i in 0..5 {
+            d.push_values(vec![i % 2, 0]).unwrap();
+        }
+        let t = d.truncated(3);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.samples()[2].values(), d.samples()[2].values());
+        assert_eq!(d.truncated(100).len(), 5);
+    }
+}

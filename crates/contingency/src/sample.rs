@@ -1,0 +1,158 @@
+//! Individual observations in attribute-tuple form (Figure 5 / Figure 6 of
+//! the memo).
+
+use crate::schema::Schema;
+use crate::{ContingencyError, Result};
+use serde::{Deserialize, Serialize};
+
+/// One observation: a value index for every attribute of a schema, in
+/// attribute order.
+///
+/// This is the memo's "attribute R-tuple form" (Figure 6): sample number 1 of
+/// the example, a smoker with cancer and a family history of cancer, is
+/// `Sample::new(vec![0, 0, 0])`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Sample(Vec<usize>);
+
+impl Sample {
+    /// Wraps a vector of value indices.  Validation against a schema happens
+    /// in [`Sample::validated`] or when the sample is pushed into a
+    /// [`Dataset`](crate::Dataset).
+    pub fn new(values: Vec<usize>) -> Self {
+        Self(values)
+    }
+
+    /// Wraps and validates a vector of value indices against a schema.
+    pub fn validated(schema: &Schema, values: Vec<usize>) -> Result<Self> {
+        if values.len() != schema.len() {
+            return Err(ContingencyError::SampleArity {
+                got: values.len(),
+                expected: schema.len(),
+            });
+        }
+        for (i, &v) in values.iter().enumerate() {
+            let card = schema.cardinality(i)?;
+            if v >= card {
+                return Err(ContingencyError::ValueIndexOutOfRange {
+                    attribute: i,
+                    value: v,
+                    cardinality: card,
+                });
+            }
+        }
+        Ok(Self(values))
+    }
+
+    /// Builds a sample from `(attribute name, value name)` pairs; every
+    /// attribute of the schema must be mentioned exactly once.
+    pub fn from_named(schema: &Schema, pairs: &[(&str, &str)]) -> Result<Self> {
+        if pairs.len() != schema.len() {
+            return Err(ContingencyError::SampleArity { got: pairs.len(), expected: schema.len() });
+        }
+        let mut values = vec![usize::MAX; schema.len()];
+        for &(attr_name, value_name) in pairs {
+            let attr = schema.attribute_index(attr_name)?;
+            let value = schema.attribute(attr)?.value_index(value_name).ok_or_else(|| {
+                ContingencyError::UnknownValue {
+                    attribute: attr_name.to_string(),
+                    value: value_name.to_string(),
+                }
+            })?;
+            values[attr] = value;
+        }
+        if values.iter().any(|&v| v == usize::MAX) {
+            return Err(ContingencyError::InvalidAssignment {
+                reason: "sample does not cover every attribute".to_string(),
+            });
+        }
+        Ok(Self(values))
+    }
+
+    /// The value indices in attribute order.
+    pub fn values(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// The value index for one attribute.
+    pub fn value(&self, attribute: usize) -> Option<usize> {
+        self.0.get(attribute).copied()
+    }
+
+    /// Number of attributes covered.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the zero-attribute sample (only possible if constructed by
+    /// hand; datasets never contain it).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Consumes the sample, returning its value indices.
+    pub fn into_values(self) -> Vec<usize> {
+        self.0
+    }
+}
+
+impl From<Vec<usize>> for Sample {
+    fn from(values: Vec<usize>) -> Self {
+        Self(values)
+    }
+}
+
+impl AsRef<[usize]> for Sample {
+    fn as_ref(&self) -> &[usize] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::Attribute;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("smoking", ["smoker", "non-smoker", "married-to-smoker"]),
+            Attribute::yes_no("cancer"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn validated_accepts_good_samples() {
+        let s = schema();
+        assert!(Sample::validated(&s, vec![2, 1]).is_ok());
+    }
+
+    #[test]
+    fn validated_rejects_bad_samples() {
+        let s = schema();
+        assert!(matches!(Sample::validated(&s, vec![2]), Err(ContingencyError::SampleArity { .. })));
+        assert!(matches!(
+            Sample::validated(&s, vec![3, 0]),
+            Err(ContingencyError::ValueIndexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn from_named_resolves_in_any_order() {
+        let s = schema();
+        let a = Sample::from_named(&s, &[("cancer", "no"), ("smoking", "smoker")]).unwrap();
+        assert_eq!(a.values(), &[0, 1]);
+        assert!(Sample::from_named(&s, &[("cancer", "no")]).is_err());
+        assert!(Sample::from_named(&s, &[("cancer", "no"), ("cancer", "yes")]).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let smp = Sample::new(vec![1, 0]);
+        assert_eq!(smp.value(0), Some(1));
+        assert_eq!(smp.value(5), None);
+        assert_eq!(smp.len(), 2);
+        assert!(!smp.is_empty());
+        assert_eq!(smp.clone().into_values(), vec![1, 0]);
+        assert_eq!(smp.as_ref(), &[1, 0]);
+    }
+}

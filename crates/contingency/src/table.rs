@@ -1,0 +1,327 @@
+//! Dense contingency tables — the memo's `N_{ijk…}` cell counts.
+
+use crate::config::Assignment;
+use crate::marginal::Marginal;
+use crate::schema::Schema;
+use crate::varset::VarSet;
+use crate::{ContingencyError, Result};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A dense table of observation counts over the full attribute
+/// cross-product.
+///
+/// Cell `N_{ijk…}` — the number of individuals with the *i*-th value of
+/// attribute `A`, the *j*-th value of `B`, … — is stored at the mixed-radix
+/// index computed by [`Schema::cell_index`].  All marginal counts
+/// (Eqs. 1–6 of the memo) are obtained by summation, either one query at a
+/// time ([`ContingencyTable::count_matching`]) or as a whole marginal table
+/// ([`ContingencyTable::marginal`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContingencyTable {
+    schema: Arc<Schema>,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl ContingencyTable {
+    /// Creates an all-zero table over a schema.
+    pub fn zeros(schema: Arc<Schema>) -> Self {
+        let cells = schema.cell_count();
+        Self { schema, counts: vec![0; cells], total: 0 }
+    }
+
+    /// Creates a table from explicit cell counts in dense-index order.
+    ///
+    /// This is how the memo's Figure 1 data (which is only published in
+    /// contingency form) enters the system.
+    pub fn from_counts(schema: Arc<Schema>, counts: Vec<u64>) -> Result<Self> {
+        if counts.len() != schema.cell_count() {
+            return Err(ContingencyError::CountLength {
+                got: counts.len(),
+                expected: schema.cell_count(),
+            });
+        }
+        let total = counts.iter().sum();
+        Ok(Self { schema, counts, total })
+    }
+
+    /// The schema the table is defined over.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The schema as a shareable handle.
+    pub fn shared_schema(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    /// Total number of observations (the memo's `N`, Eq. 6).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The raw cell counts in dense-index order.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Adds one observation with the given full value assignment.
+    pub fn increment(&mut self, values: &[usize]) -> Result<()> {
+        self.increment_by(values, 1)
+    }
+
+    /// Adds `by` observations with the given full value assignment.
+    pub fn increment_by(&mut self, values: &[usize], by: u64) -> Result<()> {
+        let idx = self.schema.checked_cell_index(values)?;
+        self.counts[idx] += by;
+        self.total += by;
+        Ok(())
+    }
+
+    /// Count of the cell with the given full value assignment.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the assignment is malformed; use
+    /// [`ContingencyTable::checked_count_values`] for fallible lookup.
+    pub fn count_values(&self, values: &[usize]) -> u64 {
+        self.counts[self.schema.cell_index(values)]
+    }
+
+    /// Fallible version of [`ContingencyTable::count_values`].
+    pub fn checked_count_values(&self, values: &[usize]) -> Result<u64> {
+        Ok(self.counts[self.schema.checked_cell_index(values)?])
+    }
+
+    /// Count of observations matching a partial assignment — the marginal
+    /// count `N^{S}_{c}` of Eqs. 1–5.  The empty assignment returns `N`.
+    pub fn count_matching(&self, assignment: &Assignment) -> u64 {
+        if assignment.vars().is_empty() {
+            return self.total;
+        }
+        if assignment.order() == self.schema.len() {
+            // Full assignment: direct cell lookup.
+            let mut full = vec![0usize; self.schema.len()];
+            for (a, v) in assignment.pairs() {
+                full[a] = v;
+            }
+            return self.count_values(&full);
+        }
+        let mut sum = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let values = self.schema.cell_values(idx);
+            if assignment.matches(&values) {
+                sum += c;
+            }
+        }
+        sum
+    }
+
+    /// Empirical probability of a partial assignment, `N^{S}_{c} / N`
+    /// (Eq. 48 generalised).  Returns 0 for an empty table.
+    pub fn frequency(&self, assignment: &Assignment) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.count_matching(assignment) as f64 / self.total as f64
+    }
+
+    /// Builds the whole marginal table over a variable subset (summing out
+    /// everything else), the operation behind Figure 2 of the memo.
+    pub fn marginal(&self, vars: VarSet) -> Marginal {
+        Marginal::from_table(self, vars)
+    }
+
+    /// Iterates over `(full values, count)` for every cell, including empty
+    /// ones.
+    pub fn cells(&self) -> impl Iterator<Item = (Vec<usize>, u64)> + '_ {
+        self.counts.iter().enumerate().map(|(i, &c)| (self.schema.cell_values(i), c))
+    }
+
+    /// Iterates over `(full values, count)` for the non-empty cells only.
+    pub fn nonzero_cells(&self) -> impl Iterator<Item = (Vec<usize>, u64)> + '_ {
+        self.cells().filter(|&(_, c)| c > 0)
+    }
+
+    /// The empirical joint distribution as a dense probability vector in
+    /// cell-index order.  Returns an all-zero vector for an empty table.
+    pub fn empirical_distribution(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        let n = self.total as f64;
+        self.counts.iter().map(|&c| c as f64 / n).collect()
+    }
+
+    /// Adds every cell of `other` into `self`.  Both tables must share a
+    /// schema.
+    pub fn merge(&mut self, other: &ContingencyTable) -> Result<()> {
+        if self.schema.as_ref() != other.schema.as_ref() {
+            return Err(ContingencyError::InvalidAssignment {
+                reason: "cannot merge tables over different schemas".to_string(),
+            });
+        }
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.total += other.total;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::Attribute;
+    use proptest::prelude::*;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(vec![
+            Attribute::new("smoking", ["smoker", "non-smoker", "married-to-smoker"]),
+            Attribute::yes_no("cancer"),
+            Attribute::yes_no("family-history"),
+        ])
+        .unwrap()
+        .into_shared()
+    }
+
+    /// The paper's Figure 1 counts: index order is (smoking, cancer, family
+    /// history) with the last attribute varying fastest.
+    fn paper_counts() -> Vec<u64> {
+        vec![
+            130, 110, // A=1 B=1 C=1/2
+            410, 640, // A=1 B=2 C=1/2
+            62, 31, // A=2 B=1
+            580, 460, // A=2 B=2
+            78, 22, // A=3 B=1
+            520, 385, // A=3 B=2
+        ]
+    }
+
+    #[test]
+    fn from_counts_validates_length() {
+        let s = schema();
+        assert!(ContingencyTable::from_counts(Arc::clone(&s), vec![0; 5]).is_err());
+        let t = ContingencyTable::from_counts(s, paper_counts()).unwrap();
+        assert_eq!(t.total(), 3428);
+        assert_eq!(t.cell_count(), 12);
+    }
+
+    #[test]
+    fn increment_and_lookup() {
+        let mut t = ContingencyTable::zeros(schema());
+        t.increment(&[0, 1, 0]).unwrap();
+        t.increment_by(&[0, 1, 0], 4).unwrap();
+        t.increment(&[2, 0, 1]).unwrap();
+        assert_eq!(t.count_values(&[0, 1, 0]), 5);
+        assert_eq!(t.count_values(&[2, 0, 1]), 1);
+        assert_eq!(t.total(), 6);
+        assert!(t.increment(&[9, 0, 0]).is_err());
+        assert_eq!(t.total(), 6, "failed increments must not change the total");
+        assert_eq!(t.checked_count_values(&[0, 1, 0]).unwrap(), 5);
+        assert!(t.checked_count_values(&[0, 1]).is_err());
+    }
+
+    #[test]
+    fn count_matching_reproduces_paper_marginals() {
+        let t = ContingencyTable::from_counts(schema(), paper_counts()).unwrap();
+        // Figure 2c: smoking × cancer marginals.
+        let n_ab_11 = Assignment::from_pairs([(0, 0), (1, 0)]);
+        assert_eq!(t.count_matching(&n_ab_11), 240);
+        let n_ab_12 = Assignment::from_pairs([(0, 0), (1, 1)]);
+        assert_eq!(t.count_matching(&n_ab_12), 1050);
+        // Figure 2: first-order marginals.
+        assert_eq!(t.count_matching(&Assignment::single(0, 0)), 1290);
+        assert_eq!(t.count_matching(&Assignment::single(0, 1)), 1133);
+        assert_eq!(t.count_matching(&Assignment::single(0, 2)), 1005);
+        assert_eq!(t.count_matching(&Assignment::single(1, 0)), 433);
+        assert_eq!(t.count_matching(&Assignment::single(1, 1)), 2995);
+        assert_eq!(t.count_matching(&Assignment::single(2, 0)), 1780);
+        assert_eq!(t.count_matching(&Assignment::single(2, 1)), 1648);
+        // The paper's N^AC_12 = 750 (smokers with no family history).
+        let n_ac_12 = Assignment::from_pairs([(0, 0), (2, 1)]);
+        assert_eq!(t.count_matching(&n_ac_12), 750);
+        // Empty assignment returns N.
+        assert_eq!(t.count_matching(&Assignment::empty()), 3428);
+        // Full assignment is a plain cell lookup.
+        let full = Assignment::from_pairs([(0, 0), (1, 1), (2, 0)]);
+        assert_eq!(t.count_matching(&full), 410);
+    }
+
+    #[test]
+    fn frequency_normalises() {
+        let t = ContingencyTable::from_counts(schema(), paper_counts()).unwrap();
+        let p = t.frequency(&Assignment::single(1, 0));
+        assert!((p - 433.0 / 3428.0).abs() < 1e-12);
+        let empty = ContingencyTable::zeros(schema());
+        assert_eq!(empty.frequency(&Assignment::single(1, 0)), 0.0);
+    }
+
+    #[test]
+    fn empirical_distribution_sums_to_one() {
+        let t = ContingencyTable::from_counts(schema(), paper_counts()).unwrap();
+        let p = t.empirical_distribution();
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = ContingencyTable::from_counts(schema(), paper_counts()).unwrap();
+        let b = ContingencyTable::from_counts(schema(), paper_counts()).unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.total(), 2 * 3428);
+        assert_eq!(a.count_values(&[0, 0, 0]), 260);
+        let other_schema = Schema::uniform(&[2, 2]).unwrap().into_shared();
+        let c = ContingencyTable::zeros(other_schema);
+        assert!(a.merge(&c).is_err());
+    }
+
+    #[test]
+    fn nonzero_cells_skips_empty() {
+        let mut t = ContingencyTable::zeros(schema());
+        t.increment(&[1, 1, 1]).unwrap();
+        assert_eq!(t.nonzero_cells().count(), 1);
+        assert_eq!(t.cells().count(), 12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_marginal_counts_sum_to_total(
+            counts in proptest::collection::vec(0u64..50, 12),
+            attr in 0usize..3,
+        ) {
+            let t = ContingencyTable::from_counts(schema(), counts).unwrap();
+            let card = t.schema().cardinality(attr).unwrap();
+            let sum: u64 = (0..card)
+                .map(|v| t.count_matching(&Assignment::single(attr, v)))
+                .sum();
+            // Eq. 4/5 of the memo: summing a first-order marginal over all
+            // values of the attribute recovers N.
+            prop_assert_eq!(sum, t.total());
+        }
+
+        #[test]
+        fn prop_second_order_consistent_with_first(
+            counts in proptest::collection::vec(0u64..50, 12),
+        ) {
+            let t = ContingencyTable::from_counts(schema(), counts).unwrap();
+            // Eq. 2: summing N^{AB}_{ij} over j gives N^A_i.
+            for i in 0..3 {
+                let direct = t.count_matching(&Assignment::single(0, i));
+                let summed: u64 = (0..2)
+                    .map(|j| t.count_matching(&Assignment::from_pairs([(0, i), (1, j)])))
+                    .sum();
+                prop_assert_eq!(direct, summed);
+            }
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! Compact sets of attribute indices.
+//!
+//! Constraints in the memo are always statements about a *subset* of the
+//! attributes — `N^A_i` is first order, `N^{AC}_{ik}` second order, and so
+//! on.  [`VarSet`] is a bitmask over attribute indices used everywhere a
+//! subset of attributes has to be named: marginalisation targets, constraint
+//! scopes, rule conditions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum number of attributes a [`VarSet`] can address.
+pub const MAX_VARS: usize = 32;
+
+/// A set of attribute indices, stored as a 32-bit mask.
+///
+/// Attribute indices are the positions of attributes in a
+/// [`Schema`](crate::Schema); the memo's attributes `A, B, C, …` map to
+/// indices `0, 1, 2, …`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct VarSet(u32);
+
+impl VarSet {
+    /// The empty set.
+    pub const EMPTY: VarSet = VarSet(0);
+
+    /// Creates the empty set.
+    #[inline]
+    pub fn empty() -> Self {
+        Self(0)
+    }
+
+    /// Creates the set `{0, 1, …, n-1}` of the first `n` attributes.
+    ///
+    /// # Panics
+    /// Panics if `n > 32`.
+    #[inline]
+    pub fn full(n: usize) -> Self {
+        assert!(n <= MAX_VARS, "VarSet supports at most {MAX_VARS} attributes, got {n}");
+        if n == MAX_VARS {
+            Self(u32::MAX)
+        } else {
+            Self((1u32 << n) - 1)
+        }
+    }
+
+    /// Creates a set containing exactly one attribute index.
+    ///
+    /// # Panics
+    /// Panics if `index >= 32`.
+    #[inline]
+    pub fn singleton(index: usize) -> Self {
+        assert!(index < MAX_VARS, "attribute index {index} out of range for VarSet");
+        Self(1u32 << index)
+    }
+
+    /// Builds a set from any iterator of attribute indices.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(indices: I) -> Self {
+        let mut s = Self::empty();
+        for i in indices {
+            s = s.with(i);
+        }
+        s
+    }
+
+    /// Returns the raw bitmask.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs a set from a raw bitmask.
+    #[inline]
+    pub fn from_bits(bits: u32) -> Self {
+        Self(bits)
+    }
+
+    /// Number of attributes in the set (the memo's "order" of a constraint).
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True if the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if `index` is a member.
+    #[inline]
+    pub fn contains(self, index: usize) -> bool {
+        index < MAX_VARS && (self.0 >> index) & 1 == 1
+    }
+
+    /// Returns the set with `index` added.
+    #[inline]
+    pub fn with(self, index: usize) -> Self {
+        assert!(index < MAX_VARS, "attribute index {index} out of range for VarSet");
+        Self(self.0 | (1u32 << index))
+    }
+
+    /// Returns the set with `index` removed.
+    #[inline]
+    pub fn without(self, index: usize) -> Self {
+        if index >= MAX_VARS {
+            return self;
+        }
+        Self(self.0 & !(1u32 << index))
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(self, other: Self) -> Self {
+        Self(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub fn intersection(self, other: Self) -> Self {
+        Self(self.0 & other.0)
+    }
+
+    /// Set difference (`self \ other`).
+    #[inline]
+    pub fn difference(self, other: Self) -> Self {
+        Self(self.0 & !other.0)
+    }
+
+    /// True if every member of `self` is a member of `other`.
+    #[inline]
+    pub fn is_subset_of(self, other: Self) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// True if the two sets have no members in common.
+    #[inline]
+    pub fn is_disjoint(self, other: Self) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Iterates over member indices in ascending order.
+    pub fn iter(self) -> VarSetIter {
+        VarSetIter(self.0)
+    }
+
+    /// The smallest member, if any.
+    pub fn first(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// Position of `index` among the set members in ascending order.
+    ///
+    /// This is how [`Assignment`](crate::Assignment) aligns its value vector
+    /// with the set: the value for the k-th smallest member is stored at
+    /// position k.
+    pub fn rank_of(self, index: usize) -> Option<usize> {
+        if !self.contains(index) {
+            return None;
+        }
+        let below = self.0 & ((1u32 << index) - 1);
+        Some(below.count_ones() as usize)
+    }
+
+    /// Enumerates all subsets of `self` with exactly `k` members.
+    pub fn subsets_of_size(self, k: usize) -> Vec<VarSet> {
+        let members: Vec<usize> = self.iter().collect();
+        let mut out = Vec::new();
+        if k > members.len() {
+            return out;
+        }
+        // Iterative combination enumeration over the member list.
+        let n = members.len();
+        if k == 0 {
+            out.push(VarSet::empty());
+            return out;
+        }
+        let mut idx: Vec<usize> = (0..k).collect();
+        loop {
+            out.push(VarSet::from_indices(idx.iter().map(|&i| members[i])));
+            // advance
+            let mut i = k;
+            loop {
+                if i == 0 {
+                    return out;
+                }
+                i -= 1;
+                if idx[i] != i + n - k {
+                    idx[i] += 1;
+                    for j in i + 1..k {
+                        idx[j] = idx[j - 1] + 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for VarSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (n, i) in self.iter().enumerate() {
+            if n > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<usize> for VarSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        Self::from_indices(iter)
+    }
+}
+
+/// Iterator over the members of a [`VarSet`] in ascending order.
+#[derive(Debug, Clone)]
+pub struct VarSetIter(u32);
+
+impl Iterator for VarSetIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let i = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(i)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for VarSetIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_and_full() {
+        assert!(VarSet::empty().is_empty());
+        assert_eq!(VarSet::full(3).len(), 3);
+        assert_eq!(VarSet::full(0), VarSet::empty());
+        assert_eq!(VarSet::full(32).len(), 32);
+    }
+
+    #[test]
+    fn singleton_membership() {
+        let s = VarSet::singleton(5);
+        assert!(s.contains(5));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.first(), Some(5));
+    }
+
+    #[test]
+    fn with_without_roundtrip() {
+        let s = VarSet::empty().with(1).with(4).with(7);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.without(4).len(), 2);
+        assert!(!s.without(4).contains(4));
+        // removing something not present is a no-op
+        assert_eq!(s.without(9), s);
+        assert_eq!(s.without(100), s);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = VarSet::from_indices([0, 1, 2]);
+        let b = VarSet::from_indices([2, 3]);
+        assert_eq!(a.union(b), VarSet::from_indices([0, 1, 2, 3]));
+        assert_eq!(a.intersection(b), VarSet::singleton(2));
+        assert_eq!(a.difference(b), VarSet::from_indices([0, 1]));
+        assert!(VarSet::from_indices([0, 2]).is_subset_of(a));
+        assert!(!a.is_subset_of(b));
+        assert!(VarSet::singleton(0).is_disjoint(VarSet::singleton(1)));
+        assert!(!a.is_disjoint(b));
+    }
+
+    #[test]
+    fn iteration_is_ascending() {
+        let s = VarSet::from_indices([7, 1, 4]);
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![1, 4, 7]);
+        assert_eq!(s.iter().len(), 3);
+    }
+
+    #[test]
+    fn rank_of_matches_iteration_order() {
+        let s = VarSet::from_indices([2, 5, 9]);
+        assert_eq!(s.rank_of(2), Some(0));
+        assert_eq!(s.rank_of(5), Some(1));
+        assert_eq!(s.rank_of(9), Some(2));
+        assert_eq!(s.rank_of(3), None);
+    }
+
+    #[test]
+    fn subsets_of_size_enumerates_combinations() {
+        let s = VarSet::from_indices([0, 1, 2, 3]);
+        assert_eq!(s.subsets_of_size(0), vec![VarSet::empty()]);
+        assert_eq!(s.subsets_of_size(2).len(), 6);
+        assert_eq!(s.subsets_of_size(4).len(), 1);
+        assert_eq!(s.subsets_of_size(5).len(), 0);
+        for sub in s.subsets_of_size(3) {
+            assert_eq!(sub.len(), 3);
+            assert!(sub.is_subset_of(s));
+        }
+    }
+
+    #[test]
+    fn display_lists_members() {
+        assert_eq!(VarSet::from_indices([0, 2]).to_string(), "{0,2}");
+        assert_eq!(VarSet::empty().to_string(), "{}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn singleton_out_of_range_panics() {
+        let _ = VarSet::singleton(32);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_from_indices_roundtrip(indices in proptest::collection::vec(0usize..32, 0..10)) {
+            let s = VarSet::from_indices(indices.iter().copied());
+            for &i in &indices {
+                prop_assert!(s.contains(i));
+            }
+            let collected: Vec<usize> = s.iter().collect();
+            let mut expected: Vec<usize> = indices.clone();
+            expected.sort_unstable();
+            expected.dedup();
+            prop_assert_eq!(collected, expected);
+        }
+
+        #[test]
+        fn prop_union_is_commutative(a in any::<u32>(), b in any::<u32>()) {
+            let (a, b) = (VarSet::from_bits(a), VarSet::from_bits(b));
+            prop_assert_eq!(a.union(b), b.union(a));
+            prop_assert_eq!(a.intersection(b), b.intersection(a));
+        }
+
+        #[test]
+        fn prop_difference_disjoint_from_subtrahend(a in any::<u32>(), b in any::<u32>()) {
+            let (a, b) = (VarSet::from_bits(a), VarSet::from_bits(b));
+            prop_assert!(a.difference(b).is_disjoint(b));
+            prop_assert!(a.difference(b).is_subset_of(a));
+        }
+
+        #[test]
+        fn prop_len_consistent_with_iter(a in any::<u32>()) {
+            let s = VarSet::from_bits(a);
+            prop_assert_eq!(s.len(), s.iter().count());
+        }
+    }
+}

@@ -1,0 +1,469 @@
+//! The acquisition loop of Figure 3: order-by-order discovery of significant
+//! joint probabilities.
+
+use crate::config::AcquisitionConfig;
+use crate::error::CoreError;
+use crate::knowledge_base::KnowledgeBase;
+use crate::trace::{AcquisitionTrace, CellEvaluation, RoundTrace};
+use crate::Result;
+use pka_contingency::{Assignment, ContingencyTable, VarSet};
+use pka_maxent::{ConstraintSet, LogLinearModel, Solver};
+use pka_significance::{CandidateCell, MessageLengthTest, RangeContext};
+
+/// The acquisition procedure.
+///
+/// One `Acquisition` value is a reusable, configured pipeline; call
+/// [`Acquisition::run`] on any contingency table over any schema.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Acquisition {
+    config: AcquisitionConfig,
+}
+
+/// What a run produces: the knowledge base plus the audit trace.
+#[derive(Debug, Clone)]
+pub struct AcquisitionOutcome {
+    /// The acquired knowledge base.
+    pub knowledge_base: KnowledgeBase,
+    /// The per-round history (Table 1 / Table 2 style records).
+    pub trace: AcquisitionTrace,
+}
+
+impl Acquisition {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: AcquisitionConfig) -> Self {
+        Self { config }
+    }
+
+    /// Creates a pipeline with the memo's default configuration.
+    pub fn with_defaults() -> Self {
+        Self::default()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AcquisitionConfig {
+        &self.config
+    }
+
+    /// Runs the procedure of Figure 3 on a contingency table.
+    pub fn run(&self, table: &ContingencyTable) -> Result<AcquisitionOutcome> {
+        self.run_with_prior(table, &[])
+    }
+
+    /// Runs the procedure with prior knowledge: marginal cells that are
+    /// **already known to be significant** before looking at this data (the
+    /// memo's "higher-order marginals … originally given as significant",
+    /// Eq. 41's note).  Their probabilities are taken from the table, they
+    /// constrain the model from the start, and they count towards `M` and
+    /// towards the Eq. 41 range bounds at their order.
+    ///
+    /// Every prior cell must mention at least two attributes (first-order
+    /// marginals are always constrained anyway).
+    pub fn run_with_prior(
+        &self,
+        table: &ContingencyTable,
+        prior_constraints: &[Assignment],
+    ) -> Result<AcquisitionOutcome> {
+        let schema = table.shared_schema();
+        self.config.validate(schema.len())?;
+        if table.total() == 0 {
+            return Err(CoreError::InvalidInput {
+                reason: "cannot acquire knowledge from an empty table".to_string(),
+            });
+        }
+        for prior in prior_constraints {
+            if prior.order() < 2 {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!(
+                        "prior constraint {} is first order; first-order marginals are always constrained",
+                        prior.describe(&schema)
+                    ),
+                });
+            }
+        }
+
+        let solver = Solver::new(self.config.convergence);
+        let test = MessageLengthTest::new(self.config.priors);
+
+        // Step 1: first-order marginals are always constraints (Eq. 48) and
+        // any prior knowledge is added on top; the resulting maximum-entropy
+        // model is the independence model when there is no prior knowledge.
+        let mut constraints = ConstraintSet::first_order_from_table(table)?;
+        for prior in prior_constraints {
+            constraints.add_from_table(table, prior.clone())?;
+        }
+        let (mut model, initial_fit) = solver.fit(&constraints)?;
+
+        let mut trace = AcquisitionTrace { rounds: Vec::new(), initial_fit: Some(initial_fit) };
+
+        let max_order = self.config.effective_max_order(schema.len());
+
+        // Step 2: search each order in turn.
+        for order in 2..=max_order {
+            let candidate_sets: Vec<VarSet> = schema.all_vars().subsets_of_size(order);
+            let cells_at_order: usize =
+                candidate_sets.iter().map(|&s| schema.cell_count_of(s)).sum();
+            if cells_at_order == 0 {
+                continue;
+            }
+
+            // Constraints of this order already present (prior knowledge or
+            // carried over from a previous run) count as "found": they bound
+            // the remaining cells (Eq. 41) and reduce the model-indexing term
+            // of m2.
+            let mut found_at_order: Vec<Assignment> =
+                constraints.of_order(order).map(|c| c.assignment.clone()).collect();
+
+            for round in 1..=cells_at_order {
+                if found_at_order.len() >= self.config.max_constraints_per_order {
+                    break;
+                }
+                if found_at_order.len() >= cells_at_order {
+                    break;
+                }
+
+                let known_higher = constraints.higher_order_assignments();
+                let range_ctx = RangeContext::new(table, &known_higher, &found_at_order);
+
+                // Score every unconstrained cell at this order.
+                let mut evaluations: Vec<CellEvaluation> = Vec::new();
+                let mut best: Option<(usize, f64)> = None;
+                for &vars in &candidate_sets {
+                    for values in schema.configurations(vars) {
+                        let assignment = Assignment::new(vars, values);
+                        if constraints.contains(&assignment) {
+                            continue;
+                        }
+                        let observed = table.count_matching(&assignment);
+                        let predicted_p = model.probability(&assignment).clamp(0.0, 1.0);
+                        let range = range_ctx.range_of(&assignment);
+                        let lengths = test.evaluate(
+                            &CandidateCell {
+                                assignment: assignment.clone(),
+                                observed,
+                                predicted_p,
+                            },
+                            table.total(),
+                            cells_at_order,
+                            found_at_order.len(),
+                            &range,
+                        )?;
+                        let evaluation = CellEvaluation {
+                            assignment,
+                            observed,
+                            predicted_p,
+                            mean: lengths.mean,
+                            std_dev: lengths.std_dev,
+                            z_score: lengths.z_score,
+                            m1: lengths.m1,
+                            m2: lengths.m2,
+                            delta: lengths.delta(),
+                            likelihood_ratio: lengths.likelihood_ratio(),
+                            significant: lengths.is_significant(),
+                        };
+                        if evaluation.significant
+                            && best.is_none_or(|(_, d)| evaluation.delta < d)
+                        {
+                            best = Some((evaluations.len(), evaluation.delta));
+                        }
+                        evaluations.push(evaluation);
+                    }
+                }
+
+                let candidates = evaluations.len();
+                let significant_count = evaluations.iter().filter(|e| e.significant).count();
+
+                let Some((best_index, best_delta)) = best else {
+                    // No significant cell remains at this order: record the
+                    // final (empty-handed) round and move on (Figure 3's
+                    // "done" branch for the order).
+                    trace.rounds.push(RoundTrace {
+                        order,
+                        round,
+                        evaluations: if self.config.record_evaluations {
+                            evaluations
+                        } else {
+                            Vec::new()
+                        },
+                        selected: None,
+                        selected_delta: None,
+                        candidates,
+                        significant_count,
+                        fit_report: None,
+                    });
+                    break;
+                };
+
+                // Promote the most significant cell and refit, warm-starting
+                // from the current a-values (Figure 4).
+                let selected = evaluations[best_index].assignment.clone();
+                constraints.add_from_table(table, selected.clone())?;
+                found_at_order.push(selected.clone());
+                let (new_model, fit_report) = solver.fit_from(model.clone(), &constraints)?;
+                model = new_model;
+
+                trace.rounds.push(RoundTrace {
+                    order,
+                    round,
+                    evaluations: if self.config.record_evaluations {
+                        evaluations
+                    } else {
+                        Vec::new()
+                    },
+                    selected: Some(selected),
+                    selected_delta: Some(best_delta),
+                    candidates,
+                    significant_count,
+                    fit_report: Some(fit_report),
+                });
+            }
+        }
+
+        let knowledge_base =
+            KnowledgeBase::new(schema, constraints, normalized(model), table.total())?;
+        Ok(AcquisitionOutcome { knowledge_base, trace })
+    }
+}
+
+fn normalized(mut model: LogLinearModel) -> LogLinearModel {
+    // The solver leaves the model normalised to numerical precision; one
+    // final exact renormalisation keeps downstream queries clean.
+    let _ = model.normalize();
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pka_contingency::{Attribute, Schema};
+    use pka_significance::HypothesisPriors;
+    use std::sync::Arc;
+
+    fn paper_table() -> ContingencyTable {
+        let schema = Schema::new(vec![
+            Attribute::new("smoking", ["smoker", "non-smoker", "married-to-smoker"]),
+            Attribute::yes_no("cancer"),
+            Attribute::yes_no("family-history"),
+        ])
+        .unwrap()
+        .into_shared();
+        ContingencyTable::from_counts(
+            schema,
+            vec![130, 110, 410, 640, 62, 31, 580, 460, 78, 22, 520, 385],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_tables_and_bad_configs() {
+        let schema = Schema::uniform(&[2, 2]).unwrap().into_shared();
+        let empty = ContingencyTable::zeros(Arc::clone(&schema));
+        assert!(Acquisition::with_defaults().run(&empty).is_err());
+        let t = paper_table();
+        let bad = Acquisition::new(AcquisitionConfig::new().with_max_order(9));
+        assert!(bad.run(&t).is_err());
+    }
+
+    #[test]
+    fn paper_example_discovers_smoking_family_history_structure() {
+        // Running the full procedure on the memo's survey must, at minimum,
+        // discover the smoking × family-history association the memo's
+        // Table 1 identifies as the most significant block (cells AB_11 /
+        // AC_11 / AC_12 are the strongly significant ones).
+        let t = paper_table();
+        let acquisition =
+            Acquisition::new(AcquisitionConfig::new().with_evaluation_trace());
+        let outcome = acquisition.run(&t).unwrap();
+        let kb = &outcome.knowledge_base;
+        let discovered = kb.significant_constraints();
+        assert!(!discovered.is_empty(), "no constraints discovered");
+        // Every discovered constraint is honoured exactly by the model.
+        for c in &discovered {
+            assert!(
+                (kb.probability(&c.assignment) - c.probability).abs() < 1e-6,
+                "constraint {:?} not honoured",
+                c.assignment
+            );
+        }
+        // The A-C (smoking × family-history) interaction must be represented
+        // among the second-order discoveries.
+        let ac = VarSet::from_indices([0, 2]);
+        assert!(
+            discovered.iter().any(|c| c.assignment.vars() == ac),
+            "no smoking × family-history constraint found: {:?}",
+            discovered.iter().map(|c| c.assignment.clone()).collect::<Vec<_>>()
+        );
+        // First-order marginals remain exact.
+        for attr in 0..3 {
+            for v in 0..t.schema().cardinality(attr).unwrap() {
+                let a = Assignment::single(attr, v);
+                assert!((kb.probability(&a) - t.frequency(&a)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn first_round_trace_reproduces_table_1_shape() {
+        let t = paper_table();
+        let acquisition =
+            Acquisition::new(AcquisitionConfig::new().with_evaluation_trace());
+        let outcome = acquisition.run(&t).unwrap();
+        let round = outcome.trace.first_round_at_order(2).expect("order 2 searched");
+        // 16 second-order candidate cells, exactly as in Table 1.
+        assert_eq!(round.candidates, 16);
+        assert_eq!(round.evaluations.len(), 16);
+        // Find the AB_11 row and check it is flagged significant with a
+        // strongly negative delta, as in Table 1 (-11.57).
+        let ab11 = round
+            .evaluations
+            .iter()
+            .find(|e| e.assignment == Assignment::from_pairs([(0, 0), (1, 0)]))
+            .unwrap();
+        assert!(ab11.significant);
+        assert!(ab11.delta < -8.0);
+        assert_eq!(ab11.observed, 240);
+        // And the BC_11 row is NOT significant despite its 3.3 sd deviation.
+        let bc11 = round
+            .evaluations
+            .iter()
+            .find(|e| e.assignment == Assignment::from_pairs([(1, 0), (2, 0)]))
+            .unwrap();
+        assert!(!bc11.significant);
+        assert!(bc11.z_score > 3.0);
+        // The selected cell is one of the strongly significant AB/AC cells.
+        let selected = round.selected.clone().unwrap();
+        let strong = [
+            Assignment::from_pairs([(0, 0), (1, 0)]),
+            Assignment::from_pairs([(0, 0), (2, 0)]),
+            Assignment::from_pairs([(0, 0), (2, 1)]),
+        ];
+        assert!(strong.contains(&selected), "selected {selected:?}");
+    }
+
+    #[test]
+    fn max_order_limits_the_search() {
+        let t = paper_table();
+        let acquisition = Acquisition::new(AcquisitionConfig::new().with_max_order(2));
+        let outcome = acquisition.run(&t).unwrap();
+        assert!(outcome
+            .knowledge_base
+            .significant_constraints()
+            .iter()
+            .all(|c| c.order() <= 2));
+        assert!(outcome.trace.rounds_at_order(3).next().is_none());
+    }
+
+    #[test]
+    fn constraint_cap_is_respected() {
+        let t = paper_table();
+        let acquisition = Acquisition::new(
+            AcquisitionConfig::new().with_max_order(2).with_max_constraints_per_order(1),
+        );
+        let outcome = acquisition.run(&t).unwrap();
+        assert_eq!(outcome.knowledge_base.significant_constraints().len(), 1);
+    }
+
+    #[test]
+    fn stronger_h2_prior_finds_at_least_as_many_constraints() {
+        let t = paper_table();
+        let even = Acquisition::new(AcquisitionConfig::new()).run(&t).unwrap();
+        let eager = Acquisition::new(
+            AcquisitionConfig::new().with_priors(HypothesisPriors::new(0.8).unwrap()),
+        )
+        .run(&t)
+        .unwrap();
+        assert!(
+            eager.knowledge_base.significant_constraints().len()
+                >= even.knowledge_base.significant_constraints().len()
+        );
+    }
+
+    #[test]
+    fn independent_data_yields_no_higher_order_constraints() {
+        // A perfectly independent table (counts are exact products) should
+        // produce no significant higher-order constraints.
+        let schema = Schema::uniform(&[2, 2]).unwrap().into_shared();
+        // P(a=0)=.5, P(b=0)=.5, N=400 -> each cell exactly 100.
+        let t = ContingencyTable::from_counts(Arc::clone(&schema), vec![100, 100, 100, 100])
+            .unwrap();
+        let outcome = Acquisition::with_defaults().run(&t).unwrap();
+        assert!(outcome.knowledge_base.significant_constraints().is_empty());
+        assert_eq!(outcome.knowledge_base.order_histogram(), vec![(1, 4)]);
+    }
+
+    #[test]
+    fn strongly_dependent_data_yields_constraints() {
+        // Two perfectly correlated binary attributes.
+        let schema = Schema::uniform(&[2, 2]).unwrap().into_shared();
+        let t = ContingencyTable::from_counts(Arc::clone(&schema), vec![200, 0, 0, 200]).unwrap();
+        let outcome = Acquisition::with_defaults().run(&t).unwrap();
+        assert!(!outcome.knowledge_base.significant_constraints().is_empty());
+        // The model must reproduce the perfect correlation.
+        let kb = &outcome.knowledge_base;
+        let p = kb
+            .conditional(&Assignment::single(1, 0), &Assignment::single(0, 0))
+            .unwrap();
+        assert!(p > 0.95, "P(b=0 | a=0) = {p}");
+    }
+
+    #[test]
+    fn prior_constraints_are_honoured_and_counted() {
+        let t = paper_table();
+        // Give the memo's N^AC_12 cell as prior knowledge (the constraint the
+        // memo itself chooses to walk through in Table 2).
+        let prior = Assignment::from_pairs([(0, 0), (2, 1)]);
+        let outcome = Acquisition::new(AcquisitionConfig::new().with_evaluation_trace())
+            .run_with_prior(&t, std::slice::from_ref(&prior))
+            .unwrap();
+        let kb = &outcome.knowledge_base;
+        // The prior cell is a constraint and is honoured exactly.
+        assert!(kb.constraints().contains(&prior));
+        assert!((kb.probability(&prior) - 750.0 / 3428.0).abs() < 1e-6);
+        // It is never re-evaluated as a candidate.
+        for round in &outcome.trace.rounds {
+            assert!(round.evaluations.iter().all(|e| e.assignment != prior));
+            assert!(round.selected.as_ref() != Some(&prior));
+        }
+        // The first order-2 round therefore screens only 15 candidates.
+        let first = outcome.trace.first_round_at_order(2).unwrap();
+        assert_eq!(first.candidates, 15);
+    }
+
+    #[test]
+    fn first_order_prior_constraints_are_rejected() {
+        let t = paper_table();
+        let err = Acquisition::with_defaults().run_with_prior(&t, &[Assignment::single(0, 0)]);
+        assert!(matches!(err, Err(CoreError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn prior_knowledge_changes_what_else_is_discovered() {
+        // With the whole AC structure given up front, acquisition should not
+        // need to rediscover it (no AC cells among the newly selected ones).
+        let t = paper_table();
+        let ac = VarSet::from_indices([0, 2]);
+        let priors: Vec<Assignment> = t
+            .schema()
+            .configurations(ac)
+            .map(|values| Assignment::new(ac, values))
+            .collect();
+        let outcome = Acquisition::new(AcquisitionConfig::new().with_max_order(2))
+            .run_with_prior(&t, &priors)
+            .unwrap();
+        let selected = outcome.trace.selected_constraints();
+        assert!(selected.iter().all(|a| a.vars() != ac));
+        // But the AC structure is in the knowledge base (as prior knowledge).
+        assert!(outcome
+            .knowledge_base
+            .significant_constraints()
+            .iter()
+            .any(|c| c.assignment.vars() == ac));
+    }
+
+    #[test]
+    fn trace_is_empty_of_evaluations_unless_requested() {
+        let t = paper_table();
+        let outcome = Acquisition::with_defaults().run(&t).unwrap();
+        assert!(outcome.trace.rounds.iter().all(|r| r.evaluations.is_empty()));
+        assert!(outcome.trace.total_evaluations() > 0);
+    }
+}

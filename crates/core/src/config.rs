@@ -1,0 +1,148 @@
+//! Configuration of the acquisition procedure.
+
+use crate::error::CoreError;
+use crate::Result;
+use pka_maxent::ConvergenceCriteria;
+use pka_significance::HypothesisPriors;
+use serde::{Deserialize, Serialize};
+
+/// Tunable knobs of the acquisition loop (Figure 3 of the memo).
+///
+/// The defaults reproduce the memo's behaviour: search every order up to the
+/// number of attributes, use even hypothesis priors (Eq. 63), and accept as
+/// many constraints per order as the significance test promotes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcquisitionConfig {
+    /// Highest constraint order to search (`None` = up to the number of
+    /// attributes, the memo's full procedure).
+    pub max_order: Option<usize>,
+    /// Prior probabilities of the "one more constraint remains" hypothesis.
+    pub priors: HypothesisPriors,
+    /// Convergence criteria of the a-value solver used after each promoted
+    /// constraint.
+    pub convergence: ConvergenceCriteria,
+    /// Safety cap on the number of constraints accepted per order (the memo
+    /// has no such cap; the default is effectively unlimited).
+    pub max_constraints_per_order: usize,
+    /// Record the full per-round evaluation trace (every Table-1-style row).
+    /// Needed to regenerate Table 1; adds memory proportional to the number
+    /// of candidate cells per round.
+    pub record_evaluations: bool,
+}
+
+impl AcquisitionConfig {
+    /// The memo's defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Limits the search to constraints of at most `order` attributes.
+    pub fn with_max_order(mut self, order: usize) -> Self {
+        self.max_order = Some(order);
+        self
+    }
+
+    /// Sets the hypothesis priors.
+    pub fn with_priors(mut self, priors: HypothesisPriors) -> Self {
+        self.priors = priors;
+        self
+    }
+
+    /// Sets the solver convergence criteria.
+    pub fn with_convergence(mut self, convergence: ConvergenceCriteria) -> Self {
+        self.convergence = convergence;
+        self
+    }
+
+    /// Caps the number of constraints accepted per order.
+    pub fn with_max_constraints_per_order(mut self, cap: usize) -> Self {
+        self.max_constraints_per_order = cap;
+        self
+    }
+
+    /// Enables recording of every cell evaluation (Table 1 reproduction).
+    pub fn with_evaluation_trace(mut self) -> Self {
+        self.record_evaluations = true;
+        self
+    }
+
+    /// Validates the configuration against a given attribute count.
+    pub fn validate(&self, attribute_count: usize) -> Result<()> {
+        if let Some(order) = self.max_order {
+            if order == 0 {
+                return Err(CoreError::InvalidConfig {
+                    reason: "max_order must be at least 1".to_string(),
+                });
+            }
+            if order > attribute_count {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!(
+                        "max_order {order} exceeds the number of attributes {attribute_count}"
+                    ),
+                });
+            }
+        }
+        if self.max_constraints_per_order == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "max_constraints_per_order must be at least 1".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The effective highest order searched for a schema with
+    /// `attribute_count` attributes.
+    pub fn effective_max_order(&self, attribute_count: usize) -> usize {
+        self.max_order.unwrap_or(attribute_count).min(attribute_count)
+    }
+}
+
+impl Default for AcquisitionConfig {
+    fn default() -> Self {
+        Self {
+            max_order: None,
+            priors: HypothesisPriors::even(),
+            convergence: ConvergenceCriteria::default(),
+            max_constraints_per_order: usize::MAX,
+            record_evaluations: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_memo() {
+        let c = AcquisitionConfig::default();
+        assert_eq!(c.max_order, None);
+        assert_eq!(c.priors, HypothesisPriors::even());
+        assert!(!c.record_evaluations);
+        assert_eq!(c.effective_max_order(3), 3);
+        assert_eq!(c.effective_max_order(7), 7);
+        assert!(c.validate(3).is_ok());
+    }
+
+    #[test]
+    fn builder_composition() {
+        let c = AcquisitionConfig::new()
+            .with_max_order(2)
+            .with_priors(HypothesisPriors::new(0.6).unwrap())
+            .with_max_constraints_per_order(5)
+            .with_evaluation_trace();
+        assert_eq!(c.max_order, Some(2));
+        assert_eq!(c.max_constraints_per_order, 5);
+        assert!(c.record_evaluations);
+        assert_eq!(c.effective_max_order(3), 2);
+        assert_eq!(c.effective_max_order(1), 1);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert!(AcquisitionConfig::new().with_max_order(0).validate(3).is_err());
+        assert!(AcquisitionConfig::new().with_max_order(4).validate(3).is_err());
+        assert!(AcquisitionConfig::new().with_max_constraints_per_order(0).validate(3).is_err());
+        assert!(AcquisitionConfig::new().with_max_order(3).validate(3).is_ok());
+    }
+}

@@ -1,0 +1,112 @@
+//! Error type for the acquisition layer.
+
+use pka_contingency::ContingencyError;
+use pka_maxent::MaxEntError;
+use pka_significance::SignificanceError;
+use std::fmt;
+
+/// Errors produced by the acquisition procedure, queries or serialisation.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Error from the data layer.
+    Data(ContingencyError),
+    /// Error from the maximum-entropy layer.
+    MaxEnt(MaxEntError),
+    /// Error from the statistical layer.
+    Significance(SignificanceError),
+    /// The acquisition configuration is unusable (e.g. a zero maximum
+    /// order).
+    InvalidConfig {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// The input table cannot support acquisition (e.g. it is empty).
+    InvalidInput {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// A knowledge base could not be serialised or deserialised.
+    Serialization {
+        /// Explanation of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Data(e) => write!(f, "data error: {e}"),
+            Self::MaxEnt(e) => write!(f, "maximum-entropy error: {e}"),
+            Self::Significance(e) => write!(f, "significance error: {e}"),
+            Self::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            Self::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+            Self::Serialization { reason } => write!(f, "serialization error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Data(e) => Some(e),
+            Self::MaxEnt(e) => Some(e),
+            Self::Significance(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ContingencyError> for CoreError {
+    fn from(e: ContingencyError) -> Self {
+        Self::Data(e)
+    }
+}
+
+impl From<MaxEntError> for CoreError {
+    fn from(e: MaxEntError) -> Self {
+        Self::MaxEnt(e)
+    }
+}
+
+impl From<SignificanceError> for CoreError {
+    fn from(e: SignificanceError) -> Self {
+        Self::Significance(e)
+    }
+}
+
+impl From<serde_json::Error> for CoreError {
+    fn from(e: serde_json::Error) -> Self {
+        Self::Serialization { reason: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = ContingencyError::EmptySchema.into();
+        assert!(e.to_string().contains("data error"));
+        let e: CoreError = MaxEntError::InfeasibleConstraints { reason: "x".into() }.into();
+        assert!(e.to_string().contains("maximum-entropy"));
+        let e: CoreError =
+            SignificanceError::InvalidCount { reason: "y".into() }.into();
+        assert!(e.to_string().contains("significance"));
+        let e = CoreError::InvalidConfig { reason: "max order is zero".into() };
+        assert!(e.to_string().contains("max order"));
+        let e = CoreError::InvalidInput { reason: "empty".into() };
+        assert!(e.to_string().contains("empty"));
+        let e = CoreError::Serialization { reason: "eof".into() };
+        assert!(e.to_string().contains("eof"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e: CoreError = ContingencyError::EmptySchema.into();
+        assert!(e.source().is_some());
+        let e = CoreError::InvalidConfig { reason: "x".into() };
+        assert!(e.source().is_none());
+    }
+}

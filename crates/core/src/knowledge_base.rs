@@ -1,0 +1,220 @@
+//! The product of acquisition: a compact probabilistic knowledge base.
+
+use crate::error::CoreError;
+use crate::query::{Query, QueryResult};
+use crate::Result;
+use pka_contingency::{Assignment, Schema};
+use pka_maxent::{Constraint, ConstraintSet, FactorGraph, JointDistribution, LogLinearModel};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A probabilistic knowledge base: the significant joint probabilities found
+/// in the data plus the fitted maximum-entropy model that ties them
+/// together.
+///
+/// This is what the memo proposes storing instead of explicit rules: "it
+/// generates and stores significant joint probabilities instead; particular
+/// conditional probabilities can be calculated from this information as
+/// required."
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnowledgeBase {
+    schema: Arc<Schema>,
+    constraints: ConstraintSet,
+    model: LogLinearModel,
+    sample_size: u64,
+}
+
+impl KnowledgeBase {
+    /// Assembles a knowledge base from its parts (normally done by
+    /// [`crate::Acquisition::run`]).
+    pub fn new(
+        schema: Arc<Schema>,
+        constraints: ConstraintSet,
+        model: LogLinearModel,
+        sample_size: u64,
+    ) -> Result<Self> {
+        if constraints.schema() != schema.as_ref() || model.schema() != schema.as_ref() {
+            return Err(CoreError::InvalidInput {
+                reason: "constraints, model and knowledge base must share one schema".to_string(),
+            });
+        }
+        Ok(Self { schema, constraints, model, sample_size })
+    }
+
+    /// The attribute schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The schema as a shareable handle.
+    pub fn shared_schema(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    /// All constraints (first-order marginals plus discovered cells).
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.constraints
+    }
+
+    /// The discovered (order ≥ 2) constraints — the "significant
+    /// correlations" the memo's procedure extracts.
+    pub fn significant_constraints(&self) -> Vec<&Constraint> {
+        self.constraints.higher_order().collect()
+    }
+
+    /// The fitted a-value model (the memo's "general formula").
+    pub fn model(&self) -> &LogLinearModel {
+        &self.model
+    }
+
+    /// Number of observations the knowledge base was acquired from.
+    pub fn sample_size(&self) -> u64 {
+        self.sample_size
+    }
+
+    /// Probability of a (partial) assignment under the model.
+    pub fn probability(&self, assignment: &Assignment) -> f64 {
+        self.model.probability(assignment)
+    }
+
+    /// Conditional probability `P(target | evidence)` under the model — the
+    /// memo's `P(A | B, C) = P(A, B, C) / P(B, C)`.
+    pub fn conditional(&self, target: &Assignment, evidence: &Assignment) -> Result<f64> {
+        Ok(self.model.conditional(target, evidence)?)
+    }
+
+    /// Evaluates a [`Query`].
+    pub fn query(&self, query: &Query) -> Result<QueryResult> {
+        query.evaluate(self)
+    }
+
+    /// Builds and evaluates a query from attribute/value names, e.g.
+    /// `P(cancer=yes | smoking=smoker)`.
+    pub fn conditional_by_names(
+        &self,
+        target: &[(&str, &str)],
+        evidence: &[(&str, &str)],
+    ) -> Result<f64> {
+        let target = Assignment::from_names(&self.schema, target)?;
+        let evidence = Assignment::from_names(&self.schema, evidence)?;
+        self.conditional(&target, &evidence)
+    }
+
+    /// The dense joint distribution the model defines.
+    pub fn joint(&self) -> JointDistribution {
+        self.model.to_joint()
+    }
+
+    /// The factored (Appendix-B) view of the model for query evaluation
+    /// without materialising the joint.
+    pub fn factor_graph(&self) -> FactorGraph {
+        FactorGraph::from_model(&self.model)
+    }
+
+    /// Entropy (in nats) of the modelled joint distribution.
+    pub fn entropy(&self) -> f64 {
+        self.joint().entropy()
+    }
+
+    /// Number of constraints of each order, as `(order, count)` pairs in
+    /// ascending order — a quick summary of how much structure was found.
+    pub fn order_histogram(&self) -> Vec<(usize, usize)> {
+        let max = self.constraints.max_order();
+        (1..=max)
+            .map(|order| (order, self.constraints.of_order(order).count()))
+            .filter(|&(_, count)| count > 0)
+            .collect()
+    }
+
+    /// Restores internal lookup indexes after deserialisation.
+    pub fn rebuild_indexes(&mut self) {
+        self.constraints.rebuild_index();
+        self.model.rebuild_index();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pka_contingency::{Attribute, ContingencyTable};
+    use pka_maxent::solver::fit;
+
+    fn paper_table() -> ContingencyTable {
+        let schema = Schema::new(vec![
+            Attribute::new("smoking", ["smoker", "non-smoker", "married-to-smoker"]),
+            Attribute::yes_no("cancer"),
+            Attribute::yes_no("family-history"),
+        ])
+        .unwrap()
+        .into_shared();
+        ContingencyTable::from_counts(
+            schema,
+            vec![130, 110, 410, 640, 62, 31, 580, 460, 78, 22, 520, 385],
+        )
+        .unwrap()
+    }
+
+    fn sample_kb() -> KnowledgeBase {
+        let t = paper_table();
+        let mut constraints = ConstraintSet::first_order_from_table(&t).unwrap();
+        constraints.add_from_table(&t, Assignment::from_pairs([(0, 0), (2, 1)])).unwrap();
+        let (model, _) = fit(&constraints).unwrap();
+        KnowledgeBase::new(t.shared_schema(), constraints, model, t.total()).unwrap()
+    }
+
+    #[test]
+    fn construction_checks_schema_consistency() {
+        let t = paper_table();
+        let constraints = ConstraintSet::first_order_from_table(&t).unwrap();
+        let (model, _) = fit(&constraints).unwrap();
+        let other_schema = Schema::uniform(&[2, 2]).unwrap().into_shared();
+        assert!(KnowledgeBase::new(other_schema, constraints, model, 10).is_err());
+    }
+
+    #[test]
+    fn accessors_and_summaries() {
+        let kb = sample_kb();
+        assert_eq!(kb.sample_size(), 3428);
+        assert_eq!(kb.schema().len(), 3);
+        assert_eq!(kb.significant_constraints().len(), 1);
+        assert_eq!(kb.order_histogram(), vec![(1, 7), (2, 1)]);
+        assert!(kb.entropy() > 0.0);
+        let joint = kb.joint();
+        assert!((joint.probabilities().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probabilities_and_conditionals() {
+        let kb = sample_kb();
+        // The fitted model honours the discovered constraint exactly.
+        let ac12 = Assignment::from_pairs([(0, 0), (2, 1)]);
+        assert!((kb.probability(&ac12) - 750.0 / 3428.0).abs() < 1e-9);
+        // Conditional by names matches conditional by assignments.
+        let by_names = kb
+            .conditional_by_names(&[("cancer", "yes")], &[("smoking", "smoker")])
+            .unwrap();
+        let by_assignment = kb
+            .conditional(&Assignment::single(1, 0), &Assignment::single(0, 0))
+            .unwrap();
+        assert!((by_names - by_assignment).abs() < 1e-12);
+        // Unknown names surface data errors.
+        assert!(kb.conditional_by_names(&[("cancer", "maybe")], &[]).is_err());
+    }
+
+    #[test]
+    fn factor_graph_agrees_with_model() {
+        let kb = sample_kb();
+        let graph = kb.factor_graph();
+        let q = Assignment::from_pairs([(0, 0), (1, 0)]);
+        assert!((graph.probability(&q) - kb.probability(&q)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rebuild_indexes_is_idempotent() {
+        let mut kb = sample_kb();
+        let before = kb.probability(&Assignment::single(0, 0));
+        kb.rebuild_indexes();
+        kb.rebuild_indexes();
+        assert_eq!(kb.probability(&Assignment::single(0, 0)), before);
+    }
+}

@@ -1,0 +1,193 @@
+//! Human-readable reports mirroring the memo's tables.
+//!
+//! The `reproduce` binary of the benchmark crate calls these renderers to
+//! print Table 1 (significance of the second-order cells), Table 2 (the
+//! a-value iteration) and a summary of the acquired knowledge base.
+
+use crate::knowledge_base::KnowledgeBase;
+use crate::trace::RoundTrace;
+use pka_contingency::Schema;
+use pka_maxent::SolveReport;
+use std::fmt::Write as _;
+
+/// Renders one acquisition round as a Table-1-style listing: one row per
+/// candidate cell with predicted probability, observed count, mean, standard
+/// deviation, z-score, `m2 − m1` and the posterior odds.
+pub fn render_table1(schema: &Schema, round: &RoundTrace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<42} {:>8} {:>8} {:>8} {:>7} {:>8} {:>10}  {}",
+        "cell", "p_pred", "N_obs", "mean", "sd", "#sd", "m2-m1", "p(H1|D)/p(H2|D)"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(112));
+    for e in &round.evaluations {
+        let _ = writeln!(
+            out,
+            "{:<42} {:>8.3} {:>8} {:>8.1} {:>7.1} {:>8.2} {:>10.2}  {:<12}{}",
+            e.assignment.describe(schema),
+            e.predicted_p,
+            e.observed,
+            e.mean,
+            e.std_dev,
+            e.z_score,
+            e.delta,
+            format_ratio(e.likelihood_ratio),
+            if e.significant { "  <-- significant" } else { "" },
+        );
+    }
+    if let Some(selected) = &round.selected {
+        let _ = writeln!(out, "selected constraint: {}", selected.describe(schema));
+    } else {
+        let _ = writeln!(out, "no significant cell remains at order {}", round.order);
+    }
+    out
+}
+
+fn format_ratio(r: f64) -> String {
+    if r < 0.1 {
+        "<.1".to_string()
+    } else if r > 1000.0 {
+        ">1000".to_string()
+    } else {
+        format!("{r:.1}")
+    }
+}
+
+/// Renders a solver trace as a Table-2-style listing: one row per sweep with
+/// `a0`, every constraint multiplier and the fitted probabilities.
+pub fn render_table2(schema: &Schema, report: &SolveReport) -> String {
+    let mut out = String::new();
+    if report.trace.is_empty() {
+        let _ = writeln!(
+            out,
+            "(no per-iteration trace recorded; converged = {}, iterations = {}, max violation = {:.3e})",
+            report.converged, report.iterations, report.max_violation
+        );
+        return out;
+    }
+    let first = &report.trace[0];
+    let _ = write!(out, "{:>5} {:>12} {:>14}", "sweep", "a0", "max violation");
+    for (assignment, _) in &first.factors {
+        let _ = write!(out, " {:>24}", format!("a[{}]", assignment.describe(schema)));
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{}", "-".repeat(34 + 25 * first.factors.len()));
+    for rec in &report.trace {
+        let _ = write!(out, "{:>5} {:>12.5} {:>14.3e}", rec.iteration, rec.a0, rec.max_violation);
+        for (_, value) in &rec.factors {
+            let _ = write!(out, " {value:>24.5}");
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(
+        out,
+        "converged = {}, iterations = {}, final max violation = {:.3e}",
+        report.converged, report.iterations, report.max_violation
+    );
+    out
+}
+
+/// Renders a summary of a knowledge base: sample size, entropy, constraint
+/// histogram and the discovered (higher-order) constraints.
+pub fn render_summary(kb: &KnowledgeBase) -> String {
+    let schema = kb.schema();
+    let mut out = String::new();
+    let _ = writeln!(out, "knowledge base over {} attributes, {} cells", schema.len(), schema.cell_count());
+    let _ = writeln!(out, "  acquired from N = {} observations", kb.sample_size());
+    let _ = writeln!(out, "  model entropy: {:.4} nats", kb.entropy());
+    let _ = writeln!(out, "  constraints by order:");
+    for (order, count) in kb.order_histogram() {
+        let _ = writeln!(out, "    order {order}: {count}");
+    }
+    let significant = kb.significant_constraints();
+    if significant.is_empty() {
+        let _ = writeln!(out, "  no significant higher-order correlations found");
+    } else {
+        let _ = writeln!(out, "  significant joint probabilities:");
+        for c in significant {
+            let _ = writeln!(
+                out,
+                "    P[{}] = {:.4}",
+                c.assignment.describe(schema),
+                c.probability
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acquisition::Acquisition;
+    use crate::config::AcquisitionConfig;
+    use pka_contingency::{Attribute, ContingencyTable};
+    use pka_maxent::{ConstraintSet, ConvergenceCriteria, Solver};
+
+    fn paper_table() -> ContingencyTable {
+        let schema = Schema::new(vec![
+            Attribute::new("smoking", ["smoker", "non-smoker", "married-to-smoker"]),
+            Attribute::yes_no("cancer"),
+            Attribute::yes_no("family-history"),
+        ])
+        .unwrap()
+        .into_shared();
+        ContingencyTable::from_counts(
+            schema,
+            vec![130, 110, 410, 640, 62, 31, 580, 460, 78, 22, 520, 385],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn table1_report_contains_key_rows() {
+        let t = paper_table();
+        let outcome = Acquisition::new(AcquisitionConfig::new().with_evaluation_trace())
+            .run(&t)
+            .unwrap();
+        let round = outcome.trace.first_round_at_order(2).unwrap();
+        let text = render_table1(t.schema(), round);
+        assert!(text.contains("smoking=smoker, cancer=yes"));
+        assert!(text.contains("240"));
+        assert!(text.contains("significant"));
+        assert!(text.contains("selected constraint"));
+        assert_eq!(text.lines().count(), 16 + 3);
+    }
+
+    #[test]
+    fn table2_report_lists_sweeps() {
+        let t = paper_table();
+        let mut constraints = ConstraintSet::first_order_from_table(&t).unwrap();
+        constraints
+            .add_from_table(&t, pka_contingency::Assignment::from_pairs([(0, 0), (2, 1)]))
+            .unwrap();
+        let solver = Solver::new(ConvergenceCriteria::new().with_trace().with_tolerance(1e-4));
+        let (_, report) = solver.fit(&constraints).unwrap();
+        let text = render_table2(t.schema(), &report);
+        assert!(text.contains("sweep"));
+        assert!(text.contains("a0"));
+        assert!(text.contains("smoking=smoker, family-history=no"));
+        assert!(text.contains("converged = true"));
+        // Without a trace the renderer degrades gracefully.
+        let no_trace = SolveReport { iterations: 3, max_violation: 0.0, converged: true, trace: vec![] };
+        assert!(render_table2(t.schema(), &no_trace).contains("no per-iteration trace"));
+    }
+
+    #[test]
+    fn summary_report_mentions_discoveries() {
+        let t = paper_table();
+        let outcome = Acquisition::with_defaults().run(&t).unwrap();
+        let text = render_summary(&outcome.knowledge_base);
+        assert!(text.contains("N = 3428"));
+        assert!(text.contains("order 1: 7"));
+        assert!(text.contains("significant joint probabilities"));
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(format_ratio(0.01), "<.1");
+        assert_eq!(format_ratio(5.8), "5.8");
+        assert_eq!(format_ratio(5000.0), ">1000");
+    }
+}

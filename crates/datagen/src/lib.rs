@@ -1,0 +1,28 @@
+//! # pka-datagen
+//!
+//! Workload generators for the knowledge-acquisition system:
+//!
+//! * [`smoking`] — the memo's own survey (Figure 1): 3428 hypothetical
+//!   respondents over smoking history × cancer × family history, embedded
+//!   verbatim so every table and figure of the memo can be regenerated.
+//! * [`sampler`] — multinomial sampling of datasets/tables from any
+//!   [`pka_maxent::JointDistribution`], with deterministic seeding.
+//! * [`synthetic`] — independent and randomly-correlated joint
+//!   distributions over arbitrary schemas.
+//! * [`planted`] — distributions with *planted* higher-order interactions of
+//!   known location and strength, used by the recovery experiments (X2).
+//! * [`survey`] — a larger, named "health survey" simulator with built-in
+//!   dependency structure, standing in for the memo's "masses of NASA data"
+//!   in the scaling and comparison experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod planted;
+pub mod sampler;
+pub mod smoking;
+pub mod survey;
+pub mod synthetic;
+
+pub use planted::{PlantedExperiment, PlantedInteraction};
+pub use sampler::{sample_dataset, sample_table};

@@ -1,0 +1,113 @@
+//! Synthetic joint distributions over arbitrary schemas.
+
+use pka_contingency::Schema;
+use pka_maxent::JointDistribution;
+use rand::prelude::*;
+use std::sync::Arc;
+
+/// An independence distribution with random first-order marginals: each
+/// attribute gets a random probability vector (drawn from a symmetric
+/// Dirichlet via normalised exponentials) and the joint is their product.
+///
+/// This is the "null" workload: the acquisition procedure should find no
+/// higher-order constraints on data sampled from it (beyond sampling noise).
+pub fn random_independent(schema: Arc<Schema>, rng: &mut StdRng) -> JointDistribution {
+    let marginals: Vec<Vec<f64>> = schema
+        .attributes()
+        .iter()
+        .map(|a| random_simplex(a.cardinality(), rng))
+        .collect();
+    let weights: Vec<f64> = schema
+        .cells()
+        .map(|values| {
+            values.iter().enumerate().map(|(attr, &v)| marginals[attr][v]).product()
+        })
+        .collect();
+    JointDistribution::from_unnormalized(schema, weights)
+}
+
+/// A fully random joint distribution: cell weights drawn independently from
+/// an exponential distribution scaled by `concentration` (small values give
+/// nearly-uniform tables, large values give spiky ones).
+pub fn random_joint(schema: Arc<Schema>, concentration: f64, rng: &mut StdRng) -> JointDistribution {
+    let weights: Vec<f64> = (0..schema.cell_count())
+        .map(|_| {
+            let u: f64 = rng.random::<f64>().max(1e-12);
+            (-u.ln()).powf(concentration.max(1e-6))
+        })
+        .collect();
+    JointDistribution::from_unnormalized(schema, weights)
+}
+
+/// The exact uniform distribution over a schema.
+pub fn uniform(schema: Arc<Schema>) -> JointDistribution {
+    JointDistribution::uniform(schema)
+}
+
+/// Draws a random probability vector of the given length (normalised
+/// exponentials, i.e. a symmetric Dirichlet(1) sample).
+pub fn random_simplex(len: usize, rng: &mut StdRng) -> Vec<f64> {
+    assert!(len > 0, "a probability vector needs at least one entry");
+    let raw: Vec<f64> = (0..len).map(|_| -rng.random::<f64>().max(1e-12).ln()).collect();
+    let total: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| w / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::seeded_rng;
+    use pka_contingency::Assignment;
+
+    #[test]
+    fn random_simplex_sums_to_one() {
+        let mut rng = seeded_rng(1);
+        for len in 1..8 {
+            let p = random_simplex(len, &mut rng);
+            assert_eq!(p.len(), len);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(p.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn random_independent_factorises() {
+        let schema = Schema::uniform(&[3, 2, 2]).unwrap().into_shared();
+        let joint = random_independent(Arc::clone(&schema), &mut seeded_rng(2));
+        // P(a, b) = P(a) P(b) for an independence distribution.
+        for a in 0..3 {
+            for b in 0..2 {
+                let joint_p = joint.probability(&Assignment::from_pairs([(0, a), (1, b)]));
+                let product = joint.probability(&Assignment::single(0, a))
+                    * joint.probability(&Assignment::single(1, b));
+                assert!((joint_p - product).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn random_joint_is_a_distribution() {
+        let schema = Schema::uniform(&[4, 3]).unwrap().into_shared();
+        let joint = random_joint(Arc::clone(&schema), 1.0, &mut seeded_rng(3));
+        assert!((joint.probabilities().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(joint.probabilities().iter().all(|&p| p >= 0.0));
+        // Different seeds give different tables.
+        let other = random_joint(schema, 1.0, &mut seeded_rng(4));
+        assert_ne!(joint.probabilities(), other.probabilities());
+    }
+
+    #[test]
+    fn concentration_controls_spikiness() {
+        let schema = Schema::uniform(&[4, 4]).unwrap().into_shared();
+        let flat = random_joint(Arc::clone(&schema), 0.2, &mut seeded_rng(5));
+        let spiky = random_joint(schema, 4.0, &mut seeded_rng(5));
+        assert!(spiky.entropy() < flat.entropy());
+    }
+
+    #[test]
+    fn uniform_helper() {
+        let schema = Schema::uniform(&[2, 5]).unwrap().into_shared();
+        let u = uniform(schema);
+        assert!((u.entropy() - (10f64).ln()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,154 @@
+//! Incrementally-built evidence for a consultation.
+
+use pka_contingency::{Assignment, Schema};
+use pka_core::{CoreError, Result};
+use serde::{Deserialize, Serialize};
+
+/// The facts asserted so far in a consultation: at most one observed value
+/// per attribute, assertable and retractable by attribute/value name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evidence {
+    assignment: Assignment,
+}
+
+impl Default for Evidence {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl Evidence {
+    /// No facts asserted.
+    pub fn none() -> Self {
+        Self { assignment: Assignment::empty() }
+    }
+
+    /// Starts from an existing assignment.
+    pub fn from_assignment(assignment: Assignment) -> Self {
+        Self { assignment }
+    }
+
+    /// The facts as a partial assignment.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// Number of facts asserted.
+    pub fn len(&self) -> usize {
+        self.assignment.order()
+    }
+
+    /// True if nothing has been asserted.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.vars().is_empty()
+    }
+
+    /// Asserts `attribute = value` (by index), replacing any previous value
+    /// for that attribute.
+    pub fn assert_value(&mut self, attribute: usize, value: usize) {
+        self.assignment = self.assignment.with(attribute, value);
+    }
+
+    /// Asserts `attribute = value` by name.
+    pub fn assert_named(&mut self, schema: &Schema, attribute: &str, value: &str) -> Result<()> {
+        let single = Assignment::from_names(schema, &[(attribute, value)])?;
+        let (attr, v) = single.pairs().next().expect("one pair by construction");
+        self.assert_value(attr, v);
+        Ok(())
+    }
+
+    /// Retracts whatever was asserted about `attribute`; returns `true` if
+    /// something was removed.
+    pub fn retract(&mut self, attribute: usize) -> bool {
+        if self.assignment.value_of(attribute).is_none() {
+            return false;
+        }
+        self.assignment = Assignment::from_pairs(
+            self.assignment.pairs().filter(|&(a, _)| a != attribute),
+        );
+        true
+    }
+
+    /// Retracts by attribute name.
+    pub fn retract_named(&mut self, schema: &Schema, attribute: &str) -> Result<bool> {
+        let attr = schema.attribute_index(attribute).map_err(CoreError::from)?;
+        Ok(self.retract(attr))
+    }
+
+    /// The asserted value for an attribute, if any.
+    pub fn value_of(&self, attribute: usize) -> Option<usize> {
+        self.assignment.value_of(attribute)
+    }
+
+    /// Human-readable listing of the asserted facts.
+    pub fn describe(&self, schema: &Schema) -> String {
+        if self.is_empty() {
+            "(no evidence)".to_string()
+        } else {
+            self.assignment.describe(schema)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pka_contingency::Attribute;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("smoking", ["smoker", "non-smoker"]),
+            Attribute::yes_no("cancer"),
+            Attribute::yes_no("family-history"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn assert_and_replace() {
+        let s = schema();
+        let mut e = Evidence::none();
+        assert!(e.is_empty());
+        e.assert_named(&s, "smoking", "smoker").unwrap();
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.value_of(0), Some(0));
+        // Re-asserting the same attribute replaces the value.
+        e.assert_named(&s, "smoking", "non-smoker").unwrap();
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.value_of(0), Some(1));
+        e.assert_value(2, 0);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.describe(&s), "smoking=non-smoker, family-history=yes");
+    }
+
+    #[test]
+    fn retract_removes_facts() {
+        let s = schema();
+        let mut e = Evidence::none();
+        e.assert_named(&s, "smoking", "smoker").unwrap();
+        e.assert_named(&s, "family-history", "no").unwrap();
+        assert!(e.retract_named(&s, "smoking").unwrap());
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.value_of(0), None);
+        assert!(!e.retract(0));
+        assert!(e.retract_named(&s, "unknown").is_err());
+        assert_eq!(Evidence::none().describe(&s), "(no evidence)");
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let s = schema();
+        let mut e = Evidence::none();
+        assert!(e.assert_named(&s, "smoking", "vaper").is_err());
+        assert!(e.assert_named(&s, "age", "old").is_err());
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn from_assignment_roundtrip() {
+        let a = Assignment::from_pairs([(0, 1), (2, 0)]);
+        let e = Evidence::from_assignment(a.clone());
+        assert_eq!(e.assignment(), &a);
+        assert_eq!(e.len(), 2);
+    }
+}

@@ -1,0 +1,161 @@
+//! Explicit IF–THEN rule bases compiled from a knowledge base.
+//!
+//! The memo notes its system "does not generate rules explicitly" but that
+//! the stored probabilities "can be transformed into IF-THEN rules (with
+//! associated probability) found useful in expert systems".  `RuleBase` is
+//! that transformation plus the forward-matching consultation over it.
+
+use crate::evidence::Evidence;
+use pka_contingency::Schema;
+use pka_core::{induce_rules, KnowledgeBase, Result, Rule, RuleInductionConfig};
+
+/// A rule that matched the current evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FiredRule {
+    /// The matching rule.
+    pub rule: Rule,
+    /// How many of its conditions were satisfied by the evidence (always
+    /// equal to the rule's condition count for a fired rule).
+    pub matched_conditions: usize,
+}
+
+/// A compiled set of IF–THEN rules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleBase {
+    rules: Vec<Rule>,
+}
+
+impl RuleBase {
+    /// Compiles a rule base from a knowledge base under the given induction
+    /// filters.
+    pub fn compile(kb: &KnowledgeBase, config: &RuleInductionConfig) -> Result<Self> {
+        Ok(Self { rules: induce_rules(kb, config)? })
+    }
+
+    /// Builds a rule base from explicit rules.
+    pub fn from_rules(rules: Vec<Rule>) -> Self {
+        Self { rules }
+    }
+
+    /// All rules, most informative first.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if no rules were induced.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The rules whose conditions are all satisfied by the evidence,
+    /// ordered by decreasing conditional probability.
+    pub fn fire(&self, evidence: &Evidence) -> Vec<FiredRule> {
+        let asserted = evidence.assignment();
+        let mut fired: Vec<FiredRule> = self
+            .rules
+            .iter()
+            .filter(|rule| {
+                rule.conditions
+                    .pairs()
+                    .all(|(attr, value)| asserted.value_of(attr) == Some(value))
+            })
+            .map(|rule| FiredRule { rule: rule.clone(), matched_conditions: rule.condition_count() })
+            .collect();
+        fired.sort_by(|a, b| {
+            b.rule
+                .probability
+                .partial_cmp(&a.rule.probability)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        fired
+    }
+
+    /// Rules concluding about a specific attribute.
+    pub fn rules_about(&self, attribute: usize) -> Vec<&Rule> {
+        self.rules.iter().filter(|r| r.conclusion.value_of(attribute).is_some()).collect()
+    }
+
+    /// Renders the whole rule base in the memo's IF–THEN syntax.
+    pub fn render(&self, schema: &Schema) -> String {
+        let mut out = String::new();
+        for rule in &self.rules {
+            out.push_str(&rule.format(schema));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pka_contingency::{Attribute, ContingencyTable, Schema, VarSet};
+    use pka_core::Acquisition;
+    use std::sync::Arc;
+
+    fn kb() -> KnowledgeBase {
+        let schema = Schema::new(vec![
+            Attribute::new("smoking", ["smoker", "non-smoker", "married-to-smoker"]),
+            Attribute::yes_no("cancer"),
+            Attribute::yes_no("family-history"),
+        ])
+        .unwrap()
+        .into_shared();
+        let t = ContingencyTable::from_counts(
+            Arc::clone(&schema),
+            vec![130, 110, 410, 640, 62, 31, 580, 460, 78, 22, 520, 385],
+        )
+        .unwrap();
+        Acquisition::with_defaults().run(&t).unwrap().knowledge_base
+    }
+
+    #[test]
+    fn compile_and_render() {
+        let kb = kb();
+        let rb = RuleBase::compile(&kb, &RuleInductionConfig::default()).unwrap();
+        assert!(!rb.is_empty());
+        let text = rb.render(kb.schema());
+        assert!(text.contains("IF "));
+        assert!(text.contains(" THEN "));
+        assert!(text.contains("probability"));
+        assert_eq!(text.lines().count(), rb.len());
+    }
+
+    #[test]
+    fn firing_respects_evidence() {
+        let kb = kb();
+        let rb = RuleBase::compile(&kb, &RuleInductionConfig::default()).unwrap();
+        let schema = kb.shared_schema();
+        let mut evidence = Evidence::none();
+        assert!(rb.fire(&evidence).is_empty());
+        evidence.assert_named(&schema, "smoking", "smoker").unwrap();
+        let fired = rb.fire(&evidence);
+        assert!(!fired.is_empty());
+        // Every fired rule's conditions mention only asserted attributes
+        // with the asserted values.
+        for f in &fired {
+            for (attr, value) in f.rule.conditions.pairs() {
+                assert_eq!(evidence.value_of(attr), Some(value));
+            }
+        }
+        // Fired rules are sorted by probability.
+        for pair in fired.windows(2) {
+            assert!(pair[0].rule.probability + 1e-12 >= pair[1].rule.probability);
+        }
+    }
+
+    #[test]
+    fn rules_about_filters_by_conclusion() {
+        let kb = kb();
+        let rb = RuleBase::compile(&kb, &RuleInductionConfig::default()).unwrap();
+        let about_cancer = rb.rules_about(1);
+        assert!(about_cancer.iter().all(|r| r.conclusion.vars() == VarSet::singleton(1)));
+        let from_rules = RuleBase::from_rules(about_cancer.into_iter().cloned().collect());
+        assert!(from_rules.len() <= rb.len());
+    }
+}

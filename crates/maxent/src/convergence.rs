@@ -1,0 +1,150 @@
+//! Convergence control and per-iteration reporting for the solver.
+//!
+//! Table 2 of the memo is literally a convergence trace — the a-values after
+//! each pass of the iteration that incorporates the `N^{AC}_{12}` constraint.
+//! [`SolveReport`] carries the same information for any fit.
+
+use pka_contingency::Assignment;
+use serde::{Deserialize, Serialize};
+
+/// When to stop the iterative scaling sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceCriteria {
+    /// Maximum number of full sweeps over the constraint set.
+    pub max_iterations: usize,
+    /// Stop once no constraint's fitted probability differs from its target
+    /// by more than this.
+    pub tolerance: f64,
+    /// Record a full [`IterationRecord`] per sweep (needed to regenerate
+    /// Table 2; off by default to keep large fits cheap).
+    pub record_trace: bool,
+    /// If `true`, exhausting the iteration budget is an error
+    /// ([`crate::MaxEntError::NotConverged`]).  If `false` (the default) the
+    /// best model found so far is returned with `converged = false` in the
+    /// report — constraint sets whose maximum-entropy solution sits on the
+    /// boundary of the simplex (cells forced to zero by other constraints)
+    /// only converge in the limit, and the near-boundary fit is still the
+    /// right answer for them.
+    pub fail_on_max_iterations: bool,
+}
+
+impl ConvergenceCriteria {
+    /// Default criteria: 200 sweeps, tolerance 1e-10, no trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Same criteria with the per-iteration trace enabled.
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// Sets the tolerance.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Sets the iteration budget.
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Makes exhausting the iteration budget an error instead of a
+    /// best-effort result.
+    pub fn strict(mut self) -> Self {
+        self.fail_on_max_iterations = true;
+        self
+    }
+}
+
+impl Default for ConvergenceCriteria {
+    fn default() -> Self {
+        Self {
+            max_iterations: 200,
+            tolerance: 1e-10,
+            record_trace: false,
+            fail_on_max_iterations: false,
+        }
+    }
+}
+
+/// The state after one sweep of the solver.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// 1-based sweep number.
+    pub iteration: usize,
+    /// Largest absolute difference between a constraint's target and the
+    /// probability the model currently assigns it.
+    pub max_violation: f64,
+    /// The multiplier ("a-value") of every constraint after the sweep, in
+    /// constraint order, plus the normaliser `a0` reported separately.
+    pub factors: Vec<(Assignment, f64)>,
+    /// The normalisation factor `a0` after the sweep.
+    pub a0: f64,
+    /// The model's current probability for every constraint cell, in
+    /// constraint order (the column the memo tracks in Table 2 is the fitted
+    /// `p^{AC}_{12}` converging to 0.219).
+    pub fitted: Vec<f64>,
+}
+
+/// Summary of a fit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolveReport {
+    /// Number of sweeps performed.
+    pub iterations: usize,
+    /// Largest remaining constraint violation.
+    pub max_violation: f64,
+    /// Whether the tolerance was reached within the iteration budget.
+    pub converged: bool,
+    /// Per-sweep records (empty unless tracing was requested).
+    pub trace: Vec<IterationRecord>,
+}
+
+impl SolveReport {
+    /// The trace entry for the final sweep, if tracing was on.
+    pub fn last_record(&self) -> Option<&IterationRecord> {
+        self.trace.last()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods_compose() {
+        let c = ConvergenceCriteria::new()
+            .with_tolerance(1e-6)
+            .with_max_iterations(50)
+            .with_trace();
+        assert_eq!(c.max_iterations, 50);
+        assert_eq!(c.tolerance, 1e-6);
+        assert!(c.record_trace);
+        let d = ConvergenceCriteria::default();
+        assert!(!d.record_trace);
+        assert_eq!(d.max_iterations, 200);
+    }
+
+    #[test]
+    fn report_last_record() {
+        let rec = IterationRecord {
+            iteration: 1,
+            max_violation: 0.5,
+            factors: vec![],
+            a0: 1.0,
+            fitted: vec![],
+        };
+        let report = SolveReport {
+            iterations: 1,
+            max_violation: 0.5,
+            converged: false,
+            trace: vec![rec.clone()],
+        };
+        assert_eq!(report.last_record(), Some(&rec));
+        let empty = SolveReport { iterations: 0, max_violation: 0.0, converged: true, trace: vec![] };
+        assert!(empty.last_record().is_none());
+    }
+}

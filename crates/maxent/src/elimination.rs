@@ -1,0 +1,339 @@
+//! Sum-of-products evaluation of the factored model (Appendix B of the
+//! memo).
+//!
+//! The memo's Appendix B observes that the marginal sums needed by the
+//! constraint equations — `Σ_i a_i Σ_j a_j a_ij Σ_k a_k a_ik a_jk` and so on
+//! (Eq. 89) — can be evaluated by nesting the summations and carrying small
+//! matrices, rather than enumerating the full cross-product.  In modern
+//! terminology that is **variable elimination** on the factor graph defined
+//! by the a-values.  [`FactorGraph`] implements it for arbitrary attribute
+//! counts and constraint orders, so marginal (and hence conditional)
+//! probabilities can be computed from the model without ever materialising
+//! the dense joint — the property that makes the acquired knowledge base a
+//! practical query engine when the attribute count grows.
+
+use crate::model::LogLinearModel;
+use pka_contingency::{Assignment, Schema, VarSet};
+use std::sync::Arc;
+
+/// A factor: a non-negative function over the value combinations of a small
+/// set of attributes, stored densely (ascending attribute order, last
+/// attribute varying fastest).
+#[derive(Debug, Clone, PartialEq)]
+struct Factor {
+    vars: VarSet,
+    /// Cardinalities of the member attributes, ascending attribute order.
+    cards: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Factor {
+    /// A scalar factor (empty scope).
+    fn scalar(value: f64) -> Self {
+        Self { vars: VarSet::empty(), cards: Vec::new(), values: vec![value] }
+    }
+
+    fn from_assignment(schema: &Schema, assignment: &Assignment, a: f64) -> Self {
+        let vars = assignment.vars();
+        let cards: Vec<usize> =
+            vars.iter().map(|i| schema.cardinality(i).expect("attr in schema")).collect();
+        let size: usize = cards.iter().product::<usize>().max(1);
+        let mut values = vec![1.0; size];
+        // The factor is `a` at the constrained configuration and 1 elsewhere.
+        let idx = Self::index_of(&cards, assignment.values());
+        values[idx] = a;
+        Self { vars, cards, values }
+    }
+
+    fn index_of(cards: &[usize], values: &[usize]) -> usize {
+        let mut idx = 0usize;
+        for (pos, &v) in values.iter().enumerate() {
+            idx = idx * cards[pos] + v;
+        }
+        idx
+    }
+
+    fn value_at(&self, full_assignment: &[Option<usize>]) -> f64 {
+        let values: Vec<usize> = self
+            .vars
+            .iter()
+            .map(|attr| full_assignment[attr].expect("variable bound during evaluation"))
+            .collect();
+        self.values[Self::index_of(&self.cards, &values)]
+    }
+
+    /// Restricts the factor by fixing some attributes to given values,
+    /// producing a factor over the remaining ones.
+    fn restrict(&self, evidence: &Assignment) -> Factor {
+        let fixed = self.vars.intersection(evidence.vars());
+        if fixed.is_empty() {
+            return self.clone();
+        }
+        let remaining = self.vars.difference(fixed);
+        let rem_members: Vec<usize> = remaining.iter().collect();
+        let rem_cards: Vec<usize> = rem_members
+            .iter()
+            .map(|&attr| {
+                let rank = self.vars.rank_of(attr).expect("member of scope");
+                self.cards[rank]
+            })
+            .collect();
+        let size: usize = rem_cards.iter().product::<usize>().max(1);
+        let mut values = vec![0.0; size];
+        let members: Vec<usize> = self.vars.iter().collect();
+        // Enumerate the original factor's configurations and keep those that
+        // agree with the evidence.
+        for idx in 0..self.values.len() {
+            let mut cfg = vec![0usize; members.len()];
+            let mut rem = idx;
+            for pos in (0..members.len()).rev() {
+                cfg[pos] = rem % self.cards[pos];
+                rem /= self.cards[pos];
+            }
+            let agrees = members.iter().enumerate().all(|(pos, &attr)| {
+                evidence.value_of(attr).is_none_or(|v| v == cfg[pos])
+            });
+            if !agrees {
+                continue;
+            }
+            let rem_values: Vec<usize> = rem_members
+                .iter()
+                .map(|&attr| {
+                    let pos = self.vars.rank_of(attr).expect("member");
+                    cfg[pos]
+                })
+                .collect();
+            values[Self::index_of(&rem_cards, &rem_values)] = self.values[idx];
+        }
+        Factor { vars: remaining, cards: rem_cards, values }
+    }
+}
+
+/// The factored (sum-of-products) view of a [`LogLinearModel`].
+#[derive(Debug, Clone)]
+pub struct FactorGraph {
+    schema: Arc<Schema>,
+    a0: f64,
+    factors: Vec<Factor>,
+}
+
+impl FactorGraph {
+    /// Builds the factor graph of a model: one scalar factor `a0`, one
+    /// cell-indicator factor per constraint multiplier.
+    pub fn from_model(model: &LogLinearModel) -> Self {
+        let schema = model.shared_schema();
+        let factors = model
+            .factors()
+            .iter()
+            .map(|(assignment, a)| Factor::from_assignment(&schema, assignment, *a))
+            .collect();
+        Self { schema, a0: model.a0(), factors }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Unnormalised weight of a partial assignment: the Appendix-B nested
+    /// sum `Σ … Π a` restricted to cells consistent with the assignment.
+    ///
+    /// Divide two such weights to obtain conditionals, or divide by
+    /// [`FactorGraph::partition`] for probabilities.
+    pub fn weight(&self, evidence: &Assignment) -> f64 {
+        // Restrict every factor by the evidence, then eliminate the
+        // remaining variables one at a time.
+        let mut factors: Vec<Factor> =
+            self.factors.iter().map(|f| f.restrict(evidence)).collect();
+        let free = self.schema.all_vars().difference(evidence.vars());
+
+        for attr in free.iter() {
+            factors = eliminate(&self.schema, factors, attr);
+        }
+        // Every remaining factor is now a scalar.
+        let product: f64 = factors
+            .iter()
+            .map(|f| {
+                debug_assert!(f.vars.is_empty());
+                f.values[0]
+            })
+            .product();
+        self.a0 * product
+    }
+
+    /// The partition sum `Σ_x Π a` times `a0`; equals 1 for a normalised
+    /// model (Eq. 25 of the memo, `1/a0 = Σ …`).
+    pub fn partition(&self) -> f64 {
+        self.weight(&Assignment::empty())
+    }
+
+    /// Marginal probability of a partial assignment computed entirely from
+    /// the factors (Appendix B); equal to
+    /// [`LogLinearModel::probability`] up to normalisation.
+    pub fn probability(&self, assignment: &Assignment) -> f64 {
+        let z = self.partition();
+        if z <= 0.0 {
+            return 0.0;
+        }
+        self.weight(assignment) / z
+    }
+}
+
+/// Sums `attr` out of the product of the factors that mention it, leaving
+/// all other factors untouched.
+fn eliminate(schema: &Schema, factors: Vec<Factor>, attr: usize) -> Vec<Factor> {
+    let (touching, mut rest): (Vec<Factor>, Vec<Factor>) =
+        factors.into_iter().partition(|f| f.vars.contains(attr));
+    if touching.is_empty() {
+        // Nothing mentions the variable: summing it out multiplies the
+        // overall weight by its cardinality.
+        let card = schema.cardinality(attr).expect("attr in schema") as f64;
+        rest.push(Factor::scalar(card));
+        return rest;
+    }
+    // Scope of the product, minus the eliminated variable.
+    let joint_vars =
+        touching.iter().fold(VarSet::empty(), |acc, f| acc.union(f.vars));
+    let out_vars = joint_vars.without(attr);
+    let out_members: Vec<usize> = out_vars.iter().collect();
+    let out_cards: Vec<usize> =
+        out_members.iter().map(|&a| schema.cardinality(a).expect("attr in schema")).collect();
+    let out_size: usize = out_cards.iter().product::<usize>().max(1);
+    let attr_card = schema.cardinality(attr).expect("attr in schema");
+
+    let mut out_values = vec![0.0; out_size];
+    let mut full_assignment: Vec<Option<usize>> = vec![None; schema.len()];
+    for out_idx in 0..out_size {
+        // Decode the configuration of the surviving variables.
+        let mut rem = out_idx;
+        for pos in (0..out_members.len()).rev() {
+            full_assignment[out_members[pos]] = Some(rem % out_cards[pos]);
+            rem /= out_cards[pos];
+        }
+        let mut sum = 0.0;
+        for v in 0..attr_card {
+            full_assignment[attr] = Some(v);
+            let mut prod = 1.0;
+            for f in &touching {
+                prod *= f.value_at(&full_assignment);
+            }
+            sum += prod;
+        }
+        out_values[out_idx] = sum;
+        full_assignment[attr] = None;
+        for &m in &out_members {
+            full_assignment[m] = None;
+        }
+    }
+    rest.push(Factor { vars: out_vars, cards: out_cards, values: out_values });
+    rest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::ConstraintSet;
+    use crate::solver::fit;
+    use pka_contingency::{Attribute, ContingencyTable};
+    use proptest::prelude::*;
+
+    fn paper_table() -> ContingencyTable {
+        let schema = Schema::new(vec![
+            Attribute::new("smoking", ["smoker", "non-smoker", "married-to-smoker"]),
+            Attribute::yes_no("cancer"),
+            Attribute::yes_no("family-history"),
+        ])
+        .unwrap()
+        .into_shared();
+        ContingencyTable::from_counts(
+            schema,
+            vec![130, 110, 410, 640, 62, 31, 580, 460, 78, 22, 520, 385],
+        )
+        .unwrap()
+    }
+
+    fn fitted_model() -> LogLinearModel {
+        let t = paper_table();
+        let mut constraints = ConstraintSet::first_order_from_table(&t).unwrap();
+        constraints.add_from_table(&t, Assignment::from_pairs([(0, 0), (2, 1)])).unwrap();
+        constraints.add_from_table(&t, Assignment::from_pairs([(0, 0), (1, 0)])).unwrap();
+        fit(&constraints).unwrap().0
+    }
+
+    #[test]
+    fn partition_of_normalised_model_is_one() {
+        let model = fitted_model();
+        let graph = FactorGraph::from_model(&model);
+        assert!((graph.partition() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elimination_agrees_with_dense_marginals() {
+        let model = fitted_model();
+        let graph = FactorGraph::from_model(&model);
+        let queries = vec![
+            Assignment::single(0, 0),
+            Assignment::single(1, 1),
+            Assignment::from_pairs([(0, 0), (2, 1)]),
+            Assignment::from_pairs([(1, 0), (2, 0)]),
+            Assignment::from_pairs([(0, 2), (1, 1), (2, 0)]),
+            Assignment::empty(),
+        ];
+        for q in queries {
+            let dense = model.probability(&q);
+            let eliminated = graph.probability(&q);
+            assert!(
+                (dense - eliminated).abs() < 1e-9,
+                "query {q:?}: dense {dense} vs eliminated {eliminated}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_model_weights() {
+        let schema = Schema::uniform(&[3, 2, 4]).unwrap().into_shared();
+        let model = LogLinearModel::uniform(Arc::clone(&schema));
+        let graph = FactorGraph::from_model(&model);
+        assert!((graph.partition() - 1.0).abs() < 1e-12);
+        assert!((graph.probability(&Assignment::single(2, 3)) - 0.25).abs() < 1e-12);
+        assert!(
+            (graph.probability(&Assignment::from_pairs([(0, 0), (1, 1)])) - 1.0 / 6.0).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn conditional_via_weights_matches_model() {
+        let model = fitted_model();
+        let graph = FactorGraph::from_model(&model);
+        let target = Assignment::single(1, 0);
+        let given = Assignment::from_pairs([(0, 0), (2, 1)]);
+        let joint = target.merge(&given).unwrap();
+        let via_graph = graph.weight(&joint) / graph.weight(&given);
+        let via_model = model.conditional(&target, &given).unwrap();
+        assert!((via_graph - via_model).abs() < 1e-9);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_elimination_matches_dense_for_random_factors(
+            counts in proptest::collection::vec(1u64..25, 12),
+            cell in 0usize..12,
+            mask in any::<u32>(),
+        ) {
+            let schema = Schema::uniform(&[3, 2, 2]).unwrap().into_shared();
+            let t = ContingencyTable::from_counts(Arc::clone(&schema), counts).unwrap();
+            let mut constraints = ConstraintSet::first_order_from_table(&t).unwrap();
+            let cell_values = schema.cell_values(cell);
+            let pair = Assignment::project(VarSet::from_indices([0, 2]), &cell_values);
+            constraints.add_from_table(&t, pair).unwrap();
+            let (model, _) = fit(&constraints).unwrap();
+            let graph = FactorGraph::from_model(&model);
+            // Random query assignment derived from the mask.
+            let vars = VarSet::from_bits(mask).intersection(schema.all_vars());
+            let query = Assignment::project(vars, &schema.cell_values(cell));
+            prop_assert!((graph.probability(&query) - model.probability(&query)).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Entropy and divergence primitives (Eq. 7 of the memo).
+
+/// Shannon entropy `H = −Σ p ln p` in nats of a probability vector.
+/// Zero-probability cells contribute nothing (the usual `0·ln 0 = 0`
+/// convention).
+pub fn entropy(probabilities: &[f64]) -> f64 {
+    probabilities
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| -p * p.ln())
+        .sum()
+}
+
+/// Cross entropy `−Σ p ln q` in nats.  Returns `+∞` if `p` puts mass where
+/// `q` has none.
+pub fn cross_entropy(p: &[f64], q: &[f64]) -> f64 {
+    debug_assert_eq!(p.len(), q.len());
+    let mut acc = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi <= 0.0 {
+            continue;
+        }
+        if qi <= 0.0 {
+            return f64::INFINITY;
+        }
+        acc -= pi * qi.ln();
+    }
+    acc
+}
+
+/// Kullback-Leibler divergence `KL(p ‖ q) = Σ p ln(p/q)` in nats.
+/// Returns `+∞` if `p` puts mass where `q` has none.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    debug_assert_eq!(p.len(), q.len());
+    let mut acc = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi <= 0.0 {
+            continue;
+        }
+        if qi <= 0.0 {
+            return f64::INFINITY;
+        }
+        acc += pi * (pi / qi).ln();
+    }
+    acc.max(0.0)
+}
+
+/// Jensen-Shannon divergence (symmetric, bounded by `ln 2`) in nats.
+pub fn js_divergence(p: &[f64], q: &[f64]) -> f64 {
+    debug_assert_eq!(p.len(), q.len());
+    let m: Vec<f64> = p.iter().zip(q).map(|(&a, &b)| 0.5 * (a + b)).collect();
+    0.5 * kl_divergence(p, &m) + 0.5 * kl_divergence(q, &m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn entropy_known_values() {
+        assert!((entropy(&[0.5, 0.5]) - std::f64::consts::LN_2).abs() < 1e-12);
+        assert_eq!(entropy(&[1.0, 0.0]), 0.0);
+        assert!((entropy(&[0.25; 4]) - (4f64).ln()).abs() < 1e-12);
+        assert_eq!(entropy(&[]), 0.0);
+    }
+
+    #[test]
+    fn kl_known_values() {
+        assert_eq!(kl_divergence(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+        // KL([1,0] || [0.5,0.5]) = ln 2.
+        assert!((kl_divergence(&[1.0, 0.0], &[0.5, 0.5]) - std::f64::consts::LN_2).abs() < 1e-12);
+        assert_eq!(kl_divergence(&[0.5, 0.5], &[1.0, 0.0]), f64::INFINITY);
+        assert_eq!(cross_entropy(&[0.5, 0.5], &[1.0, 0.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn cross_entropy_decomposition() {
+        let p = [0.2, 0.3, 0.5];
+        let q = [0.3, 0.3, 0.4];
+        let ce = cross_entropy(&p, &q);
+        assert!((ce - (entropy(&p) + kl_divergence(&p, &q))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn js_divergence_symmetric_bounded() {
+        let p = [0.9, 0.1];
+        let q = [0.1, 0.9];
+        let d = js_divergence(&p, &q);
+        assert!((d - js_divergence(&q, &p)).abs() < 1e-12);
+        assert!(d > 0.0 && d <= std::f64::consts::LN_2 + 1e-12);
+        assert!(js_divergence(&p, &p).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_entropy_bounds(weights in proptest::collection::vec(0.0f64..1.0, 1..12)) {
+            let sum: f64 = weights.iter().sum();
+            prop_assume!(sum > 1e-9);
+            let p: Vec<f64> = weights.iter().map(|w| w / sum).collect();
+            let h = entropy(&p);
+            prop_assert!(h >= -1e-12);
+            prop_assert!(h <= (p.len() as f64).ln() + 1e-9);
+        }
+
+        #[test]
+        fn prop_kl_nonnegative_and_zero_iff_equal(weights in proptest::collection::vec(0.01f64..1.0, 2..10)) {
+            let sum: f64 = weights.iter().sum();
+            let p: Vec<f64> = weights.iter().map(|w| w / sum).collect();
+            prop_assert!(kl_divergence(&p, &p).abs() < 1e-12);
+            let uniform = vec![1.0 / p.len() as f64; p.len()];
+            prop_assert!(kl_divergence(&p, &uniform) >= -1e-12);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Error type for the maximum-entropy layer.
+
+use pka_contingency::ContingencyError;
+use std::fmt;
+
+/// Errors produced while building constraints or fitting models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MaxEntError {
+    /// A constraint probability was outside `[0, 1]` or not finite.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+        /// Which constraint it was attached to (human-readable).
+        constraint: String,
+    },
+    /// Two constraints over the same cell were given different target
+    /// probabilities.
+    ConflictingConstraint {
+        /// Human-readable description of the cell.
+        cell: String,
+        /// The probability already registered.
+        existing: f64,
+        /// The probability that conflicted with it.
+        new: f64,
+    },
+    /// The constraints cannot all be satisfied by any distribution (e.g. a
+    /// cell constrained above its marginal, or first-order marginals of an
+    /// attribute not summing to one).
+    InfeasibleConstraints {
+        /// Explanation of the inconsistency detected.
+        reason: String,
+    },
+    /// The iterative solver exhausted its iteration budget before reaching
+    /// the requested tolerance.
+    NotConverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// The worst remaining violation of a constraint.
+        max_violation: f64,
+        /// The tolerance that was requested.
+        tolerance: f64,
+    },
+    /// A query mentioned attributes or values outside the schema.
+    Data(ContingencyError),
+    /// A conditional query's conditioning event has zero probability under
+    /// the model.
+    ZeroProbabilityEvidence {
+        /// Human-readable description of the evidence.
+        evidence: String,
+    },
+}
+
+impl fmt::Display for MaxEntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidProbability { value, constraint } => {
+                write!(f, "invalid probability {value} for constraint {constraint}")
+            }
+            Self::ConflictingConstraint { cell, existing, new } => write!(
+                f,
+                "conflicting constraints for cell {cell}: already {existing}, now {new}"
+            ),
+            Self::InfeasibleConstraints { reason } => {
+                write!(f, "constraints are infeasible: {reason}")
+            }
+            Self::NotConverged { iterations, max_violation, tolerance } => write!(
+                f,
+                "solver did not converge after {iterations} iterations (max violation {max_violation:.3e} > tolerance {tolerance:.3e})"
+            ),
+            Self::Data(e) => write!(f, "data error: {e}"),
+            Self::ZeroProbabilityEvidence { evidence } => {
+                write!(f, "conditioning event has zero probability: {evidence}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MaxEntError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ContingencyError> for MaxEntError {
+    fn from(e: ContingencyError) -> Self {
+        Self::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        let variants = vec![
+            MaxEntError::InvalidProbability { value: 2.0, constraint: "p(A=1)".into() },
+            MaxEntError::ConflictingConstraint { cell: "A=1".into(), existing: 0.2, new: 0.3 },
+            MaxEntError::InfeasibleConstraints { reason: "sums exceed one".into() },
+            MaxEntError::NotConverged { iterations: 10, max_violation: 0.1, tolerance: 1e-9 },
+            MaxEntError::Data(ContingencyError::EmptySchema),
+            MaxEntError::ZeroProbabilityEvidence { evidence: "B=2".into() },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn from_contingency_error_preserves_source() {
+        use std::error::Error;
+        let e: MaxEntError = ContingencyError::EmptySchema.into();
+        assert!(e.source().is_some());
+    }
+}

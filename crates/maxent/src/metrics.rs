@@ -1,0 +1,175 @@
+//! Model-quality metrics used by the evaluation harness (experiment X3):
+//! how well does an estimated distribution describe held-out data?
+
+use crate::entropy::kl_divergence;
+use crate::error::MaxEntError;
+use crate::joint::JointDistribution;
+use crate::Result;
+use pka_contingency::{ContingencyTable, Dataset};
+
+/// Average negative log-likelihood (in nats per sample) that `model` assigns
+/// to the samples of `data`.  Lower is better; infinite if the model gives a
+/// held-out sample zero probability.
+pub fn log_loss(model: &JointDistribution, data: &Dataset) -> Result<f64> {
+    if model.schema() != data.schema() {
+        return Err(MaxEntError::InfeasibleConstraints {
+            reason: "log loss requires the model and the data to share a schema".to_string(),
+        });
+    }
+    if data.is_empty() {
+        return Ok(0.0);
+    }
+    let mut total = 0.0;
+    for sample in data.iter() {
+        let p = model.probability_of_values(sample.values());
+        if p <= 0.0 {
+            return Ok(f64::INFINITY);
+        }
+        total -= p.ln();
+    }
+    Ok(total / data.len() as f64)
+}
+
+/// Average negative log-likelihood per observation computed directly from a
+/// contingency table (equivalent to [`log_loss`] on the expanded dataset but
+/// proportional to the number of distinct cells instead of samples).
+pub fn log_loss_table(model: &JointDistribution, table: &ContingencyTable) -> Result<f64> {
+    if model.schema() != table.schema() {
+        return Err(MaxEntError::InfeasibleConstraints {
+            reason: "log loss requires the model and the table to share a schema".to_string(),
+        });
+    }
+    if table.total() == 0 {
+        return Ok(0.0);
+    }
+    let mut total = 0.0;
+    for (values, count) in table.nonzero_cells() {
+        let p = model.probability_of_values(&values);
+        if p <= 0.0 {
+            return Ok(f64::INFINITY);
+        }
+        total -= count as f64 * p.ln();
+    }
+    Ok(total / table.total() as f64)
+}
+
+/// KL divergence from the empirical distribution of `table` to `model`, in
+/// nats: `KL(empirical ‖ model)`.  This is the "how much observed structure
+/// does the model miss" number reported in the comparison experiments.
+pub fn kl_from_empirical(model: &JointDistribution, table: &ContingencyTable) -> Result<f64> {
+    if model.schema() != table.schema() {
+        return Err(MaxEntError::InfeasibleConstraints {
+            reason: "KL divergence requires the model and the table to share a schema".to_string(),
+        });
+    }
+    let empirical = JointDistribution::empirical(table);
+    Ok(kl_divergence(empirical.probabilities(), model.probabilities()))
+}
+
+/// Total-variation distance between a model and the empirical distribution
+/// of a table.
+pub fn tv_from_empirical(model: &JointDistribution, table: &ContingencyTable) -> Result<f64> {
+    let empirical = JointDistribution::empirical(table);
+    model.total_variation(&empirical)
+}
+
+/// Perplexity `exp(log_loss)` of the model on held-out data: the effective
+/// number of equally-likely cells per observation.
+pub fn perplexity(model: &JointDistribution, data: &Dataset) -> Result<f64> {
+    Ok(log_loss(model, data)?.exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pka_contingency::{Attribute, Schema};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(vec![Attribute::new("a", ["0", "1"]), Attribute::new("b", ["0", "1"])])
+            .unwrap()
+            .into_shared()
+    }
+
+    fn dataset() -> Dataset {
+        let mut d = Dataset::with_shared_schema(schema());
+        for _ in 0..6 {
+            d.push_values(vec![0, 0]).unwrap();
+        }
+        for _ in 0..2 {
+            d.push_values(vec![1, 1]).unwrap();
+        }
+        d.push_values(vec![0, 1]).unwrap();
+        d.push_values(vec![1, 0]).unwrap();
+        d
+    }
+
+    #[test]
+    fn log_loss_of_true_distribution_is_its_entropy() {
+        let d = dataset();
+        let t = d.to_table();
+        let empirical = JointDistribution::empirical(&t);
+        let ll = log_loss(&empirical, &d).unwrap();
+        assert!((ll - empirical.entropy()).abs() < 1e-12);
+        let ll_t = log_loss_table(&empirical, &t).unwrap();
+        assert!((ll - ll_t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_model_log_loss() {
+        let d = dataset();
+        let uniform = JointDistribution::uniform(schema());
+        let ll = log_loss(&uniform, &d).unwrap();
+        assert!((ll - (4f64).ln()).abs() < 1e-12);
+        assert!((perplexity(&uniform, &d).unwrap() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn better_models_have_lower_log_loss() {
+        let d = dataset();
+        let t = d.to_table();
+        let empirical = JointDistribution::empirical(&t);
+        let uniform = JointDistribution::uniform(schema());
+        assert!(log_loss(&empirical, &d).unwrap() < log_loss(&uniform, &d).unwrap());
+    }
+
+    #[test]
+    fn zero_probability_samples_give_infinite_loss() {
+        let d = dataset();
+        // A model that puts all mass on a single cell.
+        let model =
+            JointDistribution::from_unnormalized(schema(), vec![1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(log_loss(&model, &d).unwrap(), f64::INFINITY);
+        assert_eq!(log_loss_table(&model, &d.to_table()).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn kl_and_tv_from_empirical() {
+        let d = dataset();
+        let t = d.to_table();
+        let empirical = JointDistribution::empirical(&t);
+        assert!(kl_from_empirical(&empirical, &t).unwrap().abs() < 1e-12);
+        assert!(tv_from_empirical(&empirical, &t).unwrap().abs() < 1e-12);
+        let uniform = JointDistribution::uniform(schema());
+        assert!(kl_from_empirical(&uniform, &t).unwrap() > 0.0);
+        assert!(tv_from_empirical(&uniform, &t).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn schema_mismatch_is_an_error() {
+        let d = dataset();
+        let other = JointDistribution::uniform(Schema::uniform(&[3, 3]).unwrap().into_shared());
+        assert!(log_loss(&other, &d).is_err());
+        assert!(log_loss_table(&other, &d.to_table()).is_err());
+        assert!(kl_from_empirical(&other, &d.to_table()).is_err());
+    }
+
+    #[test]
+    fn empty_data_gives_zero_loss() {
+        let empty = Dataset::with_shared_schema(schema());
+        let uniform = JointDistribution::uniform(schema());
+        assert_eq!(log_loss(&uniform, &empty).unwrap(), 0.0);
+        let empty_table = pka_contingency::ContingencyTable::zeros(schema());
+        assert_eq!(log_loss_table(&uniform, &empty_table).unwrap(), 0.0);
+    }
+}

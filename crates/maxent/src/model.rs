@@ -1,0 +1,383 @@
+//! The a-value (log-linear) product form of the maximum-entropy
+//! distribution — the memo's Eqs. 12–13 and its "general formula".
+
+use crate::error::MaxEntError;
+use crate::joint::JointDistribution;
+use crate::Result;
+use pka_contingency::{Assignment, Schema};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The maximum-entropy joint distribution in product ("a-value") form:
+///
+/// ```text
+/// p(x) = a0 · Π { a_c : constraint cell c is consistent with x }
+/// ```
+///
+/// There is one multiplier per constraint cell plus the normaliser `a0`
+/// (the memo's Eq. 12, with `a0 = e^{-w0}` from Eq. 13).  The model is the
+/// compact artefact the acquisition procedure outputs: every probability
+/// relation associated with the data can be computed from it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogLinearModel {
+    schema: Arc<Schema>,
+    a0: f64,
+    factors: Vec<(Assignment, f64)>,
+    #[serde(skip)]
+    index: HashMap<Assignment, usize>,
+}
+
+impl LogLinearModel {
+    /// The uniform distribution over the schema's cells: no factors,
+    /// `a0 = 1 / (number of cells)`.
+    pub fn uniform(schema: Arc<Schema>) -> Self {
+        let a0 = 1.0 / schema.cell_count() as f64;
+        Self { schema, a0, factors: Vec::new(), index: HashMap::new() }
+    }
+
+    /// Builds a model from explicit factors.  Factor values must be
+    /// non-negative and finite; `a0` must be positive and finite.
+    pub fn from_factors(
+        schema: Arc<Schema>,
+        a0: f64,
+        factors: Vec<(Assignment, f64)>,
+    ) -> Result<Self> {
+        if !(a0 > 0.0) || !a0.is_finite() {
+            return Err(MaxEntError::InvalidProbability { value: a0, constraint: "a0".to_string() });
+        }
+        for (a, v) in &factors {
+            if !(*v >= 0.0) || !v.is_finite() {
+                return Err(MaxEntError::InvalidProbability {
+                    value: *v,
+                    constraint: a.describe(&schema),
+                });
+            }
+            Assignment::checked_new(&schema, a.vars(), a.values().to_vec())?;
+        }
+        let index = factors.iter().enumerate().map(|(i, (a, _))| (a.clone(), i)).collect();
+        Ok(Self { schema, a0, factors, index })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The schema as a shareable handle.
+    pub fn shared_schema(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    /// The normalisation multiplier `a0`.
+    pub fn a0(&self) -> f64 {
+        self.a0
+    }
+
+    /// The constraint multipliers in insertion order.
+    pub fn factors(&self) -> &[(Assignment, f64)] {
+        &self.factors
+    }
+
+    /// Number of constraint multipliers.
+    pub fn factor_count(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// The multiplier attached to a constraint cell, if present.
+    pub fn factor_of(&self, assignment: &Assignment) -> Option<f64> {
+        self.index.get(assignment).map(|&i| self.factors[i].1)
+    }
+
+    /// Ensures a multiplier exists for the cell, inserting `1.0` (a neutral
+    /// factor) if missing, and returns its position.  The solver uses this
+    /// when warm-starting from a model fitted with fewer constraints — the
+    /// memo's "add to the current a's a new a associated with the most
+    /// significant N" (Figure 4).
+    pub fn ensure_factor(&mut self, assignment: &Assignment) -> usize {
+        if let Some(&i) = self.index.get(assignment) {
+            return i;
+        }
+        self.factors.push((assignment.clone(), 1.0));
+        let i = self.factors.len() - 1;
+        self.index.insert(assignment.clone(), i);
+        i
+    }
+
+    /// Multiplies one factor by `ratio` (the solver's update step).
+    pub fn scale_factor(&mut self, position: usize, ratio: f64) {
+        self.factors[position].1 *= ratio;
+    }
+
+    /// Multiplies `a0` by `ratio` (the solver's renormalisation step).
+    pub fn scale_a0(&mut self, ratio: f64) {
+        self.a0 *= ratio;
+    }
+
+    /// The unnormalised product of factors for a full cell assignment
+    /// (everything in Eq. 12 except `a0`).
+    pub fn cell_weight(&self, values: &[usize]) -> f64 {
+        let mut w = 1.0;
+        for (assignment, a) in &self.factors {
+            if assignment.matches(values) {
+                w *= a;
+            }
+        }
+        w
+    }
+
+    /// The model's probability for a full cell assignment (Eq. 12).
+    pub fn cell_probability(&self, values: &[usize]) -> f64 {
+        self.a0 * self.cell_weight(values)
+    }
+
+    /// The model's probability of a marginal cell (partial assignment):
+    /// the sum of the cell probabilities consistent with it.
+    ///
+    /// This is the dense evaluation; [`crate::elimination::FactorGraph`]
+    /// computes the same quantity by the Appendix-B sum-of-products scheme.
+    pub fn probability(&self, assignment: &Assignment) -> f64 {
+        let mut total = 0.0;
+        for values in self.schema.cells() {
+            if assignment.matches(&values) {
+                total += self.cell_probability(&values);
+            }
+        }
+        total
+    }
+
+    /// Conditional probability `P(target | given)`, the memo's
+    /// `P(A | B, C) = P(A, B, C) / P(B, C)`.
+    ///
+    /// The two assignments must be compatible (agree on shared attributes).
+    pub fn conditional(&self, target: &Assignment, given: &Assignment) -> Result<f64> {
+        if !target.compatible_with(given) {
+            return Err(MaxEntError::InfeasibleConstraints {
+                reason: "target and evidence assign different values to a shared attribute"
+                    .to_string(),
+            });
+        }
+        let joint = target.merge(given).expect("compatibility checked above");
+        let denominator = self.probability(given);
+        if denominator <= 0.0 {
+            return Err(MaxEntError::ZeroProbabilityEvidence {
+                evidence: given.describe(&self.schema),
+            });
+        }
+        Ok(self.probability(&joint) / denominator)
+    }
+
+    /// Sum of all cell probabilities (should be 1 after a successful fit).
+    pub fn total_mass(&self) -> f64 {
+        self.schema.cells().map(|v| self.cell_probability(&v)).sum()
+    }
+
+    /// Rescales `a0` so the cell probabilities sum to exactly one.
+    pub fn normalize(&mut self) -> Result<()> {
+        let z = self.total_mass();
+        if !(z > 0.0) || !z.is_finite() {
+            return Err(MaxEntError::InfeasibleConstraints {
+                reason: format!("cannot normalise a model with total mass {z}"),
+            });
+        }
+        self.a0 /= z;
+        Ok(())
+    }
+
+    /// Materialises the model as a dense [`JointDistribution`].
+    pub fn to_joint(&self) -> JointDistribution {
+        let probs: Vec<f64> = self.schema.cells().map(|v| self.cell_probability(&v)).collect();
+        JointDistribution::from_unnormalized(Arc::clone(&self.schema), probs)
+    }
+
+    /// Rebuilds the internal factor index; needed after deserialisation.
+    pub fn rebuild_index(&mut self) {
+        self.index =
+            self.factors.iter().enumerate().map(|(i, (a, _))| (a.clone(), i)).collect();
+    }
+}
+
+impl PartialEq for LogLinearModel {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.a0 == other.a0 && self.factors == other.factors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pka_contingency::Attribute;
+    use proptest::prelude::*;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(vec![
+            Attribute::new("smoking", ["smoker", "non-smoker", "married-to-smoker"]),
+            Attribute::yes_no("cancer"),
+            Attribute::yes_no("family-history"),
+        ])
+        .unwrap()
+        .into_shared()
+    }
+
+    /// The independence model of the paper's Eq. 61: first-order factors
+    /// equal to the marginal probabilities, a0 = 1.
+    fn independence_model() -> LogLinearModel {
+        let s = schema();
+        let pa = [0.376, 0.331, 0.293];
+        let pb = [0.126, 0.874];
+        let pc = [0.519, 0.481];
+        let mut factors = Vec::new();
+        for (v, &p) in pa.iter().enumerate() {
+            factors.push((Assignment::single(0, v), p));
+        }
+        for (v, &p) in pb.iter().enumerate() {
+            factors.push((Assignment::single(1, v), p));
+        }
+        for (v, &p) in pc.iter().enumerate() {
+            factors.push((Assignment::single(2, v), p));
+        }
+        LogLinearModel::from_factors(s, 1.0, factors).unwrap()
+    }
+
+    #[test]
+    fn uniform_model_is_uniform() {
+        let m = LogLinearModel::uniform(schema());
+        assert_eq!(m.factor_count(), 0);
+        let p = m.cell_probability(&[0, 0, 0]);
+        assert!((p - 1.0 / 12.0).abs() < 1e-15);
+        assert!((m.total_mass() - 1.0).abs() < 1e-12);
+        assert!((m.probability(&Assignment::single(1, 0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_factors_validates() {
+        let s = schema();
+        assert!(LogLinearModel::from_factors(Arc::clone(&s), 0.0, vec![]).is_err());
+        assert!(LogLinearModel::from_factors(Arc::clone(&s), f64::NAN, vec![]).is_err());
+        let bad_factor = vec![(Assignment::single(0, 0), -1.0)];
+        assert!(LogLinearModel::from_factors(Arc::clone(&s), 1.0, bad_factor).is_err());
+        let bad_cell = vec![(Assignment::single(0, 9), 1.0)];
+        assert!(LogLinearModel::from_factors(s, 1.0, bad_cell).is_err());
+    }
+
+    #[test]
+    fn independence_model_reproduces_eq_61_and_62() {
+        let m = independence_model();
+        // Eq. 61: p_ijk = p_i p_j p_k.
+        let p = m.cell_probability(&[0, 0, 0]);
+        assert!((p - 0.376 * 0.126 * 0.519).abs() < 1e-12);
+        // Eq. 62: p^AB_ij = p_i p_j.
+        let p = m.probability(&Assignment::from_pairs([(0, 0), (1, 0)]));
+        assert!((p - 0.376 * 0.126).abs() < 1e-9);
+        // The a-values of Eq. 60 normalise to total mass 1 because the
+        // first-order probabilities sum to one per attribute.
+        assert!((m.total_mass() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn factor_lookup_and_mutation() {
+        let mut m = independence_model();
+        let cell = Assignment::from_pairs([(0, 0), (2, 1)]);
+        assert_eq!(m.factor_of(&cell), None);
+        let pos = m.ensure_factor(&cell);
+        assert_eq!(m.factor_of(&cell), Some(1.0));
+        // Ensuring again returns the same slot.
+        assert_eq!(m.ensure_factor(&cell), pos);
+        m.scale_factor(pos, 1.25);
+        assert!((m.factor_of(&cell).unwrap() - 1.25).abs() < 1e-15);
+        m.scale_a0(0.5);
+        assert!((m.a0() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn conditional_probabilities() {
+        let m = independence_model();
+        // Under independence, P(cancer=yes | smoking=smoker) = p^B_1.
+        let p = m
+            .conditional(&Assignment::single(1, 0), &Assignment::single(0, 0))
+            .unwrap();
+        assert!((p - 0.126).abs() < 1e-9);
+        // Incompatible target/evidence is an error.
+        let err = m.conditional(&Assignment::single(0, 1), &Assignment::single(0, 0));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn conditional_with_zero_evidence_is_error() {
+        let s = schema();
+        // A model in which smoking=smoker has zero probability.
+        let factors = vec![(Assignment::single(0, 0), 0.0)];
+        let mut m = LogLinearModel::from_factors(s, 1.0, factors).unwrap();
+        m.normalize().unwrap();
+        let err = m.conditional(&Assignment::single(1, 0), &Assignment::single(0, 0));
+        assert!(matches!(err, Err(MaxEntError::ZeroProbabilityEvidence { .. })));
+    }
+
+    #[test]
+    fn normalize_fixes_total_mass() {
+        let s = schema();
+        let factors = vec![(Assignment::single(1, 0), 3.0)];
+        let mut m = LogLinearModel::from_factors(s, 1.0, factors).unwrap();
+        assert!(m.total_mass() > 1.0);
+        m.normalize().unwrap();
+        assert!((m.total_mass() - 1.0).abs() < 1e-12);
+        // A model with all-zero factors cannot be normalised.
+        let s = schema();
+        let zero = vec![
+            (Assignment::single(1, 0), 0.0),
+            (Assignment::single(1, 1), 0.0),
+        ];
+        let mut z = LogLinearModel::from_factors(s, 1.0, zero).unwrap();
+        assert!(z.normalize().is_err());
+    }
+
+    #[test]
+    fn to_joint_matches_cell_probabilities() {
+        let m = independence_model();
+        let j = m.to_joint();
+        for values in m.schema().cells() {
+            let expected = m.cell_probability(&values) / m.total_mass();
+            assert!((j.probability_of_values(&values) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rebuild_index_after_clearing() {
+        let mut m = independence_model();
+        m.index.clear();
+        assert_eq!(m.factor_of(&Assignment::single(0, 0)), None);
+        m.rebuild_index();
+        assert!(m.factor_of(&Assignment::single(0, 0)).is_some());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_marginals_consistent_with_cells(
+            fa in 0.1f64..2.0,
+            fb in 0.1f64..2.0,
+            fab in 0.1f64..3.0,
+        ) {
+            // Arbitrary positive factors still yield a distribution whose
+            // marginal over an assignment equals the sum of its matching
+            // cells after normalisation.
+            let s = schema();
+            let factors = vec![
+                (Assignment::single(0, 0), fa),
+                (Assignment::single(1, 1), fb),
+                (Assignment::from_pairs([(0, 0), (1, 1)]), fab),
+            ];
+            let mut m = LogLinearModel::from_factors(s, 1.0, factors).unwrap();
+            m.normalize().unwrap();
+            let a = Assignment::from_pairs([(0, 0), (1, 1)]);
+            let direct = m.probability(&a);
+            let summed: f64 = m
+                .schema()
+                .cells()
+                .filter(|v| a.matches(v))
+                .map(|v| m.cell_probability(&v))
+                .sum();
+            prop_assert!((direct - summed).abs() < 1e-12);
+            prop_assert!((m.total_mass() - 1.0).abs() < 1e-9);
+        }
+    }
+}

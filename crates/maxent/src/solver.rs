@@ -1,0 +1,491 @@
+//! The iterative a-value computation of Figure 4 / Table 2.
+//!
+//! The memo derives, by hand, a specific iteration order for its worked
+//! example (Eqs. 75–87).  The general form implemented here is the classic
+//! *cyclic multiplicative update* (iterative proportional fitting applied to
+//! individual constraint cells): for every constraint `c` in turn, compute
+//! the probability `q_c` the current model assigns the constrained cell and
+//! multiply the constraint's a-value by `target_c / q_c`, then renormalise
+//! through `a0`.  For a consistent constraint set this converges to the
+//! unique maximum-entropy distribution satisfying all constraints — the same
+//! fixed point the memo's hand-derived iteration reaches — and the
+//! per-sweep trace reproduces the behaviour shown in Table 2 (convergence of
+//! the fitted `p^{AC}_{12}` to 0.219 in a handful of sweeps).
+//!
+//! The solver supports warm starts ("starting with the last previously
+//! calculated a values", as the memo instructs when a new constraint is
+//! added) via [`fit_with_initial`].
+
+use crate::constraint::ConstraintSet;
+use crate::convergence::{ConvergenceCriteria, IterationRecord, SolveReport};
+use crate::error::MaxEntError;
+use crate::model::LogLinearModel;
+use crate::Result;
+
+/// Constraint targets smaller than this are treated as exactly zero when the
+/// model has already driven the cell's probability to zero.
+const ZERO_TARGET: f64 = 1e-300;
+
+/// The iterative-scaling solver.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Solver {
+    criteria: ConvergenceCriteria,
+}
+
+impl Solver {
+    /// Creates a solver with the given convergence criteria.
+    pub fn new(criteria: ConvergenceCriteria) -> Self {
+        Self { criteria }
+    }
+
+    /// The criteria in use.
+    pub fn criteria(&self) -> ConvergenceCriteria {
+        self.criteria
+    }
+
+    /// Fits a model from scratch: all a-values start at 1 and `a0` at
+    /// `1 / (number of cells)`, i.e. the uniform distribution (the maximum
+    /// entropy distribution with no constraints at all).
+    pub fn fit(&self, constraints: &ConstraintSet) -> Result<(LogLinearModel, SolveReport)> {
+        let model = LogLinearModel::uniform(constraints.shared_schema());
+        self.fit_from(model, constraints)
+    }
+
+    /// Fits a model starting from the a-values of a previously fitted model
+    /// (Figure 4's warm start).  Factors for constraints the initial model
+    /// does not know yet are created with the neutral value 1.
+    pub fn fit_from(
+        &self,
+        mut model: LogLinearModel,
+        constraints: &ConstraintSet,
+    ) -> Result<(LogLinearModel, SolveReport)> {
+        if model.schema() != constraints.schema() {
+            return Err(MaxEntError::InfeasibleConstraints {
+                reason: "initial model and constraints use different schemas".to_string(),
+            });
+        }
+        constraints.check_feasibility(1e-6)?;
+
+        let schema = constraints.shared_schema();
+        let cells = schema.cell_count();
+
+        // Ensure every constraint has a factor slot, remembering its index.
+        let factor_positions: Vec<usize> = constraints
+            .constraints()
+            .iter()
+            .map(|c| model.ensure_factor(&c.assignment))
+            .collect();
+
+        // Pre-compute, for every constraint, the dense indices of the cells
+        // it covers.  This is the only O(#constraints × #cells) pass.
+        let mut matching: Vec<Vec<u32>> = vec![Vec::new(); constraints.len()];
+        for (idx, values) in schema.cells().enumerate() {
+            for (ci, c) in constraints.constraints().iter().enumerate() {
+                if c.assignment.matches(&values) {
+                    matching[ci].push(idx as u32);
+                }
+            }
+        }
+
+        // Dense working copy of the model's (unnormalised-then-normalised)
+        // cell probabilities, kept in lock-step with the factor updates.
+        let mut p: Vec<f64> = schema.cells().map(|v| model.cell_probability(&v)).collect();
+        normalize_in_place(&mut model, &mut p, cells)?;
+
+        let mut trace = Vec::new();
+        let mut iterations = 0usize;
+        let mut max_violation = violation(constraints, &matching, &p);
+
+        // Already satisfied (e.g. refitting an unchanged constraint set).
+        if max_violation <= self.criteria.tolerance {
+            if self.criteria.record_trace {
+                trace.push(self.record(0, constraints, &model, &matching, &p));
+            }
+            return Ok((model, SolveReport { iterations: 0, max_violation, converged: true, trace }));
+        }
+
+        for iteration in 1..=self.criteria.max_iterations {
+            iterations = iteration;
+            for (ci, c) in constraints.constraints().iter().enumerate() {
+                let q: f64 = matching[ci].iter().map(|&i| p[i as usize]).sum();
+                let target = c.probability;
+                if (q - target).abs() <= f64::EPSILON {
+                    continue;
+                }
+                if q <= 0.0 {
+                    if target > ZERO_TARGET {
+                        return Err(MaxEntError::InfeasibleConstraints {
+                            reason: format!(
+                                "constraint {} requires probability {target} but the model assigns its cell zero mass",
+                                c.assignment.describe(constraints.schema())
+                            ),
+                        });
+                    }
+                    continue;
+                }
+                let ratio = target / q;
+                model.scale_factor(factor_positions[ci], ratio);
+                for &i in &matching[ci] {
+                    p[i as usize] *= ratio;
+                }
+                normalize_in_place(&mut model, &mut p, cells)?;
+            }
+
+            max_violation = violation(constraints, &matching, &p);
+            if self.criteria.record_trace {
+                trace.push(self.record(iteration, constraints, &model, &matching, &p));
+            }
+            if max_violation <= self.criteria.tolerance {
+                return Ok((
+                    model,
+                    SolveReport { iterations, max_violation, converged: true, trace },
+                ));
+            }
+        }
+
+        if self.criteria.fail_on_max_iterations {
+            return Err(MaxEntError::NotConverged {
+                iterations,
+                max_violation,
+                tolerance: self.criteria.tolerance,
+            });
+        }
+        // Best-effort result: constraint sets with boundary (zero-probability)
+        // solutions converge only in the limit; the near-boundary model is
+        // still the correct answer to working precision.
+        if self.criteria.record_trace && trace.is_empty() {
+            trace.push(self.record(iterations, constraints, &model, &matching, &p));
+        }
+        Ok((model, SolveReport { iterations, max_violation, converged: false, trace }))
+    }
+
+    fn record(
+        &self,
+        iteration: usize,
+        constraints: &ConstraintSet,
+        model: &LogLinearModel,
+        matching: &[Vec<u32>],
+        p: &[f64],
+    ) -> IterationRecord {
+        let fitted: Vec<f64> = matching
+            .iter()
+            .map(|cells| cells.iter().map(|&i| p[i as usize]).sum())
+            .collect();
+        IterationRecord {
+            iteration,
+            max_violation: violation(constraints, matching, p),
+            factors: model.factors().to_vec(),
+            a0: model.a0(),
+            fitted,
+        }
+    }
+}
+
+fn violation(constraints: &ConstraintSet, matching: &[Vec<u32>], p: &[f64]) -> f64 {
+    constraints
+        .constraints()
+        .iter()
+        .zip(matching)
+        .map(|(c, cells)| {
+            let q: f64 = cells.iter().map(|&i| p[i as usize]).sum();
+            (q - c.probability).abs()
+        })
+        .fold(0.0, f64::max)
+}
+
+fn normalize_in_place(model: &mut LogLinearModel, p: &mut [f64], cells: usize) -> Result<()> {
+    debug_assert_eq!(p.len(), cells);
+    let z: f64 = p.iter().sum();
+    if !(z > 0.0) || !z.is_finite() {
+        return Err(MaxEntError::InfeasibleConstraints {
+            reason: format!("model mass became {z} during fitting"),
+        });
+    }
+    model.scale_a0(1.0 / z);
+    for x in p.iter_mut() {
+        *x /= z;
+    }
+    Ok(())
+}
+
+/// Fits a model with the default convergence criteria.
+pub fn fit(constraints: &ConstraintSet) -> Result<(LogLinearModel, SolveReport)> {
+    Solver::default().fit(constraints)
+}
+
+/// Fits a model with the default criteria, warm-starting from `initial`.
+pub fn fit_with_initial(
+    initial: LogLinearModel,
+    constraints: &ConstraintSet,
+) -> Result<(LogLinearModel, SolveReport)> {
+    Solver::default().fit_from(initial, constraints)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Constraint;
+    use pka_contingency::{Assignment, Attribute, ContingencyTable, Schema};
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    fn paper_table() -> ContingencyTable {
+        let schema = Schema::new(vec![
+            Attribute::new("smoking", ["smoker", "non-smoker", "married-to-smoker"]),
+            Attribute::yes_no("cancer"),
+            Attribute::yes_no("family-history"),
+        ])
+        .unwrap()
+        .into_shared();
+        ContingencyTable::from_counts(
+            schema,
+            vec![130, 110, 410, 640, 62, 31, 580, 460, 78, 22, 520, 385],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn first_order_fit_reproduces_independence_model() {
+        // With only first-order constraints, maximum entropy = independence
+        // (the memo's Eqs. 57-62).
+        let t = paper_table();
+        let constraints = ConstraintSet::first_order_from_table(&t).unwrap();
+        let (model, report) = fit(&constraints).unwrap();
+        assert!(report.converged);
+        assert!(report.max_violation < 1e-10);
+        let pa = 1290.0 / 3428.0;
+        let pb = 433.0 / 3428.0;
+        let pc = 1780.0 / 3428.0;
+        let p = model.cell_probability(&[0, 0, 0]);
+        assert!((p - pa * pb * pc).abs() < 1e-9, "p = {p}, expected {}", pa * pb * pc);
+        // Eq. 62: second-order predictions are products of first-order ones.
+        let p_ab = model.probability(&Assignment::from_pairs([(0, 0), (1, 0)]));
+        assert!((p_ab - pa * pb).abs() < 1e-9);
+        assert!((model.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn second_order_constraint_is_honoured_exactly() {
+        // The memo's first discovered constraint: p^AC_12 = 750/3428 = .219.
+        let t = paper_table();
+        let mut constraints = ConstraintSet::first_order_from_table(&t).unwrap();
+        let ac12 = Assignment::from_pairs([(0, 0), (2, 1)]);
+        constraints.add_from_table(&t, ac12.clone()).unwrap();
+        let (model, report) = fit(&constraints).unwrap();
+        assert!(report.converged);
+        let fitted = model.probability(&ac12);
+        assert!((fitted - 750.0 / 3428.0).abs() < 1e-9, "fitted = {fitted}");
+        // First-order marginals are still honoured.
+        for attr in 0..3 {
+            for v in 0..t.schema().cardinality(attr).unwrap() {
+                let a = Assignment::single(attr, v);
+                assert!(
+                    (model.probability(&a) - t.frequency(&a)).abs() < 1e-9,
+                    "marginal {attr}={v} drifted"
+                );
+            }
+        }
+        // The model still treats attribute B as independent of the AC block:
+        // P(B=1 | A=1, C=2) should equal p^B_1.
+        let cond = model
+            .conditional(&Assignment::single(1, 0), &ac12)
+            .unwrap();
+        assert!((cond - 433.0 / 3428.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_start_converges_faster_than_cold_start() {
+        let t = paper_table();
+        let first_order = ConstraintSet::first_order_from_table(&t).unwrap();
+        let (base_model, _) = fit(&first_order).unwrap();
+
+        let mut augmented = ConstraintSet::first_order_from_table(&t).unwrap();
+        augmented.add_from_table(&t, Assignment::from_pairs([(0, 0), (2, 1)])).unwrap();
+
+        let solver = Solver::new(ConvergenceCriteria::new().with_tolerance(1e-12));
+        let (_, warm) = solver.fit_from(base_model, &augmented).unwrap();
+        let (_, cold) = solver.fit(&augmented).unwrap();
+        assert!(warm.converged && cold.converged);
+        assert!(
+            warm.iterations <= cold.iterations,
+            "warm {} vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+    }
+
+    #[test]
+    fn trace_records_convergence_like_table_2() {
+        // Table 2 of the memo shows the iteration converging in ~5-7 passes;
+        // the general solver's trace must show the fitted p^AC_12 approaching
+        // 0.219 monotonically in error and converging in a handful of sweeps.
+        let t = paper_table();
+        let mut constraints = ConstraintSet::first_order_from_table(&t).unwrap();
+        let ac12 = Assignment::from_pairs([(0, 0), (2, 1)]);
+        constraints.add_from_table(&t, ac12.clone()).unwrap();
+        // Table 2 is printed to 2-3 decimal places; the equivalent tolerance
+        // is reached in a handful of sweeps, just as the memo's hand
+        // iteration needed ~7 passes.
+        let solver = Solver::new(ConvergenceCriteria::new().with_trace().with_tolerance(1e-4));
+        let (_, report) = solver.fit(&constraints).unwrap();
+        assert!(!report.trace.is_empty());
+        assert!(report.iterations <= 25, "took {} iterations", report.iterations);
+        let target = 750.0 / 3428.0;
+        let last = report.last_record().unwrap();
+        let ac12_index = constraints
+            .constraints()
+            .iter()
+            .position(|c| c.assignment == ac12)
+            .unwrap();
+        assert!((last.fitted[ac12_index] - target).abs() < 1e-3);
+        // Violations shrink (not necessarily strictly, but start > end).
+        assert!(report.trace[0].max_violation >= last.max_violation);
+        // Every record carries one factor per constraint.
+        assert_eq!(last.factors.len(), constraints.len());
+    }
+
+    #[test]
+    fn third_order_constraint_fit() {
+        let t = paper_table();
+        let mut constraints = ConstraintSet::first_order_from_table(&t).unwrap();
+        constraints.add_from_table(&t, Assignment::from_pairs([(0, 0), (2, 1)])).unwrap();
+        constraints.add_from_table(&t, Assignment::from_pairs([(0, 0), (1, 0)])).unwrap();
+        let abc = Assignment::from_pairs([(0, 0), (1, 0), (2, 0)]);
+        constraints.add_from_table(&t, abc.clone()).unwrap();
+        let (model, report) = fit(&constraints).unwrap();
+        assert!(report.converged);
+        assert!((model.probability(&abc) - 130.0 / 3428.0).abs() < 1e-9);
+        assert!((model.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_probability_constraints_are_supported() {
+        let schema = Schema::uniform(&[2, 2]).unwrap().into_shared();
+        let mut constraints = ConstraintSet::new(Arc::clone(&schema));
+        constraints.add(Constraint::new(Assignment::single(0, 0), 0.5).unwrap()).unwrap();
+        constraints.add(Constraint::new(Assignment::single(0, 1), 0.5).unwrap()).unwrap();
+        constraints
+            .add(Constraint::new(Assignment::from_pairs([(0, 0), (1, 0)]), 0.0).unwrap())
+            .unwrap();
+        let (model, report) = fit(&constraints).unwrap();
+        assert!(report.converged);
+        assert!(model.probability(&Assignment::from_pairs([(0, 0), (1, 0)])).abs() < 1e-12);
+        assert!((model.probability(&Assignment::single(0, 0)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_constraints_are_rejected() {
+        let schema = Schema::uniform(&[2, 2]).unwrap().into_shared();
+        let mut constraints = ConstraintSet::new(Arc::clone(&schema));
+        constraints.add(Constraint::new(Assignment::single(0, 0), 0.9).unwrap()).unwrap();
+        constraints.add(Constraint::new(Assignment::single(0, 1), 0.9).unwrap()).unwrap();
+        assert!(matches!(
+            fit(&constraints),
+            Err(MaxEntError::InfeasibleConstraints { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_schema_is_rejected() {
+        let t = paper_table();
+        let constraints = ConstraintSet::first_order_from_table(&t).unwrap();
+        let other = LogLinearModel::uniform(Schema::uniform(&[2, 2]).unwrap().into_shared());
+        assert!(Solver::default().fit_from(other, &constraints).is_err());
+    }
+
+    #[test]
+    fn iteration_budget_is_enforced() {
+        let t = paper_table();
+        let mut constraints = ConstraintSet::first_order_from_table(&t).unwrap();
+        constraints.add_from_table(&t, Assignment::from_pairs([(0, 0), (2, 1)])).unwrap();
+        // Strict mode: exhausting the budget is an error.
+        let strict = Solver::new(
+            ConvergenceCriteria::new().with_max_iterations(1).with_tolerance(1e-15).strict(),
+        );
+        assert!(matches!(
+            strict.fit(&constraints),
+            Err(MaxEntError::NotConverged { iterations: 1, .. })
+        ));
+        // Default mode: a best-effort model with converged = false.
+        let lenient = Solver::new(
+            ConvergenceCriteria::new().with_max_iterations(1).with_tolerance(1e-15),
+        );
+        let (model, report) = lenient.fit(&constraints).unwrap();
+        assert!(!report.converged);
+        assert_eq!(report.iterations, 1);
+        assert!((model.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_constraint_sets_return_best_effort_fits() {
+        // Two perfectly correlated attributes: the constraint p^AB_11 = .5
+        // together with the first-order marginals forces two cells to zero,
+        // a boundary solution the multiplicative update approaches only in
+        // the limit.  The solver must return a usable near-boundary model.
+        let schema = Schema::uniform(&[2, 2]).unwrap().into_shared();
+        let t = ContingencyTable::from_counts(Arc::clone(&schema), vec![200, 0, 0, 200]).unwrap();
+        let mut constraints = ConstraintSet::first_order_from_table(&t).unwrap();
+        constraints.add_from_table(&t, Assignment::from_pairs([(0, 0), (1, 0)])).unwrap();
+        let (model, report) = fit(&constraints).unwrap();
+        assert!(report.max_violation < 5e-3);
+        let p = model.probability(&Assignment::from_pairs([(0, 0), (1, 0)]));
+        assert!((p - 0.5).abs() < 5e-3);
+        assert!((model.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_constraint_set_gives_uniform() {
+        let schema = Schema::uniform(&[3, 2]).unwrap().into_shared();
+        let constraints = ConstraintSet::new(schema);
+        let (model, report) = fit(&constraints).unwrap();
+        assert!(report.converged);
+        assert_eq!(report.iterations, 0);
+        assert!((model.cell_probability(&[0, 0]) - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_fit_matches_every_empirical_constraint(
+            counts in proptest::collection::vec(1u64..40, 12),
+            extra_cell in 0usize..12,
+        ) {
+            // For any strictly positive table, fitting the first-order
+            // marginals plus one arbitrary second-order cell reproduces all
+            // of those probabilities exactly.
+            let schema = Schema::uniform(&[3, 2, 2]).unwrap().into_shared();
+            let t = ContingencyTable::from_counts(Arc::clone(&schema), counts).unwrap();
+            let mut constraints = ConstraintSet::first_order_from_table(&t).unwrap();
+            let cell_values = schema.cell_values(extra_cell);
+            let pair = Assignment::project(pka_contingency::VarSet::from_indices([0, 1]), &cell_values);
+            constraints.add_from_table(&t, pair.clone()).unwrap();
+            // Skewed random tables can converge slowly (small counts push the
+            // solution towards the simplex boundary); give the solver room.
+            let solver = Solver::new(
+                ConvergenceCriteria::new().with_max_iterations(5000).with_tolerance(1e-9),
+            );
+            let (model, report) = solver.fit(&constraints).unwrap();
+            prop_assert!(report.converged || report.max_violation < 1e-7);
+            for c in constraints.constraints() {
+                prop_assert!((model.probability(&c.assignment) - c.probability).abs() < 1e-7);
+            }
+            prop_assert!((model.total_mass() - 1.0).abs() < 1e-7);
+        }
+
+        #[test]
+        fn prop_maxent_has_higher_entropy_than_empirical(
+            counts in proptest::collection::vec(1u64..30, 12),
+        ) {
+            // The maximum-entropy distribution consistent with the
+            // first-order marginals has entropy >= the empirical
+            // distribution's entropy (which satisfies the same marginals).
+            let schema = Schema::uniform(&[3, 2, 2]).unwrap().into_shared();
+            let t = ContingencyTable::from_counts(Arc::clone(&schema), counts).unwrap();
+            let constraints = ConstraintSet::first_order_from_table(&t).unwrap();
+            let (model, _) = fit(&constraints).unwrap();
+            let maxent_entropy = model.to_joint().entropy();
+            let empirical_entropy = crate::joint::JointDistribution::empirical(&t).entropy();
+            prop_assert!(maxent_entropy + 1e-9 >= empirical_entropy);
+        }
+    }
+}

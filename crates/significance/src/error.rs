@@ -1,0 +1,73 @@
+//! Error type for statistical computations.
+
+use std::fmt;
+
+/// Errors produced by the significance machinery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SignificanceError {
+    /// A probability parameter was outside `[0, 1]` or not finite.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+        /// Which parameter it was supplied for.
+        context: &'static str,
+    },
+    /// A count parameter was inconsistent (e.g. observed count exceeding the
+    /// sample size).
+    InvalidCount {
+        /// Description of the inconsistency.
+        reason: String,
+    },
+    /// A distribution parameter (degrees of freedom, shape, …) was not
+    /// positive and finite.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An iterative special-function evaluation failed to converge.
+    NoConvergence {
+        /// Which function was being evaluated.
+        function: &'static str,
+    },
+}
+
+impl fmt::Display for SignificanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidProbability { value, context } => {
+                write!(f, "invalid probability {value} for {context}; must lie in [0, 1]")
+            }
+            Self::InvalidCount { reason } => write!(f, "invalid count: {reason}"),
+            Self::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+            Self::NoConvergence { function } => {
+                write!(f, "iterative evaluation of {function} failed to converge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SignificanceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SignificanceError::InvalidProbability { value: 1.5, context: "binomial p" };
+        assert!(e.to_string().contains("1.5"));
+        assert!(e.to_string().contains("binomial p"));
+        let e = SignificanceError::NoConvergence { function: "gamma_p" };
+        assert!(e.to_string().contains("gamma_p"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err<E: std::error::Error>(_: &E) {}
+        takes_err(&SignificanceError::InvalidCount { reason: "x".into() });
+    }
+}

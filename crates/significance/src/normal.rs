@@ -1,0 +1,125 @@
+//! The normal distribution, used for the `#sd` column of Table 1 and as the
+//! reference approximation the exact binomial is compared against.
+
+use crate::error::SignificanceError;
+use crate::special::{erf, erfc};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// A normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation (`std_dev > 0`).
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self> {
+        if !(std_dev > 0.0) || !std_dev.is_finite() || !mean.is_finite() {
+            return Err(SignificanceError::InvalidParameter { name: "std_dev", value: std_dev });
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self { mean: 0.0, std_dev: 1.0 }
+    }
+
+    /// The mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std_dev;
+        (-0.5 * z * z).exp() / (self.std_dev * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Natural log of the density at `x`.
+    pub fn ln_pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std_dev;
+        -0.5 * z * z - (self.std_dev * (2.0 * std::f64::consts::PI).sqrt()).ln()
+    }
+
+    /// Cumulative distribution function `P(X ≤ x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / (self.std_dev * std::f64::consts::SQRT_2);
+        0.5 * (1.0 + erf(z))
+    }
+
+    /// Survival function `P(X > x)`, computed with `erfc` so it stays
+    /// accurate deep in the upper tail.
+    pub fn sf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / (self.std_dev * std::f64::consts::SQRT_2);
+        0.5 * erfc(z)
+    }
+
+    /// Two-sided tail probability of a standardised score `z`:
+    /// `P(|Z| ≥ |z|)`.
+    pub fn two_sided_p(z: f64) -> f64 {
+        erfc(z.abs() / std::f64::consts::SQRT_2).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(3.0, 2.0).is_ok());
+    }
+
+    #[test]
+    fn standard_normal_known_values() {
+        let n = Normal::standard();
+        assert!((n.cdf(0.0) - 0.5).abs() < 1e-12);
+        assert!((n.cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((n.cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!((n.pdf(0.0) - 0.398_942_280_401).abs() < 1e-9);
+        assert!((n.sf(1.6449) - 0.05).abs() < 1e-4);
+    }
+
+    #[test]
+    fn shifted_scaled_consistency() {
+        let n = Normal::new(10.0, 2.0).unwrap();
+        assert!((n.cdf(10.0) - 0.5).abs() < 1e-12);
+        assert!((n.cdf(12.0) - Normal::standard().cdf(1.0)).abs() < 1e-12);
+        assert!((n.ln_pdf(11.0) - n.pdf(11.0).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_sided_p_examples() {
+        assert!((Normal::two_sided_p(1.96) - 0.05).abs() < 1e-3);
+        assert!((Normal::two_sided_p(-1.96) - 0.05).abs() < 1e-3);
+        assert!((Normal::two_sided_p(0.0) - 1.0).abs() < 1e-12);
+        assert!(Normal::two_sided_p(6.0) < 1e-8);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cdf_plus_sf_is_one(mean in -50.0f64..50.0, sd in 0.1f64..10.0, x in -100.0f64..100.0) {
+            let n = Normal::new(mean, sd).unwrap();
+            prop_assert!((n.cdf(x) + n.sf(x) - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_cdf_monotone(x in -10.0f64..10.0, dx in 0.0f64..5.0) {
+            let n = Normal::standard();
+            prop_assert!(n.cdf(x + dx) + 1e-12 >= n.cdf(x));
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Special functions used by the statistical tests.
+//!
+//! Everything in this crate reduces to three classical functions: the log
+//! gamma function (for binomial coefficients), the regularised incomplete
+//! gamma functions (for χ²/G-test p-values), and the error function (for the
+//! normal CDF).  They are implemented here directly — the numerical recipes
+//! are short, well understood and keep the workspace free of a heavyweight
+//! statistics dependency.
+
+use crate::error::SignificanceError;
+use crate::Result;
+
+/// Lanczos coefficients (g = 7, n = 9); standard double-precision set.
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS: [f64; 9] = [
+    0.999_999_999_999_809_93,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_13,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_571_6e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural logarithm of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Uses the Lanczos approximation; absolute error is far below anything the
+/// message-length comparisons can resolve (≈1e-13 over the range used).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0 && x.is_finite(), "ln_gamma requires a positive finite argument, got {x}");
+    if x < 0.5 {
+        // Reflection formula keeps the Lanczos series in its accurate range.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = LANCZOS[0];
+    for (i, &c) in LANCZOS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + LANCZOS_G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// `ln n!` for non-negative integers, exact for small `n` and via
+/// [`ln_gamma`] otherwise.
+pub fn ln_factorial(n: u64) -> f64 {
+    // Small factorials are tabulated so ln C(n, k) is exact for the tiny
+    // tables that dominate unit tests.
+    const TABLE_LEN: usize = 21;
+    static SMALL: [u64; TABLE_LEN] = [
+        1,
+        1,
+        2,
+        6,
+        24,
+        120,
+        720,
+        5_040,
+        40_320,
+        362_880,
+        3_628_800,
+        39_916_800,
+        479_001_600,
+        6_227_020_800,
+        87_178_291_200,
+        1_307_674_368_000,
+        20_922_789_888_000,
+        355_687_428_096_000,
+        6_402_373_705_728_000,
+        121_645_100_408_832_000,
+        2_432_902_008_176_640_000,
+    ];
+    if (n as usize) < TABLE_LEN {
+        (SMALL[n as usize] as f64).ln()
+    } else {
+        ln_gamma(n as f64 + 1.0)
+    }
+}
+
+/// `ln C(n, k)`, the log binomial coefficient; zero when `k > n`would be
+/// undefined, so that case is rejected.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "ln_choose requires k <= n, got k={k}, n={n}");
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Regularised lower incomplete gamma function `P(a, x)`.
+///
+/// Implemented with the series expansion for `x < a + 1` and the continued
+/// fraction for `x >= a + 1` (the classic Numerical-Recipes split).
+pub fn gamma_p(a: f64, x: f64) -> Result<f64> {
+    if !(a > 0.0) || !a.is_finite() {
+        return Err(SignificanceError::InvalidParameter { name: "a", value: a });
+    }
+    if !(x >= 0.0) || !x.is_finite() {
+        return Err(SignificanceError::InvalidParameter { name: "x", value: x });
+    }
+    if x == 0.0 {
+        return Ok(0.0);
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        Ok(1.0 - gamma_q_continued_fraction(a, x)?)
+    }
+}
+
+/// Regularised upper incomplete gamma function `Q(a, x) = 1 − P(a, x)`.
+pub fn gamma_q(a: f64, x: f64) -> Result<f64> {
+    if !(a > 0.0) || !a.is_finite() {
+        return Err(SignificanceError::InvalidParameter { name: "a", value: a });
+    }
+    if !(x >= 0.0) || !x.is_finite() {
+        return Err(SignificanceError::InvalidParameter { name: "x", value: x });
+    }
+    if x == 0.0 {
+        return Ok(1.0);
+    }
+    if x < a + 1.0 {
+        Ok(1.0 - gamma_p_series(a, x)?)
+    } else {
+        gamma_q_continued_fraction(a, x)
+    }
+}
+
+const MAX_ITERATIONS: usize = 500;
+const EPSILON: f64 = 1e-14;
+
+fn gamma_p_series(a: f64, x: f64) -> Result<f64> {
+    let ln_prefix = a * x.ln() - x - ln_gamma(a);
+    let mut term = 1.0 / a;
+    let mut sum = term;
+    let mut ap = a;
+    for _ in 0..MAX_ITERATIONS {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if term.abs() < sum.abs() * EPSILON {
+            return Ok((sum * ln_prefix.exp()).clamp(0.0, 1.0));
+        }
+    }
+    Err(SignificanceError::NoConvergence { function: "gamma_p series" })
+}
+
+fn gamma_q_continued_fraction(a: f64, x: f64) -> Result<f64> {
+    let ln_prefix = a * x.ln() - x - ln_gamma(a);
+    // Modified Lentz's method.
+    let tiny = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / tiny;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=MAX_ITERATIONS {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        c = b + an / c;
+        if c.abs() < tiny {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < EPSILON {
+            return Ok((ln_prefix.exp() * h).clamp(0.0, 1.0));
+        }
+    }
+    Err(SignificanceError::NoConvergence { function: "gamma_q continued fraction" })
+}
+
+/// The error function `erf(x)`, via the identity `erf(x) = P(1/2, x²)` for
+/// `x ≥ 0` and oddness for `x < 0`.
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let p = gamma_p(0.5, x * x).unwrap_or(1.0);
+    if x > 0.0 {
+        p
+    } else {
+        -p
+    }
+}
+
+/// The complementary error function `erfc(x) = 1 − erf(x)`.
+pub fn erfc(x: f64) -> f64 {
+    if x <= 0.0 {
+        // erfc(x) = 1 − erf(x) = 1 + erf(−x) = 1 + P(1/2, x²) for x ≤ 0.
+        1.0 + gamma_p(0.5, x * x).unwrap_or(if x == 0.0 { 0.0 } else { 1.0 })
+    } else {
+        // Q(1/2, x²) keeps precision in the far right tail where 1 − erf(x)
+        // would cancel catastrophically.
+        gamma_q(0.5, x * x).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for n in 1u64..15 {
+            let expected: f64 = (1..n).map(|k| (k as f64).ln()).sum();
+            assert!((ln_gamma(n as f64) - expected).abs() < 1e-10, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = sqrt(pi)
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-12);
+        // Γ(3/2) = sqrt(pi)/2
+        let expected = 0.5 * std::f64::consts::PI.ln() - std::f64::consts::LN_2;
+        assert!((ln_gamma(1.5) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ln_gamma_rejects_nonpositive() {
+        let _ = ln_gamma(0.0);
+    }
+
+    #[test]
+    fn ln_factorial_and_choose() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert!((ln_factorial(5) - 120f64.ln()).abs() < 1e-12);
+        assert!((ln_factorial(25) - ln_gamma(26.0)).abs() < 1e-9);
+        assert!((ln_choose(5, 2) - 10f64.ln()).abs() < 1e-12);
+        assert!((ln_choose(10, 0)).abs() < 1e-12);
+        assert!((ln_choose(10, 10)).abs() < 1e-12);
+        // C(3428, 240) is huge but its log must be finite and positive.
+        let big = ln_choose(3428, 240);
+        assert!(big.is_finite() && big > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ln_choose_rejects_k_greater_than_n() {
+        let _ = ln_choose(3, 4);
+    }
+
+    #[test]
+    fn gamma_p_known_values() {
+        // P(1, x) = 1 - exp(-x)
+        for &x in &[0.1, 0.5, 1.0, 2.5, 7.0] {
+            let expected = 1.0 - (-x as f64).exp();
+            assert!((gamma_p(1.0, x).unwrap() - expected).abs() < 1e-12, "x = {x}");
+        }
+        // Chi-square with 2 dof: CDF(x) = P(1, x/2); survival at the 95th
+        // percentile 5.991 is 0.05.
+        let sf = gamma_q(1.0, 5.991_464 / 2.0).unwrap();
+        assert!((sf - 0.05).abs() < 1e-6);
+        assert_eq!(gamma_p(1.0, 0.0).unwrap(), 0.0);
+        assert_eq!(gamma_q(1.0, 0.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn gamma_p_rejects_bad_parameters() {
+        assert!(gamma_p(-1.0, 1.0).is_err());
+        assert!(gamma_p(1.0, -1.0).is_err());
+        assert!(gamma_q(0.0, 1.0).is_err());
+        assert!(gamma_q(1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn erf_known_values() {
+        assert_eq!(erf(0.0), 0.0);
+        assert!((erf(1.0) - 0.842_700_792_949_715).abs() < 1e-9);
+        assert!((erf(-1.0) + 0.842_700_792_949_715).abs() < 1e-9);
+        assert!((erf(2.0) - 0.995_322_265_018_953).abs() < 1e-9);
+        assert!((erfc(1.0) - (1.0 - 0.842_700_792_949_715)).abs() < 1e-9);
+        assert!((erfc(0.0) - 1.0).abs() < 1e-12);
+        assert!((erfc(-1.0) - (1.0 + 0.842_700_792_949_715)).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_gamma_p_plus_q_is_one(a in 0.1f64..50.0, x in 0.0f64..100.0) {
+            let p = gamma_p(a, x).unwrap();
+            let q = gamma_q(a, x).unwrap();
+            prop_assert!((p + q - 1.0).abs() < 1e-9);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+
+        #[test]
+        fn prop_gamma_p_monotone_in_x(a in 0.1f64..20.0, x in 0.0f64..50.0, dx in 0.0f64..10.0) {
+            let p1 = gamma_p(a, x).unwrap();
+            let p2 = gamma_p(a, x + dx).unwrap();
+            prop_assert!(p2 + 1e-12 >= p1);
+        }
+
+        #[test]
+        fn prop_ln_choose_symmetry(n in 0u64..500, k in 0u64..500) {
+            prop_assume!(k <= n);
+            let a = ln_choose(n, k);
+            let b = ln_choose(n, n - k);
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_erf_is_odd_and_bounded(x in -5.0f64..5.0) {
+            prop_assert!((erf(x) + erf(-x)).abs() < 1e-12);
+            prop_assert!(erf(x).abs() <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! A small consultation with the probabilistic expert-system shell: assert
+//! evidence incrementally, watch the posterior move, ask for an explanation.
+//!
+//! ```text
+//! cargo run --example expert_shell
+//! ```
+
+use pka::contingency::Assignment;
+use pka::core::Acquisition;
+use pka::datagen::smoking;
+use pka::expert::{explain_query, ExpertSystem};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let table = smoking::table();
+    let kb = Acquisition::with_defaults().run(&table)?.knowledge_base;
+    let mut shell = ExpertSystem::new(kb);
+
+    println!("consultation about the `cancer` attribute\n");
+
+    println!("no evidence yet:");
+    print!("{}", shell.consultation_report(smoking::CANCER)?);
+
+    shell.assert_named("smoking", "smoker")?;
+    println!("\nafter asserting smoking=smoker:");
+    print!("{}", shell.consultation_report(smoking::CANCER)?);
+
+    shell.assert_named("family-history", "yes")?;
+    println!("\nafter also asserting family-history=yes:");
+    print!("{}", shell.consultation_report(smoking::CANCER)?);
+
+    shell.retract_named("smoking")?;
+    println!("\nafter retracting the smoking evidence:");
+    print!("{}", shell.consultation_report(smoking::CANCER)?);
+
+    // Why does the answer look the way it does?
+    shell.assert_named("smoking", "smoker")?;
+    let explanation = explain_query(
+        shell.knowledge_base(),
+        &Assignment::single(smoking::CANCER, 0),
+        shell.evidence().assignment(),
+    )?;
+    println!("\nexplanation of the current belief in cancer=yes:");
+    print!("{}", explanation.render(shell.knowledge_base().schema()));
+    Ok(())
+}

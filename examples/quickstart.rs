@@ -1,0 +1,70 @@
+//! Quickstart: acquire a probabilistic knowledge base from a small survey
+//! and query it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use pka::contingency::{Attribute, Dataset, Schema};
+use pka::core::{report, Acquisition, Query};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the questionnaire: every attribute with its exhaustive
+    //    value list (add an "other" value if your data needs one).
+    let schema = Schema::new(vec![
+        Attribute::new("coffee", ["heavy", "light", "none"]),
+        Attribute::yes_no("works-late"),
+        Attribute::yes_no("sleeps-well"),
+    ])?;
+
+    // 2. Collect observations.  Here we synthesise a small survey in which
+    //    heavy coffee drinkers disproportionately work late and sleep badly.
+    let mut data = Dataset::new(schema);
+    for (coffee, late, sleep, copies) in [
+        ("heavy", "yes", "no", 28),
+        ("heavy", "yes", "yes", 7),
+        ("heavy", "no", "no", 10),
+        ("heavy", "no", "yes", 9),
+        ("light", "yes", "no", 12),
+        ("light", "yes", "yes", 16),
+        ("light", "no", "no", 14),
+        ("light", "no", "yes", 42),
+        ("none", "yes", "no", 6),
+        ("none", "yes", "yes", 12),
+        ("none", "no", "no", 10),
+        ("none", "no", "yes", 34),
+    ] {
+        for _ in 0..copies {
+            data.push_named(&[("coffee", coffee), ("works-late", late), ("sleeps-well", sleep)])?;
+        }
+    }
+    let table = data.to_table();
+    println!("collected {} responses over {} cells\n", table.total(), table.cell_count());
+
+    // 3. Run the acquisition procedure: first-order marginals are always
+    //    modelled; significant higher-order cells are discovered and added.
+    let outcome = Acquisition::with_defaults().run(&table)?;
+    let kb = outcome.knowledge_base;
+    println!("{}", report::render_summary(&kb));
+
+    // 4. Ask questions.  Any conditional probability can be computed from
+    //    the stored joint probabilities.
+    let question = Query::from_names(
+        kb.schema(),
+        &[("sleeps-well", "no")],
+        &[("coffee", "heavy"), ("works-late", "yes")],
+    )?;
+    let answer = kb.query(&question)?;
+    println!("{}", answer.describe(kb.schema()));
+
+    let simpler = kb.conditional_by_names(&[("sleeps-well", "no")], &[("coffee", "none")])?;
+    println!("P(sleeps-well=no | coffee=none) = {simpler:.3}");
+
+    // 5. Or turn the knowledge base into IF-THEN rules for an expert system.
+    let rules = pka::core::induce_rules(&kb, &pka::core::RuleInductionConfig::default())?;
+    println!("\ntop rules:");
+    for rule in rules.iter().take(5) {
+        println!("  {}", rule.format(kb.schema()));
+    }
+    Ok(())
+}

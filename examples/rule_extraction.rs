@@ -1,0 +1,46 @@
+//! Turning an acquired knowledge base into an explicit IF-THEN rule base
+//! and persisting both to disk.
+//!
+//! ```text
+//! cargo run --example rule_extraction
+//! ```
+
+use pka::contingency::VarSet;
+use pka::core::{serialize, Acquisition, RuleInductionConfig};
+use pka::datagen::smoking;
+use pka::expert::RuleBase;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let table = smoking::table();
+    let kb = Acquisition::with_defaults().run(&table)?.knowledge_base;
+
+    // Rules about cancer only, with at most two conditions, firing on at
+    // least 5% of the population.
+    let config = RuleInductionConfig::default()
+        .with_target_attributes(VarSet::singleton(smoking::CANCER))
+        .with_max_conditions(2)
+        .with_min_support(0.05)
+        .with_min_lift_deviation(0.02);
+    let rule_base = RuleBase::compile(&kb, &config)?;
+
+    println!("rule base about `cancer` ({} rules):\n", rule_base.len());
+    println!("{}", rule_base.render(kb.schema()));
+
+    // Persist the knowledge base itself (the compact representation the memo
+    // recommends storing) and show it round-trips.
+    let json = serialize::to_json(&kb)?;
+    let path = std::env::temp_dir().join("smoking_knowledge_base.json");
+    std::fs::write(&path, &json)?;
+    let restored = serialize::from_json(&std::fs::read_to_string(&path)?)?;
+    println!(
+        "knowledge base serialised to {} ({} bytes); restored copy has {} constraints",
+        path.display(),
+        json.len(),
+        restored.constraints().len()
+    );
+
+    // The restored knowledge base answers the same queries.
+    let p = restored.conditional_by_names(&[("cancer", "yes")], &[("smoking", "smoker")])?;
+    println!("restored KB: P(cancer=yes | smoking=smoker) = {p:.4}");
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! # pka — Automatic Probabilistic Knowledge Acquisition from Data
+//!
+//! A facade crate that re-exports the whole workspace implementing
+//! W. B. Gevarter's NASA TM-88224 (*Automatic Probabilistic Knowledge
+//! Acquisition from Data*, 1986): maximum-entropy modelling of contingency
+//! tables, minimum-message-length discovery of significant joint
+//! probabilities, and probabilistic IF–THEN rule induction for expert
+//! systems.
+//!
+//! Most applications only need three steps:
+//!
+//! 1. build a [`contingency::Dataset`] (or a
+//!    [`contingency::ContingencyTable`] directly),
+//! 2. run [`core::Acquisition`] to obtain a [`core::KnowledgeBase`],
+//! 3. query conditional probabilities or induce rules from the knowledge
+//!    base.
+//!
+//! See the `examples/` directory for end-to-end programs (the paper's
+//! smoking/cancer survey, synthetic survey discovery, rule extraction and a
+//! small expert-system shell).
+
+#![forbid(unsafe_code)]
+
+/// Data layer: attributes, schemas, datasets and contingency tables.
+pub use pka_contingency as contingency;
+
+/// Statistical layer: binomial likelihoods, the minimum-message-length test,
+/// χ²/G-test baselines.
+pub use pka_significance as significance;
+
+/// Maximum-entropy layer: constraints, the a-value (log-linear) model and its
+/// iterative-scaling solver.
+pub use pka_maxent as maxent;
+
+/// The acquisition procedure, knowledge bases, queries and rule induction.
+pub use pka_core as core;
+
+/// Workload generators: the paper's survey and synthetic data.
+pub use pka_datagen as datagen;
+
+/// Baseline estimators for comparison experiments.
+pub use pka_baselines as baselines;
+
+/// A small probabilistic expert-system shell over acquired knowledge bases.
+pub use pka_expert as expert;

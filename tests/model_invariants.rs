@@ -1,0 +1,130 @@
+//! Cross-crate property tests: invariants that must hold for any acquired
+//! knowledge base, checked over randomly generated tables.
+
+use pka::contingency::{Assignment, ContingencyTable, Schema, VarSet};
+use pka::core::{Acquisition, AcquisitionConfig};
+use pka::maxent::FactorGraph;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn random_table(counts: Vec<u64>) -> ContingencyTable {
+    let schema = Schema::uniform(&[3, 2, 2]).unwrap().into_shared();
+    ContingencyTable::from_counts(Arc::clone(&schema), counts).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any table: the acquired model is a proper distribution, honours
+    /// the first-order marginals, and its conditionals are consistent with
+    /// its joints.
+    #[test]
+    fn acquired_model_is_a_consistent_distribution(
+        counts in proptest::collection::vec(1u64..60, 12),
+    ) {
+        let table = random_table(counts);
+        let outcome = Acquisition::new(AcquisitionConfig::new().with_max_order(2))
+            .run(&table)
+            .expect("acquisition succeeds");
+        let kb = outcome.knowledge_base;
+
+        // Joint sums to one.
+        let joint = kb.joint();
+        prop_assert!((joint.probabilities().iter().sum::<f64>() - 1.0).abs() < 1e-8);
+
+        // First-order marginals are honoured (they are always constrained).
+        for attr in 0..3 {
+            for v in 0..table.schema().cardinality(attr).unwrap() {
+                let a = Assignment::single(attr, v);
+                prop_assert!((kb.probability(&a) - table.frequency(&a)).abs() < 1e-4);
+            }
+        }
+
+        // Law of total probability: P(B=j) = sum_i P(B=j | A=i) P(A=i).
+        for j in 0..2 {
+            let direct = kb.probability(&Assignment::single(1, j));
+            let mut total = 0.0;
+            for i in 0..3 {
+                let pa = kb.probability(&Assignment::single(0, i));
+                if pa > 0.0 {
+                    total += kb
+                        .conditional(&Assignment::single(1, j), &Assignment::single(0, i))
+                        .unwrap()
+                        * pa;
+                }
+            }
+            prop_assert!((direct - total).abs() < 1e-6);
+        }
+    }
+
+    /// The Appendix-B factored evaluation agrees with the dense model on the
+    /// acquired knowledge base for every marginal query.
+    #[test]
+    fn factor_graph_matches_dense_model(
+        counts in proptest::collection::vec(1u64..40, 12),
+    ) {
+        let table = random_table(counts);
+        let kb = Acquisition::new(AcquisitionConfig::new().with_max_order(2))
+            .run(&table)
+            .expect("acquisition succeeds")
+            .knowledge_base;
+        let graph = FactorGraph::from_model(kb.model());
+        let schema = kb.shared_schema();
+        for vars_bits in [0b001u32, 0b010, 0b100, 0b011, 0b101, 0b110, 0b111] {
+            let vars = VarSet::from_bits(vars_bits);
+            for values in schema.configurations(vars) {
+                let q = Assignment::new(vars, values);
+                prop_assert!((graph.probability(&q) - kb.probability(&q)).abs() < 1e-8);
+            }
+        }
+    }
+
+    /// Acquisition is deterministic: two runs on the same table produce the
+    /// same constraints and the same query answers.
+    #[test]
+    fn acquisition_is_deterministic(
+        counts in proptest::collection::vec(1u64..50, 12),
+    ) {
+        let table = random_table(counts);
+        let config = AcquisitionConfig::new().with_max_order(2);
+        let a = Acquisition::new(config).run(&table).expect("first run");
+        let b = Acquisition::new(config).run(&table).expect("second run");
+        let ca: Vec<_> = a.knowledge_base.constraints().constraints().to_vec();
+        let cb: Vec<_> = b.knowledge_base.constraints().constraints().to_vec();
+        prop_assert_eq!(ca.len(), cb.len());
+        for (x, y) in ca.iter().zip(cb.iter()) {
+            prop_assert_eq!(&x.assignment, &y.assignment);
+            prop_assert!((x.probability - y.probability).abs() < 1e-15);
+        }
+        let q = Assignment::single(1, 0);
+        let e = Assignment::single(0, 0);
+        if a.knowledge_base.probability(&e) > 0.0 {
+            prop_assert!(
+                (a.knowledge_base.conditional(&q, &e).unwrap()
+                    - b.knowledge_base.conditional(&q, &e).unwrap())
+                .abs()
+                    < 1e-12
+            );
+        }
+    }
+
+    /// Adding constraints never lowers the fit to the data: the acquired
+    /// model's log-likelihood of the training table is at least the
+    /// independence model's.
+    #[test]
+    fn acquisition_never_fits_worse_than_independence(
+        counts in proptest::collection::vec(1u64..60, 12),
+    ) {
+        let table = random_table(counts);
+        let acquired = Acquisition::new(AcquisitionConfig::new().with_max_order(3))
+            .run(&table)
+            .expect("acquisition succeeds")
+            .knowledge_base
+            .joint();
+        let independence = pka::baselines::IndependenceModel::fit(&table);
+        let ll_acquired = pka::maxent::metrics::log_loss_table(&acquired, &table).unwrap();
+        let ll_independence =
+            pka::maxent::metrics::log_loss_table(independence.joint(), &table).unwrap();
+        prop_assert!(ll_acquired <= ll_independence + 1e-6);
+    }
+}

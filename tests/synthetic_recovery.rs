@@ -1,0 +1,133 @@
+//! Integration tests on synthetic ground-truth data: structure recovery,
+//! baseline comparisons, and behaviour of the pipeline on null (independent)
+//! data.
+
+use pka::baselines::{EmpiricalModel, IndependenceModel, NaiveBayes};
+use pka::contingency::Schema;
+use pka::core::{Acquisition, AcquisitionConfig};
+use pka::datagen::{sample_dataset, sample_table, sampler::seeded_rng, survey, PlantedExperiment};
+use pka::maxent::metrics;
+use std::sync::Arc;
+
+/// Acquisition on data sampled from an independence distribution finds
+/// (almost) nothing; on data with planted structure it finds the structure.
+#[test]
+fn null_vs_planted_data() {
+    let schema = Schema::uniform(&[3, 2, 2]).unwrap().into_shared();
+    let mut rng = seeded_rng(101);
+
+    // Null data.
+    let independent = pka::datagen::synthetic::random_independent(Arc::clone(&schema), &mut rng);
+    let null_table = sample_table(&independent, 20_000, &mut rng);
+    let null_outcome = Acquisition::new(AcquisitionConfig::new().with_max_order(2))
+        .run(&null_table)
+        .expect("acquisition succeeds");
+    let null_found = null_outcome.knowledge_base.significant_constraints().len();
+
+    // Planted data of the same size.
+    let planted = PlantedExperiment::generate(Arc::clone(&schema), 2, 2, 6.0, &mut rng);
+    let planted_table = sample_table(&planted.joint, 20_000, &mut rng);
+    let planted_outcome = Acquisition::new(AcquisitionConfig::new().with_max_order(2))
+        .run(&planted_table)
+        .expect("acquisition succeeds");
+    let discovered: Vec<_> = planted_outcome
+        .knowledge_base
+        .significant_constraints()
+        .iter()
+        .map(|c| c.assignment.clone())
+        .collect();
+
+    assert!(
+        planted.varset_recovery(&discovered) > 0.0,
+        "planted structure was not recovered at all"
+    );
+    assert!(
+        discovered.len() > null_found,
+        "planted data ({}) should yield more constraints than null data ({null_found})",
+        discovered.len()
+    );
+    // Null data should yield very little: allow a couple of noise findings.
+    assert!(null_found <= 2, "found {null_found} constraints in independent data");
+}
+
+/// Recovery improves with sample size (the X2 curve, coarse version).
+#[test]
+fn recovery_curve_is_monotone_in_n() {
+    let small = pka_bench::recovery_experiment(400, 6.0, 2, 7);
+    let medium = pka_bench::recovery_experiment(4_000, 6.0, 2, 7);
+    let large = pka_bench::recovery_experiment(40_000, 6.0, 2, 7);
+    assert!(medium.varset_recovery >= small.varset_recovery);
+    assert!(large.varset_recovery >= medium.varset_recovery);
+    assert!(large.varset_recovery >= 0.5, "large-sample recovery {}", large.varset_recovery);
+}
+
+/// On held-out data from the survey simulator the acquired model beats the
+/// independence baseline and is competitive with the (smoothed) empirical
+/// model, while using far fewer parameters.
+#[test]
+fn acquired_model_beats_independence_baseline() {
+    let truth = survey::ground_truth();
+    let mut rng = seeded_rng(55);
+    let train = sample_table(&truth, 6_000, &mut rng);
+    let test = sample_dataset(&truth, 2_000, &mut rng);
+
+    let outcome = Acquisition::new(AcquisitionConfig::new().with_max_order(2))
+        .run(&train)
+        .expect("acquisition succeeds");
+    let acquired = outcome.knowledge_base.joint();
+    let independence = IndependenceModel::fit(&train);
+    let empirical = EmpiricalModel::fit_smoothed(&train, 0.5);
+
+    let ll_acquired = metrics::log_loss(&acquired, &test).unwrap();
+    let ll_independence = metrics::log_loss(independence.joint(), &test).unwrap();
+    let ll_empirical = metrics::log_loss(empirical.joint(), &test).unwrap();
+
+    assert!(
+        ll_acquired < ll_independence,
+        "acquired {ll_acquired:.4} should beat independence {ll_independence:.4}"
+    );
+    // The empirical model has 144 free cells; the acquired model should be
+    // within a small margin of it despite its compactness.
+    assert!(ll_acquired < ll_empirical + 0.05);
+
+    // Divergence from the truth orders the same way.
+    let kl = |j: &pka::maxent::JointDistribution| {
+        pka::maxent::entropy::kl_divergence(truth.probabilities(), j.probabilities())
+    };
+    assert!(kl(&acquired) < kl(independence.joint()));
+}
+
+/// The acquired model, used as a classifier, is at least comparable to naive
+/// Bayes on the simulator's `cancer` attribute.
+#[test]
+fn classification_is_competitive_with_naive_bayes() {
+    let truth = survey::ground_truth();
+    let mut rng = seeded_rng(77);
+    let train = sample_table(&truth, 6_000, &mut rng);
+    let test = sample_table(&truth, 3_000, &mut rng);
+    let target = survey::attrs::CANCER;
+
+    let nb = NaiveBayes::fit(&train, target, 1.0).accuracy(&test);
+    let rows = pka_bench::classification_comparison(6_000, 3_000, 77);
+    let maxent = rows.iter().find(|(m, _)| m == "maxent-acquisition").unwrap().1;
+    // Both classifiers predict the majority class most of the time on this
+    // imbalanced target; the acquired model must not be meaningfully worse.
+    assert!(maxent >= nb - 0.02, "maxent {maxent:.4} vs naive bayes {nb:.4}");
+}
+
+/// The ablation harness: all three selection rules run on the same paper
+/// data and each honours its own promoted constraints.
+#[test]
+fn ablation_selection_rules_all_run() {
+    let table = pka::datagen::smoking::table();
+    let rows = pka_bench::ablation_selection(&table, 0.001);
+    assert_eq!(rows.len(), 3);
+    assert_eq!(rows[0].rule, "minimum-message-length");
+    // Every selection rule promotes at least one constraint on this data,
+    // and every rule's findings include the smoking attribute (index 0),
+    // which carries the real structure.
+    for row in &rows {
+        assert!(!row.selected.is_empty(), "{} selected nothing", row.rule);
+        assert!(row.selected.iter().any(|a| a.vars().contains(0)));
+    }
+}
