@@ -82,14 +82,11 @@ impl Chi2Miner {
                                     .map(|r| r.p_value)
                                     .unwrap_or(1.0)
                             }
-                            SelectionRule::GTest => {
-                                g_test_cell(observed, predicted, n)
-                                    .map(|r| r.p_value)
-                                    .unwrap_or(1.0)
-                            }
+                            SelectionRule::GTest => g_test_cell(observed, predicted, n)
+                                .map(|r| r.p_value)
+                                .unwrap_or(1.0),
                         };
-                        if p_value < self.alpha
-                            && best.as_ref().is_none_or(|&(_, bp)| p_value < bp)
+                        if p_value < self.alpha && best.as_ref().is_none_or(|&(_, bp)| p_value < bp)
                         {
                             best = Some((assignment, p_value));
                         }

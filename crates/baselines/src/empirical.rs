@@ -25,10 +25,7 @@ impl EmpiricalModel {
     pub fn fit_smoothed(table: &ContingencyTable, alpha: f64) -> Self {
         assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be a non-negative finite number");
         let weights: Vec<f64> = table.counts().iter().map(|&c| c as f64 + alpha).collect();
-        Self {
-            joint: JointDistribution::from_unnormalized(table.shared_schema(), weights),
-            alpha,
-        }
+        Self { joint: JointDistribution::from_unnormalized(table.shared_schema(), weights), alpha }
     }
 
     /// The smoothing parameter used.

@@ -19,7 +19,10 @@ fn baselines(c: &mut Criterion) {
     // Print the comparison table and gate on the expected ordering.
     let rows = pka_bench::baseline_comparison(4_000, 1_000, 7);
     println!("\ndensity estimation on the survey simulator (4000 train / 1000 test):");
-    println!("{:<22} {:>18} {:>16} {:>14}", "method", "held-out log-loss", "KL from truth", "extra params");
+    println!(
+        "{:<22} {:>18} {:>16} {:>14}",
+        "method", "held-out log-loss", "KL from truth", "extra params"
+    );
     for r in &rows {
         println!(
             "{:<22} {:>18.4} {:>16.4} {:>14}",

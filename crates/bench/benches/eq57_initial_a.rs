@@ -22,9 +22,7 @@ fn eq57(c: &mut Criterion) {
     let pb = 433.0 / 3428.0;
     let pc = 1780.0 / 3428.0;
     assert!((model.cell_probability(&[0, 0, 0]) - pa * pb * pc).abs() < 1e-9);
-    assert!(
-        (model.probability(&Assignment::from_pairs([(0, 0), (1, 0)])) - pa * pb).abs() < 1e-9
-    );
+    assert!((model.probability(&Assignment::from_pairs([(0, 0), (1, 0)])) - pa * pb).abs() < 1e-9);
 }
 
 criterion_group!(benches, eq57);

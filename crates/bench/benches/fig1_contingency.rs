@@ -11,9 +11,7 @@ fn fig1(c: &mut Criterion) {
     let dataset = pka_datagen::smoking::dataset();
 
     let mut group = c.benchmark_group("fig1_contingency");
-    group.bench_function("tabulate_3428_samples", |b| {
-        b.iter(|| black_box(dataset.to_table()))
-    });
+    group.bench_function("tabulate_3428_samples", |b| b.iter(|| black_box(dataset.to_table())));
     group.bench_function("expand_and_tabulate", |b| {
         b.iter(|| {
             let table = pka_bench::fig1_contingency();

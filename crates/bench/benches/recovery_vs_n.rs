@@ -23,7 +23,10 @@ fn recovery(c: &mut Criterion) {
     // Print the curve so `cargo bench` output doubles as the experiment's
     // data series, and gate on the expected shape (recovery improves with n).
     println!("\nrecovery of 2 planted order-2 interactions (strength 6.0, seed 42):");
-    println!("{:>8} {:>16} {:>16} {:>16}", "N", "cell recovery", "varset recovery", "false positives");
+    println!(
+        "{:>8} {:>16} {:>16} {:>16}",
+        "N", "cell recovery", "varset recovery", "false positives"
+    );
     let mut recoveries = Vec::new();
     for &n in &[500u64, 2_000, 8_000, 32_000] {
         let point = pka_bench::recovery_experiment(n, 6.0, 2, 42);

@@ -11,21 +11,17 @@ fn scaling(c: &mut Criterion) {
     // Sweep the number of attributes at fixed cardinality and sample size.
     for &attributes in &[3usize, 4, 5, 6] {
         let table = pka_bench::scaling_workload(attributes, 3, 5_000, 13);
-        group.bench_with_input(
-            BenchmarkId::new("attributes", attributes),
-            &table,
-            |b, table| b.iter(|| black_box(pka_bench::scaling_acquisition(table))),
-        );
+        group.bench_with_input(BenchmarkId::new("attributes", attributes), &table, |b, table| {
+            b.iter(|| black_box(pka_bench::scaling_acquisition(table)))
+        });
     }
 
     // Sweep the attribute cardinality.
     for &cardinality in &[2usize, 3, 4, 5] {
         let table = pka_bench::scaling_workload(4, cardinality, 5_000, 13);
-        group.bench_with_input(
-            BenchmarkId::new("cardinality", cardinality),
-            &table,
-            |b, table| b.iter(|| black_box(pka_bench::scaling_acquisition(table))),
-        );
+        group.bench_with_input(BenchmarkId::new("cardinality", cardinality), &table, |b, table| {
+            b.iter(|| black_box(pka_bench::scaling_acquisition(table)))
+        });
     }
 
     // Sweep the sample size (cost is dominated by the candidate screening,

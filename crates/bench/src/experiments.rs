@@ -8,15 +8,13 @@
 
 use pka_baselines::{Chi2Miner, EmpiricalModel, IndependenceModel, NaiveBayes, SelectionRule};
 use pka_contingency::{Assignment, ContingencyTable, Marginal, Schema, VarSet};
-use pka_core::{
-    Acquisition, AcquisitionConfig, AcquisitionOutcome, KnowledgeBase, RoundTrace,
-};
+use pka_core::{Acquisition, AcquisitionConfig, AcquisitionOutcome, KnowledgeBase, RoundTrace};
 use pka_datagen::{
     sample_dataset, sample_table, sampler::seeded_rng, smoking, survey, PlantedExperiment,
 };
 use pka_maxent::{
-    metrics, solver::Solver, ConstraintSet, ConvergenceCriteria, JointDistribution,
-    LogLinearModel, SolveReport,
+    metrics, solver::Solver, ConstraintSet, ConvergenceCriteria, JointDistribution, LogLinearModel,
+    SolveReport,
 };
 use std::sync::Arc;
 
@@ -63,16 +61,11 @@ pub fn eq57_initial_model(table: &ContingencyTable) -> (LogLinearModel, SolveRep
 /// against the independence model — the memo's Table 1.  Returns the first
 /// round of the order-2 search with all 16 evaluations recorded.
 pub fn table1_significance(table: &ContingencyTable) -> RoundTrace {
-    let outcome = Acquisition::new(
-        AcquisitionConfig::new().with_evaluation_trace().with_max_order(2),
-    )
-    .run(table)
-    .expect("acquisition on the paper data succeeds");
-    outcome
-        .trace
-        .first_round_at_order(2)
-        .expect("order 2 is always searched")
-        .clone()
+    let outcome =
+        Acquisition::new(AcquisitionConfig::new().with_evaluation_trace().with_max_order(2))
+            .run(table)
+            .expect("acquisition on the paper data succeeds");
+    outcome.trace.first_round_at_order(2).expect("order 2 is always searched").clone()
 }
 
 // ---------------------------------------------------------------------------
@@ -93,8 +86,7 @@ pub fn table2_iteration(table: &ContingencyTable, tolerance: f64) -> SolveReport
             Assignment::from_pairs([(smoking::SMOKING, 0), (smoking::FAMILY_HISTORY, 1)]),
         )
         .expect("constraint is consistent");
-    let solver =
-        Solver::new(ConvergenceCriteria::new().with_trace().with_tolerance(tolerance));
+    let solver = Solver::new(ConvergenceCriteria::new().with_trace().with_tolerance(tolerance));
     solver.fit(&constraints).expect("the paper constraint set is feasible").1
 }
 
@@ -143,7 +135,12 @@ pub struct RecoveryPoint {
 /// Experiment X2: plant `planted_count` second-order interactions of the
 /// given strength in a 4-attribute schema, sample `n` observations, run
 /// acquisition, and measure recovery.
-pub fn recovery_experiment(n: u64, strength: f64, planted_count: usize, seed: u64) -> RecoveryPoint {
+pub fn recovery_experiment(
+    n: u64,
+    strength: f64,
+    planted_count: usize,
+    seed: u64,
+) -> RecoveryPoint {
     let schema = Schema::uniform(&[3, 2, 2, 3]).expect("schema valid").into_shared();
     let mut rng = seeded_rng(seed);
     let experiment =
@@ -219,8 +216,7 @@ pub fn baseline_comparison(n_train: u64, n_test: u64, seed: u64) -> Vec<Comparis
         },
         ComparisonRow {
             method: "independence",
-            held_out_log_loss: metrics::log_loss(independence.joint(), &test)
-                .expect("same schema"),
+            held_out_log_loss: metrics::log_loss(independence.joint(), &test).expect("same schema"),
             kl_from_truth: kl(independence.joint()),
             extra_parameters: 0,
         },
@@ -269,9 +265,7 @@ fn classify_with_kb(kb: &KnowledgeBase, test: &ContingencyTable, target: usize) 
             values.iter().enumerate().filter(|&(a, _)| a != target).map(|(a, &v)| (a, v)),
         );
         let prediction = (0..card)
-            .map(|v| {
-                kb.conditional(&Assignment::single(target, v), &evidence).unwrap_or(0.0)
-            })
+            .map(|v| kb.conditional(&Assignment::single(target, v), &evidence).unwrap_or(0.0))
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
             .map(|(v, _)| v)
@@ -289,7 +283,12 @@ fn classify_with_kb(kb: &KnowledgeBase, test: &ContingencyTable, target: usize) 
 
 /// A scaling workload: a sampled table over a schema with `attributes`
 /// attributes of `cardinality` values each.
-pub fn scaling_workload(attributes: usize, cardinality: usize, n: u64, seed: u64) -> ContingencyTable {
+pub fn scaling_workload(
+    attributes: usize,
+    cardinality: usize,
+    n: u64,
+    seed: u64,
+) -> ContingencyTable {
     let cards = vec![cardinality; attributes];
     let schema = Schema::uniform(&cards).expect("schema valid").into_shared();
     let mut rng = seeded_rng(seed);
@@ -329,12 +328,8 @@ pub fn ablation_selection(table: &ContingencyTable, alpha: f64) -> Vec<AblationR
     let mml = Acquisition::new(AcquisitionConfig::new().with_max_order(2))
         .run(table)
         .expect("acquisition succeeds");
-    let mml_selected: Vec<Assignment> = mml
-        .knowledge_base
-        .significant_constraints()
-        .iter()
-        .map(|c| c.assignment.clone())
-        .collect();
+    let mml_selected: Vec<Assignment> =
+        mml.knowledge_base.significant_constraints().iter().map(|c| c.assignment.clone()).collect();
 
     let chi = Chi2Miner::new(alpha, SelectionRule::ChiSquare, 2)
         .run(table)

@@ -35,10 +35,7 @@ impl Attribute {
         I: IntoIterator<Item = V>,
         V: Into<String>,
     {
-        Self {
-            name: name.into(),
-            values: values.into_iter().map(Into::into).collect(),
-        }
+        Self { name: name.into(), values: values.into_iter().map(Into::into).collect() }
     }
 
     /// Creates a two-valued (boolean-like) attribute with values `yes`/`no`,

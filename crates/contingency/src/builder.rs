@@ -88,12 +88,9 @@ mod tests {
     use proptest::prelude::*;
 
     fn schema() -> Arc<Schema> {
-        Schema::new(vec![
-            Attribute::new("a", ["0", "1", "2"]),
-            Attribute::new("b", ["0", "1"]),
-        ])
-        .unwrap()
-        .into_shared()
+        Schema::new(vec![Attribute::new("a", ["0", "1", "2"]), Attribute::new("b", ["0", "1"])])
+            .unwrap()
+            .into_shared()
     }
 
     #[test]

@@ -242,7 +242,10 @@ mod tests {
     #[test]
     fn restrict_and_with() {
         let a = Assignment::from_pairs([(0, 1), (1, 0), (2, 1)]);
-        assert_eq!(a.restrict(VarSet::from_indices([0, 2])), Assignment::from_pairs([(0, 1), (2, 1)]));
+        assert_eq!(
+            a.restrict(VarSet::from_indices([0, 2])),
+            Assignment::from_pairs([(0, 1), (2, 1)])
+        );
         assert_eq!(a.restrict(VarSet::empty()), Assignment::empty());
         assert_eq!(a.with(1, 1).value_of(1), Some(1));
         assert_eq!(Assignment::empty().with(3, 2), Assignment::single(3, 2));
@@ -251,7 +254,8 @@ mod tests {
     #[test]
     fn describe_uses_schema_names() {
         let s = schema();
-        let a = Assignment::from_names(&s, &[("smoking", "smoker"), ("family-history", "yes")]).unwrap();
+        let a = Assignment::from_names(&s, &[("smoking", "smoker"), ("family-history", "yes")])
+            .unwrap();
         assert_eq!(a.describe(&s), "smoking=smoker, family-history=yes");
         assert_eq!(Assignment::empty().describe(&s), "(unconditional)");
     }

@@ -70,17 +70,18 @@ pub fn parse_csv(text: &str, schema: CsvSchema) -> Result<Dataset> {
                 let mut values = vec![usize::MAX; ds.schema().len()];
                 for (col, field) in row.iter().enumerate() {
                     let attr = col_to_attr[col];
-                    let v = ds
-                        .schema()
-                        .attribute(attr)?
-                        .value_index(field)
-                        .ok_or_else(|| ContingencyError::Csv {
+                    let v = ds.schema().attribute(attr)?.value_index(field).ok_or_else(|| {
+                        ContingencyError::Csv {
                             line: no,
-                            reason: format!("unknown value `{field}` for attribute `{}`", columns[col]),
-                        })?;
+                            reason: format!(
+                                "unknown value `{field}` for attribute `{}`",
+                                columns[col]
+                            ),
+                        }
+                    })?;
                     values[attr] = v;
                 }
-                if values.iter().any(|&v| v == usize::MAX) {
+                if values.contains(&usize::MAX) {
                     return Err(ContingencyError::Csv {
                         line: no,
                         reason: "row does not cover every schema attribute".into(),

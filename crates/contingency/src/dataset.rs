@@ -86,6 +86,56 @@ impl Dataset {
         Ok(())
     }
 
+    /// Appends a whole batch of raw rows atomically: every row is validated
+    /// first and the dataset is extended only if all of them pass, so a bad
+    /// row in the middle of a feed cannot leave a half-ingested batch
+    /// behind.  Returns the number of rows appended.
+    pub fn push_batch<I, R>(&mut self, rows: I) -> Result<usize>
+    where
+        I: IntoIterator<Item = R>,
+        R: AsRef<[usize]>,
+    {
+        let validated: Vec<Sample> = rows
+            .into_iter()
+            .map(|r| Sample::validated(&self.schema, r.as_ref().to_vec()))
+            .collect::<Result<_>>()?;
+        let n = validated.len();
+        self.samples.extend(validated);
+        Ok(n)
+    }
+
+    /// Appends every sample of `other`.  Both datasets must share a schema.
+    pub fn merge_from(&mut self, other: &Dataset) -> Result<()> {
+        if self.schema.as_ref() != other.schema.as_ref() {
+            return Err(crate::ContingencyError::InvalidAssignment {
+                reason: "cannot merge datasets over different schemas".to_string(),
+            });
+        }
+        self.samples.extend_from_slice(&other.samples);
+        Ok(())
+    }
+
+    /// Splits the dataset into `count` contiguous parts of
+    /// `ceil(len / count)` samples each: every part but the last is full,
+    /// the last holds the remainder, and — when `count` does not divide the
+    /// length generously enough — trailing parts are empty (e.g. 10 samples
+    /// in 4 parts come out as 3/3/3/1).  Useful for replaying a recorded
+    /// dataset as a stream of batches; `count` is clamped to at least 1 and
+    /// no sample is ever dropped.
+    pub fn split_chunks(&self, count: usize) -> Vec<Dataset> {
+        let count = count.max(1);
+        let per = self.samples.len().div_ceil(count).max(1);
+        let mut parts: Vec<Dataset> = self
+            .samples
+            .chunks(per)
+            .map(|chunk| Dataset { schema: Arc::clone(&self.schema), samples: chunk.to_vec() })
+            .collect();
+        while parts.len() < count {
+            parts.push(Dataset::with_shared_schema(Arc::clone(&self.schema)));
+        }
+        parts
+    }
+
     /// Reduces the dataset to contingency-table form (Appendix A: sum the
     /// attribute R-tuples to obtain the `N_{ijk…}` values).
     pub fn to_table(&self) -> ContingencyTable {
@@ -134,11 +184,8 @@ mod tests {
     use crate::attribute::Attribute;
 
     fn schema() -> Schema {
-        Schema::new(vec![
-            Attribute::new("a", ["0", "1"]),
-            Attribute::new("b", ["0", "1", "2"]),
-        ])
-        .unwrap()
+        Schema::new(vec![Attribute::new("a", ["0", "1"]), Attribute::new("b", ["0", "1", "2"])])
+            .unwrap()
     }
 
     #[test]
@@ -195,6 +242,47 @@ mod tests {
         // offset shifts which samples land in the test split
         let (_, test2) = d.split_every(5, 1);
         assert_ne!(test.samples(), test2.samples());
+    }
+
+    #[test]
+    fn push_batch_is_atomic() {
+        let mut d = Dataset::new(schema());
+        assert_eq!(d.push_batch([[0usize, 0], [1, 2]]).unwrap(), 2);
+        assert_eq!(d.len(), 2);
+        // One bad row rejects the whole batch.
+        assert!(d.push_batch([[0usize, 0], [0, 9], [1, 1]]).is_err());
+        assert_eq!(d.len(), 2, "failed batch must leave the dataset untouched");
+    }
+
+    #[test]
+    fn merge_from_appends_and_checks_schema() {
+        let mut a = Dataset::new(schema());
+        a.push_values(vec![0, 0]).unwrap();
+        let mut b = Dataset::with_shared_schema(a.shared_schema());
+        b.push_values(vec![1, 2]).unwrap();
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.len(), 2);
+        let foreign = Dataset::new(Schema::uniform(&[4]).unwrap());
+        assert!(a.merge_from(&foreign).is_err());
+    }
+
+    #[test]
+    fn split_chunks_partitions_in_order() {
+        let mut d = Dataset::new(schema());
+        for i in 0..10 {
+            d.push_values(vec![i % 2, i % 3]).unwrap();
+        }
+        let chunks = d.split_chunks(3);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks.iter().map(Dataset::len).sum::<usize>(), 10);
+        let rejoined: Vec<_> = chunks.iter().flat_map(|c| c.samples().iter().cloned()).collect();
+        assert_eq!(rejoined, d.samples());
+        // More chunks than samples: the extras are empty, none are lost.
+        let many = d.split_chunks(20);
+        assert_eq!(many.len(), 20);
+        assert_eq!(many.iter().map(Dataset::len).sum::<usize>(), 10);
+        // Degenerate request is clamped.
+        assert_eq!(d.split_chunks(0).len(), 1);
     }
 
     #[test]

@@ -34,15 +34,18 @@ pub fn render_two_way(table: &ContingencyTable, rows: usize, cols: usize) -> Str
         .max()
         .unwrap_or(6)
         .max(6);
-    let row_label_width =
-        row_attr.values().iter().map(String::len).max().unwrap_or(8).max(8);
+    let row_label_width = row_attr.values().iter().map(String::len).max().unwrap_or(8).max(8);
 
     let _ = write!(out, "{:row_label_width$} |", "");
     for h in &col_headers {
         let _ = write!(out, " {h:>width$}");
     }
     let _ = writeln!(out, " | {:>width$}", "total");
-    let _ = writeln!(out, "{}", "-".repeat(row_label_width + 3 + (width + 1) * (col_headers.len() + 1) + 2));
+    let _ = writeln!(
+        out,
+        "{}",
+        "-".repeat(row_label_width + 3 + (width + 1) * (col_headers.len() + 1) + 2)
+    );
 
     for (ri, rname) in row_attr.values().iter().enumerate() {
         let _ = write!(out, "{rname:row_label_width$} |");
@@ -57,7 +60,11 @@ pub fn render_two_way(table: &ContingencyTable, rows: usize, cols: usize) -> Str
         }
         let _ = writeln!(out, " | {:>width$}", row_m.count_by_values(&[ri]));
     }
-    let _ = writeln!(out, "{}", "-".repeat(row_label_width + 3 + (width + 1) * (col_headers.len() + 1) + 2));
+    let _ = writeln!(
+        out,
+        "{}",
+        "-".repeat(row_label_width + 3 + (width + 1) * (col_headers.len() + 1) + 2)
+    );
     let _ = write!(out, "{:row_label_width$} |", "total");
     for ci in 0..col_attr.cardinality() {
         let _ = write!(out, " {:>width$}", col_m.count_by_values(&[ci]));

@@ -120,10 +120,8 @@ mod tests {
 
     #[test]
     fn display_mentions_offending_names() {
-        let e = ContingencyError::UnknownValue {
-            attribute: "cancer".into(),
-            value: "maybe".into(),
-        };
+        let e =
+            ContingencyError::UnknownValue { attribute: "cancer".into(), value: "maybe".into() };
         let msg = e.to_string();
         assert!(msg.contains("cancer"));
         assert!(msg.contains("maybe"));

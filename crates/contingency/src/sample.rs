@@ -60,7 +60,7 @@ impl Sample {
             })?;
             values[attr] = value;
         }
-        if values.iter().any(|&v| v == usize::MAX) {
+        if values.contains(&usize::MAX) {
             return Err(ContingencyError::InvalidAssignment {
                 reason: "sample does not cover every attribute".to_string(),
             });
@@ -129,7 +129,10 @@ mod tests {
     #[test]
     fn validated_rejects_bad_samples() {
         let s = schema();
-        assert!(matches!(Sample::validated(&s, vec![2]), Err(ContingencyError::SampleArity { .. })));
+        assert!(matches!(
+            Sample::validated(&s, vec![2]),
+            Err(ContingencyError::SampleArity { .. })
+        ));
         assert!(matches!(
             Sample::validated(&s, vec![3, 0]),
             Err(ContingencyError::ValueIndexOutOfRange { .. })

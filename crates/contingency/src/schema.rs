@@ -36,10 +36,7 @@ impl Schema {
             return Err(ContingencyError::EmptySchema);
         }
         if attributes.len() > MAX_VARS {
-            return Err(ContingencyError::TableTooLarge {
-                cells: u128::MAX,
-                max: MAX_CELLS,
-            });
+            return Err(ContingencyError::TableTooLarge { cells: u128::MAX, max: MAX_CELLS });
         }
         for (i, a) in attributes.iter().enumerate() {
             if a.cardinality() == 0 {
@@ -49,7 +46,9 @@ impl Schema {
                 return Err(ContingencyError::DuplicateName { name: a.name().to_string() });
             }
             if let Some(v) = a.has_duplicate_values() {
-                return Err(ContingencyError::DuplicateName { name: format!("{}.{}", a.name(), v) });
+                return Err(ContingencyError::DuplicateName {
+                    name: format!("{}.{}", a.name(), v),
+                });
             }
         }
         let mut cells: u128 = 1;
@@ -102,10 +101,9 @@ impl Schema {
 
     /// The attribute at `index`.
     pub fn attribute(&self, index: usize) -> Result<&Attribute> {
-        self.attributes.get(index).ok_or(ContingencyError::AttributeIndexOutOfRange {
-            index,
-            len: self.attributes.len(),
-        })
+        self.attributes
+            .get(index)
+            .ok_or(ContingencyError::AttributeIndexOutOfRange { index, len: self.attributes.len() })
     }
 
     /// Index of the attribute with the given name.
@@ -187,9 +185,9 @@ impl Schema {
     pub fn cell_values(&self, mut index: usize) -> Vec<usize> {
         debug_assert!(index < self.cells);
         let mut values = vec![0usize; self.attributes.len()];
-        for i in 0..self.attributes.len() {
-            values[i] = index / self.strides[i];
-            index %= self.strides[i];
+        for (value, &stride) in values.iter_mut().zip(&self.strides) {
+            *value = index / stride;
+            index %= stride;
         }
         values
     }
@@ -338,9 +336,8 @@ mod tests {
     #[test]
     fn rejects_oversized_tables() {
         // 2^40 cells is far beyond MAX_CELLS.
-        let attrs: Vec<Attribute> = (0..20)
-            .map(|i| Attribute::new(format!("a{i}"), ["0", "1", "2", "3"]))
-            .collect();
+        let attrs: Vec<Attribute> =
+            (0..20).map(|i| Attribute::new(format!("a{i}"), ["0", "1", "2", "3"])).collect();
         assert!(matches!(Schema::new(attrs), Err(ContingencyError::TableTooLarge { .. })));
     }
 
@@ -365,10 +362,7 @@ mod tests {
     #[test]
     fn checked_cell_index_errors() {
         let s = smoking_schema();
-        assert!(matches!(
-            s.checked_cell_index(&[0, 0]),
-            Err(ContingencyError::SampleArity { .. })
-        ));
+        assert!(matches!(s.checked_cell_index(&[0, 0]), Err(ContingencyError::SampleArity { .. })));
         assert!(matches!(
             s.checked_cell_index(&[3, 0, 0]),
             Err(ContingencyError::ValueIndexOutOfRange { .. })

@@ -2,6 +2,7 @@
 
 use crate::config::Assignment;
 use crate::marginal::Marginal;
+use crate::sample::Sample;
 use crate::schema::Schema;
 use crate::varset::VarSet;
 use crate::{ContingencyError, Result};
@@ -161,6 +162,12 @@ impl ContingencyTable {
         self.counts.iter().map(|&c| c as f64 / n).collect()
     }
 
+    /// Adds one observation given as a validated [`Sample`] — the
+    /// tuple-at-a-time entry point used by streaming ingestion.
+    pub fn increment_sample(&mut self, sample: &Sample) -> Result<()> {
+        self.increment(sample.values())
+    }
+
     /// Adds every cell of `other` into `self`.  Both tables must share a
     /// schema.
     pub fn merge(&mut self, other: &ContingencyTable) -> Result<()> {
@@ -174,6 +181,26 @@ impl ContingencyTable {
         }
         self.total += other.total;
         Ok(())
+    }
+
+    /// By-value form of [`ContingencyTable::merge`], convenient for folds:
+    /// `shards.into_iter().try_fold(zero, ContingencyTable::combined)`.
+    ///
+    /// Cell counts are non-negative integers under addition, so this
+    /// operation is associative and commutative — the algebraic fact that
+    /// makes sharded, out-of-order ingestion exact rather than approximate.
+    pub fn combined(mut self, other: ContingencyTable) -> Result<ContingencyTable> {
+        self.merge(&other)?;
+        Ok(self)
+    }
+
+    /// Folds any number of part-tables into one total table over `schema`.
+    /// An empty iterator yields the all-zero table.
+    pub fn merged<I>(schema: Arc<Schema>, parts: I) -> Result<ContingencyTable>
+    where
+        I: IntoIterator<Item = ContingencyTable>,
+    {
+        parts.into_iter().try_fold(ContingencyTable::zeros(schema), ContingencyTable::combined)
     }
 }
 
@@ -283,6 +310,35 @@ mod tests {
         let other_schema = Schema::uniform(&[2, 2]).unwrap().into_shared();
         let c = ContingencyTable::zeros(other_schema);
         assert!(a.merge(&c).is_err());
+    }
+
+    #[test]
+    fn increment_sample_matches_increment() {
+        let mut by_values = ContingencyTable::zeros(schema());
+        let mut by_sample = ContingencyTable::zeros(schema());
+        by_values.increment(&[1, 0, 1]).unwrap();
+        let sample = crate::Sample::validated(&schema(), vec![1, 0, 1]).unwrap();
+        by_sample.increment_sample(&sample).unwrap();
+        assert_eq!(by_values, by_sample);
+    }
+
+    #[test]
+    fn combined_and_merged_fold_parts() {
+        let s = schema();
+        let a = ContingencyTable::from_counts(Arc::clone(&s), paper_counts()).unwrap();
+        let b = ContingencyTable::from_counts(Arc::clone(&s), paper_counts()).unwrap();
+        let c = ContingencyTable::zeros(Arc::clone(&s));
+        let folded = ContingencyTable::merged(Arc::clone(&s), vec![a.clone(), b, c]).unwrap();
+        assert_eq!(folded.total(), 2 * 3428);
+        // combined is merge by value.
+        let pair = a.clone().combined(a).unwrap();
+        assert_eq!(pair, folded);
+        // Empty iterator yields the zero table.
+        let empty = ContingencyTable::merged(Arc::clone(&s), std::iter::empty()).unwrap();
+        assert_eq!(empty.total(), 0);
+        // Schema mismatches are rejected mid-fold.
+        let other = ContingencyTable::zeros(Schema::uniform(&[2, 2]).unwrap().into_shared());
+        assert!(ContingencyTable::merged(s, vec![other]).is_err());
     }
 
     #[test]

@@ -17,7 +17,9 @@ pub const MAX_VARS: usize = 32;
 /// Attribute indices are the positions of attributes in a
 /// [`Schema`](crate::Schema); the memo's attributes `A, B, C, …` map to
 /// indices `0, 1, 2, …`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct VarSet(u32);
 
 impl VarSet {

@@ -10,6 +10,11 @@ use pka_contingency::{Assignment, ContingencyTable, VarSet};
 use pka_maxent::{ConstraintSet, LogLinearModel, Solver};
 use pka_significance::{CandidateCell, MessageLengthTest, RangeContext};
 
+/// Factors of a warm-start seed model are raised to at least this value so
+/// cells a previous boundary fit drove to zero stay recoverable (see
+/// [`Acquisition::run_warm_started`]).
+const WARM_START_FACTOR_FLOOR: f64 = 1e-12;
+
 /// The acquisition procedure.
 ///
 /// One `Acquisition` value is a reusable, configured pipeline; call
@@ -63,6 +68,57 @@ impl Acquisition {
         table: &ContingencyTable,
         prior_constraints: &[Assignment],
     ) -> Result<AcquisitionOutcome> {
+        self.run_seeded(table, prior_constraints, None)
+    }
+
+    /// Runs the procedure **warm-started** from a previously acquired
+    /// knowledge base — the streaming-refresh entry point.
+    ///
+    /// The memo's Figure 4 instructs the solver to start "with the last
+    /// previously calculated a values" whenever a constraint is added; this
+    /// method lifts the same idea to the whole acquisition run.  The
+    /// previous knowledge base contributes two things:
+    ///
+    /// 1. its higher-order constraint *cells* re-enter as prior knowledge
+    ///    (their probabilities are re-read from the **new** table, so the
+    ///    constraint set tracks the data as it grows), and
+    /// 2. its fitted a-values seed the solver, so the initial fit starts
+    ///    next to the solution instead of at the uniform model.
+    ///
+    /// The search then continues normally and may promote further cells.
+    /// For a consistent table the fixed point is the same knowledge base a
+    /// cold [`Acquisition::run`] would reach (the maximum-entropy solution
+    /// is unique per constraint set); the warm start only reduces the
+    /// solver work needed to get there.
+    pub fn run_warm_started(
+        &self,
+        table: &ContingencyTable,
+        previous: &KnowledgeBase,
+    ) -> Result<AcquisitionOutcome> {
+        if previous.schema() != table.schema() {
+            return Err(CoreError::InvalidInput {
+                reason: "warm start requires the previous knowledge base and the new table \
+                         to share a schema"
+                    .to_string(),
+            });
+        }
+        let priors: Vec<Assignment> =
+            previous.constraints().higher_order().map(|c| c.assignment.clone()).collect();
+        // Boundary solutions leave factors at (numerically) zero; on shifted
+        // data those cells may need mass again, and the multiplicative
+        // update cannot lift an exact zero.  Resurrect them to a tiny floor
+        // so the warm start is robust to distribution shift.
+        let mut model = previous.model().clone();
+        model.floor_factors(WARM_START_FACTOR_FLOOR);
+        self.run_seeded(table, &priors, Some(model))
+    }
+
+    fn run_seeded(
+        &self,
+        table: &ContingencyTable,
+        prior_constraints: &[Assignment],
+        initial_model: Option<LogLinearModel>,
+    ) -> Result<AcquisitionOutcome> {
         let schema = table.shared_schema();
         self.config.validate(schema.len())?;
         if table.total() == 0 {
@@ -91,7 +147,10 @@ impl Acquisition {
         for prior in prior_constraints {
             constraints.add_from_table(table, prior.clone())?;
         }
-        let (mut model, initial_fit) = solver.fit(&constraints)?;
+        let (mut model, initial_fit) = match initial_model {
+            Some(previous) => solver.fit_from(previous, &constraints)?,
+            None => solver.fit(&constraints)?,
+        };
 
         let mut trace = AcquisitionTrace { rounds: Vec::new(), initial_fit: Some(initial_fit) };
 
@@ -160,8 +219,7 @@ impl Acquisition {
                             likelihood_ratio: lengths.likelihood_ratio(),
                             significant: lengths.is_significant(),
                         };
-                        if evaluation.significant
-                            && best.is_none_or(|(_, d)| evaluation.delta < d)
+                        if evaluation.significant && best.is_none_or(|(_, d)| evaluation.delta < d)
                         {
                             best = Some((evaluations.len(), evaluation.delta));
                         }
@@ -270,8 +328,7 @@ mod tests {
         // Table 1 identifies as the most significant block (cells AB_11 /
         // AC_11 / AC_12 are the strongly significant ones).
         let t = paper_table();
-        let acquisition =
-            Acquisition::new(AcquisitionConfig::new().with_evaluation_trace());
+        let acquisition = Acquisition::new(AcquisitionConfig::new().with_evaluation_trace());
         let outcome = acquisition.run(&t).unwrap();
         let kb = &outcome.knowledge_base;
         let discovered = kb.significant_constraints();
@@ -304,8 +361,7 @@ mod tests {
     #[test]
     fn first_round_trace_reproduces_table_1_shape() {
         let t = paper_table();
-        let acquisition =
-            Acquisition::new(AcquisitionConfig::new().with_evaluation_trace());
+        let acquisition = Acquisition::new(AcquisitionConfig::new().with_evaluation_trace());
         let outcome = acquisition.run(&t).unwrap();
         let round = outcome.trace.first_round_at_order(2).expect("order 2 searched");
         // 16 second-order candidate cells, exactly as in Table 1.
@@ -344,11 +400,7 @@ mod tests {
         let t = paper_table();
         let acquisition = Acquisition::new(AcquisitionConfig::new().with_max_order(2));
         let outcome = acquisition.run(&t).unwrap();
-        assert!(outcome
-            .knowledge_base
-            .significant_constraints()
-            .iter()
-            .all(|c| c.order() <= 2));
+        assert!(outcome.knowledge_base.significant_constraints().iter().all(|c| c.order() <= 2));
         assert!(outcome.trace.rounds_at_order(3).next().is_none());
     }
 
@@ -383,8 +435,8 @@ mod tests {
         // produce no significant higher-order constraints.
         let schema = Schema::uniform(&[2, 2]).unwrap().into_shared();
         // P(a=0)=.5, P(b=0)=.5, N=400 -> each cell exactly 100.
-        let t = ContingencyTable::from_counts(Arc::clone(&schema), vec![100, 100, 100, 100])
-            .unwrap();
+        let t =
+            ContingencyTable::from_counts(Arc::clone(&schema), vec![100, 100, 100, 100]).unwrap();
         let outcome = Acquisition::with_defaults().run(&t).unwrap();
         assert!(outcome.knowledge_base.significant_constraints().is_empty());
         assert_eq!(outcome.knowledge_base.order_histogram(), vec![(1, 4)]);
@@ -399,9 +451,7 @@ mod tests {
         assert!(!outcome.knowledge_base.significant_constraints().is_empty());
         // The model must reproduce the perfect correlation.
         let kb = &outcome.knowledge_base;
-        let p = kb
-            .conditional(&Assignment::single(1, 0), &Assignment::single(0, 0))
-            .unwrap();
+        let p = kb.conditional(&Assignment::single(1, 0), &Assignment::single(0, 0)).unwrap();
         assert!(p > 0.95, "P(b=0 | a=0) = {p}");
     }
 
@@ -429,6 +479,63 @@ mod tests {
     }
 
     #[test]
+    fn warm_started_run_reaches_the_cold_fixed_point_cheaper() {
+        let t = paper_table();
+        let acquisition = Acquisition::with_defaults();
+        let cold = acquisition.run(&t).unwrap();
+        // Refitting the same data warm-started from the cold result must
+        // reproduce the knowledge base while spending (much) less solver
+        // work: the seed model already satisfies every constraint.
+        let warm = acquisition.run_warm_started(&t, &cold.knowledge_base).unwrap();
+        assert_eq!(warm.knowledge_base.order_histogram(), cold.knowledge_base.order_histogram());
+        for c in cold.knowledge_base.constraints().constraints() {
+            assert!(
+                (warm.knowledge_base.probability(&c.assignment) - c.probability).abs() < 1e-8,
+                "warm run lost constraint {:?}",
+                c.assignment
+            );
+        }
+        assert!(
+            warm.trace.total_solver_iterations() < cold.trace.total_solver_iterations(),
+            "warm {} vs cold {} iterations",
+            warm.trace.total_solver_iterations(),
+            cold.trace.total_solver_iterations()
+        );
+    }
+
+    #[test]
+    fn warm_start_requires_matching_schemas() {
+        let t = paper_table();
+        let cold = Acquisition::with_defaults().run(&t).unwrap();
+        let other = Schema::uniform(&[2, 2]).unwrap().into_shared();
+        let foreign = ContingencyTable::from_counts(other, vec![10, 20, 30, 40]).unwrap();
+        assert!(matches!(
+            Acquisition::with_defaults().run_warm_started(&foreign, &cold.knowledge_base),
+            Err(CoreError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn warm_start_survives_distribution_shift_from_boundary_models() {
+        // Perfectly correlated data drives the off-diagonal cells to zero
+        // mass; a later shift gives those cells real probability.  The
+        // factor floor must let the warm refit recover instead of failing
+        // with infeasible constraints.
+        let schema = Schema::uniform(&[2, 2]).unwrap().into_shared();
+        let correlated =
+            ContingencyTable::from_counts(Arc::clone(&schema), vec![200, 0, 0, 200]).unwrap();
+        let first = Acquisition::with_defaults().run(&correlated).unwrap();
+        // Shifted data: the formerly-zero cell (0,1) now dominates.
+        let shifted =
+            ContingencyTable::from_counts(Arc::clone(&schema), vec![50, 300, 25, 25]).unwrap();
+        let warm = Acquisition::with_defaults()
+            .run_warm_started(&shifted, &first.knowledge_base)
+            .expect("warm start must survive the shift");
+        let p01 = warm.knowledge_base.probability(&Assignment::from_pairs([(0, 0), (1, 1)]));
+        assert!(p01 > 0.5, "shifted mass recovered: {p01}");
+    }
+
+    #[test]
     fn first_order_prior_constraints_are_rejected() {
         let t = paper_table();
         let err = Acquisition::with_defaults().run_with_prior(&t, &[Assignment::single(0, 0)]);
@@ -441,11 +548,8 @@ mod tests {
         // need to rediscover it (no AC cells among the newly selected ones).
         let t = paper_table();
         let ac = VarSet::from_indices([0, 2]);
-        let priors: Vec<Assignment> = t
-            .schema()
-            .configurations(ac)
-            .map(|values| Assignment::new(ac, values))
-            .collect();
+        let priors: Vec<Assignment> =
+            t.schema().configurations(ac).map(|values| Assignment::new(ac, values)).collect();
         let outcome = Acquisition::new(AcquisitionConfig::new().with_max_order(2))
             .run_with_prior(&t, &priors)
             .unwrap();

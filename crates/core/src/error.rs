@@ -90,8 +90,7 @@ mod tests {
         assert!(e.to_string().contains("data error"));
         let e: CoreError = MaxEntError::InfeasibleConstraints { reason: "x".into() }.into();
         assert!(e.to_string().contains("maximum-entropy"));
-        let e: CoreError =
-            SignificanceError::InvalidCount { reason: "y".into() }.into();
+        let e: CoreError = SignificanceError::InvalidCount { reason: "y".into() }.into();
         assert!(e.to_string().contains("significance"));
         let e = CoreError::InvalidConfig { reason: "max order is zero".into() };
         assert!(e.to_string().contains("max order"));

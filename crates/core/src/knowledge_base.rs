@@ -190,12 +190,10 @@ mod tests {
         let ac12 = Assignment::from_pairs([(0, 0), (2, 1)]);
         assert!((kb.probability(&ac12) - 750.0 / 3428.0).abs() < 1e-9);
         // Conditional by names matches conditional by assignments.
-        let by_names = kb
-            .conditional_by_names(&[("cancer", "yes")], &[("smoking", "smoker")])
-            .unwrap();
-        let by_assignment = kb
-            .conditional(&Assignment::single(1, 0), &Assignment::single(0, 0))
-            .unwrap();
+        let by_names =
+            kb.conditional_by_names(&[("cancer", "yes")], &[("smoking", "smoker")]).unwrap();
+        let by_assignment =
+            kb.conditional(&Assignment::single(1, 0), &Assignment::single(0, 0)).unwrap();
         assert!((by_names - by_assignment).abs() < 1e-12);
         // Unknown names surface data errors.
         assert!(kb.conditional_by_names(&[("cancer", "maybe")], &[]).is_err());

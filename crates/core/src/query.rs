@@ -170,8 +170,8 @@ mod tests {
         let kb = kb();
         // The AB_11 constraint was added: P(cancer=yes | smoking=smoker)
         // should be 240/1290 = .186, well above the prior .126.
-        let q = Query::from_names(kb.schema(), &[("cancer", "yes")], &[("smoking", "smoker")])
-            .unwrap();
+        let q =
+            Query::from_names(kb.schema(), &[("cancer", "yes")], &[("smoking", "smoker")]).unwrap();
         let r = q.evaluate(&kb).unwrap();
         assert!((r.probability - 240.0 / 1290.0).abs() < 1e-4, "p = {}", r.probability);
         assert!(r.lift() > 1.3);

@@ -17,8 +17,8 @@ pub fn render_table1(schema: &Schema, round: &RoundTrace) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<42} {:>8} {:>8} {:>8} {:>7} {:>8} {:>10}  {}",
-        "cell", "p_pred", "N_obs", "mean", "sd", "#sd", "m2-m1", "p(H1|D)/p(H2|D)"
+        "{:<42} {:>8} {:>8} {:>8} {:>7} {:>8} {:>10}  p(H1|D)/p(H2|D)",
+        "cell", "p_pred", "N_obs", "mean", "sd", "#sd", "m2-m1"
     );
     let _ = writeln!(out, "{}", "-".repeat(112));
     for e in &round.evaluations {
@@ -93,7 +93,12 @@ pub fn render_table2(schema: &Schema, report: &SolveReport) -> String {
 pub fn render_summary(kb: &KnowledgeBase) -> String {
     let schema = kb.schema();
     let mut out = String::new();
-    let _ = writeln!(out, "knowledge base over {} attributes, {} cells", schema.len(), schema.cell_count());
+    let _ = writeln!(
+        out,
+        "knowledge base over {} attributes, {} cells",
+        schema.len(),
+        schema.cell_count()
+    );
     let _ = writeln!(out, "  acquired from N = {} observations", kb.sample_size());
     let _ = writeln!(out, "  model entropy: {:.4} nats", kb.entropy());
     let _ = writeln!(out, "  constraints by order:");
@@ -106,12 +111,8 @@ pub fn render_summary(kb: &KnowledgeBase) -> String {
     } else {
         let _ = writeln!(out, "  significant joint probabilities:");
         for c in significant {
-            let _ = writeln!(
-                out,
-                "    P[{}] = {:.4}",
-                c.assignment.describe(schema),
-                c.probability
-            );
+            let _ =
+                writeln!(out, "    P[{}] = {:.4}", c.assignment.describe(schema), c.probability);
         }
     }
     out
@@ -143,9 +144,8 @@ mod tests {
     #[test]
     fn table1_report_contains_key_rows() {
         let t = paper_table();
-        let outcome = Acquisition::new(AcquisitionConfig::new().with_evaluation_trace())
-            .run(&t)
-            .unwrap();
+        let outcome =
+            Acquisition::new(AcquisitionConfig::new().with_evaluation_trace()).run(&t).unwrap();
         let round = outcome.trace.first_round_at_order(2).unwrap();
         let text = render_table1(t.schema(), round);
         assert!(text.contains("smoking=smoker, cancer=yes"));
@@ -170,7 +170,8 @@ mod tests {
         assert!(text.contains("smoking=smoker, family-history=no"));
         assert!(text.contains("converged = true"));
         // Without a trace the renderer degrades gracefully.
-        let no_trace = SolveReport { iterations: 3, max_violation: 0.0, converged: true, trace: vec![] };
+        let no_trace =
+            SolveReport { iterations: 3, max_violation: 0.0, converged: true, trace: vec![] };
         assert!(render_table2(t.schema(), &no_trace).contains("no per-iteration trace"));
     }
 

@@ -145,18 +145,23 @@ pub fn induce_rules(kb: &KnowledgeBase, config: &RuleInductionConfig) -> Result<
                     if support < config.min_support || support <= 0.0 {
                         continue;
                     }
-                    for value in 0..schema.cardinality(target_attr)? {
+                    for (value, &prior) in prior_by_value.iter().enumerate() {
                         let conclusion = Assignment::single(target_attr, value);
                         let probability = kb.conditional(&conclusion, &conditions)?;
                         if probability < config.min_probability {
                             continue;
                         }
-                        let prior = prior_by_value[value];
                         let lift = if prior > 0.0 { probability / prior } else { f64::INFINITY };
                         if (lift - 1.0).abs() < config.min_lift_deviation {
                             continue;
                         }
-                        rules.push(Rule { conditions: conditions.clone(), conclusion, probability, support, lift });
+                        rules.push(Rule {
+                            conditions: conditions.clone(),
+                            conclusion,
+                            probability,
+                            support,
+                            lift,
+                        });
                     }
                 }
             }
@@ -250,8 +255,7 @@ mod tests {
     #[test]
     fn target_attribute_restriction() {
         let kb = kb();
-        let config =
-            RuleInductionConfig::default().with_target_attributes(VarSet::singleton(1));
+        let config = RuleInductionConfig::default().with_target_attributes(VarSet::singleton(1));
         let rules = induce_rules(&kb, &config).unwrap();
         assert!(!rules.is_empty());
         assert!(rules.iter().all(|r| r.conclusion.vars() == VarSet::singleton(1)));

@@ -110,6 +110,20 @@ impl AcquisitionTrace {
     pub fn total_evaluations(&self) -> usize {
         self.rounds.iter().map(|r| r.candidates).sum()
     }
+
+    /// Total solver sweeps spent across the run: the initial fit plus every
+    /// per-promotion refit.  This is the cost the streaming engine's warm
+    /// starts exist to reduce, so it is the headline number of the warm vs
+    /// cold benchmark.
+    pub fn total_solver_iterations(&self) -> usize {
+        self.initial_fit.as_ref().map_or(0, |r| r.iterations)
+            + self
+                .rounds
+                .iter()
+                .filter_map(|r| r.fit_report.as_ref())
+                .map(|r| r.iterations)
+                .sum::<usize>()
+    }
 }
 
 #[cfg(test)]

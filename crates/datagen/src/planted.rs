@@ -104,11 +104,7 @@ impl PlantedExperiment {
         if self.planted.is_empty() {
             return 1.0;
         }
-        let hits = self
-            .planted
-            .iter()
-            .filter(|p| discovered.iter().any(|d| *d == p.assignment))
-            .count();
+        let hits = self.planted.iter().filter(|p| discovered.contains(&p.assignment)).count();
         hits as f64 / self.planted.len() as f64
     }
 
@@ -180,10 +176,7 @@ mod tests {
         assert_eq!(exp.cell_recovery(&[]), 0.0);
         // A discovery over an unrelated varset counts as a false positive.
         let unrelated = Assignment::from_pairs([(0, 0), (1, 0), (2, 0)]);
-        let has_same_varset = exp
-            .planted
-            .iter()
-            .any(|p| p.assignment.vars() == unrelated.vars());
+        let has_same_varset = exp.planted.iter().any(|p| p.assignment.vars() == unrelated.vars());
         if !has_same_varset {
             assert_eq!(exp.false_positives(&[unrelated]), 1);
         }

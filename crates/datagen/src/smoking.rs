@@ -38,10 +38,7 @@ pub const TOTAL: u64 = 3428;
 /// The questionnaire schema of the memo's example.
 pub fn schema() -> Arc<Schema> {
     Schema::new(vec![
-        Attribute::new(
-            "smoking",
-            ["smoker", "non-smoker", "non-smoker-married-to-smoker"],
-        ),
+        Attribute::new("smoking", ["smoker", "non-smoker", "non-smoker-married-to-smoker"]),
         Attribute::yes_no("cancer"),
         Attribute::yes_no("family-history"),
     ])

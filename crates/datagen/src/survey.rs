@@ -174,16 +174,12 @@ mod tests {
         let joint = ground_truth();
         let t = sample_table(&joint, 30_000, &mut seeded_rng(11));
         assert_eq!(t.total(), 30_000);
-        let p_cancer_smoker = t.count_matching(&Assignment::from_pairs([
-            (SMOKING, 0),
-            (CANCER, 0),
-        ])) as f64
+        let p_cancer_smoker = t.count_matching(&Assignment::from_pairs([(SMOKING, 0), (CANCER, 0)]))
+            as f64
             / t.count_matching(&Assignment::single(SMOKING, 0)) as f64;
-        let p_cancer_nonsmoker = t.count_matching(&Assignment::from_pairs([
-            (SMOKING, 1),
-            (CANCER, 0),
-        ])) as f64
-            / t.count_matching(&Assignment::single(SMOKING, 1)) as f64;
+        let p_cancer_nonsmoker =
+            t.count_matching(&Assignment::from_pairs([(SMOKING, 1), (CANCER, 0)])) as f64
+                / t.count_matching(&Assignment::single(SMOKING, 1)) as f64;
         assert!(p_cancer_smoker > 1.5 * p_cancer_nonsmoker);
     }
 

@@ -12,16 +12,11 @@ use std::sync::Arc;
 /// This is the "null" workload: the acquisition procedure should find no
 /// higher-order constraints on data sampled from it (beyond sampling noise).
 pub fn random_independent(schema: Arc<Schema>, rng: &mut StdRng) -> JointDistribution {
-    let marginals: Vec<Vec<f64>> = schema
-        .attributes()
-        .iter()
-        .map(|a| random_simplex(a.cardinality(), rng))
-        .collect();
+    let marginals: Vec<Vec<f64>> =
+        schema.attributes().iter().map(|a| random_simplex(a.cardinality(), rng)).collect();
     let weights: Vec<f64> = schema
         .cells()
-        .map(|values| {
-            values.iter().enumerate().map(|(attr, &v)| marginals[attr][v]).product()
-        })
+        .map(|values| values.iter().enumerate().map(|(attr, &v)| marginals[attr][v]).product())
         .collect();
     JointDistribution::from_unnormalized(schema, weights)
 }
@@ -29,7 +24,11 @@ pub fn random_independent(schema: Arc<Schema>, rng: &mut StdRng) -> JointDistrib
 /// A fully random joint distribution: cell weights drawn independently from
 /// an exponential distribution scaled by `concentration` (small values give
 /// nearly-uniform tables, large values give spiky ones).
-pub fn random_joint(schema: Arc<Schema>, concentration: f64, rng: &mut StdRng) -> JointDistribution {
+pub fn random_joint(
+    schema: Arc<Schema>,
+    concentration: f64,
+    rng: &mut StdRng,
+) -> JointDistribution {
     let weights: Vec<f64> = (0..schema.cell_count())
         .map(|_| {
             let u: f64 = rng.random::<f64>().max(1e-12);

@@ -63,9 +63,8 @@ impl Evidence {
         if self.assignment.value_of(attribute).is_none() {
             return false;
         }
-        self.assignment = Assignment::from_pairs(
-            self.assignment.pairs().filter(|&(a, _)| a != attribute),
-        );
+        self.assignment =
+            Assignment::from_pairs(self.assignment.pairs().filter(|&(a, _)| a != attribute));
         true
     }
 

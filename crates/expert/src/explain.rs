@@ -57,7 +57,12 @@ impl Explanation {
             self.evidence.describe(schema),
             self.posterior
         ));
-        out.push_str(&format!("  prior P({}) = {:.4} (lift {:.2})\n", self.target.describe(schema), self.prior, self.lift()));
+        out.push_str(&format!(
+            "  prior P({}) = {:.4} (lift {:.2})\n",
+            self.target.describe(schema),
+            self.prior,
+            self.lift()
+        ));
         out.push_str("  belief trajectory:\n");
         for step in &self.steps {
             out.push_str(&format!(
@@ -85,11 +90,8 @@ pub fn explain_query(
     evidence: &Assignment,
 ) -> Result<Explanation> {
     let prior = kb.probability(target);
-    let posterior = if evidence.vars().is_empty() {
-        prior
-    } else {
-        kb.conditional(target, evidence)?
-    };
+    let posterior =
+        if evidence.vars().is_empty() { prior } else { kb.conditional(target, evidence)? };
 
     // Belief trajectory: add evidence facts one at a time.
     let mut steps = Vec::new();

@@ -60,17 +60,15 @@ impl RuleBase {
             .rules
             .iter()
             .filter(|rule| {
-                rule.conditions
-                    .pairs()
-                    .all(|(attr, value)| asserted.value_of(attr) == Some(value))
+                rule.conditions.pairs().all(|(attr, value)| asserted.value_of(attr) == Some(value))
             })
-            .map(|rule| FiredRule { rule: rule.clone(), matched_conditions: rule.condition_count() })
+            .map(|rule| FiredRule {
+                rule: rule.clone(),
+                matched_conditions: rule.condition_count(),
+            })
             .collect();
         fired.sort_by(|a, b| {
-            b.rule
-                .probability
-                .partial_cmp(&a.rule.probability)
-                .unwrap_or(std::cmp::Ordering::Equal)
+            b.rule.probability.partial_cmp(&a.rule.probability).unwrap_or(std::cmp::Ordering::Equal)
         });
         fired
     }

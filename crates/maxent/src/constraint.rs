@@ -113,7 +113,11 @@ impl ConstraintSet {
 
     /// Adds the empirical probability of a cell taken from a table — the way
     /// the acquisition loop promotes a significant cell to a constraint.
-    pub fn add_from_table(&mut self, table: &ContingencyTable, assignment: Assignment) -> Result<()> {
+    pub fn add_from_table(
+        &mut self,
+        table: &ContingencyTable,
+        assignment: Assignment,
+    ) -> Result<()> {
         let p = table.frequency(&assignment);
         self.add(Constraint::new(assignment, p)?)
     }
@@ -220,12 +224,8 @@ impl ConstraintSet {
     /// Rebuilds the internal index; needed after deserialisation (the index
     /// is not serialised).
     pub fn rebuild_index(&mut self) {
-        self.index = self
-            .constraints
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (c.assignment.clone(), i))
-            .collect();
+        self.index =
+            self.constraints.iter().enumerate().map(|(i, c)| (c.assignment.clone(), i)).collect();
     }
 }
 

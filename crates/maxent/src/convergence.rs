@@ -116,10 +116,8 @@ mod tests {
 
     #[test]
     fn builder_methods_compose() {
-        let c = ConvergenceCriteria::new()
-            .with_tolerance(1e-6)
-            .with_max_iterations(50)
-            .with_trace();
+        let c =
+            ConvergenceCriteria::new().with_tolerance(1e-6).with_max_iterations(50).with_trace();
         assert_eq!(c.max_iterations, 50);
         assert_eq!(c.tolerance, 1e-6);
         assert!(c.record_trace);
@@ -144,7 +142,8 @@ mod tests {
             trace: vec![rec.clone()],
         };
         assert_eq!(report.last_record(), Some(&rec));
-        let empty = SolveReport { iterations: 0, max_violation: 0.0, converged: true, trace: vec![] };
+        let empty =
+            SolveReport { iterations: 0, max_violation: 0.0, converged: true, trace: vec![] };
         assert!(empty.last_record().is_none());
     }
 }

@@ -90,9 +90,10 @@ impl Factor {
                 cfg[pos] = rem % self.cards[pos];
                 rem /= self.cards[pos];
             }
-            let agrees = members.iter().enumerate().all(|(pos, &attr)| {
-                evidence.value_of(attr).is_none_or(|v| v == cfg[pos])
-            });
+            let agrees = members
+                .iter()
+                .enumerate()
+                .all(|(pos, &attr)| evidence.value_of(attr).is_none_or(|v| v == cfg[pos]));
             if !agrees {
                 continue;
             }
@@ -143,8 +144,7 @@ impl FactorGraph {
     pub fn weight(&self, evidence: &Assignment) -> f64 {
         // Restrict every factor by the evidence, then eliminate the
         // remaining variables one at a time.
-        let mut factors: Vec<Factor> =
-            self.factors.iter().map(|f| f.restrict(evidence)).collect();
+        let mut factors: Vec<Factor> = self.factors.iter().map(|f| f.restrict(evidence)).collect();
         let free = self.schema.all_vars().difference(evidence.vars());
 
         for attr in free.iter() {
@@ -192,8 +192,7 @@ fn eliminate(schema: &Schema, factors: Vec<Factor>, attr: usize) -> Vec<Factor> 
         return rest;
     }
     // Scope of the product, minus the eliminated variable.
-    let joint_vars =
-        touching.iter().fold(VarSet::empty(), |acc, f| acc.union(f.vars));
+    let joint_vars = touching.iter().fold(VarSet::empty(), |acc, f| acc.union(f.vars));
     let out_vars = joint_vars.without(attr);
     let out_members: Vec<usize> = out_vars.iter().collect();
     let out_cards: Vec<usize> =
@@ -203,7 +202,7 @@ fn eliminate(schema: &Schema, factors: Vec<Factor>, attr: usize) -> Vec<Factor> 
 
     let mut out_values = vec![0.0; out_size];
     let mut full_assignment: Vec<Option<usize>> = vec![None; schema.len()];
-    for out_idx in 0..out_size {
+    for (out_idx, out_value) in out_values.iter_mut().enumerate() {
         // Decode the configuration of the surviving variables.
         let mut rem = out_idx;
         for pos in (0..out_members.len()).rev() {
@@ -219,7 +218,7 @@ fn eliminate(schema: &Schema, factors: Vec<Factor>, attr: usize) -> Vec<Factor> 
             }
             sum += prod;
         }
-        out_values[out_idx] = sum;
+        *out_value = sum;
         full_assignment[attr] = None;
         for &m in &out_members {
             full_assignment[m] = None;

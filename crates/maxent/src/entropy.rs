@@ -4,11 +4,7 @@
 /// Zero-probability cells contribute nothing (the usual `0·ln 0 = 0`
 /// convention).
 pub fn entropy(probabilities: &[f64]) -> f64 {
-    probabilities
-        .iter()
-        .filter(|&&p| p > 0.0)
-        .map(|&p| -p * p.ln())
-        .sum()
+    probabilities.iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum()
 }
 
 /// Cross entropy `−Σ p ln q` in nats.  Returns `+∞` if `p` puts mass where

@@ -208,12 +208,9 @@ mod tests {
     use proptest::prelude::*;
 
     fn schema() -> Arc<Schema> {
-        Schema::new(vec![
-            Attribute::new("a", ["0", "1", "2"]),
-            Attribute::new("b", ["0", "1"]),
-        ])
-        .unwrap()
-        .into_shared()
+        Schema::new(vec![Attribute::new("a", ["0", "1", "2"]), Attribute::new("b", ["0", "1"])])
+            .unwrap()
+            .into_shared()
     }
 
     #[test]
@@ -221,10 +218,11 @@ mod tests {
         let s = schema();
         assert!(JointDistribution::from_probabilities(Arc::clone(&s), vec![0.5; 3]).is_err());
         assert!(JointDistribution::from_probabilities(Arc::clone(&s), vec![0.5; 6]).is_err());
-        assert!(
-            JointDistribution::from_probabilities(Arc::clone(&s), vec![-0.1, 0.3, 0.2, 0.2, 0.2, 0.2])
-                .is_err()
-        );
+        assert!(JointDistribution::from_probabilities(
+            Arc::clone(&s),
+            vec![-0.1, 0.3, 0.2, 0.2, 0.2, 0.2]
+        )
+        .is_err());
         let ok = JointDistribution::from_probabilities(s, vec![1.0 / 6.0; 6]);
         assert!(ok.is_ok());
     }
@@ -232,7 +230,10 @@ mod tests {
     #[test]
     fn from_unnormalized_normalises() {
         let s = schema();
-        let j = JointDistribution::from_unnormalized(Arc::clone(&s), vec![2.0, 0.0, 0.0, 0.0, 0.0, 2.0]);
+        let j = JointDistribution::from_unnormalized(
+            Arc::clone(&s),
+            vec![2.0, 0.0, 0.0, 0.0, 0.0, 2.0],
+        );
         assert!((j.probabilities().iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert!((j.probability_of_values(&[0, 0]) - 0.5).abs() < 1e-12);
         // All-zero weights fall back to uniform.
@@ -263,9 +264,7 @@ mod tests {
         // P(b=1 | a=1) = 1 / 4.
         let p = j.conditional(&Assignment::single(1, 1), &Assignment::single(0, 1)).unwrap();
         assert!((p - 0.25).abs() < 1e-12);
-        assert!(j
-            .conditional(&Assignment::single(0, 0), &Assignment::single(0, 1))
-            .is_err());
+        assert!(j.conditional(&Assignment::single(0, 0), &Assignment::single(0, 1)).is_err());
         // a=2,b=0 has zero probability: conditioning on it is an error.
         let zero_evidence = Assignment::from_pairs([(0, 2), (1, 0)]);
         assert!(j.conditional(&Assignment::single(1, 1), &zero_evidence).is_err());

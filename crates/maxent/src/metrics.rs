@@ -137,8 +137,7 @@ mod tests {
     fn zero_probability_samples_give_infinite_loss() {
         let d = dataset();
         // A model that puts all mass on a single cell.
-        let model =
-            JointDistribution::from_unnormalized(schema(), vec![1.0, 0.0, 0.0, 0.0]);
+        let model = JointDistribution::from_unnormalized(schema(), vec![1.0, 0.0, 0.0, 0.0]);
         assert_eq!(log_loss(&model, &d).unwrap(), f64::INFINITY);
         assert_eq!(log_loss_table(&model, &d.to_table()).unwrap(), f64::INFINITY);
     }

@@ -44,7 +44,10 @@ impl LogLinearModel {
         factors: Vec<(Assignment, f64)>,
     ) -> Result<Self> {
         if !(a0 > 0.0) || !a0.is_finite() {
-            return Err(MaxEntError::InvalidProbability { value: a0, constraint: "a0".to_string() });
+            return Err(MaxEntError::InvalidProbability {
+                value: a0,
+                constraint: "a0".to_string(),
+            });
         }
         for (a, v) in &factors {
             if !(*v >= 0.0) || !v.is_finite() {
@@ -107,6 +110,28 @@ impl LogLinearModel {
     /// Multiplies one factor by `ratio` (the solver's update step).
     pub fn scale_factor(&mut self, position: usize, ratio: f64) {
         self.factors[position].1 *= ratio;
+    }
+
+    /// Raises every factor below `floor` up to it, returning the number of
+    /// factors lifted.
+    ///
+    /// Boundary maximum-entropy solutions drive some factors towards zero;
+    /// a model taken from such a fit assigns those cells **exactly** zero
+    /// mass (to floating-point precision), and the multiplicative update can
+    /// never lift a zero cell again.  Warm starts over *shifted* data
+    /// therefore "resurrect" near-zero factors to a tiny positive floor
+    /// first — the model stays next to the old solution, but every cell is
+    /// reachable again if the new counts demand it.
+    pub fn floor_factors(&mut self, floor: f64) -> usize {
+        debug_assert!(floor > 0.0 && floor.is_finite());
+        let mut lifted = 0;
+        for (_, v) in &mut self.factors {
+            if *v < floor {
+                *v = floor;
+                lifted += 1;
+            }
+        }
+        lifted
     }
 
     /// Multiplies `a0` by `ratio` (the solver's renormalisation step).
@@ -192,8 +217,7 @@ impl LogLinearModel {
 
     /// Rebuilds the internal factor index; needed after deserialisation.
     pub fn rebuild_index(&mut self) {
-        self.index =
-            self.factors.iter().enumerate().map(|(i, (a, _))| (a.clone(), i)).collect();
+        self.index = self.factors.iter().enumerate().map(|(i, (a, _))| (a.clone(), i)).collect();
     }
 }
 
@@ -293,9 +317,7 @@ mod tests {
     fn conditional_probabilities() {
         let m = independence_model();
         // Under independence, P(cancer=yes | smoking=smoker) = p^B_1.
-        let p = m
-            .conditional(&Assignment::single(1, 0), &Assignment::single(0, 0))
-            .unwrap();
+        let p = m.conditional(&Assignment::single(1, 0), &Assignment::single(0, 0)).unwrap();
         assert!((p - 0.126).abs() < 1e-9);
         // Incompatible target/evidence is an error.
         let err = m.conditional(&Assignment::single(0, 1), &Assignment::single(0, 0));
@@ -323,10 +345,7 @@ mod tests {
         assert!((m.total_mass() - 1.0).abs() < 1e-12);
         // A model with all-zero factors cannot be normalised.
         let s = schema();
-        let zero = vec![
-            (Assignment::single(1, 0), 0.0),
-            (Assignment::single(1, 1), 0.0),
-        ];
+        let zero = vec![(Assignment::single(1, 0), 0.0), (Assignment::single(1, 1), 0.0)];
         let mut z = LogLinearModel::from_factors(s, 1.0, zero).unwrap();
         assert!(z.normalize().is_err());
     }

@@ -70,11 +70,8 @@ impl Solver {
         let cells = schema.cell_count();
 
         // Ensure every constraint has a factor slot, remembering its index.
-        let factor_positions: Vec<usize> = constraints
-            .constraints()
-            .iter()
-            .map(|c| model.ensure_factor(&c.assignment))
-            .collect();
+        let factor_positions: Vec<usize> =
+            constraints.constraints().iter().map(|c| model.ensure_factor(&c.assignment)).collect();
 
         // Pre-compute, for every constraint, the dense indices of the cells
         // it covers.  This is the only O(#constraints × #cells) pass.
@@ -101,7 +98,10 @@ impl Solver {
             if self.criteria.record_trace {
                 trace.push(self.record(0, constraints, &model, &matching, &p));
             }
-            return Ok((model, SolveReport { iterations: 0, max_violation, converged: true, trace }));
+            return Ok((
+                model,
+                SolveReport { iterations: 0, max_violation, converged: true, trace },
+            ));
         }
 
         for iteration in 1..=self.criteria.max_iterations {
@@ -167,10 +167,8 @@ impl Solver {
         matching: &[Vec<u32>],
         p: &[f64],
     ) -> IterationRecord {
-        let fitted: Vec<f64> = matching
-            .iter()
-            .map(|cells| cells.iter().map(|&i| p[i as usize]).sum())
-            .collect();
+        let fitted: Vec<f64> =
+            matching.iter().map(|cells| cells.iter().map(|&i| p[i as usize]).sum()).collect();
         IterationRecord {
             iteration,
             max_violation: violation(constraints, matching, p),
@@ -287,9 +285,7 @@ mod tests {
         }
         // The model still treats attribute B as independent of the AC block:
         // P(B=1 | A=1, C=2) should equal p^B_1.
-        let cond = model
-            .conditional(&Assignment::single(1, 0), &ac12)
-            .unwrap();
+        let cond = model.conditional(&Assignment::single(1, 0), &ac12).unwrap();
         assert!((cond - 433.0 / 3428.0).abs() < 1e-6);
     }
 
@@ -332,11 +328,8 @@ mod tests {
         assert!(report.iterations <= 25, "took {} iterations", report.iterations);
         let target = 750.0 / 3428.0;
         let last = report.last_record().unwrap();
-        let ac12_index = constraints
-            .constraints()
-            .iter()
-            .position(|c| c.assignment == ac12)
-            .unwrap();
+        let ac12_index =
+            constraints.constraints().iter().position(|c| c.assignment == ac12).unwrap();
         assert!((last.fitted[ac12_index] - target).abs() < 1e-3);
         // Violations shrink (not necessarily strictly, but start > end).
         assert!(report.trace[0].max_violation >= last.max_violation);
@@ -379,10 +372,7 @@ mod tests {
         let mut constraints = ConstraintSet::new(Arc::clone(&schema));
         constraints.add(Constraint::new(Assignment::single(0, 0), 0.9).unwrap()).unwrap();
         constraints.add(Constraint::new(Assignment::single(0, 1), 0.9).unwrap()).unwrap();
-        assert!(matches!(
-            fit(&constraints),
-            Err(MaxEntError::InfeasibleConstraints { .. })
-        ));
+        assert!(matches!(fit(&constraints), Err(MaxEntError::InfeasibleConstraints { .. })));
     }
 
     #[test]
@@ -407,9 +397,8 @@ mod tests {
             Err(MaxEntError::NotConverged { iterations: 1, .. })
         ));
         // Default mode: a best-effort model with converged = false.
-        let lenient = Solver::new(
-            ConvergenceCriteria::new().with_max_iterations(1).with_tolerance(1e-15),
-        );
+        let lenient =
+            Solver::new(ConvergenceCriteria::new().with_max_iterations(1).with_tolerance(1e-15));
         let (model, report) = lenient.fit(&constraints).unwrap();
         assert!(!report.converged);
         assert_eq!(report.iterations, 1);

@@ -46,7 +46,7 @@ impl<'a> RangeContext<'a> {
             return true;
         }
         let projected = candidate.restrict(subset);
-        self.known_constraints.iter().any(|c| *c == projected)
+        self.known_constraints.contains(&projected)
     }
 
     /// Computes the available range for a candidate cell (Eq. 41).
@@ -213,7 +213,8 @@ mod tests {
     #[test]
     fn third_order_range_uses_known_second_order_marginals() {
         let t = paper_table();
-        let candidate = Assignment::from_pairs([(0, 0), (1, 0), (2, 0)]); // N^ABC_111 = 130
+        // N^ABC_111 = 130.
+        let candidate = Assignment::from_pairs([(0, 0), (1, 0), (2, 0)]);
         // Without any known second-order constraints, only the first-order
         // marginals bound the cell: min(1290, 433, 1780) = 433.
         let ctx = RangeContext::new(&t, &[], &[]);

@@ -43,7 +43,11 @@ pub fn chi_square_sf(statistic: f64, dof: f64) -> Result<f64> {
 /// Cells with zero expectation contribute nothing when the observation is
 /// also zero and are otherwise rejected (the model claims the cell is
 /// impossible but it was observed).
-pub fn chi_square_statistic(observed: &[f64], expected: &[f64], dof: f64) -> Result<ChiSquareResult> {
+pub fn chi_square_statistic(
+    observed: &[f64],
+    expected: &[f64],
+    dof: f64,
+) -> Result<ChiSquareResult> {
     if observed.len() != expected.len() {
         return Err(SignificanceError::InvalidCount {
             reason: format!(
@@ -126,7 +130,10 @@ pub fn chi_square_independence(
 /// uses it as the constraint-selection rule of the classical pipeline.
 pub fn chi_square_cell_test(observed: u64, p: f64, n: u64) -> Result<ChiSquareResult> {
     if !(0.0..=1.0).contains(&p) || !p.is_finite() {
-        return Err(SignificanceError::InvalidProbability { value: p, context: "cell probability" });
+        return Err(SignificanceError::InvalidProbability {
+            value: p,
+            context: "cell probability",
+        });
     }
     if observed > n {
         return Err(SignificanceError::InvalidCount {

@@ -110,7 +110,10 @@ pub fn g_test_independence(
 /// pipeline.
 pub fn g_test_cell(observed: u64, p: f64, n: u64) -> Result<GTestResult> {
     if !(0.0..=1.0).contains(&p) || !p.is_finite() {
-        return Err(SignificanceError::InvalidProbability { value: p, context: "cell probability" });
+        return Err(SignificanceError::InvalidProbability {
+            value: p,
+            context: "cell probability",
+        });
     }
     if observed > n {
         return Err(SignificanceError::InvalidCount {

@@ -304,8 +304,7 @@ mod tests {
         let a = Assignment::from_pairs([(0, 0), (1, 0)]);
         let range = ctx.range_of(&a);
         let test = MessageLengthTest::default();
-        let candidate =
-            CandidateCell { assignment: a.clone(), observed: 99_999, predicted_p: 0.1 };
+        let candidate = CandidateCell { assignment: a.clone(), observed: 99_999, predicted_p: 0.1 };
         assert!(test.evaluate(&candidate, t.total(), 16, 0, &range).is_err());
         let candidate = CandidateCell { assignment: a, observed: 240, predicted_p: 0.1 };
         assert!(test.evaluate(&candidate, t.total(), 16, 16, &range).is_err());

@@ -1,0 +1,547 @@
+//! The [`StreamingEngine`]: ingest → maybe-refit → snapshot swap.
+
+use crate::error::StreamError;
+use crate::ingest::tabulate_sharded;
+use crate::policy::RefreshPolicy;
+use crate::shard::CountShard;
+use crate::snapshot::{Snapshot, SnapshotHandle};
+use crate::Result;
+use pka_contingency::{ContingencyTable, Dataset, Sample, Schema};
+use pka_core::{Acquisition, AcquisitionConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`StreamingEngine`].
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Number of count shards (parallel ingestion workers).
+    pub shard_count: usize,
+    /// When accumulated data trips an automatic refresh.
+    pub policy: RefreshPolicy,
+    /// Configuration of the underlying acquisition procedure.
+    pub acquisition: AcquisitionConfig,
+}
+
+impl StreamConfig {
+    /// Defaults: one shard per available core (capped at 8), 10 %-growth
+    /// refresh, the memo's acquisition defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the shard count.
+    pub fn with_shard_count(mut self, shard_count: usize) -> Self {
+        self.shard_count = shard_count;
+        self
+    }
+
+    /// Sets the refresh policy.
+    pub fn with_policy(mut self, policy: RefreshPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the acquisition configuration.
+    pub fn with_acquisition(mut self, acquisition: AcquisitionConfig) -> Self {
+        self.acquisition = acquisition;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.shard_count == 0 {
+            return Err(StreamError::InvalidConfig {
+                reason: "shard_count must be at least 1".to_string(),
+            });
+        }
+        self.policy.validate()
+    }
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+        Self {
+            shard_count: cores.clamp(1, 8),
+            policy: RefreshPolicy::default(),
+            acquisition: AcquisitionConfig::default(),
+        }
+    }
+}
+
+/// What one refit produced — the numbers behind the warm-vs-cold benchmark.
+#[derive(Debug, Clone)]
+pub struct RefitReport {
+    /// Version the produced snapshot was published under.
+    pub version: u64,
+    /// Whether the refit was warm-started from the previous snapshot.
+    pub warm_started: bool,
+    /// Tuples the refit was performed over.
+    pub observations: u64,
+    /// Total constraints in the refitted knowledge base.
+    pub constraints: usize,
+    /// Solver sweeps spent across the whole run (initial fit + every
+    /// per-promotion refit) — the cost warm starts reduce.
+    pub solver_iterations: usize,
+    /// Wall-clock time of the refit.
+    pub wall_time: Duration,
+}
+
+/// What one ingest call did.
+#[derive(Debug)]
+pub struct IngestReport {
+    /// Tuples accepted into the shards.
+    pub accepted: u64,
+    /// What the refresh policy did after the tuples were absorbed.
+    pub refit: RefitOutcome,
+}
+
+/// The refresh-policy outcome attached to an ingest call.
+///
+/// An `Err` from an ingest method always means the batch was **rejected**
+/// (nothing was recorded).  A refit failure after a successfully absorbed
+/// batch is therefore reported here instead of as an ingest error —
+/// otherwise a caller retrying the "failed" call would double-count every
+/// tuple.
+#[derive(Debug)]
+pub enum RefitOutcome {
+    /// The policy did not trip; no refit was attempted.
+    NotTriggered,
+    /// A refit ran and published a new snapshot.
+    Completed(RefitReport),
+    /// The policy tripped but the refit failed.  The tuples **are**
+    /// ingested, the previous snapshot keeps serving queries, and the dirty
+    /// counter is preserved so the next ingest (or a manual
+    /// [`StreamingEngine::refresh`]) retries.
+    Failed(StreamError),
+}
+
+impl RefitOutcome {
+    /// The published refit report, if one completed.
+    pub fn report(&self) -> Option<&RefitReport> {
+        match self {
+            RefitOutcome::Completed(report) => Some(report),
+            _ => None,
+        }
+    }
+
+    /// True if a refit completed and published a new snapshot.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RefitOutcome::Completed(_))
+    }
+
+    /// The refit error, if the policy tripped and the refit failed.
+    pub fn error(&self) -> Option<&StreamError> {
+        match self {
+            RefitOutcome::Failed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// A long-lived streaming-acquisition engine.
+///
+/// The engine owns `shard_count` mergeable [`CountShard`]s fed by
+/// [`StreamingEngine::ingest_batch`] (batches are tabulated on parallel OS
+/// threads), tracks staleness with a dirty counter consulted against its
+/// [`RefreshPolicy`], and on refresh re-runs acquisition **warm-started**
+/// from the previous snapshot's constraint set and a-values.  Each refit is
+/// published as an immutable versioned [`Snapshot`]; readers hold
+/// [`SnapshotHandle`] clones and keep querying the last consistent snapshot
+/// while a refit runs.
+///
+/// ```
+/// use pka_contingency::{Assignment, Schema};
+/// use pka_stream::{RefreshPolicy, StreamConfig, StreamingEngine};
+///
+/// let schema = Schema::uniform(&[2, 2]).unwrap().into_shared();
+/// let config = StreamConfig::new()
+///     .with_shard_count(2)
+///     .with_policy(RefreshPolicy::EveryNTuples(4));
+/// let mut engine = StreamingEngine::new(schema, config).unwrap();
+///
+/// // Two correlated attributes, arriving as a stream.
+/// let report = engine
+///     .ingest_batch(&[[0, 0], [0, 0], [1, 1], [1, 1]])
+///     .unwrap();
+/// assert!(report.refit.is_completed(), "policy tripped on the 4th tuple");
+///
+/// let snapshot = engine.snapshot().unwrap();
+/// assert_eq!(snapshot.version(), 1);
+/// assert_eq!(snapshot.observations(), 4);
+/// // Four tuples is far too little evidence for the significance test, so
+/// // the snapshot holds the independence model: P(0,0) = 0.5 × 0.5.
+/// let p = snapshot
+///     .knowledge_base()
+///     .probability(&Assignment::from_pairs([(0, 0), (1, 0)]));
+/// assert!((p - 0.25).abs() < 1e-9);
+/// ```
+#[derive(Debug)]
+pub struct StreamingEngine {
+    schema: Arc<Schema>,
+    acquisition: Acquisition,
+    policy: RefreshPolicy,
+    shards: Vec<CountShard>,
+    /// Tuples ingested since the last published fit.
+    pending: u64,
+    /// Tuples covered by the last published fit.
+    fitted: u64,
+    /// Round-robin cursor for single-tuple ingestion.
+    next_shard: usize,
+    next_version: u64,
+    handle: SnapshotHandle,
+    refits: u64,
+}
+
+impl StreamingEngine {
+    /// Creates an engine over a schema.
+    pub fn new(schema: Arc<Schema>, config: StreamConfig) -> Result<Self> {
+        config.validate()?;
+        let shards =
+            (0..config.shard_count).map(|_| CountShard::new(Arc::clone(&schema))).collect();
+        Ok(Self {
+            schema,
+            acquisition: Acquisition::new(config.acquisition),
+            policy: config.policy,
+            shards,
+            pending: 0,
+            fitted: 0,
+            next_shard: 0,
+            next_version: 1,
+            handle: SnapshotHandle::new(),
+            refits: 0,
+        })
+    }
+
+    /// Creates an engine with the default configuration.
+    pub fn with_defaults(schema: Arc<Schema>) -> Result<Self> {
+        Self::new(schema, StreamConfig::default())
+    }
+
+    /// The schema the stream is defined over.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of count shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total tuples ingested over the engine's lifetime.
+    pub fn total_ingested(&self) -> u64 {
+        self.shards.iter().map(CountShard::tuple_count).sum()
+    }
+
+    /// Tuples ingested since the last published fit.
+    pub fn pending(&self) -> u64 {
+        self.pending
+    }
+
+    /// Number of refits performed so far.
+    pub fn refit_count(&self) -> u64 {
+        self.refits
+    }
+
+    /// A cloneable read handle for query threads.
+    pub fn handle(&self) -> SnapshotHandle {
+        self.handle.clone()
+    }
+
+    /// The latest published snapshot, if any.
+    pub fn snapshot(&self) -> Option<Arc<Snapshot>> {
+        self.handle.load()
+    }
+
+    /// Ingests one tuple (round-robin across shards), refreshing if the
+    /// policy trips.
+    pub fn ingest(&mut self, row: &[usize]) -> Result<IngestReport> {
+        let shard = self.next_shard;
+        self.next_shard = (self.next_shard + 1) % self.shards.len();
+        self.shards[shard].record(row)?;
+        self.pending += 1;
+        let refit = self.maybe_refresh();
+        Ok(IngestReport { accepted: 1, refit })
+    }
+
+    /// Ingests a batch of raw tuples.
+    ///
+    /// The batch is tabulated into per-worker scratch shards (in parallel
+    /// for large batches), each tuple validated exactly once by its
+    /// worker's checked increment.  Only if the whole batch counts cleanly
+    /// are the scratch shards merged into the engine's persistent shards —
+    /// so an `Err` always means nothing was recorded (all-or-nothing) —
+    /// and, if the dirty counter trips the policy, a warm-started refit
+    /// follows.
+    pub fn ingest_batch<R: AsRef<[usize]> + Sync>(&mut self, rows: &[R]) -> Result<IngestReport> {
+        if rows.is_empty() {
+            return Ok(IngestReport { accepted: 0, refit: RefitOutcome::NotTriggered });
+        }
+        let batch_shards = tabulate_sharded(&self.schema, rows, self.shards.len())?;
+        let shard_count = self.shards.len();
+        for (i, batch_shard) in batch_shards.into_iter().enumerate() {
+            self.shards[i % shard_count].absorb(&batch_shard)?;
+        }
+        self.pending += rows.len() as u64;
+        let refit = self.maybe_refresh();
+        Ok(IngestReport { accepted: rows.len() as u64, refit })
+    }
+
+    /// Ingests a batch of samples (e.g. straight from a [`Dataset`]).
+    pub fn ingest_samples(&mut self, samples: &[Sample]) -> Result<IngestReport> {
+        self.ingest_batch(samples)
+    }
+
+    /// Ingests every sample of a dataset.
+    pub fn ingest_dataset(&mut self, dataset: &Dataset) -> Result<IngestReport> {
+        if dataset.schema() != self.schema.as_ref() {
+            return Err(StreamError::InvalidConfig {
+                reason: "dataset schema differs from the engine's schema".to_string(),
+            });
+        }
+        self.ingest_samples(dataset.samples())
+    }
+
+    /// The combined contingency table over everything ingested so far.
+    pub fn current_table(&self) -> Result<ContingencyTable> {
+        ContingencyTable::merged(
+            Arc::clone(&self.schema),
+            self.shards.iter().map(|s| s.table().clone()),
+        )
+        .map_err(StreamError::from)
+    }
+
+    /// Consults the refresh policy and refits if it trips.  Refit failures
+    /// are folded into the outcome, never propagated as ingest errors: by
+    /// this point the tuples are already absorbed, and `pending` is only
+    /// reset on success, so the next ingest or manual refresh retries.
+    fn maybe_refresh(&mut self) -> RefitOutcome {
+        if !self.policy.should_refresh(self.pending, self.fitted) {
+            return RefitOutcome::NotTriggered;
+        }
+        match self.refresh() {
+            Ok(report) => RefitOutcome::Completed(report),
+            Err(e) => RefitOutcome::Failed(e),
+        }
+    }
+
+    /// Re-runs acquisition over all accumulated counts and publishes the
+    /// result as a new snapshot.
+    ///
+    /// If a previous snapshot exists, the run is warm-started from its
+    /// constraint set and a-values ([`Acquisition::run_warm_started`]);
+    /// otherwise a cold [`Acquisition::run`] starts from the independence
+    /// model.  Readers holding [`SnapshotHandle`]s keep being served from
+    /// the previous snapshot for the whole duration of the refit; they see
+    /// the new version only at the final pointer swap.
+    pub fn refresh(&mut self) -> Result<RefitReport> {
+        let table = self.current_table()?;
+        if table.total() == 0 {
+            return Err(StreamError::EmptyStream);
+        }
+        let started = Instant::now();
+        let previous = self.handle.load();
+        // Warm-start from the previous snapshot when there is one.  A warm
+        // refit can still fail on adversarial distribution shift (the old
+        // constraint cells may have become infeasible together); a serving
+        // engine must stay up, so that case falls back to a cold run rather
+        // than surfacing an error for data that a fresh fit handles fine.
+        let (outcome, warm_started) = match previous.as_deref() {
+            Some(snapshot) => {
+                match self.acquisition.run_warm_started(&table, snapshot.knowledge_base()) {
+                    Ok(outcome) => (outcome, true),
+                    Err(_) => (self.acquisition.run(&table)?, false),
+                }
+            }
+            None => (self.acquisition.run(&table)?, false),
+        };
+        let wall_time = started.elapsed();
+
+        let version = self.next_version;
+        self.next_version += 1;
+        self.refits += 1;
+        self.fitted = table.total();
+        self.pending = 0;
+
+        let report = RefitReport {
+            version,
+            warm_started,
+            observations: table.total(),
+            constraints: outcome.knowledge_base.constraints().len(),
+            solver_iterations: outcome.trace.total_solver_iterations(),
+            wall_time,
+        };
+        self.handle.publish(Snapshot::new(
+            outcome.knowledge_base,
+            version,
+            table.total(),
+            warm_started,
+        ));
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pka_contingency::Assignment;
+
+    fn schema() -> Arc<Schema> {
+        Schema::uniform(&[2, 2]).unwrap().into_shared()
+    }
+
+    /// Two perfectly correlated attributes, as a replayable stream.
+    fn correlated_rows(n: usize) -> Vec<Vec<usize>> {
+        (0..n).map(|i| vec![i % 2, i % 2]).collect()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(StreamingEngine::new(schema(), StreamConfig::new().with_shard_count(0)).is_err());
+        assert!(StreamingEngine::new(
+            schema(),
+            StreamConfig::new().with_policy(RefreshPolicy::EveryNTuples(0)),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn refresh_on_empty_stream_is_an_error() {
+        let mut engine = StreamingEngine::with_defaults(schema()).unwrap();
+        assert!(matches!(engine.refresh(), Err(StreamError::EmptyStream)));
+    }
+
+    #[test]
+    fn first_refresh_is_cold_then_warm() {
+        let config = StreamConfig::new().with_shard_count(2).with_policy(RefreshPolicy::Manual);
+        let mut engine = StreamingEngine::new(schema(), config).unwrap();
+        engine.ingest_batch(&correlated_rows(100)).unwrap();
+        let first = engine.refresh().unwrap();
+        assert!(!first.warm_started);
+        assert_eq!(first.version, 1);
+        engine.ingest_batch(&correlated_rows(100)).unwrap();
+        let second = engine.refresh().unwrap();
+        assert!(second.warm_started);
+        assert_eq!(second.version, 2);
+        assert_eq!(second.observations, 200);
+        assert_eq!(engine.refit_count(), 2);
+        assert_eq!(engine.pending(), 0);
+    }
+
+    #[test]
+    fn policy_triggers_refits_during_ingest() {
+        let config =
+            StreamConfig::new().with_shard_count(2).with_policy(RefreshPolicy::EveryNTuples(50));
+        let mut engine = StreamingEngine::new(schema(), config).unwrap();
+        let mut refits = 0;
+        for batch in correlated_rows(200).chunks(25) {
+            if engine.ingest_batch(batch).unwrap().refit.is_completed() {
+                refits += 1;
+            }
+        }
+        assert_eq!(refits, 4, "one refit per 50 tuples");
+        assert_eq!(engine.snapshot().unwrap().observations(), 200);
+    }
+
+    #[test]
+    fn single_tuple_ingest_round_robins_and_refits() {
+        let config =
+            StreamConfig::new().with_shard_count(3).with_policy(RefreshPolicy::EveryNTuples(10));
+        let mut engine = StreamingEngine::new(schema(), config).unwrap();
+        for row in correlated_rows(30) {
+            engine.ingest(&row).unwrap();
+        }
+        assert_eq!(engine.total_ingested(), 30);
+        assert_eq!(engine.refit_count(), 3);
+        // Round-robin spreads tuples across all shards.
+        assert!(engine.shard_count() == 3);
+        let table = engine.current_table().unwrap();
+        assert_eq!(table.total(), 30);
+    }
+
+    #[test]
+    fn snapshot_reflects_the_correlation() {
+        let config = StreamConfig::new().with_policy(RefreshPolicy::Manual);
+        let mut engine = StreamingEngine::new(schema(), config).unwrap();
+        engine.ingest_batch(&correlated_rows(400)).unwrap();
+        engine.refresh().unwrap();
+        let snapshot = engine.snapshot().unwrap();
+        let p = snapshot
+            .knowledge_base()
+            .conditional(&Assignment::single(1, 0), &Assignment::single(0, 0))
+            .unwrap();
+        assert!(p > 0.95, "P(b=0 | a=0) = {p} under perfect correlation");
+    }
+
+    #[test]
+    fn readers_keep_serving_across_refits() {
+        let config = StreamConfig::new().with_policy(RefreshPolicy::Manual);
+        let mut engine = StreamingEngine::new(schema(), config).unwrap();
+        engine.ingest_batch(&correlated_rows(100)).unwrap();
+        engine.refresh().unwrap();
+
+        let handle = engine.handle();
+        let reader = std::thread::spawn(move || {
+            // A reader pinned to whatever snapshot it loaded first.
+            let pinned = handle.load().unwrap();
+            let version = pinned.version();
+            let p_before = pinned.knowledge_base().probability(&Assignment::single(0, 0));
+            // Spin until the engine publishes a newer version, proving the
+            // pinned snapshot stayed valid and unchanged throughout.
+            loop {
+                if handle.version() != Some(version) {
+                    let p_after = pinned.knowledge_base().probability(&Assignment::single(0, 0));
+                    return (version, p_before, p_after);
+                }
+                std::thread::yield_now();
+            }
+        });
+
+        // Skew the distribution and refit; the reader's pinned snapshot must
+        // be untouched by the swap.
+        let skew: Vec<Vec<usize>> = (0..300).map(|_| vec![0, 1]).collect();
+        engine.ingest_batch(&skew).unwrap();
+        engine.refresh().unwrap();
+        let (version, p_before, p_after) = reader.join().unwrap();
+        assert_eq!(version, 1);
+        assert_eq!(p_before, p_after, "pinned snapshot changed under the reader");
+        assert_eq!(engine.snapshot().unwrap().version(), 2);
+    }
+
+    #[test]
+    fn failed_automatic_refit_does_not_poison_ingest() {
+        use pka_core::AcquisitionConfig;
+        use pka_maxent::ConvergenceCriteria;
+        // A solver budget that cannot converge, in strict mode: every
+        // policy-triggered refit fails.
+        let impossible = AcquisitionConfig::new().with_convergence(
+            ConvergenceCriteria::new().with_max_iterations(1).with_tolerance(1e-16).strict(),
+        );
+        let config = StreamConfig::new()
+            .with_shard_count(2)
+            .with_policy(RefreshPolicy::EveryNTuples(400))
+            .with_acquisition(impossible);
+        let mut engine = StreamingEngine::new(schema(), config).unwrap();
+
+        // Perfect correlation promotes a boundary constraint whose fit
+        // cannot reach 1e-16 in one sweep, so the policy-triggered refit
+        // fails.  The ingest itself still succeeds — the tuples are in the
+        // shards — and the failure is reported in the outcome, not as an
+        // error a retry loop would re-send the batch for.
+        let report = engine.ingest_batch(&correlated_rows(400)).unwrap();
+        assert_eq!(report.accepted, 400);
+        assert!(report.refit.error().is_some(), "refit must fail: {:?}", report.refit);
+        assert!(report.refit.report().is_none());
+        assert_eq!(engine.total_ingested(), 400, "tuples counted exactly once");
+        assert_eq!(engine.pending(), 400, "dirty counter preserved for retry");
+        assert!(engine.snapshot().is_none());
+    }
+
+    #[test]
+    fn rejects_foreign_schema_datasets() {
+        let mut engine = StreamingEngine::with_defaults(schema()).unwrap();
+        let other = Dataset::new(Schema::uniform(&[3]).unwrap());
+        assert!(engine.ingest_dataset(&other).is_err());
+        assert!(engine.ingest_batch(&[[0, 5]]).is_err());
+        assert_eq!(engine.total_ingested(), 0, "failed batches leave no trace");
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type of the streaming-acquisition engine.
+
+use pka_contingency::ContingencyError;
+use pka_core::CoreError;
+use pka_maxent::MaxEntError;
+use std::fmt;
+
+/// Anything that can go wrong while ingesting or refreshing.
+#[derive(Debug)]
+pub enum StreamError {
+    /// A tuple or batch failed validation against the schema.
+    Data(ContingencyError),
+    /// The acquisition refresh failed.
+    Acquisition(CoreError),
+    /// The maximum-entropy fit failed.
+    MaxEnt(MaxEntError),
+    /// The engine was asked to refresh before any tuple arrived.
+    EmptyStream,
+    /// The engine configuration is unusable.
+    InvalidConfig {
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Data(e) => write!(f, "stream data error: {e}"),
+            StreamError::Acquisition(e) => write!(f, "stream refresh failed: {e}"),
+            StreamError::MaxEnt(e) => write!(f, "stream model fit failed: {e}"),
+            StreamError::EmptyStream => {
+                write!(f, "cannot refresh a knowledge base from an empty stream")
+            }
+            StreamError::InvalidConfig { reason } => {
+                write!(f, "invalid streaming configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Data(e) => Some(e),
+            StreamError::Acquisition(e) => Some(e),
+            StreamError::MaxEnt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ContingencyError> for StreamError {
+    fn from(e: ContingencyError) -> Self {
+        StreamError::Data(e)
+    }
+}
+
+impl From<CoreError> for StreamError {
+    fn from(e: CoreError) -> Self {
+        StreamError::Acquisition(e)
+    }
+}
+
+impl From<MaxEntError> for StreamError {
+    fn from(e: MaxEntError) -> Self {
+        StreamError::MaxEnt(e)
+    }
+}

@@ -1,0 +1,57 @@
+//! # pka-stream
+//!
+//! An incremental, sharded **streaming-acquisition engine** on top of the
+//! NASA TM-88224 reproduction: the memo's batch procedure (Figures 3–4)
+//! operated as a long-lived service whose knowledge base stays fresh while
+//! tuples keep arriving — the operating mode of maximum-entropy shells like
+//! SPIRIT, and the incremental-scoring setting Cooper & Herskovits motivate
+//! for database-resident data.
+//!
+//! Three ideas make it work:
+//!
+//! 1. **Sharded, mergeable counts** ([`shard`], [`ingest`]) — contingency
+//!    cell counts form a commutative monoid under addition, so each worker
+//!    accumulates a private [`CountShard`] and the engine combines them
+//!    with an associative `merge`.  Sharded ingestion is therefore *exact*:
+//!    any partition of the stream, tabulated in any order on any number of
+//!    threads, reproduces the single-pass contingency table bit for bit.
+//! 2. **Staleness tracking + warm restarts** ([`policy`], and
+//!    [`Acquisition::run_warm_started`] in `pka-core`) — a dirty counter
+//!    trips a [`RefreshPolicy`], and the refit re-enters acquisition from
+//!    the previous knowledge base's constraint set and a-values (the memo's
+//!    own Table-2 warm start, lifted to the whole run) instead of from the
+//!    independence model.  The maximum-entropy solution per constraint set
+//!    is unique, so warm refits converge to the same knowledge base a cold
+//!    run would — just with far fewer solver sweeps.
+//! 3. **Snapshot isolation** ([`snapshot`]) — every refit publishes an
+//!    immutable, versioned [`Snapshot`] behind an `Arc`; queries load the
+//!    current snapshot once and are never blocked (or torn) by a refit
+//!    running concurrently.
+//!
+//! [`StreamingEngine`] ties the three together: `ingest → maybe-refit →
+//! snapshot swap`.  See `examples/streaming_survey.rs` for a continuous
+//! survey feed with live queries, and `tests/streaming_equivalence.rs` for
+//! the end-to-end proof that a streamed, twice-warm-refitted knowledge base
+//! answers queries identically to a one-shot acquisition over the same
+//! data.
+//!
+//! [`Acquisition::run_warm_started`]: pka_core::Acquisition::run_warm_started
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod error;
+pub mod ingest;
+pub mod policy;
+pub mod shard;
+pub mod snapshot;
+
+pub use engine::{IngestReport, RefitOutcome, RefitReport, StreamConfig, StreamingEngine};
+pub use error::StreamError;
+pub use policy::RefreshPolicy;
+pub use shard::CountShard;
+pub use snapshot::{Snapshot, SnapshotHandle};
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, StreamError>;

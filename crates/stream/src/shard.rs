@@ -1,0 +1,139 @@
+//! Mergeable count shards — the unit of parallel ingestion.
+//!
+//! A [`CountShard`] is a contingency table owned by one worker.  Because
+//! cell counts form a commutative monoid under addition (identity: the
+//! all-zero table), shards can be built independently, in any order, over
+//! any partition of the stream, and combined with [`CountShard::merge`]
+//! into exactly the table a single sequential pass would have produced.
+//! Those algebraic laws are what make sharded ingestion *exact*; they are
+//! property-tested in `tests/shard_laws.rs` at the workspace root.
+
+use crate::Result;
+use pka_contingency::{ContingencyTable, Sample, Schema};
+use std::sync::Arc;
+
+/// One worker's private slice of the stream's contingency counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountShard {
+    table: ContingencyTable,
+}
+
+impl CountShard {
+    /// An empty shard over a schema — the monoid identity.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        Self { table: ContingencyTable::zeros(schema) }
+    }
+
+    /// Wraps an existing table as a shard (e.g. counts recovered from a
+    /// checkpoint).
+    pub fn from_table(table: ContingencyTable) -> Self {
+        Self { table }
+    }
+
+    /// The schema the shard counts over.
+    pub fn schema(&self) -> &Schema {
+        self.table.schema()
+    }
+
+    /// Number of tuples recorded in this shard.
+    pub fn tuple_count(&self) -> u64 {
+        self.table.total()
+    }
+
+    /// True if no tuple has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.table.total() == 0
+    }
+
+    /// Records one tuple given as raw value indices.
+    pub fn record(&mut self, values: &[usize]) -> Result<()> {
+        self.table.increment(values)?;
+        Ok(())
+    }
+
+    /// Records one validated sample.
+    pub fn record_sample(&mut self, sample: &Sample) -> Result<()> {
+        self.table.increment_sample(sample)?;
+        Ok(())
+    }
+
+    /// Records a batch of raw rows.  Returns the number recorded; on error
+    /// nothing before the offending row is rolled back (callers wanting
+    /// atomic batches validate first — see `ingest::tabulate_sharded`).
+    pub fn record_batch<R: AsRef<[usize]>>(&mut self, rows: &[R]) -> Result<u64> {
+        for row in rows {
+            self.record(row.as_ref())?;
+        }
+        Ok(rows.len() as u64)
+    }
+
+    /// Combines two shards by value.  Associative and commutative: for any
+    /// shards `a, b, c` over one schema,
+    /// `a.merge(b.merge(c)?)? == a.merge(b)?.merge(c)?` and
+    /// `a.merge(b)? == b.merge(a)?`.
+    pub fn merge(self, other: CountShard) -> Result<CountShard> {
+        Ok(Self { table: self.table.combined(other.table)? })
+    }
+
+    /// In-place variant of [`CountShard::merge`].
+    pub fn absorb(&mut self, other: &CountShard) -> Result<()> {
+        self.table.merge(&other.table)?;
+        Ok(())
+    }
+
+    /// Read access to the underlying counts.
+    pub fn table(&self) -> &ContingencyTable {
+        &self.table
+    }
+
+    /// Unwraps into the underlying table.
+    pub fn into_table(self) -> ContingencyTable {
+        self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Arc<Schema> {
+        Schema::uniform(&[2, 3]).unwrap().into_shared()
+    }
+
+    #[test]
+    fn record_and_merge_counts_add() {
+        let mut a = CountShard::new(schema());
+        let mut b = CountShard::new(schema());
+        a.record(&[0, 1]).unwrap();
+        a.record(&[0, 1]).unwrap();
+        b.record(&[0, 1]).unwrap();
+        b.record(&[1, 2]).unwrap();
+        let merged = a.merge(b).unwrap();
+        assert_eq!(merged.tuple_count(), 4);
+        assert_eq!(merged.table().count_values(&[0, 1]), 3);
+        assert_eq!(merged.table().count_values(&[1, 2]), 1);
+    }
+
+    #[test]
+    fn empty_shard_is_identity() {
+        let mut a = CountShard::new(schema());
+        a.record_batch(&[vec![0, 0], vec![1, 1]]).unwrap();
+        let merged = a.clone().merge(CountShard::new(schema())).unwrap();
+        assert_eq!(merged, a);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let a = CountShard::new(schema());
+        let b = CountShard::new(Schema::uniform(&[4]).unwrap().into_shared());
+        assert!(a.merge(b).is_err());
+    }
+
+    #[test]
+    fn invalid_rows_are_rejected() {
+        let mut a = CountShard::new(schema());
+        assert!(a.record(&[0, 9]).is_err());
+        assert!(a.record(&[0]).is_err());
+        assert_eq!(a.tuple_count(), 0);
+    }
+}

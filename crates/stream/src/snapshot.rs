@@ -1,0 +1,114 @@
+//! Snapshot isolation: versioned, immutable knowledge-base handles.
+//!
+//! Queries must keep being answered while a refit runs.  The engine
+//! publishes each refitted [`KnowledgeBase`] as an immutable, versioned
+//! [`Snapshot`] behind an `Arc`, and swaps the shared slot atomically (an
+//! `RwLock<Option<Arc<Snapshot>>>` held only for the duration of the
+//! pointer copy).  Readers [`SnapshotHandle::load`] an `Arc` once per query
+//! (or per request batch) and then work lock-free against a consistent
+//! knowledge base, no matter how many swaps happen meanwhile.
+
+use pka_core::KnowledgeBase;
+use std::sync::{Arc, RwLock};
+
+/// One published, immutable state of the streaming knowledge base.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    knowledge_base: KnowledgeBase,
+    version: u64,
+    observations: u64,
+    warm_started: bool,
+}
+
+impl Snapshot {
+    pub(crate) fn new(
+        knowledge_base: KnowledgeBase,
+        version: u64,
+        observations: u64,
+        warm_started: bool,
+    ) -> Self {
+        Self { knowledge_base, version, observations, warm_started }
+    }
+
+    /// The acquired knowledge base: query it freely, it never changes.
+    pub fn knowledge_base(&self) -> &KnowledgeBase {
+        &self.knowledge_base
+    }
+
+    /// Monotonically increasing publication number (1 for the first fit).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of stream tuples this snapshot was fitted on.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Whether this snapshot's refit was warm-started from its predecessor.
+    pub fn warm_started(&self) -> bool {
+        self.warm_started
+    }
+}
+
+/// A cloneable read handle onto the engine's latest snapshot.
+///
+/// Handles are cheap to clone and safe to move to reader threads; they see
+/// every published snapshot but never block a refit (and a refit never
+/// blocks them beyond an `Arc` pointer swap).
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotHandle {
+    slot: Arc<RwLock<Option<Arc<Snapshot>>>>,
+}
+
+impl SnapshotHandle {
+    /// A handle with no published snapshot yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The latest snapshot, if any fit has been published.
+    pub fn load(&self) -> Option<Arc<Snapshot>> {
+        self.slot.read().expect("snapshot slot poisoned").clone()
+    }
+
+    /// The latest published version, if any.
+    pub fn version(&self) -> Option<u64> {
+        self.load().map(|s| s.version())
+    }
+
+    /// Publishes a new snapshot, making it visible to every handle clone.
+    pub(crate) fn publish(&self, snapshot: Snapshot) {
+        *self.slot.write().expect("snapshot slot poisoned") = Some(Arc::new(snapshot));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pka_contingency::{ContingencyTable, Schema};
+    use pka_core::Acquisition;
+
+    fn snapshot(version: u64) -> Snapshot {
+        let schema = Schema::uniform(&[2, 2]).unwrap().into_shared();
+        let t = ContingencyTable::from_counts(schema, vec![40, 10, 10, 40]).unwrap();
+        let kb = Acquisition::with_defaults().run(&t).unwrap().knowledge_base;
+        Snapshot::new(kb, version, 100, version > 1)
+    }
+
+    #[test]
+    fn handles_share_published_snapshots() {
+        let handle = SnapshotHandle::new();
+        let reader = handle.clone();
+        assert!(reader.load().is_none());
+        handle.publish(snapshot(1));
+        assert_eq!(reader.version(), Some(1));
+
+        // A reader that loaded before a swap keeps its consistent state.
+        let held = reader.load().unwrap();
+        handle.publish(snapshot(2));
+        assert_eq!(held.version(), 1);
+        assert_eq!(reader.version(), Some(2));
+        assert!(reader.load().unwrap().warm_started());
+    }
+}

@@ -20,10 +20,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Table-1 rows can be shown.
     let outcome = Acquisition::new(AcquisitionConfig::new().with_evaluation_trace()).run(&table)?;
 
-    let first_round = outcome
-        .trace
-        .first_round_at_order(2)
-        .expect("the second order is always searched");
+    let first_round =
+        outcome.trace.first_round_at_order(2).expect("the second order is always searched");
     println!("Table 1 — second-order cells scored against the independence model:");
     println!("{}", report::render_table1(table.schema(), first_round));
 
@@ -37,10 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let p = kb.conditional_by_names(&[("cancer", "yes")], &[("smoking", smoking_value)])?;
         println!("  P(cancer=yes | smoking={smoking_value}) = {p:.4}");
     }
-    let p_base = kb.probability(&pka::contingency::Assignment::from_names(
-        kb.schema(),
-        &[("cancer", "yes")],
-    )?);
+    let p_base = kb
+        .probability(&pka::contingency::Assignment::from_names(kb.schema(), &[("cancer", "yes")])?);
     println!("  P(cancer=yes) unconditionally              = {p_base:.4}");
 
     println!("\nwith family history as additional evidence:");

@@ -43,3 +43,7 @@ pub use pka_baselines as baselines;
 
 /// A small probabilistic expert-system shell over acquired knowledge bases.
 pub use pka_expert as expert;
+
+/// The incremental, sharded streaming-acquisition engine: live ingestion,
+/// staleness-driven warm refits, snapshot-isolated queries.
+pub use pka_stream as stream;

@@ -58,9 +58,8 @@ fn csv_to_knowledge_base_pipeline() {
     assert!(with_training > 2.0 * without_training);
     // The "remote" attribute carries no signal, so conditioning on it moves
     // the belief very little.
-    let with_remote = kb
-        .conditional_by_names(&[("cert", "yes")], &[("remote", "yes")])
-        .expect("query evaluates");
+    let with_remote =
+        kb.conditional_by_names(&[("cert", "yes")], &[("remote", "yes")]).expect("query evaluates");
     let prior = kb.probability(&Assignment::from_names(kb.schema(), &[("cert", "yes")]).unwrap());
     assert!((with_remote - prior).abs() < 0.05);
 }
@@ -156,9 +155,7 @@ fn named_schema_pipeline() {
 
     let q = Query::from_names(kb.schema(), &[("anomaly", "yes")], &[("sensor", "failed")]).unwrap();
     let failed = kb.query(&q).unwrap();
-    let nominal = kb
-        .conditional_by_names(&[("anomaly", "yes")], &[("sensor", "nominal")])
-        .unwrap();
+    let nominal = kb.conditional_by_names(&[("anomaly", "yes")], &[("sensor", "nominal")]).unwrap();
     assert!(failed.probability > 0.5);
     assert!(nominal < 0.15);
     assert!(failed.lift() > 3.0);

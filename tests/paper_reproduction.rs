@@ -23,14 +23,18 @@ fn figures_1_and_2_reproduce_exactly() {
 
     // Figure 2c: smoking × cancer marginal.
     let ab = table.marginal(VarSet::from_indices([0, 1]));
-    let expected = [(0, 0, 240u64), (0, 1, 1050), (1, 0, 93), (1, 1, 1040), (2, 0, 100), (2, 1, 905)];
+    let expected =
+        [(0, 0, 240u64), (0, 1, 1050), (1, 0, 93), (1, 1, 1040), (2, 0, 100), (2, 1, 905)];
     for (i, j, n) in expected {
         assert_eq!(ab.count_by_values(&[i, j]), n, "N^AB_{}{}", i + 1, j + 1);
     }
 
     // First-order marginals and N.
     let a = table.marginal(VarSet::singleton(0));
-    assert_eq!((a.count_by_values(&[0]), a.count_by_values(&[1]), a.count_by_values(&[2])), (1290, 1133, 1005));
+    assert_eq!(
+        (a.count_by_values(&[0]), a.count_by_values(&[1]), a.count_by_values(&[2])),
+        (1290, 1133, 1005)
+    );
     let b = table.marginal(VarSet::singleton(1));
     assert_eq!((b.count_by_values(&[0]), b.count_by_values(&[1])), (433, 2995));
     let c = table.marginal(VarSet::singleton(2));
@@ -76,7 +80,8 @@ fn table_1_message_lengths_match_the_memo() {
     assert_eq!(round.evaluations.len(), 16);
 
     // (attribute pair, value pair, paper m2-m1)
-    let paper: &[((usize, usize), (usize, usize), f64)] = &[
+    type PaperRow = ((usize, usize), (usize, usize), f64);
+    let paper: &[PaperRow] = &[
         ((0, 1), (0, 0), -11.57),
         ((0, 1), (0, 1), 1.75),
         ((0, 1), (1, 0), -4.74),

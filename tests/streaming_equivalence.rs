@@ -1,0 +1,172 @@
+//! End-to-end proof of the streaming engine: feeding the memo's
+//! smoking/cancer survey as a stream of batches — across multiple count
+//! shards, with multiple warm-started refits along the way — ends in a
+//! knowledge base whose query answers match a one-shot
+//! `Acquisition::run` over the full data to within 1e-9.
+
+use pka::contingency::{Assignment, Dataset};
+use pka::core::{Acquisition, AcquisitionConfig};
+use pka::maxent::ConvergenceCriteria;
+use pka::stream::{RefreshPolicy, StreamConfig, StreamingEngine};
+use std::sync::Arc;
+
+/// Solver settings tight enough that "same fixed point" is observable at
+/// the 1e-9 level.
+fn tight_config() -> AcquisitionConfig {
+    AcquisitionConfig::new().with_convergence(
+        ConvergenceCriteria::new().with_tolerance(1e-13).with_max_iterations(5000),
+    )
+}
+
+/// Deals the memo's 3428 survey samples round-robin into `n` batches, so
+/// every batch is a representative slice of the stream.
+fn round_robin_batches(n: usize) -> Vec<Dataset> {
+    let full = pka::datagen::smoking::dataset();
+    let schema = full.shared_schema();
+    let mut batches: Vec<Dataset> =
+        (0..n).map(|_| Dataset::with_shared_schema(Arc::clone(&schema))).collect();
+    for (i, sample) in full.iter().enumerate() {
+        batches[i % n].push(sample.clone()).unwrap();
+    }
+    batches
+}
+
+#[test]
+fn streamed_survey_matches_one_shot_acquisition() {
+    let full_table = pka::datagen::smoking::table();
+    let schema = full_table.shared_schema();
+
+    // Manual policy: the test drives a refit after every batch, so the
+    // stream goes through one cold fit and then ≥ 2 warm-started refits.
+    let config = StreamConfig::new()
+        .with_shard_count(4)
+        .with_policy(RefreshPolicy::Manual)
+        .with_acquisition(tight_config());
+    let mut engine = StreamingEngine::new(Arc::clone(&schema), config).unwrap();
+    assert!(engine.shard_count() >= 2, "acceptance requires ≥ 2 shards");
+
+    let batches = round_robin_batches(3);
+    assert!(batches.len() >= 3, "acceptance requires ≥ 3 batches");
+
+    let mut warm_refits = 0;
+    for batch in &batches {
+        engine.ingest_dataset(batch).unwrap();
+        let refit = engine.refresh().unwrap();
+        if refit.warm_started {
+            warm_refits += 1;
+        }
+    }
+    assert!(warm_refits >= 2, "acceptance requires ≥ 2 warm refits, got {warm_refits}");
+    assert_eq!(engine.total_ingested(), full_table.total());
+
+    // The engine's accumulated counts are exactly the one-shot table.
+    assert_eq!(engine.current_table().unwrap(), full_table);
+
+    // One-shot acquisition over the full data, same configuration.
+    let one_shot = Acquisition::new(tight_config()).run(&full_table).unwrap();
+    let streamed = engine.snapshot().unwrap();
+    let streamed_kb = streamed.knowledge_base();
+    assert!(streamed.warm_started());
+    assert_eq!(streamed.observations(), full_table.total());
+
+    // Same discovered structure...
+    assert_eq!(
+        streamed_kb.order_histogram(),
+        one_shot.knowledge_base.order_histogram(),
+        "streamed and one-shot knowledge bases found different structure"
+    );
+
+    // ...and the same answer to every probability query: compare the full
+    // joint cell by cell (every conditional is a ratio of such sums).
+    let streamed_joint = streamed_kb.joint();
+    let one_shot_joint = one_shot.knowledge_base.joint();
+    for (i, (s, o)) in
+        streamed_joint.probabilities().iter().zip(one_shot_joint.probabilities()).enumerate()
+    {
+        assert!((s - o).abs() < 1e-9, "joint cell {i}: streamed {s} vs one-shot {o}");
+    }
+
+    // Spot-check the memo's flagship conditional queries by name.
+    for (target, evidence) in [
+        (("cancer", "yes"), ("smoking", "smoker")),
+        (("cancer", "yes"), ("smoking", "non-smoker")),
+        (("family-history", "yes"), ("smoking", "smoker")),
+        (("cancer", "no"), ("family-history", "no")),
+    ] {
+        let s = streamed_kb.conditional_by_names(&[target], &[evidence]).unwrap();
+        let o = one_shot.knowledge_base.conditional_by_names(&[target], &[evidence]).unwrap();
+        assert!((s - o).abs() < 1e-9, "P({target:?} | {evidence:?}): streamed {s} vs one-shot {o}");
+    }
+
+    // The discovered constraints are honoured exactly by the streamed model.
+    let ac = Assignment::from_pairs([(0, 0), (2, 1)]);
+    assert!((streamed_kb.probability(&ac) - full_table.frequency(&ac)).abs() < 1e-6);
+}
+
+#[test]
+fn automatic_policy_stays_consistent_with_the_data() {
+    // Same stream, but refits triggered by the dirty-counter policy instead
+    // of manually: refresh whenever pending ≥ 25 % of the fitted data.
+    //
+    // Early refits see small noisy prefixes, and constraints they promote
+    // are *retained* across warm refits (with their targets re-read from
+    // the growing table).  The streamed knowledge base may therefore carry
+    // strictly more structure than a one-shot run — the contract is not
+    // bit-equality but consistency: every constraint it holds is honoured
+    // against the full data, it contains at least the one-shot structure,
+    // and its queries agree with the one-shot model to modelling accuracy.
+    let full_table = pka::datagen::smoking::table();
+    let schema = full_table.shared_schema();
+    let config = StreamConfig::new()
+        .with_shard_count(2)
+        .with_policy(RefreshPolicy::DirtyFraction(0.25))
+        .with_acquisition(tight_config());
+    let mut engine = StreamingEngine::new(Arc::clone(&schema), config).unwrap();
+
+    for batch in round_robin_batches(8) {
+        engine.ingest_dataset(&batch).unwrap();
+    }
+    assert!(engine.refit_count() >= 2, "policy should have tripped repeatedly");
+
+    // Catch up on whatever arrived after the last automatic refit.
+    if engine.pending() > 0 {
+        engine.refresh().unwrap();
+    }
+    let streamed = engine.snapshot().unwrap();
+    let streamed_kb = streamed.knowledge_base();
+
+    // Every constraint the streamed knowledge base holds is honoured and
+    // matches the full data's frequency for that cell.
+    for c in streamed_kb.constraints().constraints() {
+        let fitted = streamed_kb.probability(&c.assignment);
+        let empirical = full_table.frequency(&c.assignment);
+        assert!((fitted - c.probability).abs() < 1e-6, "constraint not honoured");
+        assert!((c.probability - empirical).abs() < 1e-9, "constraint target is stale");
+    }
+
+    // It found real higher-order structure.  (The exact cells — even the
+    // attribute blocks — can legitimately differ from the one-shot run's:
+    // search order matters to which of several equivalent descriptions is
+    // promoted, e.g. one third-order cell can stand in for two second-order
+    // ones.  What must agree is the distribution those descriptions pin
+    // down, checked below.)
+    assert!(!streamed_kb.significant_constraints().is_empty());
+    let one_shot = Acquisition::new(tight_config()).run(&full_table).unwrap();
+
+    // And the distributions the two descriptions pin down are close: both
+    // honour the same first-order marginals and fit the same data, so their
+    // joints may differ only in how unconstrained cells are smoothed.
+    // Total variation is a sanity bound on that modelling slack, not a
+    // bit-equality claim (the manual-policy test above makes that stronger
+    // claim under identical refit schedules).
+    let streamed_joint = streamed.knowledge_base().joint();
+    let one_shot_joint = one_shot.knowledge_base.joint();
+    let total_variation: f64 = streamed_joint
+        .probabilities()
+        .iter()
+        .zip(one_shot_joint.probabilities())
+        .map(|(s, o)| (s - o).abs())
+        .sum::<f64>()
+        / 2.0;
+    assert!(total_variation < 0.02, "total variation {total_variation} too large");
+}

@@ -1,0 +1,258 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface this workspace's benches use —
+//! [`Criterion::benchmark_group`], `bench_function`, `bench_with_input`,
+//! [`criterion_group!`]/[`criterion_main!`], [`BenchmarkId`], [`Throughput`]
+//! — as a compact wall-clock harness: each benchmark is warmed up briefly,
+//! then timed over an adaptive iteration count, and the mean/min per
+//! iteration is printed in criterion-like style.  There is no statistical
+//! analysis or HTML report; the numbers are honest medians of short runs,
+//! which is what the CHANGES.md records rely on.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark.
+const TARGET_MEASURE: Duration = Duration::from_millis(400);
+/// Warm-up time per benchmark.
+const TARGET_WARMUP: Duration = Duration::from_millis(80);
+
+/// The benchmark context handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n{name}");
+        BenchmarkGroup { _parent: self, group: name, throughput: None }
+    }
+
+    /// Benchmarks a function directly on the context (no group).
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into_benchmark_id().render(), None, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and optional throughput.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    group: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks a closure under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.group, id.into_benchmark_id().render());
+        run_benchmark(&name, self.throughput, &mut f);
+        self
+    }
+
+    /// Benchmarks a closure that receives an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.group, id.into_benchmark_id().render());
+        run_benchmark(&name, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Declares the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the adaptive harness ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the adaptive harness ignores it.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the adaptive harness ignores it.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Finishes the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Per-iteration work declaration, for tuples/sec style reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, optionally parameterised.
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id like `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { name: name.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    /// An id carrying only a parameter (the function name is the group's).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { name: String::new(), parameter: Some(parameter.to_string()) }
+    }
+
+    fn render(&self) -> String {
+        match (&self.name.is_empty(), &self.parameter) {
+            (false, Some(p)) => format!("{}/{}", self.name, p),
+            (false, None) => self.name.clone(),
+            (true, Some(p)) => p.clone(),
+            (true, None) => String::new(),
+        }
+    }
+}
+
+/// Conversion into [`BenchmarkId`] so `&str` works directly.
+pub trait IntoBenchmarkId {
+    /// Converts to an id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self.to_string(), parameter: None }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self, parameter: None }
+    }
+}
+
+/// The timing handle passed to benchmark closures.
+pub struct Bencher {
+    /// Total time of the measured iterations.
+    elapsed: Duration,
+    /// Number of measured iterations.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, adaptively choosing an iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and per-iteration cost estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= TARGET_WARMUP {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+        let iters = if per_iter.is_zero() {
+            1000
+        } else {
+            (TARGET_MEASURE.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Times `f` with explicit control of the iteration count per call.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        let iters = 10;
+        self.elapsed = f(iters);
+        self.iters = iters;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, f: &mut F) {
+    let mut bencher = Bencher { elapsed: Duration::ZERO, iters: 0 };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        eprintln!("  {name}: no measurement (b.iter never called)");
+        return;
+    }
+    let per_iter_ns = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+    let mut line = format!("  {name}: {} ({} iters)", format_ns(per_iter_ns), bencher.iters);
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let rate = count as f64 / (per_iter_ns / 1e9);
+        line.push_str(&format!(" — {rate:.3e} {unit}/s"));
+    }
+    eprintln!("{line}");
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group function list, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

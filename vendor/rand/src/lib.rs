@@ -1,0 +1,231 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements the subset of the rand 0.9 API this workspace uses — seeded
+//! [`StdRng`], [`Rng::random`] and [`Rng::random_range`] — on top of a
+//! xoshiro256\*\* generator seeded through SplitMix64.  Deterministic for a
+//! given seed, which is all the datagen and benchmark code requires.
+
+pub mod prelude {
+    //! The usual glob-import surface.
+    pub use crate::{Rng, RngCore, SeedableRng, StdRng};
+}
+
+/// Low-level uniform word generation.
+pub trait RngCore {
+    /// The next uniformly distributed 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next uniformly distributed 32-bit word.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Builds a generator from OS entropy; here: from the system clock,
+    /// which is enough for the non-reproducible paths that ask for it.
+    fn from_os_rng() -> Self {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e37_79b9_7f4a_7c15);
+        Self::seed_from_u64(nanos)
+    }
+}
+
+/// High-level sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of a [`Standard`]-distributed type: floats uniform in
+    /// `[0, 1)`, integers uniform over their full range, fair booleans.
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types samplable uniformly from their "standard" distribution.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($ty:ty),*) => {$(
+        impl Standard for $ty {
+            fn sample<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges a value can be drawn from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Rejection-free-enough uniform integer in `[0, span)` via Lemire-style
+/// widening multiply; bias is negligible for the span sizes used here, and
+/// determinism — not exact uniformity — is what the callers rely on.
+fn uniform_u64<R: RngCore>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+}
+
+macro_rules! int_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for std::ops::Range<$ty> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(uniform_u64(rng, span) as $ty)
+            }
+        }
+        impl SampleRange<$ty> for std::ops::RangeInclusive<$ty> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as i128 - start as i128 + 1) as u128;
+                if span > u128::from(u64::MAX) {
+                    return rng.next_u64() as $ty;
+                }
+                start.wrapping_add(uniform_u64(rng, span as u64) as $ty)
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// The standard generator: xoshiro256\*\* (Blackman–Vigna), seeded through
+/// SplitMix64 exactly as the reference implementation recommends.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        Self { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let i = rng.random_range(0..5usize);
+            seen[i] = true;
+            let x = rng.random_range(-3.0..3.0f64);
+            assert!((-3.0..3.0).contains(&x));
+            let k = rng.random_range(10..=12u64);
+            assert!((10..=12).contains(&k));
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets reachable");
+    }
+}

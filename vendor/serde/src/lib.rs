@@ -1,0 +1,89 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the tiny subset of serde it actually relies on: a self-describing
+//! [`Value`] tree, [`Serialize`]/[`Deserialize`] traits that convert to and
+//! from it, and derive macros (re-exported from `serde_derive`) that
+//! implement the traits for plain structs with named or tuple fields,
+//! honouring `#[serde(skip)]`.
+//!
+//! The trait signatures are intentionally simpler than real serde's
+//! visitor-based design: nothing in this workspace implements the traits by
+//! hand against a foreign `Serializer`, so a value-tree intermediate is
+//! enough, keeps the vendored code auditable, and lets `serde_json` be a
+//! straightforward printer/parser over [`Value`].
+
+mod impls;
+mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::Value;
+
+use std::fmt;
+
+/// Error produced when deserialising a [`Value`] into a typed structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialisation into the self-describing [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn serialize(&self) -> Value;
+}
+
+/// Deserialisation from the self-describing [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up and deserialises one named field of an object value.
+///
+/// Missing fields deserialise from [`Value::Null`], so `Option` fields
+/// default to `None` exactly as with real serde's `default` behaviour.
+/// This is a support routine for the derive macros; user code should not
+/// need to call it.
+pub fn de_field<T: Deserialize>(value: &Value, name: &str) -> Result<T, Error> {
+    let Value::Object(fields) = value else {
+        return Err(Error::custom(format!(
+            "expected an object with field `{name}`, found {}",
+            value.kind()
+        )));
+    };
+    match fields.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => {
+            T::deserialize(v).map_err(|e| Error::custom(format!("in field `{name}`: {e}")))
+        }
+        None => T::deserialize(&Value::Null)
+            .map_err(|_| Error::custom(format!("missing field `{name}`"))),
+    }
+}
+
+/// Deserialises the `index`-th element of an array value (tuple-struct
+/// support routine for the derive macros).
+pub fn de_element<T: Deserialize>(value: &Value, index: usize) -> Result<T, Error> {
+    let Value::Array(items) = value else {
+        return Err(Error::custom(format!("expected an array, found {}", value.kind())));
+    };
+    match items.get(index) {
+        Some(v) => T::deserialize(v).map_err(|e| Error::custom(format!("in element {index}: {e}"))),
+        None => Err(Error::custom(format!("missing tuple element {index}"))),
+    }
+}

@@ -1,0 +1,83 @@
+//! The self-describing value tree shared by serialisation and JSON text.
+
+/// A dynamically-typed value: the intermediate representation between typed
+/// Rust structures and JSON text.
+///
+/// Object fields are kept as an insertion-ordered `Vec` rather than a map so
+/// serialised output is deterministic and mirrors struct declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer (serialised without a decimal point).
+    U64(u64),
+    /// Negative integer (serialised without a decimal point).
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered fields.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short human-readable name for the value's kind, used in error
+    /// messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The value of a named object field, if this is an object that has it.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64`, if this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(n) => Some(n as f64),
+            Value::I64(n) => Some(n as f64),
+            Value::F64(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u64`, if this is a non-negative integer (or a float
+    /// that is exactly one).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(n) => Some(n),
+            Value::I64(n) if n >= 0 => Some(n as u64),
+            Value::F64(x) if x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64 => Some(x as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i64`, if this is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::U64(n) if n <= i64::MAX as u64 => Some(n as i64),
+            Value::I64(n) => Some(n),
+            Value::F64(x) if x.fract() == 0.0 && x >= i64::MIN as f64 && x <= i64::MAX as f64 => {
+                Some(x as i64)
+            }
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Syn-free `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde stand-in.
+//!
+//! The real `serde_derive` pulls in `syn`/`quote`, which are unavailable in
+//! this offline build environment, so the struct grammar is parsed directly
+//! from the [`proc_macro::TokenStream`].  Supported shapes cover everything
+//! this workspace derives:
+//!
+//! * plain structs with named fields (no generics),
+//! * tuple and unit structs,
+//! * the `#[serde(skip)]` field attribute (field is omitted on
+//!   serialisation and filled from `Default` on deserialisation).
+//!
+//! Enums and generic types are rejected with a compile error naming this
+//! file, so an unsupported use shows up at build time rather than as silent
+//! misbehaviour.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    /// Named field identifier, or the positional index rendered as text.
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(Vec<Field>),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    match parse(item) {
+        Ok(input) => gen_serialize(&input).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    match parse(item) {
+        Ok(input) => gen_deserialize(&input).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(item: TokenStream) -> Result<Input, String> {
+    let mut tokens = item.into_iter().peekable();
+
+    // Outer attributes and visibility before the `struct` keyword.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {}
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+            return Err("the vendored serde_derive does not support enums".into());
+        }
+        other => return Err(format!("expected `struct`, found {other:?}")),
+    }
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct name, found {other:?}")),
+    };
+
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("the vendored serde_derive does not support generic type `{name}`"));
+    }
+
+    let shape = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g.stream())?)
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(parse_tuple_fields(g.stream())?)
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+        other => return Err(format!("unsupported struct body: {other:?}")),
+    };
+
+    Ok(Input { name, shape })
+}
+
+/// Consumes leading `#[...]` attribute groups, reporting whether any of them
+/// is `#[serde(skip)]`.
+fn take_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut skip = false;
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    let text = g.stream().to_string();
+                    if text.starts_with("serde") && text.contains("skip") {
+                        skip = true;
+                    }
+                }
+            }
+            _ => return skip,
+        }
+    }
+}
+
+fn take_visibility(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        tokens.next();
+        if let Some(TokenTree::Group(g)) = tokens.peek() {
+            if g.delimiter() == Delimiter::Parenthesis {
+                tokens.next();
+            }
+        }
+    }
+}
+
+/// Skips one type expression: everything up to a top-level `,` (angle
+/// brackets tracked so `HashMap<K, V>` stays one type).
+fn skip_type(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = tokens.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        tokens.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        if tokens.peek().is_none() {
+            return Ok(fields);
+        }
+        let skip = take_attrs(&mut tokens);
+        take_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => return Ok(fields),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after `{name}`, found {other:?}")),
+        }
+        skip_type(&mut tokens);
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            tokens.next();
+        }
+        fields.push(Field { name, skip });
+    }
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    let mut index = 0usize;
+    while tokens.peek().is_some() {
+        let skip = take_attrs(&mut tokens);
+        take_visibility(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_type(&mut tokens);
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            tokens.next();
+        }
+        fields.push(Field { name: index.to_string(), skip });
+        index += 1;
+    }
+    Ok(fields)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "__fields.push((::std::string::String::from({:?}), \
+                     ::serde::Serialize::serialize(&self.{})));\n",
+                    f.name, f.name
+                ));
+            }
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                 = ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(__fields)"
+            )
+        }
+        Shape::Tuple(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "__items.push(::serde::Serialize::serialize(&self.{}));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "let mut __items: ::std::vec::Vec<::serde::Value> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Array(__items)"
+            )
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!("{}: ::std::default::Default::default(),\n", f.name));
+                } else {
+                    inits.push_str(&format!(
+                        "{}: ::serde::de_field(__value, {:?})?,\n",
+                        f.name, f.name
+                    ));
+                }
+            }
+            format!("::std::result::Result::Ok({name} {{\n{inits}}})")
+        }
+        Shape::Tuple(fields) => {
+            let mut inits = String::new();
+            let mut serialized_index = 0usize;
+            for f in fields {
+                if f.skip {
+                    inits.push_str("::std::default::Default::default(),\n");
+                } else {
+                    inits
+                        .push_str(&format!("::serde::de_element(__value, {serialized_index})?,\n"));
+                    serialized_index += 1;
+                }
+            }
+            format!("::std::result::Result::Ok({name}(\n{inits}))")
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
