@@ -1,0 +1,180 @@
+//! Query-server throughput: N client threads hammering a live `pka-serve`
+//! instance — idle, and during continuous ingest with policy-triggered
+//! warm refits landing mid-measurement (which readers, being wait-free,
+//! must not notice).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pka_datagen::sampler::{sample_dataset, seeded_rng};
+use pka_serve::{protocol, LineClient, ServeConfig, Server, ServerHandle};
+use pka_stream::{RefreshPolicy, StreamConfig};
+use serde::Value;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Queries per pipelined batch: one write + one read pass per batch keeps
+/// syscall overhead amortised the way a real high-throughput client would.
+const PIPELINE_DEPTH: usize = 256;
+
+fn boot_server(policy: RefreshPolicy) -> ServerHandle {
+    let joint = pka_datagen::survey::ground_truth();
+    let dataset = sample_dataset(&joint, 20_000, &mut seeded_rng(7));
+    let schema = dataset.shared_schema();
+    let config =
+        ServeConfig::new().with_stream(StreamConfig::new().with_shard_count(4).with_policy(policy));
+    let server = Server::start(schema, config).expect("server start");
+    let mut client = LineClient::connect(server.addr()).expect("loader connect");
+    let rows: Vec<Vec<usize>> = dataset.samples().iter().map(|s| s.values().to_vec()).collect();
+    for chunk in rows.chunks(5_000) {
+        client.ingest(chunk).expect("seed ingest");
+    }
+    client.refresh().expect("seed refresh");
+    server
+}
+
+/// One name-based query shape: target pairs and evidence pairs.
+type QueryShape =
+    (&'static [(&'static str, &'static str)], &'static [(&'static str, &'static str)]);
+
+fn query_params(k: usize) -> Value {
+    // Cycle through a few distinct query shapes so the server does real
+    // per-request work (parse, resolve names, evaluate, serialise).
+    let shapes: [QueryShape; 3] = [
+        (&[("cancer", "yes")], &[("smoking", "smoker")]),
+        (&[("condition", "present")], &[]),
+        (&[("cancer", "no")], &[("exposure", "exposed"), ("age", "over-60")]),
+    ];
+    let (target, evidence) = shapes[k % 3];
+    let to_obj = |pairs: &[(&str, &str)]| {
+        Value::Object(
+            pairs.iter().map(|&(a, v)| (a.to_string(), Value::Str(v.to_string()))).collect(),
+        )
+    };
+    protocol::object([("target", to_obj(target)), ("evidence", to_obj(evidence))])
+}
+
+/// Runs `batches` pipelined query batches on each of `threads` client
+/// connections; returns total wall time.
+fn drive_clients(addr: SocketAddr, threads: usize, batches: u64) -> Duration {
+    let start = Instant::now();
+    let workers: Vec<_> = (0..threads)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = LineClient::connect(addr).expect("bench connect");
+                let requests: Vec<(&str, Value)> =
+                    (0..PIPELINE_DEPTH).map(|k| ("query", query_params(k))).collect();
+                for _ in 0..batches {
+                    let responses = client.pipeline(&requests).expect("pipeline");
+                    for response in responses {
+                        response.expect("query failed");
+                    }
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("bench client panicked");
+    }
+    start.elapsed()
+}
+
+/// Queries/s against an idle knowledge base (no concurrent writes).
+fn query_throughput(c: &mut Criterion) {
+    let server = boot_server(RefreshPolicy::Manual);
+    let addr = server.addr();
+
+    let mut group = c.benchmark_group("serve_throughput");
+    for threads in [1usize, 2, 4] {
+        let batches_per_iter = 2u64;
+        group.throughput(Throughput::Elements(
+            threads as u64 * batches_per_iter * PIPELINE_DEPTH as u64,
+        ));
+        group.bench_with_input(
+            BenchmarkId::new("pipelined_queries", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        total += drive_clients(addr, threads, batches_per_iter);
+                    }
+                    total
+                })
+            },
+        );
+    }
+
+    // One request per round trip: the latency-bound lower bound a
+    // non-pipelining client sees.
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("sequential_roundtrips", |b| {
+        let mut client = LineClient::connect(addr).expect("bench connect");
+        b.iter(|| {
+            for k in 0..64 {
+                let evidence: &[(&str, &str)] =
+                    if k % 2 == 0 { &[("smoking", "smoker")] } else { &[] };
+                client.query(&[("cancer", "yes")], evidence).expect("query");
+            }
+        })
+    });
+    group.finish();
+    server.shutdown().expect("shutdown");
+}
+
+/// Queries/s while a writer continuously ingests and policy-triggered warm
+/// refits publish new snapshots mid-stream.
+fn query_throughput_under_ingest(c: &mut Criterion) {
+    let server = boot_server(RefreshPolicy::EveryNTuples(4_000));
+    let addr = server.addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let joint = pka_datagen::survey::ground_truth();
+            let mut rng = seeded_rng(99);
+            let mut client = LineClient::connect(addr).expect("writer connect");
+            let mut refits = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let batch = sample_dataset(&joint, 1_000, &mut rng);
+                let rows: Vec<Vec<usize>> =
+                    batch.samples().iter().map(|s| s.values().to_vec()).collect();
+                let summary = client.ingest(&rows).expect("bench ingest");
+                if summary.refit.is_some() {
+                    refits += 1;
+                }
+            }
+            refits
+        })
+    };
+
+    let mut group = c.benchmark_group("serve_throughput_under_ingest");
+    let batches_per_iter = 2u64;
+    for threads in [2usize, 4] {
+        group.throughput(Throughput::Elements(
+            threads as u64 * batches_per_iter * PIPELINE_DEPTH as u64,
+        ));
+        group.bench_with_input(
+            BenchmarkId::new("pipelined_queries", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        total += drive_clients(addr, threads, batches_per_iter);
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+
+    stop.store(true, Ordering::Release);
+    let refits = writer.join().expect("writer panicked");
+    eprintln!("  (background ingest triggered {refits} warm refits during measurement)");
+    server.shutdown().expect("shutdown");
+}
+
+criterion_group!(benches, query_throughput, query_throughput_under_ingest);
+criterion_main!(benches);

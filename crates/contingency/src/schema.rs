@@ -20,13 +20,25 @@ pub const MAX_CELLS: u128 = 1 << 28;
 /// The schema fixes the meaning of attribute indices (`0, 1, 2, …` for the
 /// memo's `A, B, C, …`) and of the mixed-radix cell indexing used by
 /// [`ContingencyTable`](crate::ContingencyTable).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct Schema {
     attributes: Vec<Attribute>,
     /// Stride of each attribute in the dense cell index (last attribute
     /// varies fastest, mirroring the memo's `i, j, k` nesting in Figure 3).
     strides: Vec<usize>,
     cells: usize,
+}
+
+/// Deserialisation rebuilds the schema through [`Schema::new`] from the
+/// attributes alone: `strides` and `cells` are *derived* state, and
+/// trusting them from the payload would let a forged document smuggle in
+/// an index layout inconsistent with the attributes (out-of-bounds dense
+/// indices, or every cell aliased onto one slot).
+impl Deserialize for Schema {
+    fn deserialize(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let attributes: Vec<Attribute> = serde::de_field(value, "attributes")?;
+        Schema::new(attributes).map_err(|e| serde::Error::custom(e.to_string()))
+    }
 }
 
 impl Schema {
@@ -205,6 +217,14 @@ impl Schema {
         ConfigIter { schema: self, members, next: 0, total }
     }
 
+    /// Row-major dense-index strides, one per attribute (the last attribute
+    /// varies fastest): `cell_index(values) = Σ values[i] · strides[i]`.
+    /// Exposed so dense-vector consumers can enumerate marginal cells
+    /// without materialising each cell's value tuple.
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
     /// Wraps the schema in an [`Arc`] for cheap sharing between tables,
     /// models and knowledge bases.
     pub fn into_shared(self) -> Arc<Schema> {
@@ -310,6 +330,38 @@ mod tests {
             Attribute::yes_no("family-history"),
         ])
         .unwrap()
+    }
+
+    #[test]
+    fn deserialisation_ignores_forged_derived_state() {
+        // Serialise, then tamper with the derived fields: deserialisation
+        // must rebuild strides/cells from the attributes, not trust them.
+        let schema = smoking_schema();
+        let mut value = Serialize::serialize(&schema);
+        let serde::Value::Object(ref mut fields) = value else { panic!("schema is an object") };
+        for (key, v) in fields.iter_mut() {
+            if key == "strides" {
+                *v = serde::Value::Array(vec![
+                    serde::Value::U64(100),
+                    serde::Value::U64(0),
+                    serde::Value::U64(0),
+                ]);
+            }
+            if key == "cells" {
+                *v = serde::Value::U64(1);
+            }
+        }
+        let restored = Schema::deserialize(&value).unwrap();
+        assert_eq!(restored, schema, "derived state must be recomputed, not copied");
+        assert_eq!(restored.strides(), schema.strides());
+        assert_eq!(restored.cell_count(), 12);
+        // Invalid attributes are rejected through Schema::new's checks.
+        let dup = serde::Value::Object(vec![(
+            "attributes".to_string(),
+            Serialize::serialize(&vec![Attribute::yes_no("a"), Attribute::yes_no("a")]),
+        )]);
+        assert!(Schema::deserialize(&dup).is_err());
+        assert!(Schema::deserialize(&serde::Value::Object(vec![])).is_err());
     }
 
     #[test]

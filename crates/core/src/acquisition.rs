@@ -7,7 +7,7 @@ use crate::knowledge_base::KnowledgeBase;
 use crate::trace::{AcquisitionTrace, CellEvaluation, RoundTrace};
 use crate::Result;
 use pka_contingency::{Assignment, ContingencyTable, VarSet};
-use pka_maxent::{ConstraintSet, LogLinearModel, Solver};
+use pka_maxent::{ConstraintSet, IncidenceCache, LogLinearModel, Solver};
 use pka_significance::{CandidateCell, MessageLengthTest, RangeContext};
 
 /// Factors of a warm-start seed model are raised to at least this value so
@@ -54,6 +54,21 @@ impl Acquisition {
         self.run_with_prior(table, &[])
     }
 
+    /// [`Acquisition::run`] with a caller-owned solver [`IncidenceCache`].
+    ///
+    /// Every solver fit inside the run (the initial fit plus one per
+    /// promoted constraint) shares the cache, and the cache outlives the
+    /// run — a streaming engine passes the same cache to every refit so
+    /// repeated refits over an unchanged constraint set skip the
+    /// `O(constraints × cells)` incidence pass entirely.
+    pub fn run_cached(
+        &self,
+        table: &ContingencyTable,
+        cache: &mut IncidenceCache,
+    ) -> Result<AcquisitionOutcome> {
+        self.run_seeded(table, &[], None, cache)
+    }
+
     /// Runs the procedure with prior knowledge: marginal cells that are
     /// **already known to be significant** before looking at this data (the
     /// memo's "higher-order marginals … originally given as significant",
@@ -68,7 +83,7 @@ impl Acquisition {
         table: &ContingencyTable,
         prior_constraints: &[Assignment],
     ) -> Result<AcquisitionOutcome> {
-        self.run_seeded(table, prior_constraints, None)
+        self.run_seeded(table, prior_constraints, None, &mut IncidenceCache::new())
     }
 
     /// Runs the procedure **warm-started** from a previously acquired
@@ -95,6 +110,19 @@ impl Acquisition {
         table: &ContingencyTable,
         previous: &KnowledgeBase,
     ) -> Result<AcquisitionOutcome> {
+        self.run_warm_started_cached(table, previous, &mut IncidenceCache::new())
+    }
+
+    /// [`Acquisition::run_warm_started`] with a caller-owned solver
+    /// [`IncidenceCache`] (see [`Acquisition::run_cached`]).  The
+    /// steady-state streaming refit — same constraint set, new counts — is
+    /// a pure cache hit.
+    pub fn run_warm_started_cached(
+        &self,
+        table: &ContingencyTable,
+        previous: &KnowledgeBase,
+        cache: &mut IncidenceCache,
+    ) -> Result<AcquisitionOutcome> {
         if previous.schema() != table.schema() {
             return Err(CoreError::InvalidInput {
                 reason: "warm start requires the previous knowledge base and the new table \
@@ -110,7 +138,7 @@ impl Acquisition {
         // so the warm start is robust to distribution shift.
         let mut model = previous.model().clone();
         model.floor_factors(WARM_START_FACTOR_FLOOR);
-        self.run_seeded(table, &priors, Some(model))
+        self.run_seeded(table, &priors, Some(model), cache)
     }
 
     fn run_seeded(
@@ -118,6 +146,7 @@ impl Acquisition {
         table: &ContingencyTable,
         prior_constraints: &[Assignment],
         initial_model: Option<LogLinearModel>,
+        cache: &mut IncidenceCache,
     ) -> Result<AcquisitionOutcome> {
         let schema = table.shared_schema();
         self.config.validate(schema.len())?;
@@ -148,8 +177,12 @@ impl Acquisition {
             constraints.add_from_table(table, prior.clone())?;
         }
         let (mut model, initial_fit) = match initial_model {
-            Some(previous) => solver.fit_from(previous, &constraints)?,
-            None => solver.fit(&constraints)?,
+            Some(previous) => solver.fit_from_cached(previous, &constraints, cache)?,
+            None => solver.fit_from_cached(
+                LogLinearModel::uniform(constraints.shared_schema()),
+                &constraints,
+                cache,
+            )?,
         };
 
         let mut trace = AcquisitionTrace { rounds: Vec::new(), initial_fit: Some(initial_fit) };
@@ -256,7 +289,8 @@ impl Acquisition {
                 let selected = evaluations[best_index].assignment.clone();
                 constraints.add_from_table(table, selected.clone())?;
                 found_at_order.push(selected.clone());
-                let (new_model, fit_report) = solver.fit_from(model.clone(), &constraints)?;
+                let (new_model, fit_report) =
+                    solver.fit_from_cached(model.clone(), &constraints, cache)?;
                 model = new_model;
 
                 trace.rounds.push(RoundTrace {
@@ -501,6 +535,31 @@ mod tests {
             warm.trace.total_solver_iterations(),
             cold.trace.total_solver_iterations()
         );
+    }
+
+    #[test]
+    fn shared_incidence_cache_is_reused_across_warm_refits() {
+        let t = paper_table();
+        let acquisition = Acquisition::with_defaults();
+        let mut cache = IncidenceCache::new();
+        let cold = acquisition.run_cached(&t, &mut cache).unwrap();
+        let after_cold = cache.stats();
+        assert_eq!(after_cold.rebuilds, 1, "one structural build for the whole cold run");
+        assert_eq!(
+            after_cold.extensions as usize,
+            cold.knowledge_base.significant_constraints().len(),
+            "each promotion extends the cached prefix instead of rebuilding"
+        );
+
+        // A warm refit over the same constraint set is pure cache hits: its
+        // initial constraint list equals the cold run's final list.
+        let warm =
+            acquisition.run_warm_started_cached(&t, &cold.knowledge_base, &mut cache).unwrap();
+        let after_warm = cache.stats();
+        assert_eq!(after_warm.rebuilds, after_cold.rebuilds, "warm refit never rebuilds");
+        assert_eq!(after_warm.extensions, after_cold.extensions);
+        assert!(after_warm.full_hits > after_cold.full_hits, "warm refit reuses the cache");
+        assert_eq!(warm.knowledge_base.order_histogram(), cold.knowledge_base.order_histogram());
     }
 
     #[test]

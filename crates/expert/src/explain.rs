@@ -7,10 +7,11 @@
 
 use pka_contingency::{Assignment, Schema};
 use pka_core::{KnowledgeBase, Result};
+use serde::{Deserialize, Serialize};
 
 /// One step of an explanation: the belief in the target after conditioning
 /// on one more piece of evidence.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExplanationStep {
     /// The evidence considered so far (cumulative).
     pub evidence_so_far: Assignment,
@@ -19,7 +20,11 @@ pub struct ExplanationStep {
 }
 
 /// A full explanation of a conditional query.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serialisable, so a query server can ship the rule trace to remote
+/// clients; attribute/value indices are resolved against the schema on the
+/// receiving side (or pre-rendered with [`Explanation::render`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Explanation {
     /// The queried proposition.
     pub target: Assignment,

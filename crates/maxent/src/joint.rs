@@ -107,16 +107,52 @@ impl JointDistribution {
 
     /// Probability of a marginal cell (partial assignment): sum of matching
     /// cell probabilities.
+    ///
+    /// The sum walks only the matching cells by stride arithmetic — an
+    /// odometer over the *unassigned* attributes — so a query touches
+    /// `∏ free cardinalities` dense slots instead of scanning (and
+    /// materialising the value tuple of) every cell.  This is the query
+    /// server's hot path.
     pub fn probability(&self, assignment: &Assignment) -> f64 {
-        if assignment.vars().is_empty() {
-            return self.probabilities.iter().sum();
+        let strides = self.schema.strides();
+        let mut base = 0usize;
+        for (attr, value) in assignment.pairs() {
+            let Ok(card) = self.schema.cardinality(attr) else { return 0.0 };
+            if value >= card {
+                // Out-of-schema cells match nothing.
+                return 0.0;
+            }
+            base += value * strides[attr];
         }
-        self.schema
-            .cells()
-            .zip(self.probabilities.iter())
-            .filter(|(v, _)| assignment.matches(v))
-            .map(|(_, &p)| p)
-            .sum()
+        // Odometer state per free attribute: (cardinality, stride, counter).
+        let mut free: Vec<(usize, usize, usize)> = Vec::with_capacity(self.schema.len());
+        for (attr, &stride) in strides.iter().enumerate() {
+            if assignment.value_of(attr).is_none() {
+                let card = self.schema.cardinality(attr).expect("attr in schema");
+                free.push((card, stride, 0));
+            }
+        }
+        let mut total = 0.0;
+        let mut index = base;
+        loop {
+            total += self.probabilities[index];
+            // Increment the odometer, last attribute fastest.
+            let mut pos = free.len();
+            loop {
+                if pos == 0 {
+                    return total;
+                }
+                pos -= 1;
+                let (card, stride, ref mut counter) = free[pos];
+                *counter += 1;
+                if *counter < card {
+                    index += stride;
+                    break;
+                }
+                *counter = 0;
+                index -= (card - 1) * stride;
+            }
+        }
     }
 
     /// Conditional probability `P(target | given)`.
@@ -135,6 +171,19 @@ impl JointDistribution {
         }
         let joint = target.merge(given).expect("compatibility checked above");
         Ok(self.probability(&joint) / denominator)
+    }
+
+    /// Reference implementation of [`JointDistribution::probability`]: scan
+    /// every cell and test membership.  Kept for the property test that
+    /// pins the stride-walking fast path to it.
+    #[cfg(test)]
+    fn probability_by_scan(&self, assignment: &Assignment) -> f64 {
+        self.schema
+            .cells()
+            .zip(self.probabilities.iter())
+            .filter(|(v, _)| assignment.matches(v))
+            .map(|(_, &p)| p)
+            .sum()
     }
 
     /// Shannon entropy in nats (Eq. 7 of the memo).
@@ -304,6 +353,26 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn prop_stride_walk_matches_full_scan(
+            weights in proptest::collection::vec(0.0f64..10.0, 36),
+            mask in any::<u32>(),
+            seed in any::<u64>(),
+        ) {
+            // The odometer fast path must agree with the reference scan for
+            // every partial assignment, including the empty one.
+            let s = Schema::uniform(&[3, 2, 3, 2]).unwrap().into_shared();
+            let j = JointDistribution::from_unnormalized(Arc::clone(&s), weights);
+            let vars = pka_contingency::VarSet::from_bits(mask).intersection(s.all_vars());
+            let cell = (seed as usize) % s.cell_count();
+            let a = Assignment::project(vars, &s.cell_values(cell));
+            prop_assert!((j.probability(&a) - j.probability_by_scan(&a)).abs() < 1e-12);
+            prop_assert!((j.probability(&Assignment::empty()) - 1.0).abs() < 1e-9);
+            // Out-of-schema assignments match nothing.
+            prop_assert_eq!(j.probability(&Assignment::single(0, 99)), 0.0);
+            prop_assert_eq!(j.probability(&Assignment::single(9, 0)), 0.0);
+        }
+
         #[test]
         fn prop_marginals_sum_to_one(weights in proptest::collection::vec(0.0f64..5.0, 6)) {
             let j = JointDistribution::from_unnormalized(schema(), weights);

@@ -16,15 +16,122 @@
 //! calculated a values", as the memo instructs when a new constraint is
 //! added) via [`fit_with_initial`].
 
-use crate::constraint::ConstraintSet;
+use crate::constraint::{Constraint, ConstraintSet};
 use crate::convergence::{ConvergenceCriteria, IterationRecord, SolveReport};
 use crate::error::MaxEntError;
 use crate::model::LogLinearModel;
 use crate::Result;
+use pka_contingency::{Assignment, Schema};
+use std::sync::Arc;
 
 /// Constraint targets smaller than this are treated as exactly zero when the
 /// model has already driven the cell's probability to zero.
 const ZERO_TARGET: f64 = 1e-300;
+
+/// Cumulative reuse counters of an [`IncidenceCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Fits served entirely from cached incidence lists (identical
+    /// constraint set, or a prefix of a previously cached one).
+    pub full_hits: u64,
+    /// Fits where the cached lists covered a leading prefix and only the
+    /// appended constraints' incidence had to be computed.
+    pub extensions: u64,
+    /// Fits that had to rebuild every incidence list (different schema or a
+    /// divergent constraint set).
+    pub rebuilds: u64,
+}
+
+/// A reusable cache of constraint-to-cell incidence lists.
+///
+/// For every constraint the solver needs the dense indices of the cells its
+/// assignment covers.  Computing them is the one `O(constraints × cells)`
+/// pass of [`Solver::fit_from`] — pure structure, independent of the
+/// constraint *probabilities* and of the model being fitted.  Warm refits
+/// over a stream re-solve the same (or a one-longer) constraint set over
+/// and over, so a long-lived engine keeps one `IncidenceCache` and hands it
+/// to every fit:
+///
+/// * identical assignments (the steady-state warm refit) → full hit, zero
+///   structural work;
+/// * the acquisition loop promoting one cell → the cached lists are a
+///   prefix; only the new constraint's cells are scanned;
+/// * a shorter set that is a prefix of the cached one (e.g. a cold restart
+///   after promotions) → the cache is truncated, still no rescan;
+/// * anything else (new schema, divergent set) → full rebuild.
+#[derive(Debug, Clone, Default)]
+pub struct IncidenceCache {
+    schema: Option<Arc<Schema>>,
+    assignments: Vec<Assignment>,
+    matching: Vec<Vec<u32>>,
+    stats: CacheStats,
+}
+
+impl IncidenceCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cumulative hit/extension/rebuild counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Returns one incidence list per constraint, reusing cached structure
+    /// where the schema and the leading assignments match.
+    fn matching_for(&mut self, schema: &Arc<Schema>, constraints: &[Constraint]) -> &[Vec<u32>] {
+        let schema_matches = self
+            .schema
+            .as_ref()
+            .is_some_and(|s| Arc::ptr_eq(s, schema) || s.as_ref() == schema.as_ref());
+        let shared_prefix = if schema_matches {
+            self.assignments
+                .iter()
+                .zip(constraints)
+                .take_while(|(cached, c)| **cached == c.assignment)
+                .count()
+        } else {
+            0
+        };
+
+        if schema_matches && shared_prefix == self.assignments.len() {
+            // Cached lists are a (possibly complete) prefix of the request.
+            if constraints.len() == shared_prefix {
+                self.stats.full_hits += 1;
+            } else {
+                self.stats.extensions += 1;
+                self.extend_with(schema, &constraints[shared_prefix..]);
+            }
+        } else if schema_matches && shared_prefix == constraints.len() {
+            // The request is a strict prefix of the cache: truncate.
+            self.assignments.truncate(shared_prefix);
+            self.matching.truncate(shared_prefix);
+            self.stats.full_hits += 1;
+        } else {
+            self.stats.rebuilds += 1;
+            self.schema = Some(Arc::clone(schema));
+            self.assignments.clear();
+            self.matching.clear();
+            self.extend_with(schema, constraints);
+        }
+        &self.matching
+    }
+
+    /// Appends incidence lists for `added` in one pass over the cells.
+    fn extend_with(&mut self, schema: &Arc<Schema>, added: &[Constraint]) {
+        let base = self.matching.len();
+        self.matching.extend(added.iter().map(|_| Vec::new()));
+        for (idx, values) in schema.cells().enumerate() {
+            for (offset, c) in added.iter().enumerate() {
+                if c.assignment.matches(&values) {
+                    self.matching[base + offset].push(idx as u32);
+                }
+            }
+        }
+        self.assignments.extend(added.iter().map(|c| c.assignment.clone()));
+    }
+}
 
 /// The iterative-scaling solver.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -56,8 +163,21 @@ impl Solver {
     /// does not know yet are created with the neutral value 1.
     pub fn fit_from(
         &self,
+        model: LogLinearModel,
+        constraints: &ConstraintSet,
+    ) -> Result<(LogLinearModel, SolveReport)> {
+        self.fit_from_cached(model, constraints, &mut IncidenceCache::new())
+    }
+
+    /// [`Solver::fit_from`] with a caller-owned [`IncidenceCache`], so the
+    /// constraint-to-cell incidence lists survive across fits.  A streaming
+    /// engine refitting an unchanged (or incrementally grown) constraint
+    /// set skips the `O(constraints × cells)` structural pass entirely.
+    pub fn fit_from_cached(
+        &self,
         mut model: LogLinearModel,
         constraints: &ConstraintSet,
+        cache: &mut IncidenceCache,
     ) -> Result<(LogLinearModel, SolveReport)> {
         if model.schema() != constraints.schema() {
             return Err(MaxEntError::InfeasibleConstraints {
@@ -73,16 +193,10 @@ impl Solver {
         let factor_positions: Vec<usize> =
             constraints.constraints().iter().map(|c| model.ensure_factor(&c.assignment)).collect();
 
-        // Pre-compute, for every constraint, the dense indices of the cells
-        // it covers.  This is the only O(#constraints × #cells) pass.
-        let mut matching: Vec<Vec<u32>> = vec![Vec::new(); constraints.len()];
-        for (idx, values) in schema.cells().enumerate() {
-            for (ci, c) in constraints.constraints().iter().enumerate() {
-                if c.assignment.matches(&values) {
-                    matching[ci].push(idx as u32);
-                }
-            }
-        }
+        // The dense indices of the cells each constraint covers — served
+        // from the cache when the constraint set's shape is unchanged;
+        // otherwise this is the only O(#constraints × #cells) pass.
+        let matching: &[Vec<u32>] = cache.matching_for(&schema, constraints.constraints());
 
         // Dense working copy of the model's (unnormalised-then-normalised)
         // cell probabilities, kept in lock-step with the factor updates.
@@ -91,12 +205,12 @@ impl Solver {
 
         let mut trace = Vec::new();
         let mut iterations = 0usize;
-        let mut max_violation = violation(constraints, &matching, &p);
+        let mut max_violation = violation(constraints, matching, &p);
 
         // Already satisfied (e.g. refitting an unchanged constraint set).
         if max_violation <= self.criteria.tolerance {
             if self.criteria.record_trace {
-                trace.push(self.record(0, constraints, &model, &matching, &p));
+                trace.push(self.record(0, constraints, &model, matching, &p));
             }
             return Ok((
                 model,
@@ -131,9 +245,9 @@ impl Solver {
                 normalize_in_place(&mut model, &mut p, cells)?;
             }
 
-            max_violation = violation(constraints, &matching, &p);
+            max_violation = violation(constraints, matching, &p);
             if self.criteria.record_trace {
-                trace.push(self.record(iteration, constraints, &model, &matching, &p));
+                trace.push(self.record(iteration, constraints, &model, matching, &p));
             }
             if max_violation <= self.criteria.tolerance {
                 return Ok((
@@ -154,7 +268,7 @@ impl Solver {
         // solutions converge only in the limit; the near-boundary model is
         // still the correct answer to working precision.
         if self.criteria.record_trace && trace.is_empty() {
-            trace.push(self.record(iterations, constraints, &model, &matching, &p));
+            trace.push(self.record(iterations, constraints, &model, matching, &p));
         }
         Ok((model, SolveReport { iterations, max_violation, converged: false, trace }))
     }
@@ -287,6 +401,76 @@ mod tests {
         // P(B=1 | A=1, C=2) should equal p^B_1.
         let cond = model.conditional(&Assignment::single(1, 0), &ac12).unwrap();
         assert!((cond - 433.0 / 3428.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn incidence_cache_is_reused_across_refits() {
+        let t = paper_table();
+        let mut constraints = ConstraintSet::first_order_from_table(&t).unwrap();
+        let solver = Solver::default();
+        let mut cache = IncidenceCache::new();
+
+        // First fit builds the lists.
+        let (model, _) = solver
+            .fit_from_cached(LogLinearModel::uniform(t.shared_schema()), &constraints, &mut cache)
+            .unwrap();
+        assert_eq!(cache.stats(), CacheStats { full_hits: 0, extensions: 0, rebuilds: 1 });
+
+        // A repeated refit with an unchanged constraint set reuses the
+        // cache: no rebuild, no extension.
+        let (model, _) = solver.fit_from_cached(model, &constraints, &mut cache).unwrap();
+        assert_eq!(cache.stats(), CacheStats { full_hits: 1, extensions: 0, rebuilds: 1 });
+
+        // Promoting one constraint extends the cached prefix instead of
+        // rebuilding everything.
+        constraints.add_from_table(&t, Assignment::from_pairs([(0, 0), (2, 1)])).unwrap();
+        let (model, _) = solver.fit_from_cached(model, &constraints, &mut cache).unwrap();
+        assert_eq!(cache.stats(), CacheStats { full_hits: 1, extensions: 1, rebuilds: 1 });
+
+        // Shrinking back to the original set truncates (still a hit) …
+        let shorter = ConstraintSet::first_order_from_table(&t).unwrap();
+        solver
+            .fit_from_cached(LogLinearModel::uniform(t.shared_schema()), &shorter, &mut cache)
+            .unwrap();
+        assert_eq!(cache.stats(), CacheStats { full_hits: 2, extensions: 1, rebuilds: 1 });
+        drop(model);
+
+        // … and a different schema forces a rebuild.
+        let other_schema = Schema::uniform(&[2, 2]).unwrap().into_shared();
+        let other =
+            ContingencyTable::from_counts(Arc::clone(&other_schema), vec![10, 20, 30, 40]).unwrap();
+        let foreign = ConstraintSet::first_order_from_table(&other).unwrap();
+        solver
+            .fit_from_cached(LogLinearModel::uniform(other_schema), &foreign, &mut cache)
+            .unwrap();
+        assert_eq!(cache.stats(), CacheStats { full_hits: 2, extensions: 1, rebuilds: 2 });
+    }
+
+    #[test]
+    fn cached_fits_match_uncached_fits_exactly() {
+        let t = paper_table();
+        let mut constraints = ConstraintSet::first_order_from_table(&t).unwrap();
+        constraints.add_from_table(&t, Assignment::from_pairs([(0, 0), (2, 1)])).unwrap();
+        constraints.add_from_table(&t, Assignment::from_pairs([(0, 0), (1, 0)])).unwrap();
+        let solver = Solver::default();
+        let mut cache = IncidenceCache::new();
+        // Warm the cache on a prefix so the cached fit exercises the
+        // extension path, then compare against a cache-free fit.
+        let prefix = ConstraintSet::first_order_from_table(&t).unwrap();
+        let (seed, _) = solver
+            .fit_from_cached(LogLinearModel::uniform(t.shared_schema()), &prefix, &mut cache)
+            .unwrap();
+        let (cached, r1) = solver.fit_from_cached(seed.clone(), &constraints, &mut cache).unwrap();
+        let (fresh, r2) = solver.fit_from(seed, &constraints).unwrap();
+        assert_eq!(r1.iterations, r2.iterations);
+        for cell in 0..t.schema().cell_count() {
+            let values = t.schema().cell_values(cell);
+            assert_eq!(
+                cached.cell_probability(&values).to_bits(),
+                fresh.cell_probability(&values).to_bits(),
+                "cached and fresh fits diverged at cell {values:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! A blocking line-protocol client: the helper the integration tests, the
+//! throughput bench and the `pka-serve probe` subcommand all drive the
+//! server with.
+
+use crate::error::ServeError;
+use crate::protocol::{self, object};
+use crate::server::{EngineStats, IngestSummary, RefitSummary};
+use serde::{Deserialize, Serialize, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// The typed answer to a `query` request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryAnswer {
+    /// `P(target | evidence)`.
+    pub probability: f64,
+    /// `P(target, evidence)`.
+    pub joint_probability: f64,
+    /// `P(evidence)`.
+    pub evidence_probability: f64,
+    /// The unconditional `P(target)`.
+    pub prior_probability: f64,
+    /// `probability / prior_probability`, or `None` when the prior is zero
+    /// (the server sends `null`; infinity has no JSON representation).
+    pub lift: Option<f64>,
+    /// Human-readable rendering of the question and answer.
+    pub description: String,
+    /// Version of the snapshot that answered.
+    pub snapshot_version: u64,
+    /// Tuples that snapshot was fitted on.
+    pub observations: u64,
+}
+
+/// A blocking client over one TCP connection.
+///
+/// Requests are answered in order, so [`LineClient::pipeline`] may send a
+/// whole batch before reading any response.
+pub struct LineClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl LineClient {
+    /// Connects to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ServeError> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        // A generous timeout so a wedged server fails tests instead of
+        // hanging them.
+        writer.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self { reader, writer, next_id: 1 })
+    }
+
+    /// Sends one request and returns its `result` (or the server's
+    /// structured error as [`ServeError::Remote`]).
+    pub fn call(&mut self, method: &str, params: Value) -> Result<Value, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let line = protocol::request_line(id, method, &params);
+        self.send_line(&line)?;
+        let response = self.read_response()?;
+        Self::unwrap_response(response, Some(id))
+    }
+
+    /// Sends a raw line verbatim (malformed-input testing) and returns the
+    /// parsed response envelope.
+    pub fn call_raw(&mut self, line: &str) -> Result<Value, ServeError> {
+        self.send_line(line)?;
+        self.read_response()
+    }
+
+    /// Sends raw bytes plus a newline (e.g. invalid UTF-8) and returns the
+    /// parsed response envelope.
+    pub fn call_bytes(&mut self, bytes: &[u8]) -> Result<Value, ServeError> {
+        let mut framed = Vec::with_capacity(bytes.len() + 1);
+        framed.extend_from_slice(bytes);
+        framed.push(b'\n');
+        self.writer.write_all(&framed)?;
+        self.read_response()
+    }
+
+    /// Pipelines a batch of `(method, params)` requests: all writes first,
+    /// then all reads, in order.
+    pub fn pipeline(
+        &mut self,
+        requests: &[(&str, Value)],
+    ) -> Result<Vec<Result<Value, ServeError>>, ServeError> {
+        let first_id = self.next_id;
+        let mut lines = String::new();
+        for (offset, (method, params)) in requests.iter().enumerate() {
+            lines.push_str(&protocol::request_line(first_id + offset as u64, method, params));
+            lines.push('\n');
+        }
+        self.next_id += requests.len() as u64;
+        self.writer.write_all(lines.as_bytes())?;
+        (0..requests.len())
+            .map(|offset| {
+                let response = self.read_response()?;
+                Ok(Self::unwrap_response(response, Some(first_id + offset as u64)))
+            })
+            .collect()
+    }
+
+    /// `ping` → true on pong.
+    pub fn ping(&mut self) -> Result<bool, ServeError> {
+        let result = self.call("ping", object([]))?;
+        Ok(result.get("pong") == Some(&Value::Bool(true)))
+    }
+
+    /// The server's schema as `(attribute, values)` name lists.
+    pub fn schema(&mut self) -> Result<Vec<(String, Vec<String>)>, ServeError> {
+        let result = self.call("schema", object([]))?;
+        let Some(Value::Array(attributes)) = result.get("attributes") else {
+            return Err(ServeError::BadResponse { reason: "missing `attributes`".into() });
+        };
+        attributes
+            .iter()
+            .map(|a| {
+                let name = match a.get("name") {
+                    Some(Value::Str(n)) => n.clone(),
+                    _ => {
+                        return Err(ServeError::BadResponse {
+                            reason: "attribute without a name".into(),
+                        })
+                    }
+                };
+                let values = match a.get("values") {
+                    Some(values) => Vec::<String>::deserialize(values)
+                        .map_err(|e| ServeError::BadResponse { reason: e.to_string() })?,
+                    None => Vec::new(),
+                };
+                Ok((name, values))
+            })
+            .collect()
+    }
+
+    /// `query` with name-based target/evidence pairs.
+    pub fn query(
+        &mut self,
+        target: &[(&str, &str)],
+        evidence: &[(&str, &str)],
+    ) -> Result<QueryAnswer, ServeError> {
+        let params =
+            object([("target", names_object(target)), ("evidence", names_object(evidence))]);
+        let result = self.call("query", params)?;
+        QueryAnswer::deserialize(&result)
+            .map_err(|e| ServeError::BadResponse { reason: e.to_string() })
+    }
+
+    /// `explain` with name-based target/evidence pairs; returns the raw
+    /// result value (steps, supporting constraints, rendered text).
+    pub fn explain(
+        &mut self,
+        target: &[(&str, &str)],
+        evidence: &[(&str, &str)],
+    ) -> Result<Value, ServeError> {
+        let params =
+            object([("target", names_object(target)), ("evidence", names_object(evidence))]);
+        self.call("explain", params)
+    }
+
+    /// `ingest` a batch of raw rows (value indices).
+    pub fn ingest(&mut self, rows: &[Vec<usize>]) -> Result<IngestSummary, ServeError> {
+        let rows_value = Value::Array(
+            rows.iter()
+                .map(|row| Value::Array(row.iter().map(|&v| Value::U64(v as u64)).collect()))
+                .collect(),
+        );
+        let result = self.call("ingest", object([("rows", rows_value)]))?;
+        IngestSummary::deserialize(&result)
+            .map_err(|e| ServeError::BadResponse { reason: e.to_string() })
+    }
+
+    /// `refresh`: force a refit now.
+    pub fn refresh(&mut self) -> Result<RefitSummary, ServeError> {
+        let result = self.call("refresh", object([]))?;
+        RefitSummary::deserialize(&result)
+            .map_err(|e| ServeError::BadResponse { reason: e.to_string() })
+    }
+
+    /// `stats`: engine counters (the full raw value is available via
+    /// [`LineClient::call`]).
+    pub fn stats(&mut self) -> Result<EngineStats, ServeError> {
+        let result = self.call("stats", object([]))?;
+        let engine = result
+            .get("engine")
+            .ok_or_else(|| ServeError::BadResponse { reason: "missing `engine`".into() })?;
+        EngineStats::deserialize(engine)
+            .map_err(|e| ServeError::BadResponse { reason: e.to_string() })
+    }
+
+    /// `snapshot-version`: the latest published version, if any.
+    pub fn snapshot_version(&mut self) -> Result<Option<u64>, ServeError> {
+        let result = self.call("snapshot-version", object([]))?;
+        match result.get("snapshot") {
+            None | Some(Value::Null) => Ok(None),
+            Some(meta) => meta.get("version").and_then(Value::as_u64).map(Some).ok_or_else(|| {
+                ServeError::BadResponse { reason: "snapshot without version".into() }
+            }),
+        }
+    }
+
+    /// `shutdown`: asks the server to stop; the server closes this
+    /// connection after acknowledging.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        self.call("shutdown", object([]))?;
+        Ok(())
+    }
+
+    fn send_line(&mut self, line: &str) -> Result<(), ServeError> {
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        self.writer.write_all(framed.as_bytes())?;
+        Ok(())
+    }
+
+    fn read_response(&mut self) -> Result<Value, ServeError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ServeError::BadResponse { reason: "server closed the connection".into() });
+        }
+        serde_json::from_str(line.trim_end())
+            .map_err(|e| ServeError::BadResponse { reason: e.to_string() })
+    }
+
+    /// Splits a response envelope into result / remote error, checking the
+    /// correlation id when one is expected.
+    fn unwrap_response(response: Value, expect_id: Option<u64>) -> Result<Value, ServeError> {
+        if let Some(expected) = expect_id {
+            match response.get("id").and_then(Value::as_u64) {
+                Some(id) if id == expected => {}
+                other => {
+                    return Err(ServeError::BadResponse {
+                        reason: format!("expected response id {expected}, got {other:?}"),
+                    })
+                }
+            }
+        }
+        match response.get("ok") {
+            Some(Value::Bool(true)) => Ok(response.get("result").cloned().unwrap_or(Value::Null)),
+            Some(Value::Bool(false)) => {
+                let error = response.get("error");
+                let field = |name: &str| -> String {
+                    error
+                        .and_then(|e| e.get(name))
+                        .and_then(|v| match v {
+                            Value::Str(s) => Some(s.clone()),
+                            _ => None,
+                        })
+                        .unwrap_or_default()
+                };
+                Err(ServeError::Remote { code: field("code"), message: field("message") })
+            }
+            _ => Err(ServeError::BadResponse { reason: "response has no `ok` field".into() }),
+        }
+    }
+}
+
+/// Builds a `{"attr": "value"}` object from name pairs.
+fn names_object(pairs: &[(&str, &str)]) -> Value {
+    Value::Object(pairs.iter().map(|&(a, v)| (a.to_string(), Value::Str(v.to_string()))).collect())
+}

@@ -1,0 +1,59 @@
+//! Error type of the query server and its line-protocol client.
+
+use std::fmt;
+use std::io;
+
+/// Anything that can go wrong starting, running or talking to a server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A socket-level failure.
+    Io(io::Error),
+    /// The server answered a request with a structured protocol error.
+    Remote {
+        /// Machine-readable error code (see the wire-protocol spec).
+        code: String,
+        /// Human-readable explanation.
+        message: String,
+    },
+    /// The peer sent something that is not a valid protocol line.
+    BadResponse {
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The server configuration is unusable.
+    Config {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// The engine thread is gone (the server is shutting down).
+    EngineDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve i/o error: {e}"),
+            ServeError::Remote { code, message } => {
+                write!(f, "server error [{code}]: {message}")
+            }
+            ServeError::BadResponse { reason } => write!(f, "malformed response: {reason}"),
+            ServeError::Config { reason } => write!(f, "invalid server configuration: {reason}"),
+            ServeError::EngineDown => write!(f, "engine thread is not running"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}

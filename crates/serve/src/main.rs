@@ -1,0 +1,262 @@
+//! The `pka-serve` binary: a standalone query server plus a `probe`
+//! subcommand that exercises a running server end to end (used by CI as the
+//! smoke test).
+//!
+//! ```text
+//! pka-serve [--port N] [--host H] [--shards K] [--policy P] \
+//!           [--schema SPEC | --cards 3,2,2 | --survey] [--max-line-bytes N]
+//! pka-serve probe --addr HOST:PORT [--shutdown]
+//! ```
+//!
+//! * `--policy` is `manual`, `every=N` or `fraction=F`.
+//! * `--schema` is `name=v1|v2|…;name2=…`; `--cards` builds an anonymous
+//!   uniform schema; `--survey` is the memo's smoking/cancer/family-history
+//!   survey.
+//!
+//! On startup the server prints `listening on <addr>` to stdout, so a
+//! wrapper script can scrape the ephemeral port.
+
+use pka_contingency::{Attribute, Schema};
+use pka_serve::{protocol, LineClient, ServeConfig, Server};
+use pka_stream::{RefreshPolicy, StreamConfig};
+use std::io::Write;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = if args.first().map(String::as_str) == Some("probe") {
+        probe(&args[1..])
+    } else {
+        serve(&args)
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("pka-serve: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pulls the value of `--flag value` style options out of an argument list.
+struct Options {
+    args: Vec<(String, Option<String>)>,
+}
+
+impl Options {
+    fn parse(args: &[String], flags_with_value: &[&str]) -> Result<Self, String> {
+        let mut parsed = Vec::new();
+        let mut iter = args.iter().peekable();
+        while let Some(arg) = iter.next() {
+            if !arg.starts_with("--") {
+                return Err(format!("unexpected argument `{arg}`"));
+            }
+            if flags_with_value.contains(&arg.as_str()) {
+                let value = iter.next().ok_or_else(|| format!("`{arg}` needs a value"))?.clone();
+                parsed.push((arg.clone(), Some(value)));
+            } else {
+                parsed.push((arg.clone(), None));
+            }
+        }
+        Ok(Self { args: parsed })
+    }
+
+    fn value(&self, flag: &str) -> Option<&str> {
+        self.args.iter().rev().find(|(name, _)| name == flag).and_then(|(_, v)| v.as_deref())
+    }
+
+    fn present(&self, flag: &str) -> bool {
+        self.args.iter().any(|(name, _)| name == flag)
+    }
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let options = Options::parse(
+        args,
+        &["--port", "--host", "--shards", "--policy", "--schema", "--cards", "--max-line-bytes"],
+    )?;
+
+    let schema = build_schema(&options)?;
+    let mut stream = StreamConfig::new();
+    if let Some(shards) = options.value("--shards") {
+        stream = stream
+            .with_shard_count(shards.parse().map_err(|_| format!("bad --shards `{shards}`"))?);
+    }
+    if let Some(policy) = options.value("--policy") {
+        stream = stream.with_policy(parse_policy(policy)?);
+    }
+    let mut config = ServeConfig::new().with_stream(stream);
+    if let Some(port) = options.value("--port") {
+        config = config.with_port(port.parse().map_err(|_| format!("bad --port `{port}`"))?);
+    }
+    if let Some(host) = options.value("--host") {
+        config = config.with_host(host);
+    }
+    if let Some(max) = options.value("--max-line-bytes") {
+        config = config
+            .with_max_line_bytes(max.parse().map_err(|_| format!("bad --max-line-bytes `{max}`"))?);
+    }
+
+    let server = Server::start(schema, config).map_err(|e| e.to_string())?;
+    println!("listening on {}", server.addr());
+    std::io::stdout().flush().ok();
+    // Serve until a client sends `shutdown`.
+    server.wait().map_err(|e| e.to_string())?;
+    println!("shut down cleanly");
+    Ok(())
+}
+
+fn build_schema(options: &Options) -> Result<Arc<Schema>, String> {
+    if options.present("--survey") {
+        return Ok(Schema::new(vec![
+            Attribute::new("smoking", ["smoker", "non-smoker", "married-to-smoker"]),
+            Attribute::yes_no("cancer"),
+            Attribute::yes_no("family-history"),
+        ])
+        .map_err(|e| e.to_string())?
+        .into_shared());
+    }
+    if let Some(spec) = options.value("--schema") {
+        let mut attributes = Vec::new();
+        for attr_spec in spec.split(';').filter(|s| !s.is_empty()) {
+            let (name, values) = attr_spec
+                .split_once('=')
+                .ok_or_else(|| format!("bad --schema attribute `{attr_spec}` (want name=v1|v2)"))?;
+            let values: Vec<&str> = values.split('|').filter(|v| !v.is_empty()).collect();
+            if values.len() < 2 {
+                return Err(format!("attribute `{name}` needs at least two values"));
+            }
+            attributes.push(Attribute::new(name, values));
+        }
+        return Ok(Schema::new(attributes).map_err(|e| e.to_string())?.into_shared());
+    }
+    if let Some(cards) = options.value("--cards") {
+        let cardinalities: Vec<usize> = cards
+            .split(',')
+            .map(|c| c.trim().parse().map_err(|_| format!("bad --cards entry `{c}`")))
+            .collect::<Result<_, _>>()?;
+        return Ok(Schema::uniform(&cardinalities).map_err(|e| e.to_string())?.into_shared());
+    }
+    Err("no schema given: pass --schema, --cards or --survey".to_string())
+}
+
+fn parse_policy(policy: &str) -> Result<RefreshPolicy, String> {
+    if policy == "manual" {
+        return Ok(RefreshPolicy::Manual);
+    }
+    if let Some(n) = policy.strip_prefix("every=") {
+        return Ok(RefreshPolicy::EveryNTuples(
+            n.parse().map_err(|_| format!("bad policy `{policy}`"))?,
+        ));
+    }
+    if let Some(f) = policy.strip_prefix("fraction=") {
+        return Ok(RefreshPolicy::DirtyFraction(
+            f.parse().map_err(|_| format!("bad policy `{policy}`"))?,
+        ));
+    }
+    Err(format!("unknown policy `{policy}` (want manual, every=N or fraction=F)"))
+}
+
+/// The integration probe: drives every protocol method against a live
+/// server, including malformed input, and fails loudly on any surprise.
+fn probe(args: &[String]) -> Result<(), String> {
+    let options = Options::parse(args, &["--addr"])?;
+    let addr = options.value("--addr").ok_or("probe needs --addr HOST:PORT")?;
+    let mut client = LineClient::connect(addr).map_err(|e| e.to_string())?;
+
+    // 1. Liveness.
+    if !client.ping().map_err(|e| format!("ping: {e}"))? {
+        return Err("ping did not pong".to_string());
+    }
+    println!("probe: ping ok");
+
+    // 2. Learn the schema and build a deterministic batch that exercises
+    //    every attribute value.
+    let schema = client.schema().map_err(|e| format!("schema: {e}"))?;
+    if schema.is_empty() {
+        return Err("server reported an empty schema".to_string());
+    }
+    let cards: Vec<usize> = schema.iter().map(|(_, values)| values.len()).collect();
+    let rows: Vec<Vec<usize>> =
+        (0..256).map(|k| cards.iter().map(|&card| k % card).collect()).collect();
+
+    // 3. Ingest and force a snapshot.
+    let ingest = client.ingest(&rows).map_err(|e| format!("ingest: {e}"))?;
+    if ingest.accepted != rows.len() as u64 {
+        return Err(format!("ingest accepted {} of {} rows", ingest.accepted, rows.len()));
+    }
+    println!("probe: ingest ok ({} rows)", ingest.accepted);
+    if ingest.refit.is_none() {
+        let refit = client.refresh().map_err(|e| format!("refresh: {e}"))?;
+        println!("probe: refresh ok (version {})", refit.version);
+    }
+    let version = client
+        .snapshot_version()
+        .map_err(|e| format!("snapshot-version: {e}"))?
+        .ok_or("no snapshot after refresh")?;
+    println!("probe: snapshot version {version}");
+
+    // 4. Query and explain against the first attribute.
+    let (attr0, values0) = &schema[0];
+    let answer = client.query(&[(attr0, &values0[0])], &[]).map_err(|e| format!("query: {e}"))?;
+    if !(answer.probability > 0.0 && answer.probability <= 1.0) {
+        return Err(format!("marginal probability {} out of range", answer.probability));
+    }
+    println!("probe: query ok ({} = {:.4})", answer.description, answer.probability);
+    if schema.len() > 1 {
+        let (attr1, values1) = &schema[1];
+        client
+            .explain(&[(attr0, &values0[0])], &[(attr1, &values1[0])])
+            .map_err(|e| format!("explain: {e}"))?;
+        println!("probe: explain ok");
+    }
+
+    // 5. Malformed input must produce structured errors and leave the
+    //    connection usable.
+    for (bad, expected) in [
+        ("{\"id\":1,\"method\":", "parse-error"),
+        ("{\"id\":1,\"method\":\"nope\"}", "unknown-method"),
+        ("[]", "invalid-request"),
+    ] {
+        let response = client.call_raw(bad).map_err(|e| format!("malformed probe: {e}"))?;
+        let code = response
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .map(|c| format!("{c:?}"))
+            .unwrap_or_default();
+        if !code.contains(expected) {
+            return Err(format!("malformed line `{bad}` answered {code}, wanted {expected}"));
+        }
+    }
+    if !client.ping().map_err(|e| format!("ping after malformed input: {e}"))? {
+        return Err("connection unusable after malformed input".to_string());
+    }
+    println!("probe: malformed-input handling ok");
+
+    // 6. Stats must reflect the ingest.
+    let stats = client.stats().map_err(|e| format!("stats: {e}"))?;
+    if stats.total_ingested < rows.len() as u64 {
+        return Err(format!(
+            "stats report {} ingested, expected >= {}",
+            stats.total_ingested,
+            rows.len()
+        ));
+    }
+    println!("probe: stats ok ({} tuples, {} refits)", stats.total_ingested, stats.refits);
+
+    // 7. Pipelined queries all answer in order.
+    let batch: Vec<(&str, serde::Value)> =
+        (0..16).map(|_| ("ping", protocol::object([]))).collect();
+    let responses = client.pipeline(&batch).map_err(|e| format!("pipeline: {e}"))?;
+    if responses.len() != 16 || responses.iter().any(|r| r.is_err()) {
+        return Err("pipelined requests failed".to_string());
+    }
+    println!("probe: pipelining ok");
+
+    if options.present("--shutdown") {
+        client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+        println!("probe: shutdown acknowledged");
+    }
+    Ok(())
+}

@@ -1,0 +1,331 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One request per line, one response line per request, always in order —
+//! so clients may pipeline freely.  See `crates/serve/README.md` for the
+//! full schema of every method.
+//!
+//! ```text
+//! → {"id":1,"method":"query","params":{"target":{"cancer":"yes"},"evidence":{"smoking":"smoker"}}}
+//! ← {"id":1,"ok":true,"result":{"probability":0.186,...}}
+//! → {"id":2,"method":"nope"}
+//! ← {"id":2,"ok":false,"error":{"code":"unknown-method","message":"..."}}
+//! ```
+//!
+//! Everything in this module is pure string/value manipulation: no sockets,
+//! so the parsing rules are unit-testable in isolation and reusable by the
+//! client, the server and the fuzz-style malformed-input tests.
+
+use pka_contingency::{Assignment, Schema};
+use serde::Value;
+
+/// Default cap on one request line.  Long enough for bulk ingest batches,
+/// short enough that a stuck or malicious client cannot balloon a
+/// connection thread's memory.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Machine-readable error codes of the wire protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line is not valid JSON.
+    ParseError,
+    /// The line is valid JSON but not a valid request envelope.
+    InvalidRequest,
+    /// The request's `method` is not one the server knows.
+    UnknownMethod,
+    /// The request's `params` do not fit the method's schema.
+    InvalidParams,
+    /// No snapshot has been published yet (ingest + refresh first).
+    NoSnapshot,
+    /// The query or explanation failed to evaluate.
+    QueryError,
+    /// The ingest or refresh failed.
+    IngestError,
+    /// The request line exceeded the server's line cap and was discarded.
+    OverlongLine,
+    /// The request line is not valid UTF-8.
+    InvalidUtf8,
+    /// The server is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// The code's on-the-wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::ParseError => "parse-error",
+            ErrorCode::InvalidRequest => "invalid-request",
+            ErrorCode::UnknownMethod => "unknown-method",
+            ErrorCode::InvalidParams => "invalid-params",
+            ErrorCode::NoSnapshot => "no-snapshot",
+            ErrorCode::QueryError => "query-error",
+            ErrorCode::IngestError => "ingest-error",
+            ErrorCode::OverlongLine => "overlong-line",
+            ErrorCode::InvalidUtf8 => "invalid-utf8",
+            ErrorCode::ShuttingDown => "shutting-down",
+        }
+    }
+}
+
+/// A parsed request envelope.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: Value,
+    /// The method name.
+    pub method: String,
+    /// Method parameters (an empty object when omitted).
+    pub params: Value,
+}
+
+/// Why a line failed to become a [`Request`].
+#[derive(Debug, Clone)]
+pub struct RequestError {
+    /// The protocol error code to answer with.
+    pub code: ErrorCode,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The request id, when it could be recovered from the bad line.
+    pub id: Value,
+}
+
+impl RequestError {
+    fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Self { code, message: message.into(), id: Value::Null }
+    }
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let value: Value = serde_json::from_str(line)
+        .map_err(|e| RequestError::new(ErrorCode::ParseError, e.to_string()))?;
+    if !matches!(value, Value::Object(_)) {
+        return Err(RequestError::new(
+            ErrorCode::InvalidRequest,
+            format!("a request must be a JSON object, found {}", value.kind()),
+        ));
+    }
+    let id = value.get("id").cloned().unwrap_or(Value::Null);
+    let method = match value.get("method") {
+        Some(Value::Str(m)) => m.clone(),
+        Some(other) => {
+            return Err(RequestError {
+                code: ErrorCode::InvalidRequest,
+                message: format!("`method` must be a string, found {}", other.kind()),
+                id,
+            })
+        }
+        None => {
+            return Err(RequestError {
+                code: ErrorCode::InvalidRequest,
+                message: "request has no `method` field".to_string(),
+                id,
+            })
+        }
+    };
+    let params = value.get("params").cloned().unwrap_or_else(|| Value::Object(Vec::new()));
+    Ok(Request { id, method, params })
+}
+
+/// Builds a JSON object value from `(key, value)` pairs.
+pub fn object<const N: usize>(fields: [(&str, Value); N]) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Renders a request line (no trailing newline).
+pub fn request_line(id: u64, method: &str, params: &Value) -> String {
+    let envelope = object([
+        ("id", Value::U64(id)),
+        ("method", Value::Str(method.to_string())),
+        ("params", params.clone()),
+    ]);
+    serde_json::to_string(&envelope).expect("value serialisation is infallible")
+}
+
+/// Renders a success response line (no trailing newline).
+pub fn ok_line(id: &Value, result: Value) -> String {
+    let envelope = object([("id", id.clone()), ("ok", Value::Bool(true)), ("result", result)]);
+    serde_json::to_string(&envelope).expect("value serialisation is infallible")
+}
+
+/// Renders an error response line (no trailing newline).
+pub fn error_line(id: &Value, code: ErrorCode, message: &str) -> String {
+    let error = object([
+        ("code", Value::Str(code.as_str().to_string())),
+        ("message", Value::Str(message.to_string())),
+    ]);
+    let envelope = object([("id", id.clone()), ("ok", Value::Bool(false)), ("error", error)]);
+    serde_json::to_string(&envelope).expect("value serialisation is infallible")
+}
+
+/// Interprets a `{"attribute": "value", …}` object (or `null`) as a partial
+/// assignment under the schema.
+pub fn assignment_from_value(
+    schema: &Schema,
+    value: &Value,
+    what: &str,
+) -> Result<Assignment, RequestError> {
+    match value {
+        Value::Null => Ok(Assignment::empty()),
+        Value::Object(fields) => {
+            let mut pairs: Vec<(&str, &str)> = Vec::with_capacity(fields.len());
+            for (attr, v) in fields {
+                let Value::Str(value_name) = v else {
+                    return Err(RequestError::new(
+                        ErrorCode::InvalidParams,
+                        format!(
+                            "`{what}.{attr}` must be a value name (string), found {}",
+                            v.kind()
+                        ),
+                    ));
+                };
+                pairs.push((attr.as_str(), value_name.as_str()));
+            }
+            Assignment::from_names(schema, &pairs).map_err(|e| {
+                RequestError::new(ErrorCode::InvalidParams, format!("bad `{what}`: {e}"))
+            })
+        }
+        other => Err(RequestError::new(
+            ErrorCode::InvalidParams,
+            format!("`{what}` must be an object of attribute: value names, found {}", other.kind()),
+        )),
+    }
+}
+
+/// Renders a partial assignment as a `{"attribute": "value", …}` object.
+pub fn assignment_to_value(schema: &Schema, assignment: &Assignment) -> Value {
+    let fields = assignment
+        .pairs()
+        .map(|(attr, value)| {
+            let a = schema.attribute(attr).expect("assignment validated against schema");
+            (a.name().to_string(), Value::Str(a.value_name(value).unwrap_or("?").to_string()))
+        })
+        .collect();
+    Value::Object(fields)
+}
+
+/// Interprets `params.rows` as a batch of raw tuples (arrays of value
+/// indices).
+pub fn rows_from_value(params: &Value) -> Result<Vec<Vec<usize>>, RequestError> {
+    let Some(rows_value) = params.get("rows") else {
+        return Err(RequestError::new(ErrorCode::InvalidParams, "missing `rows`"));
+    };
+    let Value::Array(rows) = rows_value else {
+        return Err(RequestError::new(
+            ErrorCode::InvalidParams,
+            format!("`rows` must be an array of rows, found {}", rows_value.kind()),
+        ));
+    };
+    let mut parsed = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let Value::Array(cells) = row else {
+            return Err(RequestError::new(
+                ErrorCode::InvalidParams,
+                format!("`rows[{i}]` must be an array of value indices, found {}", row.kind()),
+            ));
+        };
+        let mut values = Vec::with_capacity(cells.len());
+        for (j, cell) in cells.iter().enumerate() {
+            let Some(v) = cell.as_u64() else {
+                return Err(RequestError::new(
+                    ErrorCode::InvalidParams,
+                    format!(
+                        "`rows[{i}][{j}]` must be a non-negative value index, found {}",
+                        cell.kind()
+                    ),
+                ));
+            };
+            values.push(v as usize);
+        }
+        parsed.push(values);
+    }
+    Ok(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pka_contingency::Attribute;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("smoking", ["smoker", "non-smoker"]),
+            Attribute::yes_no("cancer"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let params = object([("target", object([("cancer", Value::Str("yes".into()))]))]);
+        let line = request_line(7, "query", &params);
+        let request = parse_request(&line).unwrap();
+        assert_eq!(request.method, "query");
+        assert_eq!(request.id, Value::U64(7));
+        assert_eq!(request.params, params);
+    }
+
+    #[test]
+    fn malformed_envelopes_are_rejected_with_codes() {
+        assert_eq!(parse_request("{").unwrap_err().code, ErrorCode::ParseError);
+        assert_eq!(parse_request("42").unwrap_err().code, ErrorCode::InvalidRequest);
+        assert_eq!(parse_request("{}").unwrap_err().code, ErrorCode::InvalidRequest);
+        let err = parse_request("{\"id\":3,\"method\":7}").unwrap_err();
+        assert_eq!(err.code, ErrorCode::InvalidRequest);
+        assert_eq!(err.id, Value::U64(3), "id recovered for correlation");
+    }
+
+    #[test]
+    fn response_lines_echo_the_id() {
+        let ok = ok_line(&Value::U64(5), object([("pong", Value::Bool(true))]));
+        assert_eq!(ok, "{\"id\":5,\"ok\":true,\"result\":{\"pong\":true}}");
+        let err = error_line(&Value::Null, ErrorCode::UnknownMethod, "nope");
+        assert!(err.contains("\"ok\":false"));
+        assert!(err.contains("unknown-method"));
+    }
+
+    #[test]
+    fn assignments_convert_both_ways() {
+        let s = schema();
+        let v = object([
+            ("cancer", Value::Str("yes".into())),
+            ("smoking", Value::Str("smoker".into())),
+        ]);
+        let a = assignment_from_value(&s, &v, "target").unwrap();
+        assert_eq!(a, Assignment::from_pairs([(0, 0), (1, 0)]));
+        let back = assignment_to_value(&s, &a);
+        assert_eq!(back.get("smoking"), Some(&Value::Str("smoker".into())));
+        assert_eq!(back.get("cancer"), Some(&Value::Str("yes".into())));
+        // Null means "no evidence".
+        assert_eq!(
+            assignment_from_value(&s, &Value::Null, "evidence").unwrap(),
+            Assignment::empty()
+        );
+        // Unknown names and wrong shapes are invalid-params.
+        let bad = object([("age", Value::Str("old".into()))]);
+        assert_eq!(
+            assignment_from_value(&s, &bad, "target").unwrap_err().code,
+            ErrorCode::InvalidParams
+        );
+        let not_obj = Value::Str("cancer".into());
+        assert_eq!(
+            assignment_from_value(&s, &not_obj, "target").unwrap_err().code,
+            ErrorCode::InvalidParams
+        );
+    }
+
+    #[test]
+    fn rows_parse_and_reject() {
+        let params = object([(
+            "rows",
+            Value::Array(vec![
+                Value::Array(vec![Value::U64(0), Value::U64(1)]),
+                Value::Array(vec![Value::U64(1), Value::U64(0)]),
+            ]),
+        )]);
+        assert_eq!(rows_from_value(&params).unwrap(), vec![vec![0, 1], vec![1, 0]]);
+        let missing = object([]);
+        assert_eq!(rows_from_value(&missing).unwrap_err().code, ErrorCode::InvalidParams);
+        let negative = object([("rows", Value::Array(vec![Value::Array(vec![Value::I64(-1)])]))]);
+        assert_eq!(rows_from_value(&negative).unwrap_err().code, ErrorCode::InvalidParams);
+    }
+}

@@ -1,0 +1,827 @@
+//! The TCP server: a thread-per-connection accept loop over a wait-free
+//! read path and a single-writer ingest thread.
+//!
+//! ## Concurrency shape
+//!
+//! * **Readers never contend.**  Every connection thread answers `query` /
+//!   `explain` / `snapshot-version` requests from
+//!   [`SnapshotHandle::load`] — a wait-free atomic-pointer load — so a
+//!   million concurrent readers cost a refit publish nothing and vice
+//!   versa.
+//! * **Writes funnel through one thread.**  The [`StreamingEngine`] is
+//!   owned by a dedicated engine thread; `ingest`/`refresh`/`stats`
+//!   requests are forwarded over an MPSC channel and answered over a
+//!   per-request reply channel.  Policy-triggered refits therefore run off
+//!   the connection threads, and two clients ingesting concurrently are
+//!   serialised without any locking in the engine itself.
+//! * **Shutdown is cooperative and leak-free.**  The accept loop and every
+//!   connection loop poll a shutdown flag (connections via a short read
+//!   timeout); [`ServerHandle::shutdown`] sets the flag, joins the accept
+//!   thread (which joins every connection thread), then joins the engine
+//!   thread and returns the engine — if a thread leaked, shutdown would
+//!   hang, which is exactly what the CI smoke test checks with a timeout.
+
+use crate::error::ServeError;
+use crate::protocol::{
+    self, assignment_from_value, assignment_to_value, error_line, ok_line, parse_request,
+    rows_from_value, ErrorCode, Request, DEFAULT_MAX_LINE_BYTES,
+};
+use pka_contingency::Schema;
+use pka_core::Query;
+use pka_expert::explain_query;
+use pka_stream::{RefitOutcome, RefitReport, SnapshotHandle, StreamConfig, StreamingEngine};
+use serde::{Deserialize, Serialize, Value};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a blocked connection read waits before re-checking the
+/// shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(50);
+/// Cap on one blocking response write.  A client that pipelines requests
+/// but never reads would otherwise fill the socket buffer and wedge its
+/// connection thread in `write_all` forever — unreachable by the shutdown
+/// flag and therefore unjoinable.  Past this, the client is considered
+/// dead and the connection is dropped.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Interface to bind (default `127.0.0.1`).
+    pub host: String,
+    /// Port to bind; `0` picks an ephemeral port (see
+    /// [`ServerHandle::addr`]).
+    pub port: u16,
+    /// Configuration of the underlying streaming engine.
+    pub stream: StreamConfig,
+    /// Cap on one request line; longer lines are discarded and answered
+    /// with an `overlong-line` error.
+    pub max_line_bytes: usize,
+}
+
+impl ServeConfig {
+    /// Defaults: loopback, ephemeral port, default engine, 1 MiB lines.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the port (0 = ephemeral).
+    pub fn with_port(mut self, port: u16) -> Self {
+        self.port = port;
+        self
+    }
+
+    /// Sets the bind host.
+    pub fn with_host(mut self, host: impl Into<String>) -> Self {
+        self.host = host.into();
+        self
+    }
+
+    /// Sets the streaming-engine configuration.
+    pub fn with_stream(mut self, stream: StreamConfig) -> Self {
+        self.stream = stream;
+        self
+    }
+
+    /// Sets the request-line cap.
+    pub fn with_max_line_bytes(mut self, max_line_bytes: usize) -> Self {
+        self.max_line_bytes = max_line_bytes;
+        self
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            host: "127.0.0.1".to_string(),
+            port: 0,
+            stream: StreamConfig::default(),
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+        }
+    }
+}
+
+/// What one refit produced, in wire form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RefitSummary {
+    /// Version the produced snapshot was published under.
+    pub version: u64,
+    /// Whether the refit was warm-started from the previous snapshot.
+    pub warm_started: bool,
+    /// Tuples the refit was performed over.
+    pub observations: u64,
+    /// Total constraints in the refitted knowledge base.
+    pub constraints: usize,
+    /// Solver sweeps spent across the refit.
+    pub solver_iterations: usize,
+    /// Wall-clock time of the refit, in microseconds.
+    pub wall_micros: u64,
+}
+
+impl RefitSummary {
+    fn from_report(report: &RefitReport) -> Self {
+        Self {
+            version: report.version,
+            warm_started: report.warm_started,
+            observations: report.observations,
+            constraints: report.constraints,
+            solver_iterations: report.solver_iterations,
+            wall_micros: report.wall_time.as_micros() as u64,
+        }
+    }
+}
+
+/// What one `ingest` request did, in wire form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IngestSummary {
+    /// Tuples accepted into the shards.
+    pub accepted: u64,
+    /// Tuples pending (not yet covered by a published fit) afterwards.
+    pub pending: u64,
+    /// Total tuples ingested over the engine's lifetime.
+    pub total_ingested: u64,
+    /// Whether the refresh policy tripped on this batch.
+    pub refit_triggered: bool,
+    /// The completed refit, if one ran and succeeded.
+    pub refit: Option<RefitSummary>,
+    /// The refit failure, if the policy tripped but the refit failed (the
+    /// batch itself **is** absorbed either way).
+    pub refit_error: Option<String>,
+}
+
+/// Engine-side counters, in wire form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Total tuples ingested over the engine's lifetime.
+    pub total_ingested: u64,
+    /// Tuples ingested since the last published fit.
+    pub pending: u64,
+    /// Refits performed so far.
+    pub refits: u64,
+    /// Number of count shards.
+    pub shard_count: usize,
+    /// Per-shard tuple counts.
+    pub shard_tuples: Vec<u64>,
+    /// Solver incidence-cache full hits (see `pka_maxent::IncidenceCache`).
+    pub cache_full_hits: u64,
+    /// Solver incidence-cache prefix extensions.
+    pub cache_extensions: u64,
+    /// Solver incidence-cache rebuilds.
+    pub cache_rebuilds: u64,
+}
+
+/// Commands forwarded from connection threads to the engine thread.
+enum EngineCommand {
+    Ingest { rows: Vec<Vec<usize>>, reply: mpsc::Sender<Result<IngestSummary, String>> },
+    Refresh { reply: mpsc::Sender<Result<RefitSummary, String>> },
+    Stats { reply: mpsc::Sender<EngineStats> },
+}
+
+/// State shared by the accept loop and every connection thread.
+struct Shared {
+    schema: Arc<Schema>,
+    snapshots: SnapshotHandle,
+    shutdown: AtomicBool,
+    max_line_bytes: usize,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// The server constructor namespace.
+pub struct Server;
+
+impl Server {
+    /// Binds the listener, spawns the engine and accept threads, and
+    /// returns a handle.  The server is serving as soon as this returns.
+    pub fn start(schema: Arc<Schema>, config: ServeConfig) -> Result<ServerHandle, ServeError> {
+        let engine = StreamingEngine::new(Arc::clone(&schema), config.stream.clone())
+            .map_err(|e| ServeError::Config { reason: e.to_string() })?;
+        let snapshots = engine.handle();
+        let listener = TcpListener::bind((config.host.as_str(), config.port))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let (engine_tx, engine_rx) = mpsc::channel::<EngineCommand>();
+        let engine_thread = std::thread::Builder::new()
+            .name("pka-serve-engine".to_string())
+            .spawn(move || run_engine(engine, engine_rx))?;
+
+        let shared = Arc::new(Shared {
+            schema,
+            snapshots,
+            shutdown: AtomicBool::new(false),
+            max_line_bytes: config.max_line_bytes.max(64),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("pka-serve-accept".to_string())
+                .spawn(move || run_acceptor(listener, shared, engine_tx))?
+        };
+
+        Ok(ServerHandle { addr, shared, acceptor: Some(acceptor), engine: Some(engine_thread) })
+    }
+}
+
+/// A running server.  Dropping the handle shuts the server down (joining
+/// every thread); prefer [`ServerHandle::shutdown`] to also recover the
+/// engine.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    engine: Option<JoinHandle<StreamingEngine>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.addr.port()
+    }
+
+    /// A wait-free read handle onto the served snapshots (for in-process
+    /// readers and tests).
+    pub fn snapshots(&self) -> SnapshotHandle {
+        self.shared.snapshots.clone()
+    }
+
+    /// True once shutdown has been requested (by this handle or by a
+    /// client's `shutdown` request).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the server shuts down (e.g. a client sent `shutdown`),
+    /// then joins every thread and returns the engine.
+    pub fn wait(mut self) -> Result<StreamingEngine, ServeError> {
+        self.join_threads()
+    }
+
+    /// Requests shutdown, joins every thread and returns the engine.
+    pub fn shutdown(mut self) -> Result<StreamingEngine, ServeError> {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.join_threads()
+    }
+
+    fn join_threads(&mut self) -> Result<StreamingEngine, ServeError> {
+        if let Some(acceptor) = self.acceptor.take() {
+            acceptor
+                .join()
+                .map_err(|_| ServeError::Config { reason: "accept thread panicked".into() })?;
+        }
+        let engine = self
+            .engine
+            .take()
+            .ok_or(ServeError::EngineDown)?
+            .join()
+            .map_err(|_| ServeError::Config { reason: "engine thread panicked".into() })?;
+        Ok(engine)
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let _ = self.join_threads();
+    }
+}
+
+/// The engine thread: owns the [`StreamingEngine`], drains commands until
+/// every sender is gone (accept loop and all connections exited), then
+/// returns the engine to [`ServerHandle::shutdown`].
+fn run_engine(mut engine: StreamingEngine, rx: mpsc::Receiver<EngineCommand>) -> StreamingEngine {
+    while let Ok(command) = rx.recv() {
+        match command {
+            EngineCommand::Ingest { rows, reply } => {
+                let outcome = engine
+                    .ingest_batch(&rows)
+                    .map(|report| {
+                        let (refit, refit_error, refit_triggered) = match report.refit {
+                            RefitOutcome::NotTriggered => (None, None, false),
+                            RefitOutcome::Completed(ref r) => {
+                                (Some(RefitSummary::from_report(r)), None, true)
+                            }
+                            RefitOutcome::Failed(ref e) => (None, Some(e.to_string()), true),
+                        };
+                        IngestSummary {
+                            accepted: report.accepted,
+                            pending: engine.pending(),
+                            total_ingested: engine.total_ingested(),
+                            refit_triggered,
+                            refit,
+                            refit_error,
+                        }
+                    })
+                    .map_err(|e| e.to_string());
+                let _ = reply.send(outcome);
+            }
+            EngineCommand::Refresh { reply } => {
+                let outcome = engine
+                    .refresh()
+                    .map(|r| RefitSummary::from_report(&r))
+                    .map_err(|e| e.to_string());
+                let _ = reply.send(outcome);
+            }
+            EngineCommand::Stats { reply } => {
+                let cache = engine.solver_cache_stats();
+                let _ = reply.send(EngineStats {
+                    total_ingested: engine.total_ingested(),
+                    pending: engine.pending(),
+                    refits: engine.refit_count(),
+                    shard_count: engine.shard_count(),
+                    shard_tuples: engine.shard_tuple_counts(),
+                    cache_full_hits: cache.full_hits,
+                    cache_extensions: cache.extensions,
+                    cache_rebuilds: cache.rebuilds,
+                });
+            }
+        }
+    }
+    engine
+}
+
+/// The accept loop: spawns one thread per connection, reaps finished ones,
+/// and on shutdown joins the rest before exiting (dropping its
+/// [`EngineCommand`] sender, which lets the engine thread finish).
+fn run_acceptor(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    engine_tx: mpsc::Sender<EngineCommand>,
+) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.connections.fetch_add(1, Ordering::Relaxed);
+                let conn_shared = Arc::clone(&shared);
+                let engine_tx = engine_tx.clone();
+                let worker = std::thread::Builder::new()
+                    .name("pka-serve-conn".to_string())
+                    .spawn(move || handle_connection(stream, conn_shared, engine_tx));
+                match worker {
+                    Ok(handle) => workers.push(handle),
+                    Err(_) => {
+                        shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+        // Reap finished connection threads so the vec stays bounded by the
+        // number of *live* connections.
+        workers.retain(|w| !w.is_finished());
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+}
+
+/// What one bounded line read produced.
+enum LineOutcome {
+    /// A complete line is in the buffer (newline stripped).
+    Line,
+    /// The peer closed the connection.
+    Eof,
+    /// The line exceeded the cap; it has been drained up to its newline.
+    Overlong,
+    /// Shutdown was requested while waiting.
+    Shutdown,
+    /// The socket failed.
+    Closed,
+}
+
+/// Reads one `\n`-terminated line into `buf`, never retaining more than
+/// `max` bytes, polling the shutdown flag while the socket is idle.
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    max: usize,
+    shutdown: &AtomicBool,
+) -> LineOutcome {
+    loop {
+        let remaining = (max + 1).saturating_sub(buf.len());
+        if remaining == 0 {
+            return drain_overlong(reader, shutdown);
+        }
+        let mut limited = reader.by_ref().take(remaining as u64);
+        match limited.read_until(b'\n', buf) {
+            // The limit is > 0, so 0 bytes means the peer closed.
+            Ok(0) => return if buf.is_empty() { LineOutcome::Eof } else { LineOutcome::Line },
+            Ok(_) => {
+                if buf.last() == Some(&b'\n') {
+                    buf.pop();
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    return LineOutcome::Line;
+                }
+                // No newline yet: either the take limit was hit (checked at
+                // the top of the loop) or the read was short; keep going.
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return LineOutcome::Shutdown;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return LineOutcome::Closed,
+        }
+    }
+}
+
+/// Discards the rest of an overlong line (up to its newline) in bounded
+/// chunks, so the connection can keep being used afterwards.
+fn drain_overlong(reader: &mut BufReader<TcpStream>, shutdown: &AtomicBool) -> LineOutcome {
+    let mut scratch: Vec<u8> = Vec::with_capacity(4096);
+    loop {
+        scratch.clear();
+        let mut limited = reader.by_ref().take(4096);
+        match limited.read_until(b'\n', &mut scratch) {
+            Ok(0) => return LineOutcome::Overlong,
+            Ok(_) if scratch.last() == Some(&b'\n') => return LineOutcome::Overlong,
+            Ok(_) => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return LineOutcome::Shutdown;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return LineOutcome::Closed,
+        }
+    }
+}
+
+/// One connection's read-dispatch-respond loop.
+fn handle_connection(
+    stream: TcpStream,
+    shared: Arc<Shared>,
+    engine_tx: mpsc::Sender<EngineCommand>,
+) {
+    // On BSD-derived platforms an accepted socket inherits the listener's
+    // nonblocking mode, which would turn the read-timeout poll below into
+    // a busy spin — force blocking mode explicitly.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut buf: Vec<u8> = Vec::new();
+    // Responses accumulate here and are flushed in one write as soon as no
+    // further pipelined request is already buffered — one syscall per
+    // client batch instead of one per response.
+    let mut out: Vec<u8> = Vec::new();
+
+    loop {
+        buf.clear();
+        match read_line_bounded(&mut reader, &mut buf, shared.max_line_bytes, &shared.shutdown) {
+            LineOutcome::Eof | LineOutcome::Closed | LineOutcome::Shutdown => {
+                let _ = writer.write_all(&out);
+                return;
+            }
+            LineOutcome::Overlong => {
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let line = error_line(
+                    &Value::Null,
+                    ErrorCode::OverlongLine,
+                    &format!(
+                        "request line exceeded the {}-byte cap and was discarded",
+                        shared.max_line_bytes
+                    ),
+                );
+                if queue_response(&mut writer, &mut out, &reader, &line).is_err() {
+                    return;
+                }
+            }
+            LineOutcome::Line => {
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                let (line, keep_open) = respond_to(&buf, &shared, &engine_tx);
+                if queue_response(&mut writer, &mut out, &reader, &line).is_err() || !keep_open {
+                    let _ = writer.write_all(&out);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Queues one response line, flushing unless another complete pipelined
+/// request is already sitting in the read buffer (or the queue is large).
+fn queue_response(
+    writer: &mut TcpStream,
+    out: &mut Vec<u8>,
+    reader: &BufReader<TcpStream>,
+    line: &str,
+) -> std::io::Result<()> {
+    out.extend_from_slice(line.as_bytes());
+    out.push(b'\n');
+    let another_pending = reader.buffer().contains(&b'\n');
+    if !another_pending || out.len() >= 1 << 16 {
+        writer.write_all(out)?;
+        out.clear();
+    }
+    Ok(())
+}
+
+/// Produces the response line for one raw request line, plus whether the
+/// connection should stay open.
+fn respond_to(
+    raw: &[u8],
+    shared: &Shared,
+    engine_tx: &mpsc::Sender<EngineCommand>,
+) -> (String, bool) {
+    let Ok(text) = std::str::from_utf8(raw) else {
+        shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        return (
+            error_line(&Value::Null, ErrorCode::InvalidUtf8, "request line is not valid UTF-8"),
+            true,
+        );
+    };
+    let request = match parse_request(text) {
+        Ok(request) => request,
+        Err(e) => {
+            shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            return (error_line(&e.id, e.code, &e.message), true);
+        }
+    };
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return (
+            error_line(&request.id, ErrorCode::ShuttingDown, "server is shutting down"),
+            false,
+        );
+    }
+    match dispatch(&request, shared, engine_tx) {
+        Ok((result, keep_open)) => {
+            if !keep_open {
+                // `shutdown` acknowledged: flip the flag *after* building
+                // the response so this request is answered normally.
+                shared.shutdown.store(true, Ordering::SeqCst);
+            }
+            (ok_line(&request.id, result), keep_open)
+        }
+        Err(e) => {
+            shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            // Dispatch errors always belong to this request, whatever id
+            // the deeper helper had available.
+            (error_line(&request.id, e.code, &e.message), true)
+        }
+    }
+}
+
+/// Evaluates one request.  Returns the `result` value and whether the
+/// connection should stay open afterwards.
+fn dispatch(
+    request: &Request,
+    shared: &Shared,
+    engine_tx: &mpsc::Sender<EngineCommand>,
+) -> Result<(Value, bool), protocol::RequestError> {
+    let open = |v| Ok((v, true));
+    match request.method.as_str() {
+        "ping" => open(protocol::object([("pong", Value::Bool(true))])),
+        "schema" => open(schema_value(&shared.schema)),
+        "snapshot-version" => {
+            let meta = shared
+                .snapshots
+                .load()
+                .map(|s| Serialize::serialize(&s.meta()))
+                .unwrap_or(Value::Null);
+            open(protocol::object([("snapshot", meta)]))
+        }
+        "query" => {
+            let snapshot = shared.snapshots.load().ok_or_else(no_snapshot)?;
+            let schema = snapshot.knowledge_base().schema();
+            let target = assignment_from_value(schema, param(request, "target"), "target")?;
+            let evidence = assignment_from_value(schema, param(request, "evidence"), "evidence")?;
+            if target.vars().is_empty() {
+                return Err(invalid_params("`target` must assign at least one attribute"));
+            }
+            let query_error = |message: String| protocol::RequestError {
+                code: ErrorCode::QueryError,
+                message,
+                id: request.id.clone(),
+            };
+            if !target.compatible_with(&evidence) {
+                return Err(query_error(
+                    "target and evidence assign different values to a shared attribute".into(),
+                ));
+            }
+            // Bayes' identity evaluated on the snapshot's dense joint (the
+            // hot path: a stride walk over matching cells, no per-request
+            // factor products).
+            let joint = snapshot.joint();
+            let evidence_probability =
+                if evidence.vars().is_empty() { 1.0 } else { joint.probability(&evidence) };
+            if evidence_probability <= 0.0 {
+                return Err(query_error(format!(
+                    "evidence {} has probability zero under the model",
+                    evidence.describe(schema)
+                )));
+            }
+            let merged = target.merge(&evidence).expect("compatibility checked above");
+            let joint_probability = joint.probability(&merged);
+            let prior_probability = joint.probability(&target);
+            let probability = joint_probability / evidence_probability;
+            let description = Query::conditional(target, evidence).describe(schema);
+            open(protocol::object([
+                ("probability", Value::F64(probability)),
+                ("joint_probability", Value::F64(joint_probability)),
+                ("evidence_probability", Value::F64(evidence_probability)),
+                ("prior_probability", Value::F64(prior_probability)),
+                ("lift", lift_value(probability, prior_probability)),
+                ("description", Value::Str(description)),
+                ("snapshot_version", Value::U64(snapshot.version())),
+                ("observations", Value::U64(snapshot.observations())),
+            ]))
+        }
+        "explain" => {
+            let snapshot = shared.snapshots.load().ok_or_else(no_snapshot)?;
+            let kb = snapshot.knowledge_base();
+            let schema = kb.schema();
+            let target = assignment_from_value(schema, param(request, "target"), "target")?;
+            let evidence = assignment_from_value(schema, param(request, "evidence"), "evidence")?;
+            if target.vars().is_empty() {
+                return Err(invalid_params("`target` must assign at least one attribute"));
+            }
+            let explanation =
+                explain_query(kb, &target, &evidence).map_err(|e| protocol::RequestError {
+                    code: ErrorCode::QueryError,
+                    message: e.to_string(),
+                    id: request.id.clone(),
+                })?;
+            let steps = explanation
+                .steps
+                .iter()
+                .map(|step| {
+                    protocol::object([
+                        ("evidence", assignment_to_value(schema, &step.evidence_so_far)),
+                        ("probability", Value::F64(step.probability)),
+                    ])
+                })
+                .collect();
+            let constraints = explanation
+                .supporting_constraints
+                .iter()
+                .map(|(cell, p)| {
+                    protocol::object([
+                        ("cell", assignment_to_value(schema, cell)),
+                        ("probability", Value::F64(*p)),
+                    ])
+                })
+                .collect();
+            open(protocol::object([
+                ("target", assignment_to_value(schema, &explanation.target)),
+                ("evidence", assignment_to_value(schema, &explanation.evidence)),
+                ("prior", Value::F64(explanation.prior)),
+                ("posterior", Value::F64(explanation.posterior)),
+                ("lift", lift_value(explanation.posterior, explanation.prior)),
+                ("steps", Value::Array(steps)),
+                ("supporting_constraints", Value::Array(constraints)),
+                ("rendered", Value::Str(explanation.render(schema))),
+                ("snapshot_version", Value::U64(snapshot.version())),
+            ]))
+        }
+        "ingest" => {
+            let rows = rows_from_value(&request.params)?;
+            let (reply_tx, reply_rx) = mpsc::channel();
+            send_engine(engine_tx, EngineCommand::Ingest { rows, reply: reply_tx }, request)?;
+            let summary =
+                recv_engine(reply_rx, request)?.map_err(|message| protocol::RequestError {
+                    code: ErrorCode::IngestError,
+                    message,
+                    id: request.id.clone(),
+                })?;
+            open(Serialize::serialize(&summary))
+        }
+        "refresh" => {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            send_engine(engine_tx, EngineCommand::Refresh { reply: reply_tx }, request)?;
+            let summary =
+                recv_engine(reply_rx, request)?.map_err(|message| protocol::RequestError {
+                    code: ErrorCode::IngestError,
+                    message,
+                    id: request.id.clone(),
+                })?;
+            open(Serialize::serialize(&summary))
+        }
+        "stats" => {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            send_engine(engine_tx, EngineCommand::Stats { reply: reply_tx }, request)?;
+            let engine = recv_engine(reply_rx, request)?;
+            let snapshot_meta = shared
+                .snapshots
+                .load()
+                .map(|s| Serialize::serialize(&s.meta()))
+                .unwrap_or(Value::Null);
+            let server = protocol::object([
+                ("connections", Value::U64(shared.connections.load(Ordering::Relaxed))),
+                ("requests", Value::U64(shared.requests.load(Ordering::Relaxed))),
+                ("protocol_errors", Value::U64(shared.protocol_errors.load(Ordering::Relaxed))),
+            ]);
+            open(protocol::object([
+                ("engine", Serialize::serialize(&engine)),
+                ("snapshot", snapshot_meta),
+                ("server", server),
+            ]))
+        }
+        "shutdown" => Ok((protocol::object([("shutting_down", Value::Bool(true))]), false)),
+        other => Err(protocol::RequestError {
+            code: ErrorCode::UnknownMethod,
+            message: format!("unknown method `{other}`"),
+            id: request.id.clone(),
+        }),
+    }
+}
+
+/// Lift in wire form: `posterior / prior`, or `null` when the prior is
+/// zero — infinity has no JSON representation, and a typed client must be
+/// able to round-trip every field the server emits.
+fn lift_value(posterior: f64, prior: f64) -> Value {
+    if prior > 0.0 {
+        Value::F64(posterior / prior)
+    } else {
+        Value::Null
+    }
+}
+
+/// The schema in wire form: attribute names and value names, in order.
+fn schema_value(schema: &Schema) -> Value {
+    let attributes = schema
+        .attributes()
+        .iter()
+        .map(|attribute| {
+            protocol::object([
+                ("name", Value::Str(attribute.name().to_string())),
+                (
+                    "values",
+                    Value::Array(
+                        attribute.values().iter().map(|v| Value::Str(v.clone())).collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    protocol::object([("attributes", Value::Array(attributes))])
+}
+
+fn param<'a>(request: &'a Request, name: &str) -> &'a Value {
+    request.params.get(name).unwrap_or(&Value::Null)
+}
+
+fn no_snapshot() -> protocol::RequestError {
+    protocol::RequestError {
+        code: ErrorCode::NoSnapshot,
+        message: "no snapshot published yet; ingest data and refresh first".to_string(),
+        id: Value::Null,
+    }
+}
+
+fn invalid_params(message: &str) -> protocol::RequestError {
+    protocol::RequestError {
+        code: ErrorCode::InvalidParams,
+        message: message.to_string(),
+        id: Value::Null,
+    }
+}
+
+fn send_engine(
+    engine_tx: &mpsc::Sender<EngineCommand>,
+    command: EngineCommand,
+    request: &Request,
+) -> Result<(), protocol::RequestError> {
+    engine_tx.send(command).map_err(|_| protocol::RequestError {
+        code: ErrorCode::ShuttingDown,
+        message: "engine thread is gone".to_string(),
+        id: request.id.clone(),
+    })
+}
+
+fn recv_engine<T>(
+    reply_rx: mpsc::Receiver<T>,
+    request: &Request,
+) -> Result<T, protocol::RequestError> {
+    reply_rx.recv().map_err(|_| protocol::RequestError {
+        code: ErrorCode::ShuttingDown,
+        message: "engine thread dropped the request".to_string(),
+        id: request.id.clone(),
+    })
+}

@@ -8,6 +8,7 @@ use crate::snapshot::{Snapshot, SnapshotHandle};
 use crate::Result;
 use pka_contingency::{ContingencyTable, Dataset, Sample, Schema};
 use pka_core::{Acquisition, AcquisitionConfig};
+use pka_maxent::{CacheStats, IncidenceCache};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -190,6 +191,10 @@ pub struct StreamingEngine {
     next_version: u64,
     handle: SnapshotHandle,
     refits: u64,
+    /// Constraint-to-cell incidence lists shared by every refit: the
+    /// steady-state warm refit re-solves the same constraint set, so its
+    /// structural pass is served from here instead of being recomputed.
+    solver_cache: IncidenceCache,
 }
 
 impl StreamingEngine {
@@ -209,6 +214,7 @@ impl StreamingEngine {
             next_version: 1,
             handle: SnapshotHandle::new(),
             refits: 0,
+            solver_cache: IncidenceCache::new(),
         })
     }
 
@@ -240,6 +246,17 @@ impl StreamingEngine {
     /// Number of refits performed so far.
     pub fn refit_count(&self) -> u64 {
         self.refits
+    }
+
+    /// Per-shard tuple counts, in shard order.
+    pub fn shard_tuple_counts(&self) -> Vec<u64> {
+        self.shards.iter().map(CountShard::tuple_count).collect()
+    }
+
+    /// Reuse counters of the solver's incidence cache — how often refits
+    /// skipped the `O(constraints × cells)` structural pass.
+    pub fn solver_cache_stats(&self) -> CacheStats {
+        self.solver_cache.stats()
     }
 
     /// A cloneable read handle for query threads.
@@ -347,12 +364,16 @@ impl StreamingEngine {
         // than surfacing an error for data that a fresh fit handles fine.
         let (outcome, warm_started) = match previous.as_deref() {
             Some(snapshot) => {
-                match self.acquisition.run_warm_started(&table, snapshot.knowledge_base()) {
+                match self.acquisition.run_warm_started_cached(
+                    &table,
+                    snapshot.knowledge_base(),
+                    &mut self.solver_cache,
+                ) {
                     Ok(outcome) => (outcome, true),
-                    Err(_) => (self.acquisition.run(&table)?, false),
+                    Err(_) => (self.acquisition.run_cached(&table, &mut self.solver_cache)?, false),
                 }
             }
-            None => (self.acquisition.run(&table)?, false),
+            None => (self.acquisition.run_cached(&table, &mut self.solver_cache)?, false),
         };
         let wall_time = started.elapsed();
 
@@ -459,6 +480,29 @@ mod tests {
     }
 
     #[test]
+    fn repeated_refits_reuse_the_incidence_cache() {
+        let config = StreamConfig::new().with_policy(RefreshPolicy::Manual);
+        let mut engine = StreamingEngine::new(schema(), config).unwrap();
+        engine.ingest_batch(&correlated_rows(200)).unwrap();
+        engine.refresh().unwrap();
+        let after_first = engine.solver_cache_stats();
+        assert!(after_first.rebuilds >= 1);
+
+        // Same distribution, more data: the warm refit re-solves the same
+        // constraint set and must be served from the cache — no new
+        // rebuilds, strictly more hits.
+        engine.ingest_batch(&correlated_rows(200)).unwrap();
+        engine.refresh().unwrap();
+        let after_second = engine.solver_cache_stats();
+        assert_eq!(after_second.rebuilds, after_first.rebuilds, "unchanged set must not rebuild");
+        assert!(
+            after_second.full_hits > after_first.full_hits,
+            "repeated refit did not reuse the cache: {after_second:?}"
+        );
+        assert_eq!(engine.shard_tuple_counts().iter().sum::<u64>(), 400);
+    }
+
+    #[test]
     fn snapshot_reflects_the_correlation() {
         let config = StreamConfig::new().with_policy(RefreshPolicy::Manual);
         let mut engine = StreamingEngine::new(schema(), config).unwrap();
@@ -480,9 +524,11 @@ mod tests {
         engine.refresh().unwrap();
 
         let handle = engine.handle();
+        // Pin the snapshot before spawning: on a single-core box the
+        // spawned thread may not run until after the second refresh, and a
+        // reader that pinned version 2 would wait forever for version 3.
+        let pinned = engine.snapshot().unwrap();
         let reader = std::thread::spawn(move || {
-            // A reader pinned to whatever snapshot it loaded first.
-            let pinned = handle.load().unwrap();
             let version = pinned.version();
             let p_before = pinned.knowledge_base().probability(&Assignment::single(0, 0));
             // Spin until the engine publishes a newer version, proving the

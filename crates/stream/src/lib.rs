@@ -51,7 +51,7 @@ pub use engine::{IngestReport, RefitOutcome, RefitReport, StreamConfig, Streamin
 pub use error::StreamError;
 pub use policy::RefreshPolicy;
 pub use shard::CountShard;
-pub use snapshot::{Snapshot, SnapshotHandle};
+pub use snapshot::{Snapshot, SnapshotHandle, SnapshotMeta};
 
 /// Convenient result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, StreamError>;

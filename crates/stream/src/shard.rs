@@ -8,12 +8,19 @@
 //! Those algebraic laws are what make sharded ingestion *exact*; they are
 //! property-tested in `tests/shard_laws.rs` at the workspace root.
 
+use crate::error::StreamError;
 use crate::Result;
 use pka_contingency::{ContingencyTable, Sample, Schema};
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// One worker's private slice of the stream's contingency counts.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Shards serialise (schema + dense counts) so they can cross process and
+/// node boundaries: because merge is associative and commutative, a
+/// coordinator can deserialise shards produced anywhere and combine them in
+/// any order — the groundwork for multi-node shard placement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CountShard {
     table: ContingencyTable,
 }
@@ -81,6 +88,36 @@ impl CountShard {
         Ok(())
     }
 
+    /// Serialises the shard to compact JSON — the on-the-wire form for
+    /// shipping counts between nodes.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self)
+            .map_err(|e| StreamError::InvalidConfig { reason: e.to_string() })
+    }
+
+    /// Restores a shard from [`CountShard::to_json`] output, re-validating
+    /// the internal consistency a hostile or corrupted payload could break
+    /// (cell-count arity and the stored total).
+    pub fn from_json(text: &str) -> Result<Self> {
+        let shard: CountShard = serde_json::from_str(text)
+            .map_err(|e| StreamError::InvalidConfig { reason: e.to_string() })?;
+        let table = shard.table;
+        // Rebuild through the checked constructor so counts/schema/total
+        // cannot disagree.
+        let rebuilt = ContingencyTable::from_counts(table.shared_schema(), table.counts().to_vec())
+            .map_err(StreamError::from)?;
+        if rebuilt.total() != table.total() {
+            return Err(StreamError::InvalidConfig {
+                reason: format!(
+                    "shard payload claims {} tuples but its counts sum to {}",
+                    table.total(),
+                    rebuilt.total()
+                ),
+            });
+        }
+        Ok(Self { table: rebuilt })
+    }
+
     /// Read access to the underlying counts.
     pub fn table(&self) -> &ContingencyTable {
         &self.table
@@ -127,6 +164,42 @@ mod tests {
         let a = CountShard::new(schema());
         let b = CountShard::new(Schema::uniform(&[4]).unwrap().into_shared());
         assert!(a.merge(b).is_err());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_counts_and_merge() {
+        let mut a = CountShard::new(schema());
+        a.record_batch(&[vec![0, 0], vec![1, 2], vec![1, 2]]).unwrap();
+        let json = a.to_json().unwrap();
+        let back = CountShard::from_json(&json).unwrap();
+        assert_eq!(back, a);
+        // A deserialised shard merges exactly like the original — the
+        // property multi-node placement depends on.
+        let mut b = CountShard::new(schema());
+        b.record(&[0, 1]).unwrap();
+        assert_eq!(back.merge(b.clone()).unwrap(), a.merge(b).unwrap());
+    }
+
+    #[test]
+    fn tampered_payloads_are_rejected() {
+        let mut a = CountShard::new(schema());
+        a.record(&[0, 0]).unwrap();
+        let json = a.to_json().unwrap();
+        // A total that disagrees with the counts must not be trusted.
+        let tampered = json.replace("\"total\":1", "\"total\":999");
+        assert!(tampered != json, "fixture must actually tamper");
+        assert!(CountShard::from_json(&tampered).is_err());
+        assert!(CountShard::from_json("{").is_err());
+        assert!(CountShard::from_json("{\"not\":\"a shard\"}").is_err());
+        // Forged schema strides must not survive either: the schema's
+        // derived index layout is recomputed on deserialisation, so a
+        // payload claiming strides [100, 1] (which would index out of
+        // bounds) round-trips to the correct [3, 1] layout.
+        let forged = json.replace("\"strides\":[3,1]", "\"strides\":[100,1]");
+        assert!(forged != json, "fixture must actually forge strides");
+        let restored = CountShard::from_json(&forged).unwrap();
+        assert_eq!(restored, a, "derived schema state is rebuilt, not trusted");
+        assert_eq!(restored.schema().strides(), &[3, 1]);
     }
 
     #[test]

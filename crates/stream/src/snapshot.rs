@@ -2,37 +2,86 @@
 //!
 //! Queries must keep being answered while a refit runs.  The engine
 //! publishes each refitted [`KnowledgeBase`] as an immutable, versioned
-//! [`Snapshot`] behind an `Arc`, and swaps the shared slot atomically (an
-//! `RwLock<Option<Arc<Snapshot>>>` held only for the duration of the
-//! pointer copy).  Readers [`SnapshotHandle::load`] an `Arc` once per query
-//! (or per request batch) and then work lock-free against a consistent
-//! knowledge base, no matter how many swaps happen meanwhile.
+//! [`Snapshot`] behind an `Arc`, and swaps the shared slot atomically.  The
+//! slot is an [`arc_swap::ArcSwapOption`] — an atomic pointer guarded by
+//! striped borrow counters, whose **readers are wait-free**:
+//! [`SnapshotHandle::load`] is a fixed, loop-free instruction sequence
+//! that never contends with a publish, so a refit landing mid-query costs
+//! readers nothing.  Readers load an `Arc` once per query (or per request
+//! batch) and then work against a consistent knowledge base, no matter how
+//! many swaps happen meanwhile.
+//!
+//! Loads are *monotone* per thread: once a reader has observed version
+//! `v`, every later load it performs (on any clone of the handle) observes
+//! a version `>= v` — and a load always returns the snapshot that is
+//! current at the instant the pointer is read.  `tests/snapshot_stress.rs`
+//! at the workspace root hammers these guarantees with concurrent readers
+//! under 10k publishes.
 
+use arc_swap::ArcSwapOption;
 use pka_core::KnowledgeBase;
-use std::sync::{Arc, RwLock};
+use pka_maxent::JointDistribution;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One published, immutable state of the streaming knowledge base.
+///
+/// Beyond the knowledge base itself, a snapshot carries the **dense joint
+/// distribution** the model defines, materialised once at publish time.
+/// Query serving sums marginal probabilities straight off this dense
+/// vector (a stride walk over only the matching cells) instead of
+/// re-multiplying model factors per cell per request — the memo's "general
+/// formula" evaluated once per refit, then amortised over every query the
+/// snapshot answers.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
     knowledge_base: KnowledgeBase,
+    joint: JointDistribution,
     version: u64,
     observations: u64,
     warm_started: bool,
 }
 
+/// The serialisable identity card of a [`Snapshot`] — what a server reports
+/// for `stats`/`snapshot-version` requests and what a multi-node follower
+/// would exchange to decide whether its replica is current.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotMeta {
+    /// Monotonically increasing publication number (1 for the first fit).
+    pub version: u64,
+    /// Number of stream tuples the snapshot was fitted on.
+    pub observations: u64,
+    /// Whether the refit was warm-started from its predecessor.
+    pub warm_started: bool,
+    /// Total constraints in the fitted knowledge base.
+    pub constraints: usize,
+    /// Number of schema attributes.
+    pub attributes: usize,
+}
+
 impl Snapshot {
-    pub(crate) fn new(
+    /// Assembles a snapshot.  Normally done by the engine's refresh; public
+    /// so replication layers (and stress tests) can publish snapshots they
+    /// received or rebuilt themselves.
+    pub fn new(
         knowledge_base: KnowledgeBase,
         version: u64,
         observations: u64,
         warm_started: bool,
     ) -> Self {
-        Self { knowledge_base, version, observations, warm_started }
+        let joint = knowledge_base.joint();
+        Self { knowledge_base, joint, version, observations, warm_started }
     }
 
     /// The acquired knowledge base: query it freely, it never changes.
     pub fn knowledge_base(&self) -> &KnowledgeBase {
         &self.knowledge_base
+    }
+
+    /// The dense joint distribution of the knowledge base, materialised at
+    /// publish time — the fast path for marginal/conditional queries.
+    pub fn joint(&self) -> &JointDistribution {
+        &self.joint
     }
 
     /// Monotonically increasing publication number (1 for the first fit).
@@ -49,16 +98,30 @@ impl Snapshot {
     pub fn warm_started(&self) -> bool {
         self.warm_started
     }
+
+    /// The serialisable metadata of this snapshot.
+    pub fn meta(&self) -> SnapshotMeta {
+        SnapshotMeta {
+            version: self.version,
+            observations: self.observations,
+            warm_started: self.warm_started,
+            constraints: self.knowledge_base.constraints().len(),
+            attributes: self.knowledge_base.schema().len(),
+        }
+    }
 }
 
 /// A cloneable read handle onto the engine's latest snapshot.
 ///
 /// Handles are cheap to clone and safe to move to reader threads; they see
-/// every published snapshot but never block a refit (and a refit never
-/// blocks them beyond an `Arc` pointer swap).
+/// every published snapshot and a refit never blocks them at all: the load
+/// path is wait-free (no lock, no retry loop).  A publish only ever waits
+/// for loads already in flight — a handful of instructions each — never
+/// for readers between loads, which is where reader threads spend
+/// virtually all of their time.
 #[derive(Debug, Clone, Default)]
 pub struct SnapshotHandle {
-    slot: Arc<RwLock<Option<Arc<Snapshot>>>>,
+    slot: Arc<ArcSwapOption<Snapshot>>,
 }
 
 impl SnapshotHandle {
@@ -67,9 +130,9 @@ impl SnapshotHandle {
         Self::default()
     }
 
-    /// The latest snapshot, if any fit has been published.
+    /// The latest snapshot, if any fit has been published (wait-free).
     pub fn load(&self) -> Option<Arc<Snapshot>> {
-        self.slot.read().expect("snapshot slot poisoned").clone()
+        self.slot.load_full()
     }
 
     /// The latest published version, if any.
@@ -78,8 +141,13 @@ impl SnapshotHandle {
     }
 
     /// Publishes a new snapshot, making it visible to every handle clone.
-    pub(crate) fn publish(&self, snapshot: Snapshot) {
-        *self.slot.write().expect("snapshot slot poisoned") = Some(Arc::new(snapshot));
+    ///
+    /// Public for the same reason [`Snapshot::new`] is: a replication layer
+    /// that receives snapshots from a leader publishes them through the
+    /// same slot local refits use.  Versions should be monotonically
+    /// increasing; readers rely on it to detect staleness.
+    pub fn publish(&self, snapshot: Snapshot) {
+        self.slot.store(Some(Arc::new(snapshot)));
     }
 }
 
@@ -110,5 +178,20 @@ mod tests {
         assert_eq!(held.version(), 1);
         assert_eq!(reader.version(), Some(2));
         assert!(reader.load().unwrap().warm_started());
+    }
+
+    #[test]
+    fn meta_reports_the_snapshot_identity() {
+        let s = snapshot(3);
+        let meta = s.meta();
+        assert_eq!(meta.version, 3);
+        assert_eq!(meta.observations, 100);
+        assert!(meta.warm_started);
+        assert_eq!(meta.attributes, 2);
+        assert_eq!(meta.constraints, s.knowledge_base().constraints().len());
+        // The metadata round-trips through the wire format.
+        let json = serde_json::to_string(&meta).unwrap();
+        let back: SnapshotMeta = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, meta);
     }
 }

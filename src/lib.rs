@@ -47,3 +47,8 @@ pub use pka_expert as expert;
 /// The incremental, sharded streaming-acquisition engine: live ingestion,
 /// staleness-driven warm refits, snapshot-isolated queries.
 pub use pka_stream as stream;
+
+/// The concurrent query server: a newline-delimited JSON protocol over TCP
+/// serving queries, explanations and live ingestion from a streaming
+/// knowledge base.
+pub use pka_serve as serve;

@@ -1,0 +1,275 @@
+//! Offline stand-in for the `arc-swap` crate: an atomically swappable
+//! `Option<Arc<T>>` slot whose **readers are wait-free**.
+//!
+//! The build environment has no access to crates.io, so this vendors the
+//! one primitive the workspace needs — [`ArcSwapOption`] — implemented as
+//! a *single atomic pointer guarded by striped borrow counters* (a
+//! simplified form of the real crate's debt machinery):
+//!
+//! * one `AtomicPtr` holds the current value — a swap publishes
+//!   atomically, so there is never a half-published state to observe;
+//! * readers register in one of a small fixed set of borrow counters
+//!   (stripe chosen per thread) for the few instructions between loading
+//!   the pointer and bumping the `Arc` strong count;
+//! * a writer swaps first, then waits for each stripe to be *momentarily*
+//!   zero before releasing the value it displaced.
+//!
+//! A load is a fixed, loop-free instruction sequence (pick stripe,
+//! increment counter, read pointer, bump strong count, decrement counter)
+//! — it never spins, never takes a lock, and never waits on a writer.
+//! The stripes exist for the writer's sake: it does not need all counters
+//! zero *simultaneously*, only each observed zero once after the swap, and
+//! any single stripe is touched by only a fraction of the reader threads.
+//! A publish may therefore still wait for in-flight borrows to drain —
+//! normally a handful of instructions per reader, though a reader
+//! preempted inside its borrow window holds its stripe until rescheduled
+//! (the wait loop yields to let that happen) — but it can never be
+//! starved by readers *between* loads, which is where reader threads
+//! spend virtually all of their time.
+//!
+//! # Why the algorithm is sound
+//!
+//! All atomics use `SeqCst`, so every operation below sits in one total
+//! order.
+//!
+//! * **A loaded pointer is always alive.**  A reader that loaded the *old*
+//!   pointer performed its counter increment before its pointer load,
+//!   which preceded the writer's swap.  The writer releases the displaced
+//!   value only after observing that reader's stripe at zero — and the
+//!   counter cannot read zero while the reader is still between its
+//!   increment and its (post-clone) decrement.  A reader that increments
+//!   after the swap simply loads the new pointer.
+//! * **Loads are monotone per thread.**  The pointer lives in a single
+//!   atomic location, so successive reads by one thread observe a
+//!   non-decreasing prefix of the publish history (coherence); a reader
+//!   can never see version `n + 1` and then version `n`.  And because a
+//!   swap makes the new value current atomically, a load always returns
+//!   the value that *is* current at the instant the pointer is read —
+//!   never a stale one, never an unpublished one.
+//!
+//! Publishes serialise on an internal mutex (they are rare — one per
+//! knowledge-base refit); loads never touch it.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+/// Number of borrow-counter stripes.  Power of two; plenty for the
+/// thread-per-connection server, where any one stripe is shared by only a
+/// fraction of the reader threads.
+const STRIPES: usize = 8;
+
+/// Round-robin assignment of threads to stripes.
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's borrow-counter stripe.
+    static READER_STRIPE: usize = NEXT_STRIPE.fetch_add(1, SeqCst) % STRIPES;
+}
+
+/// An atomically swappable `Option<Arc<T>>` with wait-free readers.
+pub struct ArcSwapOption<T> {
+    /// The current value as a raw `Arc` pointer (null = `None`).
+    ptr: AtomicPtr<T>,
+    /// In-flight borrow count per stripe: readers currently between their
+    /// increment and decrement on that stripe.
+    borrows: [AtomicUsize; STRIPES],
+    /// Serialises writers; readers never touch it.
+    write_lock: Mutex<()>,
+}
+
+impl<T> ArcSwapOption<T> {
+    /// Creates a slot holding `initial`.
+    pub fn new(initial: Option<Arc<T>>) -> Self {
+        let first = match initial {
+            Some(arc) => Arc::into_raw(arc).cast_mut(),
+            None => ptr::null_mut(),
+        };
+        Self {
+            ptr: AtomicPtr::new(first),
+            borrows: std::array::from_fn(|_| AtomicUsize::new(0)),
+            write_lock: Mutex::new(()),
+        }
+    }
+
+    /// Creates an empty slot.
+    pub fn empty() -> Self {
+        Self::new(None)
+    }
+
+    /// Loads the current value, cloning the `Arc` (wait-free; see the
+    /// module docs for the safety argument).
+    pub fn load_full(&self) -> Option<Arc<T>> {
+        let stripe = READER_STRIPE.with(|s| *s);
+        self.borrows[stripe].fetch_add(1, SeqCst);
+        let p = self.ptr.load(SeqCst);
+        let loaded = if p.is_null() {
+            None
+        } else {
+            // SAFETY: `p` came from `Arc::into_raw` and the slot holds one
+            // strong reference to it.  A writer that displaces `p` cannot
+            // release that reference before observing our stripe at zero,
+            // which cannot happen until after the decrement below — so the
+            // strong count is ≥ 1 throughout this clone.
+            unsafe {
+                Arc::increment_strong_count(p);
+                Some(Arc::from_raw(p))
+            }
+        };
+        self.borrows[stripe].fetch_sub(1, SeqCst);
+        loaded
+    }
+
+    /// Publishes a new value and releases the displaced one.  Waits
+    /// (briefly) for in-flight readers of the displaced value; never
+    /// blocks readers.
+    pub fn store(&self, new: Option<Arc<T>>) {
+        let _guard = self.write_lock.lock().expect("arc-swap writer poisoned");
+        let new_ptr = match new {
+            Some(arc) => Arc::into_raw(arc).cast_mut(),
+            None => ptr::null_mut(),
+        };
+        let displaced = self.ptr.swap(new_ptr, SeqCst);
+        if !displaced.is_null() {
+            // Each stripe needs to be observed at zero once, not all at
+            // the same instant: a zero observed after the swap proves
+            // every pre-swap borrow on that stripe has finished.
+            for counter in &self.borrows {
+                let mut spins = 0u32;
+                while counter.load(SeqCst) != 0 {
+                    spins += 1;
+                    if spins.is_multiple_of(64) {
+                        // Single-core friendliness: a reader preempted
+                        // inside its borrow window needs the CPU to leave.
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+            // SAFETY: the pointer was produced by `Arc::into_raw` when it
+            // was stored, the swap removed it from the slot, and the waits
+            // above prove no reader is mid-clone on it.
+            unsafe { drop(Arc::from_raw(displaced)) };
+        }
+    }
+
+    /// True if the slot currently holds no value.
+    pub fn is_none(&self) -> bool {
+        self.ptr.load(SeqCst).is_null()
+    }
+}
+
+impl<T> Default for ArcSwapOption<T> {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl<T> Drop for ArcSwapOption<T> {
+    fn drop(&mut self) {
+        let p = self.ptr.load(SeqCst);
+        if !p.is_null() {
+            // SAFETY: `&mut self` means no reader or writer is live; the
+            // slot owns one strong reference.
+            unsafe { drop(Arc::from_raw(p)) };
+        }
+    }
+}
+
+impl<T> fmt::Debug for ArcSwapOption<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ArcSwapOption").field("is_none", &self.is_none()).finish()
+    }
+}
+
+// SAFETY: the slot hands out `Arc<T>` clones across threads (needs
+// `T: Send + Sync` exactly as `Arc` itself does) and its interior state is
+// only atomics plus a mutex.
+unsafe impl<T: Send + Sync> Send for ArcSwapOption<T> {}
+unsafe impl<T: Send + Sync> Sync for ArcSwapOption<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn empty_loads_none() {
+        let slot: ArcSwapOption<u64> = ArcSwapOption::empty();
+        assert!(slot.load_full().is_none());
+        assert!(slot.is_none());
+    }
+
+    #[test]
+    fn store_and_load_round_trip() {
+        let slot = ArcSwapOption::new(Some(Arc::new(1u64)));
+        assert_eq!(*slot.load_full().unwrap(), 1);
+        slot.store(Some(Arc::new(2)));
+        assert_eq!(*slot.load_full().unwrap(), 2);
+        slot.store(None);
+        assert!(slot.load_full().is_none());
+        slot.store(Some(Arc::new(3)));
+        assert_eq!(*slot.load_full().unwrap(), 3);
+    }
+
+    #[test]
+    fn held_clones_survive_swaps() {
+        let slot = ArcSwapOption::new(Some(Arc::new(10u64)));
+        let pinned = slot.load_full().unwrap();
+        for v in 11..100 {
+            slot.store(Some(Arc::new(v)));
+        }
+        assert_eq!(*pinned, 10, "a loaded Arc is immutable under later swaps");
+        assert_eq!(*slot.load_full().unwrap(), 99);
+    }
+
+    #[test]
+    fn no_leaks_on_drop() {
+        struct Counted<'a>(&'a AtomicU64);
+        impl Drop for Counted<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, SeqCst);
+            }
+        }
+        let drops = AtomicU64::new(0);
+        {
+            let slot = ArcSwapOption::new(Some(Arc::new(Counted(&drops))));
+            slot.store(Some(Arc::new(Counted(&drops))));
+            slot.store(Some(Arc::new(Counted(&drops))));
+            assert_eq!(drops.load(SeqCst), 2, "each publish released the displaced value");
+        }
+        assert_eq!(drops.load(SeqCst), 3, "drop releases the final value");
+    }
+
+    #[test]
+    fn concurrent_readers_see_monotone_values() {
+        const PUBLISHES: u64 = 2_000;
+        let slot = Arc::new(ArcSwapOption::new(Some(Arc::new(0u64))));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let slot = Arc::clone(&slot);
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    loop {
+                        let v = *slot.load_full().expect("never emptied");
+                        assert!(v >= last, "regressed from {last} to {v}");
+                        last = v;
+                        if v == PUBLISHES {
+                            return;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for v in 1..=PUBLISHES {
+            slot.store(Some(Arc::new(v)));
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+    }
+}

@@ -144,6 +144,21 @@ impl Deserialize for char {
     }
 }
 
+// The identity impls let dynamically-shaped data (e.g. wire-protocol
+// requests whose `params` differ per method) pass through the typed
+// serialisation entry points untouched.
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Containers and smart pointers
 // ---------------------------------------------------------------------------

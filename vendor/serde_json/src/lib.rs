@@ -148,13 +148,21 @@ fn write_string(out: &mut String, s: &str) {
 // Parsing
 // ---------------------------------------------------------------------------
 
+/// Maximum container-nesting depth the parser accepts.  The parser is
+/// recursive-descent, so without a bound a hostile input of repeated `[`
+/// characters would overflow the stack (and a stack overflow aborts the
+/// whole process); 128 levels is far beyond anything the workspace or its
+/// wire protocols produce.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 fn parse_value(text: &str) -> Result<Value> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -197,14 +205,35 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn descend(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(Error::new(format!(
+                "containers nested deeper than {MAX_DEPTH} levels at byte {}",
+                self.pos
+            )));
+        }
+        Ok(())
+    }
+
     fn value(&mut self) -> Result<Value> {
         match self.peek() {
             Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
             Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
             Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
             Some(b'"') => self.string().map(Value::Str),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => {
+                self.descend()?;
+                let v = self.array();
+                self.depth -= 1;
+                v
+            }
+            Some(b'{') => {
+                self.descend()?;
+                let v = self.object();
+                self.depth -= 1;
+                v
+            }
             Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
             other => Err(Error::new(format!(
                 "unexpected {:?} at byte {}",
@@ -403,5 +432,18 @@ mod tests {
         assert!(parse_value("[1,]").is_err());
         assert!(parse_value("1 2").is_err());
         assert!(parse_value("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_a_stack_overflow() {
+        // A hostile line of repeated brackets must come back as a parse
+        // error; unbounded recursion would abort the whole process.
+        let hostile = "[".repeat(200_000);
+        assert!(parse_value(&hostile).is_err());
+        let mixed = "{\"a\":".repeat(100_000) + "1" + &"}".repeat(100_000);
+        assert!(parse_value(&mixed).is_err());
+        // Reasonable nesting still parses.
+        let fine = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse_value(&fine).is_ok());
     }
 }
