@@ -1,0 +1,79 @@
+//! The iterative-scaling kernel, fast vs reference, at three schema sizes.
+//!
+//! Three scenarios per schema — cold fit, steady-state warm refit (the
+//! `pka-serve` hot path: same constraint cells, targets shifted by a new
+//! batch) and promotion refit (one constraint appended to a cached
+//! prefix) — each timed for the deferred-normalization CSR kernel and for
+//! the retained eagerly-normalised reference solver.  The measured numbers
+//! are snapshotted in `BENCH_solver.json` at the repository root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pka_bench::SweepWorkload;
+use pka_maxent::IncidenceCache;
+use std::hint::black_box;
+
+fn solver_sweep(c: &mut Criterion) {
+    let workloads = [SweepWorkload::paper(), SweepWorkload::medium(), SweepWorkload::large()];
+    let mut group = c.benchmark_group("solver_sweep");
+    for w in &workloads {
+        group.bench_with_input(BenchmarkId::new("cold_fit/kernel", w.label()), w, |b, w| {
+            b.iter(|| black_box(w.cold_fit_fast()))
+        });
+        group.bench_with_input(BenchmarkId::new("cold_fit/reference", w.label()), w, |b, w| {
+            b.iter(|| black_box(w.cold_fit_reference()))
+        });
+
+        // Prime the cache outside the timed region: the steady state of a
+        // streaming engine is a pure full hit.
+        let mut cache = IncidenceCache::new();
+        let _ = w.warm_refit_fast(&mut cache);
+        group.bench_with_input(BenchmarkId::new("warm_refit/kernel", w.label()), w, |b, w| {
+            b.iter(|| black_box(w.warm_refit_fast(&mut cache)))
+        });
+        group.bench_with_input(BenchmarkId::new("warm_refit/reference", w.label()), w, |b, w| {
+            b.iter(|| black_box(w.warm_refit_reference()))
+        });
+
+        // Zero-sweep refit of an already-satisfied set: isolates the per-fit
+        // fixed costs (incidence, init, feasibility) the CSR cache and the
+        // scatter build eliminate.
+        let mut hit_cache = IncidenceCache::new();
+        let _ = w.rezero_refit_fast(&mut hit_cache);
+        group.bench_with_input(BenchmarkId::new("refit_hit/kernel", w.label()), w, |b, w| {
+            b.iter(|| black_box(w.rezero_refit_fast(&mut hit_cache)))
+        });
+        group.bench_with_input(BenchmarkId::new("refit_hit/reference", w.label()), w, |b, w| {
+            b.iter(|| black_box(w.rezero_refit_reference()))
+        });
+
+        group.bench_with_input(BenchmarkId::new("promotion_refit/kernel", w.label()), w, |b, w| {
+            b.iter(|| {
+                // Each iteration re-plays the real promotion sequence:
+                // cached prefix (warm set) → one appended constraint.
+                let mut cache = IncidenceCache::new();
+                let _ = w.warm_refit_fast(&mut cache);
+                black_box(w.promotion_refit_fast(&mut cache))
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("promotion_refit/reference", w.label()),
+            w,
+            |b, w| {
+                b.iter(|| {
+                    let _ = w.warm_refit_reference();
+                    black_box(w.promotion_refit_reference())
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Correctness gate: the timed kernels must agree to 1e-12 per cell on
+    // every workload (runs in smoke mode too, so CI exercises it).
+    for w in &workloads {
+        w.assert_kernels_agree();
+    }
+}
+
+criterion_group!(benches, solver_sweep);
+criterion_main!(benches);

@@ -216,6 +216,11 @@ impl Acquisition {
                 let known_higher = constraints.higher_order_assignments();
                 let range_ctx = RangeContext::new(table, &known_higher, &found_at_order);
 
+                // One dense scatter of the model per round; every candidate
+                // is then scored by a stride walk over its covered cells
+                // instead of an O(factors) product per cell per candidate.
+                let dense = model.dense_probabilities();
+
                 // Score every unconstrained cell at this order.
                 let mut evaluations: Vec<CellEvaluation> = Vec::new();
                 let mut best: Option<(usize, f64)> = None;
@@ -226,7 +231,11 @@ impl Acquisition {
                             continue;
                         }
                         let observed = table.count_matching(&assignment);
-                        let predicted_p = model.probability(&assignment).clamp(0.0, 1.0);
+                        let predicted_p = schema
+                            .matching_cells(&assignment)
+                            .map(|i| dense[i])
+                            .sum::<f64>()
+                            .clamp(0.0, 1.0);
                         let range = range_ctx.range_of(&assignment);
                         let lengths = test.evaluate(
                             &CandidateCell {

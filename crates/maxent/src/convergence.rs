@@ -72,6 +72,11 @@ impl Default for ConvergenceCriteria {
 }
 
 /// The state after one sweep of the solver.
+///
+/// The kernel renormalises once per sweep and gathers every constraint's
+/// fitted probability in a single pass; a record is that pass's output
+/// (plus the factor snapshot), so tracing adds no re-summing of incidence
+/// lists beyond what the convergence check already computed.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IterationRecord {
     /// 1-based sweep number.

@@ -114,45 +114,9 @@ impl JointDistribution {
     /// materialising the value tuple of) every cell.  This is the query
     /// server's hot path.
     pub fn probability(&self, assignment: &Assignment) -> f64 {
-        let strides = self.schema.strides();
-        let mut base = 0usize;
-        for (attr, value) in assignment.pairs() {
-            let Ok(card) = self.schema.cardinality(attr) else { return 0.0 };
-            if value >= card {
-                // Out-of-schema cells match nothing.
-                return 0.0;
-            }
-            base += value * strides[attr];
-        }
-        // Odometer state per free attribute: (cardinality, stride, counter).
-        let mut free: Vec<(usize, usize, usize)> = Vec::with_capacity(self.schema.len());
-        for (attr, &stride) in strides.iter().enumerate() {
-            if assignment.value_of(attr).is_none() {
-                let card = self.schema.cardinality(attr).expect("attr in schema");
-                free.push((card, stride, 0));
-            }
-        }
-        let mut total = 0.0;
-        let mut index = base;
-        loop {
-            total += self.probabilities[index];
-            // Increment the odometer, last attribute fastest.
-            let mut pos = free.len();
-            loop {
-                if pos == 0 {
-                    return total;
-                }
-                pos -= 1;
-                let (card, stride, ref mut counter) = free[pos];
-                *counter += 1;
-                if *counter < card {
-                    index += stride;
-                    break;
-                }
-                *counter = 0;
-                index -= (card - 1) * stride;
-            }
-        }
+        // Out-of-schema assignments yield an empty iterator, matching
+        // nothing — the same contract as the reference scan.
+        self.schema.matching_cells(assignment).map(|i| self.probabilities[i]).sum()
     }
 
     /// Conditional probability `P(target | given)`.

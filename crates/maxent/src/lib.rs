@@ -49,7 +49,7 @@ pub use elimination::FactorGraph;
 pub use error::MaxEntError;
 pub use joint::JointDistribution;
 pub use model::LogLinearModel;
-pub use solver::{fit, fit_with_initial, CacheStats, IncidenceCache, Solver};
+pub use solver::{fit, fit_with_initial, CacheStats, CsrIncidence, IncidenceCache, Solver};
 
 /// Convenient result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, MaxEntError>;

@@ -156,19 +156,43 @@ impl LogLinearModel {
         self.a0 * self.cell_weight(values)
     }
 
+    /// The dense image of the model: one (unnormalised) probability per
+    /// cell, in dense-index order, built by *scatter* — fill with `a0`,
+    /// then scale each factor's covered cells via stride arithmetic.
+    /// `O(cells + Σ covered cells)` instead of an `O(factors)` product per
+    /// cell; this is how the solver and [`LogLinearModel::to_joint`] build
+    /// their working vectors.
+    pub fn dense_probabilities(&self) -> Vec<f64> {
+        let mut p = vec![self.a0; self.schema.cell_count()];
+        for (assignment, value) in &self.factors {
+            if *value != 1.0 {
+                for i in self.schema.matching_cells(assignment) {
+                    p[i] *= value;
+                }
+            }
+        }
+        p
+    }
+
     /// The model's probability of a marginal cell (partial assignment):
-    /// the sum of the cell probabilities consistent with it.
+    /// the sum of the cell probabilities consistent with it, summed over
+    /// the covered cells by stride arithmetic.
     ///
     /// This is the dense evaluation; [`crate::elimination::FactorGraph`]
     /// computes the same quantity by the Appendix-B sum-of-products scheme.
     pub fn probability(&self, assignment: &Assignment) -> f64 {
-        let mut total = 0.0;
-        for values in self.schema.cells() {
-            if assignment.matches(&values) {
-                total += self.cell_probability(&values);
-            }
-        }
-        total
+        let mut scratch = vec![0usize; self.schema.len()];
+        self.schema
+            .matching_cells(assignment)
+            .map(|i| {
+                let mut index = i;
+                for (value, &stride) in scratch.iter_mut().zip(self.schema.strides()) {
+                    *value = index / stride;
+                    index %= stride;
+                }
+                self.cell_probability(&scratch)
+            })
+            .sum()
     }
 
     /// Conditional probability `P(target | given)`, the memo's
@@ -194,7 +218,7 @@ impl LogLinearModel {
 
     /// Sum of all cell probabilities (should be 1 after a successful fit).
     pub fn total_mass(&self) -> f64 {
-        self.schema.cells().map(|v| self.cell_probability(&v)).sum()
+        self.dense_probabilities().iter().sum()
     }
 
     /// Rescales `a0` so the cell probabilities sum to exactly one.
@@ -209,10 +233,10 @@ impl LogLinearModel {
         Ok(())
     }
 
-    /// Materialises the model as a dense [`JointDistribution`].
+    /// Materialises the model as a dense [`JointDistribution`], via the
+    /// scatter build of [`LogLinearModel::dense_probabilities`].
     pub fn to_joint(&self) -> JointDistribution {
-        let probs: Vec<f64> = self.schema.cells().map(|v| self.cell_probability(&v)).collect();
-        JointDistribution::from_unnormalized(Arc::clone(&self.schema), probs)
+        JointDistribution::from_unnormalized(Arc::clone(&self.schema), self.dense_probabilities())
     }
 
     /// Rebuilds the internal factor index; needed after deserialisation.
@@ -348,6 +372,19 @@ mod tests {
         let zero = vec![(Assignment::single(1, 0), 0.0), (Assignment::single(1, 1), 0.0)];
         let mut z = LogLinearModel::from_factors(s, 1.0, zero).unwrap();
         assert!(z.normalize().is_err());
+    }
+
+    #[test]
+    fn dense_probabilities_match_per_cell_evaluation() {
+        // The scatter build must agree with evaluating the factor product
+        // per cell (the old construction) at every dense index.
+        let mut m = independence_model();
+        m.ensure_factor(&Assignment::from_pairs([(0, 0), (2, 1)]));
+        m.scale_factor(m.factor_count() - 1, 1.75);
+        let dense = m.dense_probabilities();
+        for (i, values) in m.schema().cells().enumerate() {
+            assert!((dense[i] - m.cell_probability(&values)).abs() < 1e-15);
+        }
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The iterative a-value computation of Figure 4 / Table 2.
+//! The iterative a-value computation of Figure 4 / Table 2, as a flat,
+//! cache-friendly kernel.
 //!
 //! The memo derives, by hand, a specific iteration order for its worked
 //! example (Eqs. 75–87).  The general form implemented here is the classic
@@ -11,6 +12,39 @@
 //! fixed point the memo's hand-derived iteration reaches — and the
 //! per-sweep trace reproduces the behaviour shown in Table 2 (convergence of
 //! the fitted `p^{AC}_{12}` to 0.219 in a handful of sweeps).
+//!
+//! ## The deferred-normalization invariant
+//!
+//! The textbook update renormalises the whole dense vector after **every**
+//! constraint — an `O(cells)` scan per constraint, `O(constraints × cells)`
+//! per sweep.  This kernel instead keeps the dense vector `p` *unnormalised*
+//! for the duration of a sweep and tracks its total mass `z` as a scalar:
+//!
+//! * the normalised probability of constraint `c` is `q = (Σ_{i∈c} p_i) / z`,
+//!   so the update ratio `target / q` is **identical** (in exact arithmetic)
+//!   to the one the eagerly-normalised iteration would compute — the global
+//!   normaliser cancels out of every ratio;
+//! * scaling `c`'s cells by `ratio` changes the mass by exactly
+//!   `q_raw · (ratio − 1)`, so `z` is maintained in `O(1)` per update;
+//! * one `O(cells)` renormalisation at the end of the sweep (dividing `p` by
+//!   `z` and folding `1/z` into `a0`) restores `Σ p = 1`, so traces, the
+//!   convergence check and the returned model are exactly the quantities the
+//!   eager iteration produces.
+//!
+//! Because every update ratio matches the eager iteration's ratio up to
+//! floating-point rounding, the two iterations follow the same trajectory
+//! and reach the same fixed point; the per-cell difference after a fit is
+//! bounded by accumulated rounding (≤ 1e-12 in practice, property-tested in
+//! `tests/solver_equivalence.rs` against [`reference`]).  To keep the
+//! incrementally-tracked `z` from drifting over very long fits, the kernel
+//! re-sums the vector exactly every [`EXACT_RENORM_EVERY`] sweeps.
+//!
+//! Incidence structure (which dense cells each constraint covers) lives in a
+//! flat CSR layout ([`IncidenceCache`]) so the gather/scale loops of the
+//! sweep run over contiguous `u32` index slices, and the dense working
+//! vector is initialised by *scatter* — fill with `a0`, then scale each
+//! factor's incidence slice — instead of evaluating the `O(factors)` product
+//! per cell.
 //!
 //! The solver supports warm starts ("starting with the last previously
 //! calculated a values", as the memo instructs when a new constraint is
@@ -28,6 +62,11 @@ use std::sync::Arc;
 /// model has already driven the cell's probability to zero.
 const ZERO_TARGET: f64 = 1e-300;
 
+/// Every this many sweeps the incrementally-tracked total mass is replaced
+/// by an exact re-sum of the dense vector, bounding floating-point drift of
+/// the deferred normalisation (see the module docs).
+const EXACT_RENORM_EVERY: usize = 16;
+
 /// Cumulative reuse counters of an [`IncidenceCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
@@ -42,29 +81,77 @@ pub struct CacheStats {
     pub rebuilds: u64,
 }
 
-/// A reusable cache of constraint-to-cell incidence lists.
+/// A reusable cache of constraint-to-cell incidence lists in CSR form.
 ///
 /// For every constraint the solver needs the dense indices of the cells its
-/// assignment covers.  Computing them is the one `O(constraints × cells)`
-/// pass of [`Solver::fit_from`] — pure structure, independent of the
-/// constraint *probabilities* and of the model being fitted.  Warm refits
-/// over a stream re-solve the same (or a one-longer) constraint set over
-/// and over, so a long-lived engine keeps one `IncidenceCache` and hands it
-/// to every fit:
+/// assignment covers.  The lists are pure structure — independent of the
+/// constraint *probabilities* and of the model being fitted — and warm
+/// refits over a stream re-solve the same (or a one-longer) constraint set
+/// over and over, so a long-lived engine keeps one `IncidenceCache` and
+/// hands it to every fit:
 ///
 /// * identical assignments (the steady-state warm refit) → full hit, zero
 ///   structural work;
 /// * the acquisition loop promoting one cell → the cached lists are a
-///   prefix; only the new constraint's cells are scanned;
+///   prefix; only the new constraint's cells are enumerated;
 /// * a shorter set that is a prefix of the cached one (e.g. a cold restart
 ///   after promotions) → the cache is truncated, still no rescan;
 /// * anything else (new schema, divergent set) → full rebuild.
-#[derive(Debug, Clone, Default)]
+///
+/// Storage is a flat `offsets`/`indices` pair (compressed sparse rows):
+/// constraint `ci` covers `indices[offsets[ci]..offsets[ci+1]]`.  The flat
+/// layout keeps the solver's gather/scale loops on contiguous memory, and
+/// each list is built by stride arithmetic
+/// ([`Schema::matching_cells`]) in `O(covered cells)` — adding one
+/// constraint never rescans the whole table.
+#[derive(Debug, Clone)]
 pub struct IncidenceCache {
     schema: Option<Arc<Schema>>,
     assignments: Vec<Assignment>,
-    matching: Vec<Vec<u32>>,
+    /// CSR row boundaries: `offsets.len() == assignments.len() + 1`,
+    /// `offsets[0] == 0`.
+    offsets: Vec<u32>,
+    /// Concatenated dense cell indices, ascending within each constraint.
+    indices: Vec<u32>,
     stats: CacheStats,
+}
+
+impl Default for IncidenceCache {
+    fn default() -> Self {
+        Self {
+            schema: None,
+            assignments: Vec::new(),
+            offsets: vec![0],
+            indices: Vec::new(),
+            stats: CacheStats::default(),
+        }
+    }
+}
+
+/// A borrowed view of an [`IncidenceCache`]'s CSR storage for one
+/// constraint set: `list(ci)` is the ascending dense cell indices covered
+/// by constraint `ci`.
+#[derive(Debug, Clone, Copy)]
+pub struct CsrIncidence<'a> {
+    offsets: &'a [u32],
+    indices: &'a [u32],
+}
+
+impl<'a> CsrIncidence<'a> {
+    /// Number of constraints covered by the view.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True if the view covers no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The dense cell indices covered by constraint `ci`, ascending.
+    pub fn list(&self, ci: usize) -> &'a [u32] {
+        &self.indices[self.offsets[ci] as usize..self.offsets[ci + 1] as usize]
+    }
 }
 
 impl IncidenceCache {
@@ -78,9 +165,11 @@ impl IncidenceCache {
         self.stats
     }
 
-    /// Returns one incidence list per constraint, reusing cached structure
-    /// where the schema and the leading assignments match.
-    fn matching_for(&mut self, schema: &Arc<Schema>, constraints: &[Constraint]) -> &[Vec<u32>] {
+    /// Ensures the cache covers exactly `constraints` over `schema` and
+    /// returns the CSR view, reusing cached structure where the schema and
+    /// the leading assignments match (see the type docs for the hit /
+    /// extension / truncation / rebuild cases).
+    pub fn ensure(&mut self, schema: &Arc<Schema>, constraints: &[Constraint]) -> CsrIncidence<'_> {
         let schema_matches = self
             .schema
             .as_ref()
@@ -106,30 +195,35 @@ impl IncidenceCache {
         } else if schema_matches && shared_prefix == constraints.len() {
             // The request is a strict prefix of the cache: truncate.
             self.assignments.truncate(shared_prefix);
-            self.matching.truncate(shared_prefix);
+            self.offsets.truncate(shared_prefix + 1);
+            self.indices.truncate(self.offsets[shared_prefix] as usize);
             self.stats.full_hits += 1;
         } else {
             self.stats.rebuilds += 1;
             self.schema = Some(Arc::clone(schema));
             self.assignments.clear();
-            self.matching.clear();
+            self.offsets.clear();
+            self.offsets.push(0);
+            self.indices.clear();
             self.extend_with(schema, constraints);
         }
-        &self.matching
+        CsrIncidence { offsets: &self.offsets, indices: &self.indices }
     }
 
-    /// Appends incidence lists for `added` in one pass over the cells.
+    /// Appends one CSR row per added constraint, each enumerated directly by
+    /// stride arithmetic.  The added constraints form the **outer** loop, so
+    /// a single promotion costs `O(its covered cells)` — there is no
+    /// per-cell inner scan over all appended constraints.
     fn extend_with(&mut self, schema: &Arc<Schema>, added: &[Constraint]) {
-        let base = self.matching.len();
-        self.matching.extend(added.iter().map(|_| Vec::new()));
-        for (idx, values) in schema.cells().enumerate() {
-            for (offset, c) in added.iter().enumerate() {
-                if c.assignment.matches(&values) {
-                    self.matching[base + offset].push(idx as u32);
-                }
-            }
+        for c in added {
+            self.indices.extend(schema.matching_cells(&c.assignment).map(|i| i as u32));
+            // A loud capacity limit: a wrapped cast would silently corrupt
+            // every row boundary after it.
+            let end = u32::try_from(self.indices.len())
+                .expect("incidence cache exceeded u32::MAX total covered cells");
+            self.offsets.push(end);
+            self.assignments.push(c.assignment.clone());
         }
-        self.assignments.extend(added.iter().map(|c| c.assignment.clone()));
     }
 }
 
@@ -172,7 +266,7 @@ impl Solver {
     /// [`Solver::fit_from`] with a caller-owned [`IncidenceCache`], so the
     /// constraint-to-cell incidence lists survive across fits.  A streaming
     /// engine refitting an unchanged (or incrementally grown) constraint
-    /// set skips the `O(constraints × cells)` structural pass entirely.
+    /// set skips the structural pass entirely.
     pub fn fit_from_cached(
         &self,
         mut model: LogLinearModel,
@@ -193,24 +287,50 @@ impl Solver {
         let factor_positions: Vec<usize> =
             constraints.constraints().iter().map(|c| model.ensure_factor(&c.assignment)).collect();
 
-        // The dense indices of the cells each constraint covers — served
-        // from the cache when the constraint set's shape is unchanged;
-        // otherwise this is the only O(#constraints × #cells) pass.
-        let matching: &[Vec<u32>] = cache.matching_for(&schema, constraints.constraints());
+        // The CSR incidence lists — served from the cache when the
+        // constraint set's shape is unchanged.
+        let csr = cache.ensure(&schema, constraints.constraints());
 
-        // Dense working copy of the model's (unnormalised-then-normalised)
-        // cell probabilities, kept in lock-step with the factor updates.
-        let mut p: Vec<f64> = schema.cells().map(|v| model.cell_probability(&v)).collect();
-        normalize_in_place(&mut model, &mut p, cells)?;
+        // Dense working copy of the model's cell probabilities, built by
+        // scatter: fill with a0, then scale each factor's covered slice.
+        // O(cells + Σ covered) instead of an O(factors) product per cell.
+        let mut p: Vec<f64> = vec![model.a0(); cells];
+        let mut covered = vec![false; model.factor_count()];
+        for (ci, &position) in factor_positions.iter().enumerate() {
+            covered[position] = true;
+            let value = model.factors()[position].1;
+            if value != 1.0 {
+                for &i in csr.list(ci) {
+                    p[i as usize] *= value;
+                }
+            }
+        }
+        // Factors the constraint set does not mention (possible when warm
+        // starting from a richer model) are scattered by direct enumeration.
+        for (position, (assignment, value)) in model.factors().iter().enumerate() {
+            if !covered[position] && *value != 1.0 {
+                for i in schema.matching_cells(assignment) {
+                    p[i] *= value;
+                }
+            }
+        }
+        let z: f64 = p.iter().sum();
+        renormalize(&mut model, &mut p, z)?;
+
+        // One post-normalisation gather gives every constraint's fitted
+        // probability; the convergence check and the trace both read it, so
+        // nothing is ever re-summed.
+        let mut fitted = vec![0.0f64; csr.len()];
+        gather_fitted(csr, &p, &mut fitted);
+        let mut max_violation = max_violation_of(constraints, &fitted);
 
         let mut trace = Vec::new();
         let mut iterations = 0usize;
-        let mut max_violation = violation(constraints, matching, &p);
 
         // Already satisfied (e.g. refitting an unchanged constraint set).
         if max_violation <= self.criteria.tolerance {
             if self.criteria.record_trace {
-                trace.push(self.record(0, constraints, &model, matching, &p));
+                trace.push(record_of(0, &model, &fitted, max_violation));
             }
             return Ok((
                 model,
@@ -219,6 +339,217 @@ impl Solver {
         }
 
         for iteration in 1..=self.criteria.max_iterations {
+            iterations = iteration;
+            // `p` is normalised at sweep entry; `z` tracks its total mass as
+            // updates scale constraint slices (deferred normalisation).
+            let mut z = 1.0f64;
+            for (ci, c) in constraints.constraints().iter().enumerate() {
+                let slice = csr.list(ci);
+                let q_raw: f64 = slice.iter().map(|&i| p[i as usize]).sum();
+                let q = q_raw / z;
+                let target = c.probability;
+                if (q - target).abs() <= f64::EPSILON {
+                    continue;
+                }
+                if q <= 0.0 {
+                    if target > ZERO_TARGET {
+                        return Err(MaxEntError::InfeasibleConstraints {
+                            reason: format!(
+                                "constraint {} requires probability {target} but the model assigns its cell zero mass",
+                                c.assignment.describe(constraints.schema())
+                            ),
+                        });
+                    }
+                    continue;
+                }
+                let ratio = target / q;
+                model.scale_factor(factor_positions[ci], ratio);
+                for &i in slice {
+                    p[i as usize] *= ratio;
+                }
+                // Scaling the slice changes the mass by exactly
+                // q_raw · (ratio − 1); the O(cells) re-sum is deferred.
+                z += q_raw * (ratio - 1.0);
+                if !(z > 0.0) || !z.is_finite() {
+                    return Err(MaxEntError::InfeasibleConstraints {
+                        reason: format!("model mass became {z} during fitting"),
+                    });
+                }
+            }
+
+            // The one O(cells) pass of the sweep: renormalise using the
+            // tracked mass, with a periodic exact re-sum to bound drift.
+            let divisor =
+                if iteration % EXACT_RENORM_EVERY == 0 { p.iter().sum::<f64>() } else { z };
+            renormalize(&mut model, &mut p, divisor)?;
+
+            gather_fitted(csr, &p, &mut fitted);
+            max_violation = max_violation_of(constraints, &fitted);
+            if self.criteria.record_trace {
+                trace.push(record_of(iteration, &model, &fitted, max_violation));
+            }
+            if max_violation <= self.criteria.tolerance {
+                return Ok((
+                    model,
+                    SolveReport { iterations, max_violation, converged: true, trace },
+                ));
+            }
+        }
+
+        if self.criteria.fail_on_max_iterations {
+            return Err(MaxEntError::NotConverged {
+                iterations,
+                max_violation,
+                tolerance: self.criteria.tolerance,
+            });
+        }
+        // Best-effort result: constraint sets with boundary (zero-probability)
+        // solutions converge only in the limit; the near-boundary model is
+        // still the correct answer to working precision.
+        if self.criteria.record_trace && trace.is_empty() {
+            trace.push(record_of(iterations, &model, &fitted, max_violation));
+        }
+        Ok((model, SolveReport { iterations, max_violation, converged: false, trace }))
+    }
+}
+
+/// One gather pass: `fitted[ci] = Σ p[i]` over constraint `ci`'s CSR slice.
+fn gather_fitted(csr: CsrIncidence<'_>, p: &[f64], fitted: &mut [f64]) {
+    for (ci, slot) in fitted.iter_mut().enumerate() {
+        *slot = csr.list(ci).iter().map(|&i| p[i as usize]).sum();
+    }
+}
+
+/// Largest absolute difference between a constraint's target and its fitted
+/// probability.
+fn max_violation_of(constraints: &ConstraintSet, fitted: &[f64]) -> f64 {
+    constraints
+        .constraints()
+        .iter()
+        .zip(fitted)
+        .map(|(c, &q)| (q - c.probability).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Builds one trace record from the sweep's gathered sums — no re-summing.
+fn record_of(
+    iteration: usize,
+    model: &LogLinearModel,
+    fitted: &[f64],
+    max_violation: f64,
+) -> IterationRecord {
+    IterationRecord {
+        iteration,
+        max_violation,
+        factors: model.factors().to_vec(),
+        a0: model.a0(),
+        fitted: fitted.to_vec(),
+    }
+}
+
+/// Divides the dense vector by `z` and folds `1/z` into `a0`, keeping the
+/// model and its dense image in lock-step.
+fn renormalize(model: &mut LogLinearModel, p: &mut [f64], z: f64) -> Result<()> {
+    if !(z > 0.0) || !z.is_finite() {
+        return Err(MaxEntError::InfeasibleConstraints {
+            reason: format!("model mass became {z} during fitting"),
+        });
+    }
+    model.scale_a0(1.0 / z);
+    for x in p.iter_mut() {
+        *x /= z;
+    }
+    Ok(())
+}
+
+/// Fits a model with the default convergence criteria.
+pub fn fit(constraints: &ConstraintSet) -> Result<(LogLinearModel, SolveReport)> {
+    Solver::default().fit(constraints)
+}
+
+/// Fits a model with the default criteria, warm-starting from `initial`.
+pub fn fit_with_initial(
+    initial: LogLinearModel,
+    constraints: &ConstraintSet,
+) -> Result<(LogLinearModel, SolveReport)> {
+    Solver::default().fit_from(initial, constraints)
+}
+
+pub mod reference {
+    //! The eagerly-normalised solver, retained as the executable
+    //! specification of the kernel.
+    //!
+    //! This is the straightforward transcription of Figure 4: the dense
+    //! vector is built by evaluating the `O(factors)` product per cell,
+    //! incidence lists are built by scanning every cell against every
+    //! constraint, and the vector is renormalised after **every** constraint
+    //! update.  It is `O(constraints × cells)` per sweep and allocates per
+    //! cell — deliberately naive.  The fast kernel in the parent module must
+    //! match it to ≤ 1e-12 per cell (property-tested in
+    //! `tests/solver_equivalence.rs`) and is benchmarked against it in
+    //! `solver_sweep`.
+
+    use super::ZERO_TARGET;
+    use crate::constraint::{Constraint, ConstraintSet};
+    use crate::convergence::{ConvergenceCriteria, IterationRecord, SolveReport};
+    use crate::error::MaxEntError;
+    use crate::model::LogLinearModel;
+    use crate::Result;
+    use pka_contingency::Schema;
+
+    /// One incidence list per constraint, built the naive way: a full scan
+    /// of every cell's value tuple against every constraint.
+    pub fn incidence_lists(schema: &Schema, constraints: &[Constraint]) -> Vec<Vec<u32>> {
+        let mut matching: Vec<Vec<u32>> = constraints.iter().map(|_| Vec::new()).collect();
+        for (idx, values) in schema.cells().enumerate() {
+            for (list, c) in matching.iter_mut().zip(constraints) {
+                if c.assignment.matches(&values) {
+                    list.push(idx as u32);
+                }
+            }
+        }
+        matching
+    }
+
+    /// The eagerly-normalised fit: identical contract to
+    /// [`Solver::fit_from`](super::Solver::fit_from), kept as the
+    /// specification the fast kernel is verified against.
+    pub fn fit_from(
+        criteria: ConvergenceCriteria,
+        mut model: LogLinearModel,
+        constraints: &ConstraintSet,
+    ) -> Result<(LogLinearModel, SolveReport)> {
+        if model.schema() != constraints.schema() {
+            return Err(MaxEntError::InfeasibleConstraints {
+                reason: "initial model and constraints use different schemas".to_string(),
+            });
+        }
+        constraints.check_feasibility(1e-6)?;
+
+        let schema = constraints.shared_schema();
+        let cells = schema.cell_count();
+        let factor_positions: Vec<usize> =
+            constraints.constraints().iter().map(|c| model.ensure_factor(&c.assignment)).collect();
+        let matching = incidence_lists(&schema, constraints.constraints());
+
+        let mut p: Vec<f64> = schema.cells().map(|v| model.cell_probability(&v)).collect();
+        normalize_in_place(&mut model, &mut p, cells)?;
+
+        let mut trace = Vec::new();
+        let mut iterations = 0usize;
+        let mut max_violation = violation(constraints, &matching, &p);
+
+        if max_violation <= criteria.tolerance {
+            if criteria.record_trace {
+                trace.push(record(0, constraints, &model, &matching, &p));
+            }
+            return Ok((
+                model,
+                SolveReport { iterations: 0, max_violation, converged: true, trace },
+            ));
+        }
+
+        for iteration in 1..=criteria.max_iterations {
             iterations = iteration;
             for (ci, c) in constraints.constraints().iter().enumerate() {
                 let q: f64 = matching[ci].iter().map(|&i| p[i as usize]).sum();
@@ -245,11 +576,11 @@ impl Solver {
                 normalize_in_place(&mut model, &mut p, cells)?;
             }
 
-            max_violation = violation(constraints, matching, &p);
-            if self.criteria.record_trace {
-                trace.push(self.record(iteration, constraints, &model, matching, &p));
+            max_violation = violation(constraints, &matching, &p);
+            if criteria.record_trace {
+                trace.push(record(iteration, constraints, &model, &matching, &p));
             }
-            if max_violation <= self.criteria.tolerance {
+            if max_violation <= criteria.tolerance {
                 return Ok((
                     model,
                     SolveReport { iterations, max_violation, converged: true, trace },
@@ -257,24 +588,20 @@ impl Solver {
             }
         }
 
-        if self.criteria.fail_on_max_iterations {
+        if criteria.fail_on_max_iterations {
             return Err(MaxEntError::NotConverged {
                 iterations,
                 max_violation,
-                tolerance: self.criteria.tolerance,
+                tolerance: criteria.tolerance,
             });
         }
-        // Best-effort result: constraint sets with boundary (zero-probability)
-        // solutions converge only in the limit; the near-boundary model is
-        // still the correct answer to working precision.
-        if self.criteria.record_trace && trace.is_empty() {
-            trace.push(self.record(iterations, constraints, &model, matching, &p));
+        if criteria.record_trace && trace.is_empty() {
+            trace.push(record(iterations, constraints, &model, &matching, &p));
         }
         Ok((model, SolveReport { iterations, max_violation, converged: false, trace }))
     }
 
     fn record(
-        &self,
         iteration: usize,
         constraints: &ConstraintSet,
         model: &LogLinearModel,
@@ -291,46 +618,33 @@ impl Solver {
             fitted,
         }
     }
-}
 
-fn violation(constraints: &ConstraintSet, matching: &[Vec<u32>], p: &[f64]) -> f64 {
-    constraints
-        .constraints()
-        .iter()
-        .zip(matching)
-        .map(|(c, cells)| {
-            let q: f64 = cells.iter().map(|&i| p[i as usize]).sum();
-            (q - c.probability).abs()
-        })
-        .fold(0.0, f64::max)
-}
-
-fn normalize_in_place(model: &mut LogLinearModel, p: &mut [f64], cells: usize) -> Result<()> {
-    debug_assert_eq!(p.len(), cells);
-    let z: f64 = p.iter().sum();
-    if !(z > 0.0) || !z.is_finite() {
-        return Err(MaxEntError::InfeasibleConstraints {
-            reason: format!("model mass became {z} during fitting"),
-        });
+    fn violation(constraints: &ConstraintSet, matching: &[Vec<u32>], p: &[f64]) -> f64 {
+        constraints
+            .constraints()
+            .iter()
+            .zip(matching)
+            .map(|(c, cells)| {
+                let q: f64 = cells.iter().map(|&i| p[i as usize]).sum();
+                (q - c.probability).abs()
+            })
+            .fold(0.0, f64::max)
     }
-    model.scale_a0(1.0 / z);
-    for x in p.iter_mut() {
-        *x /= z;
+
+    fn normalize_in_place(model: &mut LogLinearModel, p: &mut [f64], cells: usize) -> Result<()> {
+        debug_assert_eq!(p.len(), cells);
+        let z: f64 = p.iter().sum();
+        if !(z > 0.0) || !z.is_finite() {
+            return Err(MaxEntError::InfeasibleConstraints {
+                reason: format!("model mass became {z} during fitting"),
+            });
+        }
+        model.scale_a0(1.0 / z);
+        for x in p.iter_mut() {
+            *x /= z;
+        }
+        Ok(())
     }
-    Ok(())
-}
-
-/// Fits a model with the default convergence criteria.
-pub fn fit(constraints: &ConstraintSet) -> Result<(LogLinearModel, SolveReport)> {
-    Solver::default().fit(constraints)
-}
-
-/// Fits a model with the default criteria, warm-starting from `initial`.
-pub fn fit_with_initial(
-    initial: LogLinearModel,
-    constraints: &ConstraintSet,
-) -> Result<(LogLinearModel, SolveReport)> {
-    Solver::default().fit_from(initial, constraints)
 }
 
 #[cfg(test)]
@@ -444,6 +758,34 @@ mod tests {
             .fit_from_cached(LogLinearModel::uniform(other_schema), &foreign, &mut cache)
             .unwrap();
         assert_eq!(cache.stats(), CacheStats { full_hits: 2, extensions: 1, rebuilds: 2 });
+    }
+
+    #[test]
+    fn csr_lists_match_reference_incidence() {
+        // Full-hit, extension and truncation must all leave the CSR storage
+        // equal to the naive per-cell scan's lists.
+        let t = paper_table();
+        let schema = t.shared_schema();
+        let mut constraints = ConstraintSet::first_order_from_table(&t).unwrap();
+        let mut cache = IncidenceCache::new();
+
+        let check = |cache: &mut IncidenceCache, constraints: &ConstraintSet| {
+            let expected = reference::incidence_lists(&schema, constraints.constraints());
+            let csr = cache.ensure(&constraints.shared_schema(), constraints.constraints());
+            assert_eq!(csr.len(), expected.len());
+            for (ci, list) in expected.iter().enumerate() {
+                assert_eq!(csr.list(ci), &list[..], "constraint {ci} diverged");
+            }
+        };
+
+        check(&mut cache, &constraints); // rebuild
+        check(&mut cache, &constraints); // full hit
+        constraints.add_from_table(&t, Assignment::from_pairs([(0, 0), (2, 1)])).unwrap();
+        constraints.add_from_table(&t, Assignment::from_pairs([(0, 1), (1, 0)])).unwrap();
+        check(&mut cache, &constraints); // extension by two
+        let shorter = ConstraintSet::first_order_from_table(&t).unwrap();
+        check(&mut cache, &shorter); // truncation
+        check(&mut cache, &constraints); // re-extension after truncation
     }
 
     #[test]

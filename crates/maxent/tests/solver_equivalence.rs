@@ -1,0 +1,188 @@
+//! The fast solver kernel (deferred normalization, CSR incidence, scatter
+//! init) must be numerically equivalent to the retained eagerly-normalised
+//! reference implementation: same sweep counts, same convergence verdicts,
+//! and per-cell probabilities within 1e-12 — across cold fits, warm starts,
+//! zero-target constraints and boundary (non-converged) constraint sets.
+
+use pka_contingency::{Assignment, ContingencyTable, Schema, VarSet};
+use pka_maxent::solver::reference;
+use pka_maxent::{
+    Constraint, ConstraintSet, ConvergenceCriteria, IncidenceCache, LogLinearModel, Solver,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Per-cell tolerance between the kernel and the reference: both follow the
+/// same trajectory, differing only in floating-point rounding.
+const CELL_TOL: f64 = 1e-12;
+
+/// Runs both kernels from the same seed model and asserts sweep-for-sweep
+/// equivalence plus per-cell agreement.
+fn assert_kernels_match(
+    criteria: ConvergenceCriteria,
+    seed: &LogLinearModel,
+    constraints: &ConstraintSet,
+    context: &str,
+) {
+    let (fast, fast_report) =
+        Solver::new(criteria).fit_from(seed.clone(), constraints).expect("fast kernel fit");
+    let (slow, slow_report) =
+        reference::fit_from(criteria, seed.clone(), constraints).expect("reference fit");
+    assert_eq!(fast_report.iterations, slow_report.iterations, "{context}: sweep counts diverged");
+    assert_eq!(
+        fast_report.converged, slow_report.converged,
+        "{context}: convergence verdicts diverged"
+    );
+    let fast_dense = fast.dense_probabilities();
+    let slow_dense = slow.dense_probabilities();
+    for (i, (a, b)) in fast_dense.iter().zip(&slow_dense).enumerate() {
+        assert!(
+            (a - b).abs() <= CELL_TOL,
+            "{context}: cell {i} diverged: kernel {a} vs reference {b}"
+        );
+    }
+}
+
+fn correlated_table(schema: &Arc<Schema>) -> ContingencyTable {
+    ContingencyTable::from_counts(Arc::clone(schema), vec![200, 0, 0, 200]).unwrap()
+}
+
+#[test]
+fn zero_target_constraints_match_reference() {
+    let schema = Schema::uniform(&[2, 2]).unwrap().into_shared();
+    let mut constraints = ConstraintSet::new(Arc::clone(&schema));
+    constraints.add(Constraint::new(Assignment::single(0, 0), 0.5).unwrap()).unwrap();
+    constraints.add(Constraint::new(Assignment::single(0, 1), 0.5).unwrap()).unwrap();
+    constraints
+        .add(Constraint::new(Assignment::from_pairs([(0, 0), (1, 0)]), 0.0).unwrap())
+        .unwrap();
+    let seed = LogLinearModel::uniform(Arc::clone(&schema));
+    assert_kernels_match(ConvergenceCriteria::new(), &seed, &constraints, "zero-target");
+}
+
+#[test]
+fn boundary_sets_match_reference_over_the_full_budget() {
+    // Perfect correlation forces two cells to zero: neither kernel
+    // converges, both run the whole budget, and the near-boundary models
+    // must still agree cell for cell.
+    let schema = Schema::uniform(&[2, 2]).unwrap().into_shared();
+    let t = correlated_table(&schema);
+    let mut constraints = ConstraintSet::first_order_from_table(&t).unwrap();
+    constraints.add_from_table(&t, Assignment::from_pairs([(0, 0), (1, 0)])).unwrap();
+    let seed = LogLinearModel::uniform(Arc::clone(&schema));
+    assert_kernels_match(ConvergenceCriteria::new(), &seed, &constraints, "boundary");
+}
+
+#[test]
+fn traces_match_reference_sweep_for_sweep() {
+    let schema = Schema::uniform(&[3, 2, 2]).unwrap().into_shared();
+    let t = ContingencyTable::from_counts(
+        Arc::clone(&schema),
+        vec![130, 110, 410, 640, 62, 31, 580, 460, 78, 22, 520, 385],
+    )
+    .unwrap();
+    let mut constraints = ConstraintSet::first_order_from_table(&t).unwrap();
+    constraints.add_from_table(&t, Assignment::from_pairs([(0, 0), (2, 1)])).unwrap();
+    let criteria = ConvergenceCriteria::new().with_trace();
+    let seed = LogLinearModel::uniform(Arc::clone(&schema));
+    let (_, fast) = Solver::new(criteria).fit_from(seed.clone(), &constraints).unwrap();
+    let (_, slow) = reference::fit_from(criteria, seed, &constraints).unwrap();
+    assert_eq!(fast.trace.len(), slow.trace.len());
+    for (f, s) in fast.trace.iter().zip(&slow.trace) {
+        assert_eq!(f.iteration, s.iteration);
+        assert!((f.max_violation - s.max_violation).abs() <= CELL_TOL);
+        assert!((f.a0 - s.a0).abs() <= CELL_TOL * s.a0.abs().max(1.0));
+        for (ff, sf) in f.fitted.iter().zip(&s.fitted) {
+            assert!((ff - sf).abs() <= CELL_TOL, "trace fitted diverged: {ff} vs {sf}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn prop_cold_fits_match_reference(
+        counts in proptest::collection::vec(1u64..60, 12),
+        extra_cell in 0usize..12,
+        pair_mask in 0usize..3,
+    ) {
+        // Any strictly positive table, first-order marginals plus one
+        // second-order cell on a random attribute pair.
+        let schema = Schema::uniform(&[3, 2, 2]).unwrap().into_shared();
+        let t = ContingencyTable::from_counts(Arc::clone(&schema), counts).unwrap();
+        let mut constraints = ConstraintSet::first_order_from_table(&t).unwrap();
+        let pairs = [[0usize, 1], [0, 2], [1, 2]];
+        let vars = VarSet::from_indices(pairs[pair_mask]);
+        let cell_values = schema.cell_values(extra_cell);
+        constraints.add_from_table(&t, Assignment::project(vars, &cell_values)).unwrap();
+        let seed = LogLinearModel::uniform(Arc::clone(&schema));
+        assert_kernels_match(ConvergenceCriteria::new(), &seed, &constraints, "cold");
+    }
+
+    #[test]
+    fn prop_warm_fits_match_reference(
+        counts in proptest::collection::vec(1u64..60, 12),
+        shift in proptest::collection::vec(0u64..20, 12),
+        extra_cell in 0usize..12,
+    ) {
+        // Warm start: fit the original table, perturb the counts, refit
+        // both kernels from the first fit's a-values.
+        let schema = Schema::uniform(&[3, 2, 2]).unwrap().into_shared();
+        let t = ContingencyTable::from_counts(Arc::clone(&schema), counts.clone()).unwrap();
+        let mut constraints = ConstraintSet::first_order_from_table(&t).unwrap();
+        let cell_values = schema.cell_values(extra_cell);
+        let pair = Assignment::project(VarSet::from_indices([0, 1]), &cell_values);
+        constraints.add_from_table(&t, pair.clone()).unwrap();
+        let (warm_seed, _) = reference::fit_from(
+            ConvergenceCriteria::new(),
+            LogLinearModel::uniform(Arc::clone(&schema)),
+            &constraints,
+        ).unwrap();
+
+        let shifted: Vec<u64> = counts.iter().zip(&shift).map(|(c, s)| c + s).collect();
+        let t2 = ContingencyTable::from_counts(Arc::clone(&schema), shifted).unwrap();
+        let mut refit = ConstraintSet::first_order_from_table(&t2).unwrap();
+        refit.add_from_table(&t2, pair).unwrap();
+        assert_kernels_match(ConvergenceCriteria::new(), &warm_seed, &refit, "warm");
+    }
+
+    #[test]
+    fn prop_csr_cache_matches_reference_lists(
+        counts in proptest::collection::vec(1u64..40, 12),
+        promote in proptest::collection::vec(0usize..12, 0..4),
+        truncate_after in 0usize..4,
+    ) {
+        // Drive a cache through rebuild → extensions → truncation →
+        // re-extension and compare every CSR row with the naive per-cell
+        // scan after each operation.
+        let schema = Schema::uniform(&[3, 2, 2]).unwrap().into_shared();
+        let t = ContingencyTable::from_counts(Arc::clone(&schema), counts).unwrap();
+        let base = ConstraintSet::first_order_from_table(&t).unwrap();
+        let mut cache = IncidenceCache::new();
+
+        let check = |cache: &mut IncidenceCache, set: &ConstraintSet| {
+            let expected = reference::incidence_lists(&schema, set.constraints());
+            let csr = cache.ensure(&set.shared_schema(), set.constraints());
+            prop_assert_eq!(csr.len(), expected.len());
+            for (ci, list) in expected.iter().enumerate() {
+                prop_assert_eq!(csr.list(ci), &list[..]);
+            }
+        };
+
+        check(&mut cache, &base); // rebuild
+        let mut grown = base.clone();
+        for &cell in &promote {
+            let values = schema.cell_values(cell);
+            let pair = Assignment::project(VarSet::from_indices([0, 2]), &values);
+            if !grown.contains(&pair) {
+                grown.add_from_table(&t, pair).unwrap();
+                check(&mut cache, &grown); // extension by one
+            }
+        }
+        if truncate_after == 0 {
+            check(&mut cache, &base); // truncation back to the prefix
+        }
+        check(&mut cache, &grown); // full hit or re-extension
+    }
+}

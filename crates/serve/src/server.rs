@@ -164,6 +164,9 @@ pub struct EngineStats {
     pub pending: u64,
     /// Refits performed so far.
     pub refits: u64,
+    /// Solver sweeps spent across every refit so far — together with the
+    /// cache counters below, the observable cost of the solver hot path.
+    pub solver_sweeps: u64,
     /// Number of count shards.
     pub shard_count: usize,
     /// Per-shard tuple counts.
@@ -343,6 +346,7 @@ fn run_engine(mut engine: StreamingEngine, rx: mpsc::Receiver<EngineCommand>) ->
                     total_ingested: engine.total_ingested(),
                     pending: engine.pending(),
                     refits: engine.refit_count(),
+                    solver_sweeps: engine.total_solver_iterations(),
                     shard_count: engine.shard_count(),
                     shard_tuples: engine.shard_tuple_counts(),
                     cache_full_hits: cache.full_hits,

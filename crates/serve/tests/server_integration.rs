@@ -146,6 +146,7 @@ fn concurrent_ingest_and_queries_match_one_shot_acquisition() {
         stats.cache_full_hits > 0,
         "warm refits should have reused the incidence cache: {stats:?}"
     );
+    assert!(stats.solver_sweeps > 0, "refits must surface their sweep counts: {stats:?}");
 
     // Every joint cell, queried over the wire, matches one-shot within
     // 1e-9 (floats survive the wire bit-for-bit, so the tolerance is the

@@ -191,6 +191,10 @@ pub struct StreamingEngine {
     next_version: u64,
     handle: SnapshotHandle,
     refits: u64,
+    /// Solver sweeps spent across every refit so far — the cost the warm
+    /// starts and the incidence cache exist to reduce, surfaced through
+    /// [`StreamingEngine::total_solver_iterations`] and `pka-serve` stats.
+    solver_iterations: u64,
     /// Constraint-to-cell incidence lists shared by every refit: the
     /// steady-state warm refit re-solves the same constraint set, so its
     /// structural pass is served from here instead of being recomputed.
@@ -214,6 +218,7 @@ impl StreamingEngine {
             next_version: 1,
             handle: SnapshotHandle::new(),
             refits: 0,
+            solver_iterations: 0,
             solver_cache: IncidenceCache::new(),
         })
     }
@@ -257,6 +262,11 @@ impl StreamingEngine {
     /// skipped the `O(constraints × cells)` structural pass.
     pub fn solver_cache_stats(&self) -> CacheStats {
         self.solver_cache.stats()
+    }
+
+    /// Total solver sweeps spent across every refit so far.
+    pub fn total_solver_iterations(&self) -> u64 {
+        self.solver_iterations
     }
 
     /// A cloneable read handle for query threads.
@@ -380,6 +390,7 @@ impl StreamingEngine {
         let version = self.next_version;
         self.next_version += 1;
         self.refits += 1;
+        self.solver_iterations += outcome.trace.total_solver_iterations() as u64;
         self.fitted = table.total();
         self.pending = 0;
 
@@ -446,6 +457,11 @@ mod tests {
         assert_eq!(second.observations, 200);
         assert_eq!(engine.refit_count(), 2);
         assert_eq!(engine.pending(), 0);
+        assert_eq!(
+            engine.total_solver_iterations(),
+            (first.solver_iterations + second.solver_iterations) as u64,
+            "cumulative sweep counter must track every refit"
+        );
     }
 
     #[test]

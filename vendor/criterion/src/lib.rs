@@ -9,6 +9,7 @@
 //! analysis or HTML report; the numbers are honest medians of short runs,
 //! which is what the CHANGES.md records rely on.
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -17,6 +18,18 @@ pub use std::hint::black_box;
 const TARGET_MEASURE: Duration = Duration::from_millis(400);
 /// Warm-up time per benchmark.
 const TARGET_WARMUP: Duration = Duration::from_millis(80);
+
+/// True when the bench binary was invoked in smoke mode (`cargo bench --
+/// --test`, mirroring real criterion's flag, or `PKA_BENCH_SMOKE=1`): every
+/// benchmark closure runs exactly once, untimed, so CI can prove each bench
+/// still compiles and executes — including its correctness gates — without
+/// paying for measurement.
+fn smoke_mode() -> bool {
+    static SMOKE: OnceLock<bool> = OnceLock::new();
+    *SMOKE.get_or_init(|| {
+        std::env::args().any(|a| a == "--test") || std::env::var_os("PKA_BENCH_SMOKE").is_some()
+    })
+}
 
 /// The benchmark context handed to `criterion_group!` functions.
 #[derive(Default)]
@@ -172,6 +185,13 @@ pub struct Bencher {
 impl Bencher {
     /// Times `f`, adaptively choosing an iteration count.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if smoke_mode() {
+            let start = Instant::now();
+            black_box(f());
+            self.elapsed = start.elapsed();
+            self.iters = 1;
+            return;
+        }
         // Warm-up and per-iteration cost estimate.
         let warm_start = Instant::now();
         let mut warm_iters: u64 = 0;
@@ -198,7 +218,7 @@ impl Bencher {
 
     /// Times `f` with explicit control of the iteration count per call.
     pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
-        let iters = 10;
+        let iters = if smoke_mode() { 1 } else { 10 };
         self.elapsed = f(iters);
         self.iters = iters;
     }
