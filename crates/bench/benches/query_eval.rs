@@ -1,0 +1,53 @@
+//! Query evaluation, lattice vs stride walk, at three schema sizes.
+//!
+//! Three mixes per schema — all first-/second-order marginals, conditional
+//! queries via Bayes' identity (evidence + merged + prior per question, the
+//! serve read path's arithmetic) and a mixed batch that includes
+//! above-cutoff probes taking the stride-walk fallback — each timed for
+//! the snapshot-resident marginal lattice (one index computation + lookup
+//! per covered probe) and for the dense-joint stride walk the serve layer
+//! used before the lattice existed.  The measured numbers are snapshotted
+//! in `BENCH_query.json` at the repository root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pka_bench::QueryEvalWorkload;
+use std::hint::black_box;
+
+fn query_eval(c: &mut Criterion) {
+    let workloads =
+        [QueryEvalWorkload::paper(), QueryEvalWorkload::medium(), QueryEvalWorkload::large()];
+    let mut group = c.benchmark_group("query_eval");
+    for w in &workloads {
+        group.bench_with_input(BenchmarkId::new("marginal/lattice", w.label()), w, |b, w| {
+            b.iter(|| black_box(w.marginals_lattice()))
+        });
+        group.bench_with_input(BenchmarkId::new("marginal/stride", w.label()), w, |b, w| {
+            b.iter(|| black_box(w.marginals_stride()))
+        });
+
+        group.bench_with_input(BenchmarkId::new("conditional/lattice", w.label()), w, |b, w| {
+            b.iter(|| black_box(w.conditionals_lattice()))
+        });
+        group.bench_with_input(BenchmarkId::new("conditional/stride", w.label()), w, |b, w| {
+            b.iter(|| black_box(w.conditionals_stride()))
+        });
+
+        group.bench_with_input(BenchmarkId::new("batch_mix/lattice", w.label()), w, |b, w| {
+            b.iter(|| black_box(w.batch_mix_lattice()))
+        });
+        group.bench_with_input(BenchmarkId::new("batch_mix/stride", w.label()), w, |b, w| {
+            b.iter(|| black_box(w.batch_mix_stride()))
+        });
+    }
+    group.finish();
+
+    // Correctness gate: the two paths agree to 1e-12 per probe on every
+    // workload, and above-cutoff probes really exercise the fallback (runs
+    // in smoke mode too, so CI checks it).
+    for w in &workloads {
+        w.assert_paths_agree();
+    }
+}
+
+criterion_group!(benches, query_eval);
+criterion_main!(benches);

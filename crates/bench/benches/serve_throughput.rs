@@ -54,6 +54,38 @@ fn query_params(k: usize) -> Value {
     protocol::object([("target", to_obj(target)), ("evidence", to_obj(evidence))])
 }
 
+/// One `query-batch` request carrying `PIPELINE_DEPTH` mixed queries: the
+/// same work as a pipelined batch of single `query` lines, amortising the
+/// envelope parse and the response line down to one each.
+fn batch_params() -> Value {
+    let entries: Vec<Value> = (0..PIPELINE_DEPTH).map(query_params).collect();
+    protocol::object([("queries", Value::Array(entries))])
+}
+
+/// Runs `batches` single-line `query-batch` requests on each of `threads`
+/// client connections; returns total wall time.  Each response is checked
+/// to carry exactly `PIPELINE_DEPTH` per-entry answers.
+fn drive_clients_batched(addr: SocketAddr, threads: usize, batches: u64) -> Duration {
+    let start = Instant::now();
+    let workers: Vec<_> = (0..threads)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = LineClient::connect(addr).expect("bench connect");
+                let params = batch_params();
+                for _ in 0..batches {
+                    let result = client.call_ref("query-batch", &params).expect("query-batch");
+                    let count = result.get("count").and_then(Value::as_u64).expect("count");
+                    assert_eq!(count, PIPELINE_DEPTH as u64, "short batch answer");
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("bench client panicked");
+    }
+    start.elapsed()
+}
+
 /// Runs `batches` pipelined query batches on each of `threads` client
 /// connections; returns total wall time.
 fn drive_clients(addr: SocketAddr, threads: usize, batches: u64) -> Duration {
@@ -105,16 +137,41 @@ fn query_throughput(c: &mut Criterion) {
         );
     }
 
+    // The same mixed load as one `query-batch` line per round: parse one
+    // envelope and write one response line per PIPELINE_DEPTH queries
+    // instead of one each — the amortisation the protocol method exists
+    // for.
+    for threads in [1usize, 2, 4] {
+        let batches_per_iter = 2u64;
+        group.throughput(Throughput::Elements(
+            threads as u64 * batches_per_iter * PIPELINE_DEPTH as u64,
+        ));
+        group.bench_with_input(
+            BenchmarkId::new("batched_queries", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        total += drive_clients_batched(addr, threads, batches_per_iter);
+                    }
+                    total
+                })
+            },
+        );
+    }
+
     // One request per round trip: the latency-bound lower bound a
-    // non-pipelining client sees.
+    // non-pipelining client sees.  This is the baseline `query-batch`
+    // exists to beat — the same mixed query shapes, one line each way per
+    // *query* here versus one line each way per *batch* above.
     group.throughput(Throughput::Elements(64));
     group.bench_function("sequential_roundtrips", |b| {
         let mut client = LineClient::connect(addr).expect("bench connect");
         b.iter(|| {
             for k in 0..64 {
-                let evidence: &[(&str, &str)] =
-                    if k % 2 == 0 { &[("smoking", "smoker")] } else { &[] };
-                client.query(&[("cancer", "yes")], evidence).expect("query");
+                let result = client.call("query", query_params(k)).expect("query");
+                assert!(result.get("probability").is_some());
             }
         })
     });
@@ -162,6 +219,19 @@ fn query_throughput_under_ingest(c: &mut Criterion) {
                     let mut total = Duration::ZERO;
                     for _ in 0..iters {
                         total += drive_clients(addr, threads, batches_per_iter);
+                    }
+                    total
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batched_queries", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        total += drive_clients_batched(addr, threads, batches_per_iter);
                     }
                     total
                 })

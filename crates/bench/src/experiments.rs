@@ -14,7 +14,7 @@ use pka_datagen::{
 };
 use pka_maxent::{
     metrics, solver::Solver, ConstraintSet, ConvergenceCriteria, IncidenceCache, JointDistribution,
-    LogLinearModel, SolveReport,
+    LogLinearModel, MarginalLattice, SolveReport,
 };
 use std::sync::Arc;
 
@@ -552,6 +552,209 @@ fn synthetic_counts(schema: &Schema, salt: u64) -> Vec<u64> {
 }
 
 // ---------------------------------------------------------------------------
+// X7 — query-evaluation workloads (the `query_eval` bench)
+// ---------------------------------------------------------------------------
+
+/// A reusable query-evaluation workload at one schema size, pitting the
+/// snapshot-resident [`MarginalLattice`] (one index computation + lookup
+/// per marginal) against the dense-joint stride walk (a sum over all
+/// matching cells) on the mixes the serve read path actually sees:
+/// first-/second-order marginals, conditionals via Bayes' identity, and a
+/// mixed batch that includes above-cutoff probes exercising the fallback.
+#[derive(Debug)]
+pub struct QueryEvalWorkload {
+    label: &'static str,
+    joint: JointDistribution,
+    lattice: MarginalLattice,
+    /// Order-1 and order-2 marginal probes (all of them — the query
+    /// population a SPIRIT-style shell mostly answers).
+    marginals: Vec<Assignment>,
+    /// `(target, evidence)` conditional probes, order ≤ 2 after merging.
+    conditionals: Vec<(Assignment, Assignment)>,
+    /// Probes strictly above the lattice cutoff (the stride-walk fallback).
+    above_cutoff: Vec<Assignment>,
+}
+
+impl QueryEvalWorkload {
+    /// The memo's 12-cell survey schema.
+    pub fn paper() -> Self {
+        Self::build("paper_3x2x2", &[3, 2, 2])
+    }
+
+    /// A mid-sized schema (144 cells).
+    pub fn medium() -> Self {
+        Self::build("medium_4x4x3x3", &[4, 4, 3, 3])
+    }
+
+    /// A large schema (480 cells).
+    pub fn large() -> Self {
+        Self::build("large_6x5x4x4", &[6, 5, 4, 4])
+    }
+
+    fn build(label: &'static str, cards: &[usize]) -> Self {
+        let schema = Schema::uniform(cards).expect("schema valid").into_shared();
+        let counts = synthetic_counts(&schema, 7);
+        let table = ContingencyTable::from_counts(Arc::clone(&schema), counts).expect("valid");
+        let joint = JointDistribution::empirical(&table);
+        let lattice = MarginalLattice::build(&joint, pka_maxent::DEFAULT_LATTICE_ORDER);
+
+        // Every first- and second-order marginal cell.
+        let mut marginals = Vec::new();
+        for vars in (1..=2).flat_map(|m| schema.all_vars().subsets_of_size(m)) {
+            for values in schema.configurations(vars) {
+                marginals.push(Assignment::new(vars, values));
+            }
+        }
+        // Conditionals P(a=v | b=w) over every ordered attribute pair,
+        // values cycled deterministically.
+        let mut conditionals = Vec::new();
+        for a in 0..schema.len() {
+            for b in 0..schema.len() {
+                if a == b {
+                    continue;
+                }
+                let va = (a + b) % schema.cardinality(a).expect("in schema");
+                let vb = b % schema.cardinality(b).expect("in schema");
+                conditionals.push((Assignment::single(a, va), Assignment::single(b, vb)));
+            }
+        }
+        // Order-3 probes (above the default cutoff of 2): cycled cells of
+        // every attribute triple.
+        let mut above_cutoff = Vec::new();
+        for (i, vars) in schema.all_vars().subsets_of_size(3).into_iter().enumerate() {
+            let cell = (i * 17) % schema.cell_count();
+            above_cutoff.push(Assignment::project(vars, &schema.cell_values(cell)));
+        }
+        Self { label, joint, lattice, marginals, conditionals, above_cutoff }
+    }
+
+    /// The workload's display label (`paper_3x2x2`, …).
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Number of probes per category: `(marginals, conditionals, fallback)`.
+    pub fn probe_counts(&self) -> (usize, usize, usize) {
+        (self.marginals.len(), self.conditionals.len(), self.above_cutoff.len())
+    }
+
+    /// One marginal probability through the lattice-first path the serve
+    /// layer uses: lookup when covered, stride walk otherwise.
+    #[inline]
+    fn lattice_first(&self, a: &Assignment) -> f64 {
+        match self.lattice.probability(a) {
+            Some(p) => p,
+            None => self.joint.probability(a),
+        }
+    }
+
+    /// All marginal probes through the lattice (the fast path).
+    pub fn marginals_lattice(&self) -> f64 {
+        self.marginals.iter().map(|a| self.lattice.probability(a).expect("covered")).sum()
+    }
+
+    /// All marginal probes through the dense-joint stride walk.
+    pub fn marginals_stride(&self) -> f64 {
+        self.marginals.iter().map(|a| self.joint.probability(a)).sum()
+    }
+
+    /// All conditional probes through the lattice: evidence, merged and
+    /// prior each one lookup (the serve read path's Bayes' identity).
+    pub fn conditionals_lattice(&self) -> f64 {
+        self.conditionals
+            .iter()
+            .map(|(target, evidence)| {
+                let denominator = self.lattice.probability(evidence).expect("covered");
+                let merged = target.merge(evidence).expect("disjoint probes");
+                let joint = self.lattice.probability(&merged).expect("covered");
+                let prior = self.lattice.probability(target).expect("covered");
+                if denominator > 0.0 {
+                    joint / denominator + prior
+                } else {
+                    prior
+                }
+            })
+            .sum()
+    }
+
+    /// All conditional probes through the stride walk.
+    pub fn conditionals_stride(&self) -> f64 {
+        self.conditionals
+            .iter()
+            .map(|(target, evidence)| {
+                let denominator = self.joint.probability(evidence);
+                let merged = target.merge(evidence).expect("disjoint probes");
+                let joint = self.joint.probability(&merged);
+                let prior = self.joint.probability(target);
+                if denominator > 0.0 {
+                    joint / denominator + prior
+                } else {
+                    prior
+                }
+            })
+            .sum()
+    }
+
+    /// The mixed batch — marginals, conditionals and above-cutoff probes —
+    /// through the lattice-first path (fallback included, as served).
+    pub fn batch_mix_lattice(&self) -> f64 {
+        let mut total = self.marginals.iter().map(|a| self.lattice_first(a)).sum::<f64>()
+            + self.conditionals_lattice();
+        total += self.above_cutoff.iter().map(|a| self.lattice_first(a)).sum::<f64>();
+        total
+    }
+
+    /// The mixed batch entirely through the stride walk.
+    pub fn batch_mix_stride(&self) -> f64 {
+        let mut total = self.marginals_stride() + self.conditionals_stride();
+        total += self.above_cutoff.iter().map(|a| self.joint.probability(a)).sum::<f64>();
+        total
+    }
+
+    /// Correctness gate for the bench (runs in CI smoke mode too): the two
+    /// paths agree per probe to 1e-12, and above-cutoff probes really do
+    /// miss the lattice.
+    pub fn assert_paths_agree(&self) {
+        for a in &self.marginals {
+            let fast = self.lattice.probability(a).expect("covered marginal probe");
+            let slow = self.joint.probability(a);
+            assert!(
+                (fast - slow).abs() <= 1e-12,
+                "{}: lattice diverged on {a:?}: {fast} vs {slow}",
+                self.label
+            );
+        }
+        for (target, evidence) in &self.conditionals {
+            let merged = target.merge(evidence).expect("disjoint probes");
+            for probe in [target, evidence, &merged] {
+                let fast = self.lattice.probability(probe).expect("covered conditional probe");
+                let slow = self.joint.probability(probe);
+                assert!(
+                    (fast - slow).abs() <= 1e-12,
+                    "{}: lattice diverged on {probe:?}: {fast} vs {slow}",
+                    self.label
+                );
+            }
+        }
+        for a in &self.above_cutoff {
+            assert_eq!(
+                self.lattice.probability(a),
+                None,
+                "{}: order-3 probe unexpectedly covered",
+                self.label
+            );
+        }
+        let mix_fast = self.batch_mix_lattice();
+        let mix_slow = self.batch_mix_stride();
+        assert!(
+            (mix_fast - mix_slow).abs() <= 1e-9,
+            "{}: batch mixes diverged: {mix_fast} vs {mix_slow}",
+            self.label
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
 // X5 — constraint-selection ablation (MML vs chi-square vs G-test)
 // ---------------------------------------------------------------------------
 
@@ -705,6 +908,20 @@ mod tests {
         assert_eq!(t.schema().len(), 4);
         assert_eq!(t.total(), 2000);
         let _found = scaling_acquisition(&t);
+    }
+
+    #[test]
+    fn query_eval_workload_paths_agree() {
+        let w = QueryEvalWorkload::paper();
+        w.assert_paths_agree();
+        let (marginals, conditionals, fallback) = w.probe_counts();
+        // 3 first-order tables (3+2+2 cells) + 3 second-order (6+6+4).
+        assert_eq!(marginals, 23);
+        assert_eq!(conditionals, 6);
+        assert_eq!(fallback, 1);
+        // The summed answers are finite and positive.
+        assert!(w.marginals_lattice() > 0.0);
+        assert!(w.batch_mix_lattice().is_finite());
     }
 
     #[test]

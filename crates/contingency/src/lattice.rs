@@ -1,0 +1,190 @@
+//! Planning the marginal lattice: which variable subsets to materialise and
+//! which parent each one is summed down from.
+//!
+//! A *marginal lattice* over a schema is the family of all marginal tables
+//! on variable subsets up to a cutoff order `k` — the memo's Figure 2
+//! margins, materialised once instead of being recomputed per query.  This
+//! module plans the build; `pka-maxent` executes it against a dense joint
+//! distribution.
+//!
+//! ## Build invariant
+//!
+//! Steps are emitted in **descending order** of subset size, so every
+//! table's parent is materialised before the table itself:
+//!
+//! * Subsets of the top order `min(k, R)` have no materialised ancestor but
+//!   the dense joint itself, so they (and only they) are summed straight
+//!   off the joint ([`LatticeParent::Joint`]).
+//! * Every smaller subset `S` is built by **single-axis summation** from an
+//!   already-planned parent `S ∪ {v}` ([`LatticeParent::Table`]), never
+//!   from the full joint: summing out one axis of a small table is
+//!   `O(parent cells)` instead of `O(joint cells)`.
+//! * Parent selection is deterministic and cheapest-first: among the
+//!   candidate extra variables `v ∉ S`, pick the one with the smallest
+//!   cardinality (the parent with the fewest cells), breaking ties on the
+//!   smallest variable index.
+//!
+//! The publish-time cost of the whole build is therefore dominated by the
+//! `C(R, k)` top-order sweeps over the joint; everything below the top
+//! order costs the sum of the (much smaller) parent-table sizes.
+
+use crate::schema::Schema;
+use crate::varset::VarSet;
+
+/// Where one lattice table's mass comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatticeParent {
+    /// Summed straight off the dense joint (top-order tables only).
+    Joint,
+    /// Summed down from the already-materialised table over `vars` by
+    /// summing out the single axis `sum_out` (`vars = child ∪ {sum_out}`).
+    Table {
+        /// The parent table's variable set.
+        vars: VarSet,
+        /// The one attribute summed out of the parent.
+        sum_out: usize,
+    },
+}
+
+/// One step of the lattice build: materialise the marginal table over
+/// `vars` from `parent`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatticeStep {
+    /// The variable subset whose marginal table this step builds.
+    pub vars: VarSet,
+    /// Where its mass is summed from.
+    pub parent: LatticeParent,
+}
+
+/// Plans the marginal lattice of a schema up to `max_order`: one
+/// [`LatticeStep`] per subset of the schema's attributes with at most
+/// `min(max_order, R)` members, in build (descending-size) order, ending
+/// with the order-0 (grand-total) table.
+///
+/// The plan upholds the build invariant documented at the module level:
+/// only top-order tables read the joint; everything else is a single-axis
+/// summation from its cheapest already-planned parent.
+pub fn lattice_plan(schema: &Schema, max_order: usize) -> Vec<LatticeStep> {
+    let all = schema.all_vars();
+    let top = max_order.min(schema.len());
+    let mut steps = Vec::new();
+    for order in (0..=top).rev() {
+        for vars in all.subsets_of_size(order) {
+            let parent = if order == top {
+                LatticeParent::Joint
+            } else {
+                let sum_out = cheapest_extension(schema, vars, all);
+                LatticeParent::Table { vars: vars.with(sum_out), sum_out }
+            };
+            steps.push(LatticeStep { vars, parent });
+        }
+    }
+    steps
+}
+
+/// The extra variable whose addition to `vars` yields the cheapest parent:
+/// smallest cardinality, ties broken on the smallest index.
+fn cheapest_extension(schema: &Schema, vars: VarSet, all: VarSet) -> usize {
+    all.difference(vars)
+        .iter()
+        .min_by_key(|&v| (schema.cardinality(v).expect("candidate is a schema attribute"), v))
+        .expect("a below-top-order subset always has an extension")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn plan_covers_every_subset_up_to_k_exactly_once() {
+        let schema = Schema::uniform(&[3, 2, 2]).unwrap();
+        let plan = lattice_plan(&schema, 2);
+        // C(3,2) + C(3,1) + C(3,0) = 3 + 3 + 1.
+        assert_eq!(plan.len(), 7);
+        let mut seen: Vec<VarSet> = plan.iter().map(|s| s.vars).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 7, "no subset is planned twice");
+        assert!(plan.iter().all(|s| s.vars.len() <= 2));
+    }
+
+    #[test]
+    fn only_top_order_tables_read_the_joint() {
+        let schema = Schema::uniform(&[3, 2, 4, 2]).unwrap();
+        let plan = lattice_plan(&schema, 2);
+        for step in &plan {
+            match step.parent {
+                LatticeParent::Joint => assert_eq!(step.vars.len(), 2),
+                LatticeParent::Table { vars, sum_out } => {
+                    assert!(step.vars.len() < 2);
+                    assert_eq!(vars, step.vars.with(sum_out));
+                    assert!(!step.vars.contains(sum_out));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parent_selection_prefers_the_smallest_cardinality() {
+        // Cards [5, 2, 3]: the order-0 table should be summed down from the
+        // singleton over attribute 1 (cardinality 2), not 0 or 2.
+        let schema = Schema::uniform(&[5, 2, 3]).unwrap();
+        let plan = lattice_plan(&schema, 1);
+        let empty = plan.iter().find(|s| s.vars.is_empty()).unwrap();
+        assert_eq!(empty.parent, LatticeParent::Table { vars: VarSet::singleton(1), sum_out: 1 });
+        // Ties break on the smallest index.
+        let tied = Schema::uniform(&[2, 2]).unwrap();
+        let plan = lattice_plan(&tied, 1);
+        let empty = plan.iter().find(|s| s.vars.is_empty()).unwrap();
+        assert_eq!(empty.parent, LatticeParent::Table { vars: VarSet::singleton(0), sum_out: 0 });
+    }
+
+    #[test]
+    fn order_above_schema_size_is_capped() {
+        let schema = Schema::uniform(&[2, 2]).unwrap();
+        let plan = lattice_plan(&schema, 9);
+        // Top order caps at R = 2: {0,1} from the joint, singletons from it.
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan[0].vars, schema.all_vars());
+        assert_eq!(plan[0].parent, LatticeParent::Joint);
+        assert!(plan[1..].iter().all(|s| s.parent != LatticeParent::Joint));
+    }
+
+    #[test]
+    fn order_zero_plan_is_the_grand_total_from_the_joint() {
+        let schema = Schema::uniform(&[3, 2]).unwrap();
+        let plan = lattice_plan(&schema, 0);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0], LatticeStep { vars: VarSet::empty(), parent: LatticeParent::Joint });
+    }
+
+    proptest! {
+        #[test]
+        fn prop_parents_precede_children_and_shrink_by_one(
+            cards in proptest::collection::vec(1usize..5, 1..6),
+            k in 0usize..4,
+        ) {
+            let schema = Schema::uniform(&cards).unwrap();
+            let plan = lattice_plan(&schema, k);
+            let top = k.min(schema.len());
+            for (i, step) in plan.iter().enumerate() {
+                match step.parent {
+                    LatticeParent::Joint => prop_assert_eq!(step.vars.len(), top),
+                    LatticeParent::Table { vars, sum_out } => {
+                        prop_assert_eq!(vars, step.vars.with(sum_out));
+                        prop_assert_eq!(vars.len(), step.vars.len() + 1);
+                        // The parent was planned strictly earlier.
+                        let parent_pos = plan.iter().position(|s| s.vars == vars);
+                        prop_assert!(parent_pos.is_some() && parent_pos.unwrap() < i);
+                    }
+                }
+            }
+            // Every subset of size <= top appears exactly once.
+            let expected: usize = (0..=top)
+                .map(|m| schema.all_vars().subsets_of_size(m).len())
+                .sum();
+            prop_assert_eq!(plan.len(), expected);
+        }
+    }
+}

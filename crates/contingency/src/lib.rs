@@ -58,6 +58,7 @@ pub mod csv;
 pub mod dataset;
 pub mod display;
 pub mod error;
+pub mod lattice;
 pub mod marginal;
 pub mod sample;
 pub mod schema;
@@ -68,6 +69,7 @@ pub use attribute::Attribute;
 pub use config::Assignment;
 pub use dataset::Dataset;
 pub use error::ContingencyError;
+pub use lattice::{lattice_plan, LatticeParent, LatticeStep};
 pub use marginal::Marginal;
 pub use sample::Sample;
 pub use schema::Schema;

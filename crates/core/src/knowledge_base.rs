@@ -4,7 +4,10 @@ use crate::error::CoreError;
 use crate::query::{Query, QueryResult};
 use crate::Result;
 use pka_contingency::{Assignment, Schema};
-use pka_maxent::{Constraint, ConstraintSet, FactorGraph, JointDistribution, LogLinearModel};
+use pka_maxent::{
+    Constraint, ConstraintSet, FactorGraph, JointDistribution, LogLinearModel, MarginalLattice,
+    MaxEntError,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -16,12 +19,36 @@ use std::sync::Arc;
 /// generates and stores significant joint probabilities instead; particular
 /// conditional probabilities can be calculated from this information as
 /// required."
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// A knowledge base may additionally carry a [`MarginalLattice`] — every
+/// marginal table up to a cutoff order, materialised once from the model's
+/// joint (see [`KnowledgeBase::with_lattice`]).  With a lattice attached,
+/// [`KnowledgeBase::probability`] answers covered assignments with one
+/// table lookup instead of a sum over the joint's cells; without one (or
+/// for varsets above the cutoff) it falls back to the model evaluation
+/// unchanged.  The lattice is **derived state**: it is skipped by
+/// serialisation and ignored by equality, exactly like the model's factor
+/// index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KnowledgeBase {
     schema: Arc<Schema>,
     constraints: ConstraintSet,
     model: LogLinearModel,
     sample_size: u64,
+    #[serde(skip)]
+    lattice: Option<Arc<MarginalLattice>>,
+}
+
+/// Equality ignores the lattice: it is derived from the model, so two
+/// knowledge bases differing only in whether the cache is materialised
+/// answer every query identically.
+impl PartialEq for KnowledgeBase {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema
+            && self.constraints == other.constraints
+            && self.model == other.model
+            && self.sample_size == other.sample_size
+    }
 }
 
 impl KnowledgeBase {
@@ -38,7 +65,34 @@ impl KnowledgeBase {
                 reason: "constraints, model and knowledge base must share one schema".to_string(),
             });
         }
-        Ok(Self { schema, constraints, model, sample_size })
+        Ok(Self { schema, constraints, model, sample_size, lattice: None })
+    }
+
+    /// Returns the knowledge base with a marginal lattice up to `max_order`
+    /// materialised from its model — one dense-joint build plus the lattice
+    /// summation, after which every covered query is a table lookup.
+    pub fn with_lattice(mut self, max_order: usize) -> Self {
+        let joint = self.model.to_joint();
+        self.lattice = Some(Arc::new(MarginalLattice::build(&joint, max_order)));
+        self
+    }
+
+    /// Attaches an already-built lattice (e.g. the one a snapshot
+    /// materialised from this knowledge base's own joint, shared by `Arc`).
+    /// The lattice must be over the same schema.
+    pub fn attach_lattice(&mut self, lattice: Arc<MarginalLattice>) -> Result<()> {
+        if lattice.schema() != self.schema.as_ref() {
+            return Err(CoreError::InvalidInput {
+                reason: "lattice schema differs from the knowledge base schema".to_string(),
+            });
+        }
+        self.lattice = Some(lattice);
+        Ok(())
+    }
+
+    /// The attached marginal lattice, if one has been materialised.
+    pub fn lattice(&self) -> Option<&Arc<MarginalLattice>> {
+        self.lattice.as_ref()
     }
 
     /// The attribute schema.
@@ -72,15 +126,37 @@ impl KnowledgeBase {
         self.sample_size
     }
 
-    /// Probability of a (partial) assignment under the model.
+    /// Probability of a (partial) assignment under the model: one lattice
+    /// lookup when a lattice is attached and covers the assignment's
+    /// variable set, the model's stride-walk evaluation otherwise.
     pub fn probability(&self, assignment: &Assignment) -> f64 {
+        if let Some(lattice) = &self.lattice {
+            if let Some(p) = lattice.probability(assignment) {
+                return p;
+            }
+        }
         self.model.probability(assignment)
     }
 
     /// Conditional probability `P(target | evidence)` under the model — the
-    /// memo's `P(A | B, C) = P(A, B, C) / P(B, C)`.
+    /// memo's `P(A | B, C) = P(A, B, C) / P(B, C)`.  Both the numerator and
+    /// the denominator resolve through [`KnowledgeBase::probability`], so
+    /// an attached lattice serves conditionals too.
     pub fn conditional(&self, target: &Assignment, evidence: &Assignment) -> Result<f64> {
-        Ok(self.model.conditional(target, evidence)?)
+        if !target.compatible_with(evidence) {
+            return Err(CoreError::MaxEnt(MaxEntError::InfeasibleConstraints {
+                reason: "target and evidence assign different values to a shared attribute"
+                    .to_string(),
+            }));
+        }
+        let denominator = self.probability(evidence);
+        if denominator <= 0.0 {
+            return Err(CoreError::MaxEnt(MaxEntError::ZeroProbabilityEvidence {
+                evidence: evidence.describe(&self.schema),
+            }));
+        }
+        let merged = target.merge(evidence).expect("compatibility checked above");
+        Ok(self.probability(&merged) / denominator)
     }
 
     /// Evaluates a [`Query`].
@@ -205,6 +281,45 @@ mod tests {
         let graph = kb.factor_graph();
         let q = Assignment::from_pairs([(0, 0), (1, 0)]);
         assert!((graph.probability(&q) - kb.probability(&q)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lattice_answers_match_the_model() {
+        let kb = sample_kb();
+        let fast = kb.clone().with_lattice(2);
+        assert!(fast.lattice().is_some());
+        assert_eq!(fast, kb, "the lattice is derived state, not identity");
+        // Covered orders answer from the lattice, order 3 falls back to the
+        // model — both must agree with the plain evaluation to fp noise.
+        let probes = [
+            Assignment::empty(),
+            Assignment::single(1, 0),
+            Assignment::from_pairs([(0, 0), (2, 1)]),
+            Assignment::from_pairs([(0, 0), (1, 0), (2, 1)]),
+        ];
+        for a in &probes {
+            assert!((fast.probability(a) - kb.probability(a)).abs() < 1e-12);
+        }
+        let target = Assignment::single(1, 0);
+        let evidence = Assignment::single(0, 0);
+        let a = fast.conditional(&target, &evidence).unwrap();
+        let b = kb.conditional(&target, &evidence).unwrap();
+        assert!((a - b).abs() < 1e-12);
+        // Error contract survives the lattice path.
+        assert!(fast.conditional(&Assignment::single(0, 0), &Assignment::single(0, 1)).is_err());
+    }
+
+    #[test]
+    fn attach_lattice_rejects_a_foreign_schema() {
+        let mut kb = sample_kb();
+        let foreign = Schema::uniform(&[2, 2]).unwrap().into_shared();
+        let joint = pka_maxent::JointDistribution::uniform(foreign);
+        let lattice = std::sync::Arc::new(pka_maxent::MarginalLattice::build(&joint, 2));
+        assert!(kb.attach_lattice(lattice).is_err());
+        // The right schema attaches fine and is shared by Arc.
+        let own = std::sync::Arc::new(pka_maxent::MarginalLattice::build(&kb.joint(), 2));
+        kb.attach_lattice(std::sync::Arc::clone(&own)).unwrap();
+        assert!(std::sync::Arc::ptr_eq(kb.lattice().unwrap(), &own));
     }
 
     #[test]

@@ -108,12 +108,25 @@ pub struct QueryResult {
 impl QueryResult {
     /// The ratio `P(target | evidence) / P(target)` ("lift"); 1 when the
     /// evidence is uninformative about the target.
+    ///
+    /// Returns `f64::INFINITY` when the prior is zero — fine for in-process
+    /// arithmetic and ordering, but **not representable in JSON**.  Anything
+    /// that puts a lift on the wire must use [`QueryResult::finite_lift`]
+    /// (or its serve-side equivalent), which maps that case to `None`/`null`.
     pub fn lift(&self) -> f64 {
         if self.prior_probability <= 0.0 {
             f64::INFINITY
         } else {
             self.probability / self.prior_probability
         }
+    }
+
+    /// The lift in wire-safe form: `None` instead of infinity when the
+    /// prior is zero (and for any other non-finite ratio), so serialising
+    /// the value can never produce invalid JSON.
+    pub fn finite_lift(&self) -> Option<f64> {
+        let lift = self.lift();
+        lift.is_finite().then_some(lift)
     }
 
     /// Human-readable rendering of the result.
@@ -201,6 +214,18 @@ mod tests {
         let zero_kb = KnowledgeBase::new(schema, constraints, model, t.total()).unwrap();
         let q = Query::conditional(Assignment::single(1, 0), Assignment::single(0, 1));
         assert!(q.evaluate(&zero_kb).is_err());
+    }
+
+    #[test]
+    fn finite_lift_guards_the_zero_prior() {
+        let kb = kb();
+        let q = Query::marginal(Assignment::single(1, 0));
+        let r = q.evaluate(&kb).unwrap();
+        assert_eq!(r.finite_lift(), Some(r.lift()));
+        // A zero prior makes lift() infinite but finite_lift() None.
+        let zero_prior = QueryResult { prior_probability: 0.0, ..r };
+        assert!(zero_prior.lift().is_infinite());
+        assert_eq!(zero_prior.finite_lift(), None);
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod elimination;
 pub mod entropy;
 pub mod error;
 pub mod joint;
+pub mod lattice;
 pub mod metrics;
 pub mod model;
 pub mod solver;
@@ -48,6 +49,7 @@ pub use convergence::{ConvergenceCriteria, IterationRecord, SolveReport};
 pub use elimination::FactorGraph;
 pub use error::MaxEntError;
 pub use joint::JointDistribution;
+pub use lattice::{MarginalLattice, MarginalTable, DEFAULT_LATTICE_ORDER};
 pub use model::LogLinearModel;
 pub use solver::{fit, fit_with_initial, CacheStats, CsrIncidence, IncidenceCache, Solver};
 

@@ -1,0 +1,111 @@
+//! Property tests pinning the marginal lattice to the stride walk and the
+//! reference full scan: for any random schema, weight vector and partial
+//! assignment of order ≤ k the three evaluation paths agree to 1e-12;
+//! every materialised table is a probability distribution; and varsets
+//! above the cutoff order are *not* covered, so callers exercise the
+//! stride-walk fallback there.
+
+use pka_contingency::{Assignment, Schema, VarSet};
+use pka_maxent::{JointDistribution, MarginalLattice};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Reference implementation: scan every cell and test membership.
+fn probability_by_scan(joint: &JointDistribution, assignment: &Assignment) -> f64 {
+    joint
+        .schema()
+        .cells()
+        .zip(joint.probabilities().iter())
+        .filter(|(values, _)| assignment.matches(values))
+        .map(|(_, &p)| p)
+        .sum()
+}
+
+proptest! {
+    #[test]
+    fn prop_lattice_agrees_with_stride_walk_and_full_scan(
+        cards in proptest::collection::vec(1usize..4, 1..5),
+        weights in proptest::collection::vec(0.0f64..10.0, 128),
+        k in 0usize..4,
+        mask in any::<u32>(),
+        seed in any::<u64>(),
+    ) {
+        let schema = Schema::uniform(&cards).unwrap().into_shared();
+        let n = schema.cell_count();
+        let joint = JointDistribution::from_unnormalized(
+            Arc::clone(&schema),
+            weights.into_iter().cycle().take(n).collect(),
+        );
+        let lattice = MarginalLattice::build(&joint, k);
+        let vars = VarSet::from_bits(mask).intersection(schema.all_vars());
+        let cell = (seed as usize) % n;
+        let a = Assignment::project(vars, &schema.cell_values(cell));
+        match lattice.probability(&a) {
+            Some(p) => {
+                // Covered ⇒ the varset is within the cutoff, and all three
+                // paths agree.
+                prop_assert!(a.order() <= lattice.max_order());
+                prop_assert!((p - joint.probability(&a)).abs() < 1e-12);
+                prop_assert!((p - probability_by_scan(&joint, &a)).abs() < 1e-12);
+            }
+            None => {
+                // Uncovered ⇒ strictly above the cutoff: the fallback path
+                // (the stride walk) is what answers these.
+                prop_assert!(a.order() > lattice.max_order());
+                prop_assert!(!lattice.covers(a.vars()));
+            }
+        }
+        // The empty assignment is always covered and sums to 1.
+        let total = lattice.probability(&Assignment::empty()).unwrap();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prop_every_lattice_table_is_a_distribution(
+        cards in proptest::collection::vec(1usize..4, 1..5),
+        weights in proptest::collection::vec(0.0f64..10.0, 128),
+        k in 0usize..4,
+    ) {
+        let schema = Schema::uniform(&cards).unwrap().into_shared();
+        let n = schema.cell_count();
+        let joint = JointDistribution::from_unnormalized(
+            Arc::clone(&schema),
+            weights.into_iter().cycle().take(n).collect(),
+        );
+        let lattice = MarginalLattice::build(&joint, k);
+        // All C(R, ≤k) tables are materialised …
+        let expected: usize = (0..=k.min(schema.len()))
+            .map(|m| schema.all_vars().subsets_of_size(m).len())
+            .sum();
+        prop_assert_eq!(lattice.table_count(), expected);
+        // … and each one sums to 1 with non-negative cells.
+        for m in 0..=k.min(schema.len()) {
+            for vars in schema.all_vars().subsets_of_size(m) {
+                let table = lattice.table(vars).unwrap();
+                prop_assert_eq!(table.vars(), vars);
+                prop_assert!(table.probabilities().iter().all(|&p| p >= 0.0));
+                let total: f64 = table.probabilities().iter().sum();
+                prop_assert!((total - 1.0).abs() < 1e-9, "table {} sums to {}", vars, total);
+            }
+        }
+    }
+
+    #[test]
+    fn prop_fallback_is_exercised_above_the_cutoff(
+        cards in proptest::collection::vec(2usize..4, 3..5),
+        seed in any::<u64>(),
+    ) {
+        // k = 1 on a ≥3-attribute schema: every pairwise query must miss
+        // the lattice and be answerable by the stride walk.
+        let schema = Schema::uniform(&cards).unwrap().into_shared();
+        let joint = JointDistribution::uniform(Arc::clone(&schema));
+        let lattice = MarginalLattice::build(&joint, 1);
+        let cell = (seed as usize) % schema.cell_count();
+        let pair = VarSet::from_indices([0, 1]);
+        let a = Assignment::project(pair, &schema.cell_values(cell));
+        prop_assert_eq!(lattice.probability(&a), None);
+        // The fallback still answers.
+        let walked = joint.probability(&a);
+        prop_assert!((walked - probability_by_scan(&joint, &a)).abs() < 1e-12);
+    }
+}

@@ -4,11 +4,14 @@
 
 use crate::error::ServeError;
 use crate::protocol::{self, object};
-use crate::server::{EngineStats, IngestSummary, RefitSummary};
+use crate::server::{EngineStats, IngestSummary, RefitSummary, ServerStats};
 use serde::{Deserialize, Serialize, Value};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// One name-based batch query: `(target pairs, evidence pairs)`.
+pub type NamedQuery<'a> = (&'a [(&'a str, &'a str)], &'a [(&'a str, &'a str)]);
 
 /// The typed answer to a `query` request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -57,9 +60,16 @@ impl LineClient {
     /// Sends one request and returns its `result` (or the server's
     /// structured error as [`ServeError::Remote`]).
     pub fn call(&mut self, method: &str, params: Value) -> Result<Value, ServeError> {
+        self.call_ref(method, &params)
+    }
+
+    /// [`LineClient::call`] by reference — lets a client re-send a large
+    /// params tree (e.g. a standing `query-batch`) without moving or
+    /// cloning it.
+    pub fn call_ref(&mut self, method: &str, params: &Value) -> Result<Value, ServeError> {
         let id = self.next_id;
         self.next_id += 1;
-        let line = protocol::request_line(id, method, &params);
+        let line = protocol::request_line(id, method, params);
         self.send_line(&line)?;
         let response = self.read_response()?;
         Self::unwrap_response(response, Some(id))
@@ -150,6 +160,92 @@ impl LineClient {
             .map_err(|e| ServeError::BadResponse { reason: e.to_string() })
     }
 
+    /// `query-batch`: evaluates a whole batch of name-based queries with
+    /// **one request line and one response line**.  Every entry is answered
+    /// from the same snapshot; per-entry failures (unknown names,
+    /// zero-probability evidence, …) come back as per-entry
+    /// [`ServeError::Remote`] values without failing the batch.
+    ///
+    /// Batch entries are lean on the wire: the snapshot identity is
+    /// hoisted to the batch envelope (this method copies it back into each
+    /// [`QueryAnswer`]) and the rendered description is omitted — the
+    /// caller already has the question, so `description` is rebuilt here
+    /// from the request pairs.
+    pub fn query_batch(
+        &mut self,
+        queries: &[NamedQuery<'_>],
+    ) -> Result<Vec<Result<QueryAnswer, ServeError>>, ServeError> {
+        let entries = queries
+            .iter()
+            .map(|&(target, evidence)| {
+                object([("target", names_object(target)), ("evidence", names_object(evidence))])
+            })
+            .collect();
+        let result = self.call("query-batch", object([("queries", Value::Array(entries))]))?;
+        let Some(Value::Array(results)) = result.get("results") else {
+            return Err(ServeError::BadResponse { reason: "missing `results`".into() });
+        };
+        if results.len() != queries.len() {
+            return Err(ServeError::BadResponse {
+                reason: format!("sent {} queries, got {} results", queries.len(), results.len()),
+            });
+        }
+        let envelope_u64 = |name: &str| -> Result<u64, ServeError> {
+            result.get(name).and_then(Value::as_u64).ok_or_else(|| ServeError::BadResponse {
+                reason: format!("batch result without `{name}`"),
+            })
+        };
+        let snapshot_version = envelope_u64("snapshot_version")?;
+        let observations = envelope_u64("observations")?;
+        Ok(results
+            .iter()
+            .zip(queries)
+            .map(|(entry, &(target, evidence))| match entry.get("error") {
+                Some(error) => {
+                    let field = |name: &str| -> String {
+                        error
+                            .get(name)
+                            .and_then(|v| match v {
+                                Value::Str(s) => Some(s.clone()),
+                                _ => None,
+                            })
+                            .unwrap_or_default()
+                    };
+                    Err(ServeError::Remote { code: field("code"), message: field("message") })
+                }
+                None => {
+                    // A data entry is the positional row `[probability,
+                    // joint, evidence, prior, lift]`.
+                    let Value::Array(fields) = entry else {
+                        return Err(ServeError::BadResponse {
+                            reason: "batch entry is neither a row nor an error".into(),
+                        });
+                    };
+                    if fields.len() != 5 {
+                        return Err(ServeError::BadResponse {
+                            reason: format!("batch row has {} of 5 fields", fields.len()),
+                        });
+                    }
+                    let number = |i: usize| -> Result<f64, ServeError> {
+                        fields[i].as_f64().ok_or_else(|| ServeError::BadResponse {
+                            reason: format!("batch row field {i} is not a number"),
+                        })
+                    };
+                    Ok(QueryAnswer {
+                        probability: number(0)?,
+                        joint_probability: number(1)?,
+                        evidence_probability: number(2)?,
+                        prior_probability: number(3)?,
+                        lift: fields[4].as_f64(),
+                        description: describe_pairs(target, evidence),
+                        snapshot_version,
+                        observations,
+                    })
+                }
+            })
+            .collect())
+    }
+
     /// `explain` with name-based target/evidence pairs; returns the raw
     /// result value (steps, supporting constraints, rendered text).
     pub fn explain(
@@ -189,6 +285,17 @@ impl LineClient {
             .get("engine")
             .ok_or_else(|| ServeError::BadResponse { reason: "missing `engine`".into() })?;
         EngineStats::deserialize(engine)
+            .map_err(|e| ServeError::BadResponse { reason: e.to_string() })
+    }
+
+    /// `stats`: connection-side counters (the `server` object), including
+    /// the lattice hit/miss totals of the query fast path.
+    pub fn server_stats(&mut self) -> Result<ServerStats, ServeError> {
+        let result = self.call("stats", object([]))?;
+        let server = result
+            .get("server")
+            .ok_or_else(|| ServeError::BadResponse { reason: "missing `server`".into() })?;
+        ServerStats::deserialize(server)
             .map_err(|e| ServeError::BadResponse { reason: e.to_string() })
     }
 
@@ -264,4 +371,17 @@ impl LineClient {
 /// Builds a `{"attr": "value"}` object from name pairs.
 fn names_object(pairs: &[(&str, &str)]) -> Value {
     Value::Object(pairs.iter().map(|&(a, v)| (a.to_string(), Value::Str(v.to_string()))).collect())
+}
+
+/// Client-side rendering of a question, `P(a=x | b=y)` — used for batch
+/// answers, whose wire form omits the server-rendered description.
+fn describe_pairs(target: &[(&str, &str)], evidence: &[(&str, &str)]) -> String {
+    let join = |pairs: &[(&str, &str)]| {
+        pairs.iter().map(|&(a, v)| format!("{a}={v}")).collect::<Vec<_>>().join(", ")
+    };
+    if evidence.is_empty() {
+        format!("P({})", join(target))
+    } else {
+        format!("P({} | {})", join(target), join(evidence))
+    }
 }

@@ -45,10 +45,12 @@ pub mod error;
 pub mod protocol;
 pub mod server;
 
-pub use client::{LineClient, QueryAnswer};
+pub use client::{LineClient, NamedQuery, QueryAnswer};
 pub use error::ServeError;
 pub use protocol::{ErrorCode, Request, DEFAULT_MAX_LINE_BYTES};
-pub use server::{EngineStats, IngestSummary, RefitSummary, ServeConfig, Server, ServerHandle};
+pub use server::{
+    EngineStats, IngestSummary, RefitSummary, ServeConfig, Server, ServerHandle, ServerStats,
+};
 
 /// Convenient result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, ServeError>;

@@ -4,11 +4,14 @@
 //!
 //! ```text
 //! pka-serve [--port N] [--host H] [--shards K] [--policy P] \
-//!           [--schema SPEC | --cards 3,2,2 | --survey] [--max-line-bytes N]
+//!           [--schema SPEC | --cards 3,2,2 | --survey] [--max-line-bytes N] \
+//!           [--lattice-order K]
 //! pka-serve probe --addr HOST:PORT [--shutdown]
 //! ```
 //!
 //! * `--policy` is `manual`, `every=N` or `fraction=F`.
+//! * `--lattice-order` is the marginal-lattice cutoff each published
+//!   snapshot materialises for the query fast path (default 2).
 //! * `--schema` is `name=v1|v2|…;name2=…`; `--cards` builds an anonymous
 //!   uniform schema; `--survey` is the memo's smoking/cancer/family-history
 //!   survey.
@@ -74,7 +77,16 @@ impl Options {
 fn serve(args: &[String]) -> Result<(), String> {
     let options = Options::parse(
         args,
-        &["--port", "--host", "--shards", "--policy", "--schema", "--cards", "--max-line-bytes"],
+        &[
+            "--port",
+            "--host",
+            "--shards",
+            "--policy",
+            "--schema",
+            "--cards",
+            "--max-line-bytes",
+            "--lattice-order",
+        ],
     )?;
 
     let schema = build_schema(&options)?;
@@ -85,6 +97,11 @@ fn serve(args: &[String]) -> Result<(), String> {
     }
     if let Some(policy) = options.value("--policy") {
         stream = stream.with_policy(parse_policy(policy)?);
+    }
+    if let Some(order) = options.value("--lattice-order") {
+        stream = stream.with_lattice_order(
+            order.parse().map_err(|_| format!("bad --lattice-order `{order}`"))?,
+        );
     }
     let mut config = ServeConfig::new().with_stream(stream);
     if let Some(port) = options.value("--port") {
@@ -212,7 +229,26 @@ fn probe(args: &[String]) -> Result<(), String> {
         println!("probe: explain ok");
     }
 
-    // 5. Malformed input must produce structured errors and leave the
+    // 5. A query batch answers every entry from one snapshot, agreeing
+    //    with the single-query answer.
+    let batch: &[pka_serve::NamedQuery] =
+        &[(&[(attr0, &values0[0])], &[]), (&[(attr0, &values0[0])], &[])];
+    let batch_answers = client.query_batch(batch).map_err(|e| format!("query-batch: {e}"))?;
+    if batch_answers.len() != 2 {
+        return Err(format!("query-batch returned {} of 2 answers", batch_answers.len()));
+    }
+    for entry in &batch_answers {
+        let entry = entry.as_ref().map_err(|e| format!("query-batch entry: {e}"))?;
+        if (entry.probability - answer.probability).abs() > 1e-12 {
+            return Err(format!(
+                "query-batch answered {} where query answered {}",
+                entry.probability, answer.probability
+            ));
+        }
+    }
+    println!("probe: query-batch ok");
+
+    // 6. Malformed input must produce structured errors and leave the
     //    connection usable.
     for (bad, expected) in [
         ("{\"id\":1,\"method\":", "parse-error"),
@@ -234,7 +270,8 @@ fn probe(args: &[String]) -> Result<(), String> {
     }
     println!("probe: malformed-input handling ok");
 
-    // 6. Stats must reflect the ingest.
+    // 7. Stats must reflect the ingest, and the queries above must have
+    //    taken the lattice fast path.
     let stats = client.stats().map_err(|e| format!("stats: {e}"))?;
     if stats.total_ingested < rows.len() as u64 {
         return Err(format!(
@@ -243,9 +280,16 @@ fn probe(args: &[String]) -> Result<(), String> {
             rows.len()
         ));
     }
-    println!("probe: stats ok ({} tuples, {} refits)", stats.total_ingested, stats.refits);
+    let server_stats = client.server_stats().map_err(|e| format!("server stats: {e}"))?;
+    if server_stats.lattice_hits == 0 {
+        return Err("no query was answered from the marginal lattice".to_string());
+    }
+    println!(
+        "probe: stats ok ({} tuples, {} refits, {} lattice hits)",
+        stats.total_ingested, stats.refits, server_stats.lattice_hits
+    );
 
-    // 7. Pipelined queries all answer in order.
+    // 8. Pipelined queries all answer in order.
     let batch: Vec<(&str, serde::Value)> =
         (0..16).map(|_| ("ping", protocol::object([]))).collect();
     let responses = client.pipeline(&batch).map_err(|e| format!("pipeline: {e}"))?;

@@ -131,14 +131,22 @@ pub fn object<const N: usize>(fields: [(&str, Value); N]) -> Value {
     Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
 }
 
-/// Renders a request line (no trailing newline).
+/// Renders a request line (no trailing newline).  The envelope is written
+/// around a single serialisation of `params` — no deep clone of the params
+/// tree, which matters for large `query-batch` payloads.
 pub fn request_line(id: u64, method: &str, params: &Value) -> String {
-    let envelope = object([
-        ("id", Value::U64(id)),
-        ("method", Value::Str(method.to_string())),
-        ("params", params.clone()),
-    ]);
-    serde_json::to_string(&envelope).expect("value serialisation is infallible")
+    let params_json = serde_json::to_string(params).expect("value serialisation is infallible");
+    let method_json = serde_json::to_string(&Value::Str(method.to_string()))
+        .expect("value serialisation is infallible");
+    let mut line = String::with_capacity(params_json.len() + method_json.len() + 32);
+    line.push_str("{\"id\":");
+    line.push_str(&id.to_string());
+    line.push_str(",\"method\":");
+    line.push_str(&method_json);
+    line.push_str(",\"params\":");
+    line.push_str(&params_json);
+    line.push('}');
+    line
 }
 
 /// Renders a success response line (no trailing newline).

@@ -137,6 +137,117 @@ fn malformed_lines_get_structured_errors_and_the_connection_survives() {
 }
 
 #[test]
+fn query_batch_malformed_entries_are_per_entry_errors_and_never_invalid_json() {
+    let server = start_server();
+    let mut client = LineClient::connect(server.addr()).unwrap();
+
+    // Before any snapshot the whole batch is `no-snapshot`.
+    let raw = "{\"id\":1,\"method\":\"query-batch\",\"params\":{\"queries\":[]}}";
+    let response = client.call_raw(raw).unwrap();
+    assert_eq!(error_code(&response), "no-snapshot");
+
+    // Seed a snapshot.  attr0 only ever takes values 0 and 1, so attr0=v2
+    // has a zero-probability first-order constraint — the zero-prior case
+    // the non-finite guard exists for.
+    let rows: Vec<Vec<usize>> = (0..60).map(|k| vec![k % 2, (k / 2) % 2]).collect();
+    client.ingest(&rows).unwrap();
+    client.refresh().unwrap();
+
+    // Whole-request failures: a malformed `queries` envelope.
+    let envelope_cases: &[(&str, &str)] = &[
+        ("{\"id\":1,\"method\":\"query-batch\"}", "invalid-params"),
+        ("{\"id\":1,\"method\":\"query-batch\",\"params\":{\"queries\":7}}", "invalid-params"),
+        (
+            "{\"id\":1,\"method\":\"query-batch\",\"params\":{\"queries\":{\"a\":1}}}",
+            "invalid-params",
+        ),
+    ];
+    for (line, expected) in envelope_cases {
+        let response = client.call_raw(line).unwrap();
+        assert_eq!(response.get("ok"), Some(&Value::Bool(false)), "line {line:?}");
+        assert_eq!(error_code(&response), *expected, "line {line:?}");
+        assert!(client.ping().unwrap(), "connection dead after {line:?}");
+    }
+
+    // An empty batch answers with zero results, not an error.
+    let response = client.call_raw(raw).unwrap();
+    assert_eq!(response.get("ok"), Some(&Value::Bool(true)));
+    let results = response.get("result").and_then(|r| r.get("results")).unwrap();
+    assert_eq!(results, &Value::Array(vec![]));
+
+    // Per-entry failures answer per entry; the rest of the batch — before
+    // *and* after the bad entries — still answers normally.  The last entry
+    // is the zero-prior case: its lift must be `null` on the wire, never a
+    // bare `Infinity`/`NaN` (which would be invalid JSON and fail the
+    // client's parse of the whole response line).
+    let raw = concat!(
+        "{\"id\":9,\"method\":\"query-batch\",\"params\":{\"queries\":[",
+        "{\"target\":{\"attr1\":\"v0\"}},",
+        "42,",
+        "{\"target\":{\"age\":\"old\"}},",
+        "{\"target\":{},\"evidence\":{\"attr1\":\"v0\"}},",
+        "{\"target\":{\"attr0\":\"v0\"},\"evidence\":{\"attr0\":\"v1\"}},",
+        "{\"target\":{\"attr0\":\"v2\"},\"evidence\":{\"attr1\":\"v0\"}}",
+        "]}}"
+    );
+    let response = client.call_raw(raw).unwrap();
+    assert_eq!(response.get("ok"), Some(&Value::Bool(true)), "batch itself succeeds");
+    let result = response.get("result").unwrap();
+    let Some(Value::Array(results)) = result.get("results") else {
+        panic!("batch result without `results`: {result:?}")
+    };
+    assert_eq!(results.len(), 6);
+    assert_eq!(result.get("count"), Some(&Value::U64(6)));
+    let entry_code = |entry: &Value| -> String {
+        match entry.get("error").and_then(|e| e.get("code")) {
+            Some(Value::Str(code)) => code.clone(),
+            other => panic!("expected a per-entry error, got {other:?}"),
+        }
+    };
+    // Data entries are positional rows `[p, joint, evidence, prior, lift]`.
+    let row = |entry: &Value| -> Vec<Value> {
+        match entry {
+            Value::Array(fields) => {
+                assert_eq!(fields.len(), 5, "row has 5 positional fields");
+                fields.clone()
+            }
+            other => panic!("expected a positional row, got {other:?}"),
+        }
+    };
+    assert!(row(&results[0])[0].as_f64().unwrap() > 0.0, "good entry answered");
+    assert_eq!(entry_code(&results[1]), "invalid-params", "non-object entry");
+    assert_eq!(entry_code(&results[2]), "invalid-params", "unknown attribute");
+    assert_eq!(entry_code(&results[3]), "invalid-params", "empty target");
+    assert_eq!(entry_code(&results[4]), "query-error", "contradictory entry");
+    let zero_prior = row(&results[5]);
+    assert_eq!(zero_prior[0], Value::F64(0.0), "zero-prior probability");
+    assert_eq!(zero_prior[3], Value::F64(0.0), "zero prior");
+    assert_eq!(zero_prior[4], Value::Null, "zero-prior lift must be null");
+
+    // The typed client view of the same contract.
+    let answers = client
+        .query_batch(&[
+            (&[("attr1", "v0")], &[]),
+            (&[("attr0", "v2")], &[("attr1", "v0")]),
+            (&[("age", "old")], &[]),
+        ])
+        .unwrap();
+    assert_eq!(answers.len(), 3);
+    assert!(answers[0].as_ref().unwrap().probability > 0.0);
+    let zero = answers[1].as_ref().unwrap();
+    assert_eq!(zero.prior_probability, 0.0);
+    assert_eq!(zero.lift, None);
+    match &answers[2] {
+        Err(pka_serve::ServeError::Remote { code, .. }) => assert_eq!(code, "invalid-params"),
+        other => panic!("unknown attribute should be a per-entry error, got {other:?}"),
+    }
+    // The connection is still fully usable.
+    assert!(client.ping().unwrap());
+
+    server.shutdown().unwrap();
+}
+
+#[test]
 fn shutdown_request_closes_the_connection_and_stops_the_server() {
     let server = start_server();
     let mut client = LineClient::connect(server.addr()).unwrap();

@@ -187,6 +187,35 @@ fn concurrent_ingest_and_queries_match_one_shot_acquisition() {
         );
     }
 
+    // The same questions asked through one `query-batch` line agree with
+    // their single-query answers bit-for-bit: both paths evaluate the same
+    // snapshot through the same lattice lookups.
+    let batch_queries: &[pka_serve::NamedQuery] = &[
+        (&[("cancer", "yes")], &[("smoking", "smoker")]),
+        (&[("cancer", "yes")], &[("smoking", "non-smoker")]),
+        (&[("family-history", "yes")], &[("smoking", "smoker")]),
+        (&[("cancer", "yes")], &[]),
+    ];
+    let answers = client.query_batch(batch_queries).unwrap();
+    assert_eq!(answers.len(), batch_queries.len());
+    for (&(target, evidence), answer) in batch_queries.iter().zip(&answers) {
+        let batched = answer.as_ref().expect("batch entry answered");
+        let single = client.query(target, evidence).unwrap();
+        assert_eq!(batched.probability, single.probability, "batch and single paths diverged");
+        assert_eq!(batched.snapshot_version, single.snapshot_version);
+        assert_eq!(batched.observations, single.observations);
+    }
+
+    // The read path really is the lattice: every order-≤2 question above
+    // was a table lookup, while the full-joint-cell sweep (order 3, above
+    // the default cutoff) exercised the stride-walk fallback.
+    let server_stats = client.server_stats().unwrap();
+    assert!(server_stats.lattice_hits > 0, "no query hit the lattice: {server_stats:?}");
+    assert!(
+        server_stats.lattice_misses > 0,
+        "full-cell queries should have fallen back to the stride walk: {server_stats:?}"
+    );
+
     // An explanation over the served knowledge base is coherent.
     let explanation = client
         .explain(&[("cancer", "yes")], &[("smoking", "smoker"), ("family-history", "yes")])

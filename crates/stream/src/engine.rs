@@ -21,6 +21,10 @@ pub struct StreamConfig {
     pub policy: RefreshPolicy,
     /// Configuration of the underlying acquisition procedure.
     pub acquisition: AcquisitionConfig,
+    /// Cutoff order of the marginal lattice each published snapshot
+    /// materialises for the query fast path (see
+    /// [`pka_maxent::MarginalLattice`]).
+    pub lattice_order: usize,
 }
 
 impl StreamConfig {
@@ -48,6 +52,14 @@ impl StreamConfig {
         self
     }
 
+    /// Sets the lattice cutoff order for published snapshots (default
+    /// [`pka_maxent::DEFAULT_LATTICE_ORDER`]; 0 still materialises the
+    /// order-0 grand-total table).
+    pub fn with_lattice_order(mut self, lattice_order: usize) -> Self {
+        self.lattice_order = lattice_order;
+        self
+    }
+
     fn validate(&self) -> Result<()> {
         if self.shard_count == 0 {
             return Err(StreamError::InvalidConfig {
@@ -65,6 +77,7 @@ impl Default for StreamConfig {
             shard_count: cores.clamp(1, 8),
             policy: RefreshPolicy::default(),
             acquisition: AcquisitionConfig::default(),
+            lattice_order: pka_maxent::DEFAULT_LATTICE_ORDER,
         }
     }
 }
@@ -199,6 +212,9 @@ pub struct StreamingEngine {
     /// steady-state warm refit re-solves the same constraint set, so its
     /// structural pass is served from here instead of being recomputed.
     solver_cache: IncidenceCache,
+    /// Cutoff order of the marginal lattice built into each published
+    /// snapshot.
+    lattice_order: usize,
 }
 
 impl StreamingEngine {
@@ -220,6 +236,7 @@ impl StreamingEngine {
             refits: 0,
             solver_iterations: 0,
             solver_cache: IncidenceCache::new(),
+            lattice_order: config.lattice_order,
         })
     }
 
@@ -402,11 +419,12 @@ impl StreamingEngine {
             solver_iterations: outcome.trace.total_solver_iterations(),
             wall_time,
         };
-        self.handle.publish(Snapshot::new(
+        self.handle.publish(Snapshot::with_lattice_order(
             outcome.knowledge_base,
             version,
             table.total(),
             warm_started,
+            self.lattice_order,
         ));
         Ok(report)
     }

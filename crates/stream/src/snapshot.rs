@@ -20,23 +20,28 @@
 
 use arc_swap::ArcSwapOption;
 use pka_core::KnowledgeBase;
-use pka_maxent::JointDistribution;
+use pka_maxent::{JointDistribution, MarginalLattice, DEFAULT_LATTICE_ORDER};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// One published, immutable state of the streaming knowledge base.
 ///
 /// Beyond the knowledge base itself, a snapshot carries the **dense joint
-/// distribution** the model defines, materialised once at publish time.
-/// Query serving sums marginal probabilities straight off this dense
-/// vector (a stride walk over only the matching cells) instead of
-/// re-multiplying model factors per cell per request — the memo's "general
-/// formula" evaluated once per refit, then amortised over every query the
-/// snapshot answers.
+/// distribution** the model defines and the **marginal lattice** summed
+/// down from it (every marginal table up to a cutoff order, default
+/// [`DEFAULT_LATTICE_ORDER`]), both materialised once at publish time.
+/// Query serving answers any assignment whose variable set the lattice
+/// covers with one table lookup, and falls back to a stride walk over the
+/// dense joint's matching cells otherwise — the memo's "general formula"
+/// evaluated once per refit, then amortised over every query the snapshot
+/// answers.  A snapshot rebuilt from decayed or re-merged counts simply
+/// rebuilds its lattice at publish, so staleness policies never have to
+/// reason about cached marginals.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
     knowledge_base: KnowledgeBase,
     joint: JointDistribution,
+    lattice: Arc<MarginalLattice>,
     version: u64,
     observations: u64,
     warm_started: bool,
@@ -60,17 +65,42 @@ pub struct SnapshotMeta {
 }
 
 impl Snapshot {
-    /// Assembles a snapshot.  Normally done by the engine's refresh; public
-    /// so replication layers (and stress tests) can publish snapshots they
-    /// received or rebuilt themselves.
+    /// Assembles a snapshot with the default lattice order.  Normally done
+    /// by the engine's refresh; public so replication layers (and stress
+    /// tests) can publish snapshots they received or rebuilt themselves.
     pub fn new(
         knowledge_base: KnowledgeBase,
         version: u64,
         observations: u64,
         warm_started: bool,
     ) -> Self {
+        Self::with_lattice_order(
+            knowledge_base,
+            version,
+            observations,
+            warm_started,
+            DEFAULT_LATTICE_ORDER,
+        )
+    }
+
+    /// Assembles a snapshot, materialising the marginal lattice up to
+    /// `lattice_order` (publish-time cost: one dense-joint build plus the
+    /// lattice summation).  The lattice is also attached to the carried
+    /// knowledge base, so in-process `knowledge_base().probability` calls
+    /// take the lookup path too.
+    pub fn with_lattice_order(
+        mut knowledge_base: KnowledgeBase,
+        version: u64,
+        observations: u64,
+        warm_started: bool,
+        lattice_order: usize,
+    ) -> Self {
         let joint = knowledge_base.joint();
-        Self { knowledge_base, joint, version, observations, warm_started }
+        let lattice = Arc::new(MarginalLattice::build(&joint, lattice_order));
+        knowledge_base
+            .attach_lattice(Arc::clone(&lattice))
+            .expect("lattice was built from this knowledge base's own joint");
+        Self { knowledge_base, joint, lattice, version, observations, warm_started }
     }
 
     /// The acquired knowledge base: query it freely, it never changes.
@@ -79,9 +109,17 @@ impl Snapshot {
     }
 
     /// The dense joint distribution of the knowledge base, materialised at
-    /// publish time — the fast path for marginal/conditional queries.
+    /// publish time — the fallback path for queries the lattice does not
+    /// cover.
     pub fn joint(&self) -> &JointDistribution {
         &self.joint
+    }
+
+    /// The marginal lattice materialised at publish time — the fast path
+    /// for every marginal/conditional query of order at most the lattice's
+    /// cutoff.
+    pub fn lattice(&self) -> &MarginalLattice {
+        &self.lattice
     }
 
     /// Monotonically increasing publication number (1 for the first fit).
@@ -178,6 +216,27 @@ mod tests {
         assert_eq!(held.version(), 1);
         assert_eq!(reader.version(), Some(2));
         assert!(reader.load().unwrap().warm_started());
+    }
+
+    #[test]
+    fn snapshot_lattice_serves_covered_queries() {
+        use pka_contingency::Assignment;
+        let s = snapshot(1);
+        // The default order-2 lattice over a 2-attribute schema covers
+        // everything, including the full joint cells.
+        assert_eq!(s.lattice().max_order(), 2);
+        let a = Assignment::from_pairs([(0, 0), (1, 0)]);
+        let from_lattice = s.lattice().probability(&a).unwrap();
+        assert!((from_lattice - s.joint().probability(&a)).abs() < 1e-12);
+        // The carried knowledge base shares the same lattice.
+        let kb_lattice = s.knowledge_base().lattice().expect("attached at publish");
+        assert!((kb_lattice.probability(&a).unwrap() - from_lattice).abs() < 1e-15);
+        // A custom order is honoured (order 1: pairs fall back).
+        let kb = s.knowledge_base().clone();
+        let shallow = Snapshot::with_lattice_order(kb, 2, 100, false, 1);
+        assert_eq!(shallow.lattice().max_order(), 1);
+        assert_eq!(shallow.lattice().probability(&a), None);
+        assert!(shallow.lattice().probability(&Assignment::single(0, 0)).is_some());
     }
 
     #[test]

@@ -62,16 +62,21 @@ pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
 // ---------------------------------------------------------------------------
 
 fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    use fmt::Write;
     match value {
         Value::Null => out.push_str("null"),
         Value::Bool(true) => out.push_str("true"),
         Value::Bool(false) => out.push_str("false"),
-        Value::U64(n) => out.push_str(&n.to_string()),
-        Value::I64(n) => out.push_str(&n.to_string()),
+        // Scalars are written through `fmt::Write` straight into the output
+        // buffer: a response carrying hundreds of numbers (e.g. a
+        // `query-batch` answer) would otherwise allocate one intermediate
+        // `String` per number.
+        Value::U64(n) => write!(out, "{n}").expect("writing to a String cannot fail"),
+        Value::I64(n) => write!(out, "{n}").expect("writing to a String cannot fail"),
         Value::F64(x) => {
             if x.is_finite() {
                 // `{:?}` is Rust's shortest representation that round-trips.
-                out.push_str(&format!("{x:?}"));
+                write!(out, "{x:?}").expect("writing to a String cannot fail")
             } else {
                 out.push_str("null");
             }
@@ -128,19 +133,27 @@ fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
 
 fn write_string(out: &mut String, s: &str) {
     out.push('"');
-    for c in s.chars() {
+    // Copy maximal runs that need no escaping in one `push_str` — almost
+    // every key and value on the wire protocol is such a run, and the
+    // earlier per-character loop showed up in serve-path profiles.
+    let mut rest = s;
+    while let Some(stop) = rest.find(|c: char| (c as u32) < 0x20 || c == '"' || c == '\\') {
+        out.push_str(&rest[..stop]);
+        let c = rest[stop..].chars().next().expect("stop is a char boundary");
         match c {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+            c => {
+                use fmt::Write;
+                write!(out, "\\u{:04x}", c as u32).expect("writing to a String cannot fail");
             }
-            c => out.push(c),
         }
+        rest = &rest[stop + c.len_utf8()..];
     }
+    out.push_str(rest);
     out.push('"');
 }
 
@@ -245,12 +258,16 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<Value> {
         self.expect(b'[')?;
-        let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
-            return Ok(Value::Array(items));
+            return Ok(Value::Array(Vec::new()));
         }
+        // Non-empty containers on this crate's wire paths are usually
+        // small; a seed capacity skips the first few growth reallocations
+        // without over-reserving (and empty ones, handled above, allocate
+        // nothing).
+        let mut items = Vec::with_capacity(4);
         loop {
             self.skip_ws();
             items.push(self.value()?);
@@ -268,12 +285,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Value> {
         self.expect(b'{')?;
-        let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
-            return Ok(Value::Object(fields));
+            return Ok(Value::Object(Vec::new()));
         }
+        let mut fields = Vec::with_capacity(8);
         loop {
             self.skip_ws();
             let key = self.string()?;
@@ -296,6 +313,24 @@ impl<'a> Parser<'a> {
 
     fn string(&mut self) -> Result<String> {
         self.expect(b'"')?;
+        // Fast path: most strings contain no escapes, so scan straight to
+        // the closing quote and copy once.  A quote or backslash byte can
+        // never appear inside a UTF-8 continuation sequence, so the byte
+        // scan is character-safe.
+        let start = self.pos;
+        let mut cursor = self.pos;
+        while let Some(&b) = self.bytes.get(cursor) {
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..cursor])
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                self.pos = cursor + 1;
+                return Ok(s.to_string());
+            }
+            if b == b'\\' {
+                break;
+            }
+            cursor += 1;
+        }
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -337,13 +372,24 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one full UTF-8 character.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
+                    // Consume the whole run of ordinary bytes at once.  A
+                    // quote or backslash can never appear inside a UTF-8
+                    // continuation sequence (those bytes are ≥ 0x80), so
+                    // scanning raw bytes is character-safe, and validating
+                    // the run once keeps string parsing O(length) — the
+                    // earlier per-character validation of the entire
+                    // remaining input made big request lines (e.g.
+                    // `query-batch`) quadratic to parse.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| Error::new("invalid UTF-8 in string"))?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(chunk);
                 }
             }
         }
