@@ -63,6 +63,10 @@ pub enum ContingencyError {
         /// Human-readable description of the mismatch.
         reason: String,
     },
+    /// Cell counts summed past `u64::MAX`.  Unreachable by counting real
+    /// observations; it means a forged or corrupted payload supplied
+    /// near-maximal counts, or two such tables were merged.
+    CountOverflow,
     /// The schema would produce more cells than can be indexed.
     TableTooLarge {
         /// The (saturated) number of cells requested.
@@ -104,6 +108,9 @@ impl fmt::Display for ContingencyError {
                 write!(f, "got {got} cell counts but the schema has {expected} cells")
             }
             Self::InvalidAssignment { reason } => write!(f, "invalid assignment: {reason}"),
+            Self::CountOverflow => {
+                write!(f, "cell counts overflow the 64-bit observation total")
+            }
             Self::TableTooLarge { cells, max } => {
                 write!(f, "table would have {cells} cells which exceeds the supported maximum {max}")
             }
@@ -145,6 +152,7 @@ mod tests {
             ContingencyError::SampleArity { got: 1, expected: 3 },
             ContingencyError::CountLength { got: 4, expected: 12 },
             ContingencyError::InvalidAssignment { reason: "why".into() },
+            ContingencyError::CountOverflow,
             ContingencyError::TableTooLarge { cells: 10, max: 5 },
             ContingencyError::Csv { line: 7, reason: "bad".into() },
         ];

@@ -43,7 +43,13 @@ impl ContingencyTable {
                 expected: schema.cell_count(),
             });
         }
-        let total = counts.iter().sum();
+        // A checked sum: real observation streams cannot reach 2^64, so an
+        // overflowing total only ever comes from a forged payload, and
+        // wrapping would let it masquerade as a small, consistent table.
+        let total = counts
+            .iter()
+            .try_fold(0u64, |acc, &c| acc.checked_add(c))
+            .ok_or(ContingencyError::CountOverflow)?;
         Ok(Self { schema, counts, total })
     }
 
@@ -176,10 +182,14 @@ impl ContingencyTable {
                 reason: "cannot merge tables over different schemas".to_string(),
             });
         }
+        // Checking the totals up front keeps merge all-or-nothing: each cell
+        // is bounded by its table's total, so if the totals fit in a u64 the
+        // per-cell additions cannot overflow either.
+        let total = self.total.checked_add(other.total).ok_or(ContingencyError::CountOverflow)?;
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
             *a += *b;
         }
-        self.total += other.total;
+        self.total = total;
         Ok(())
     }
 
@@ -240,6 +250,27 @@ mod tests {
         let t = ContingencyTable::from_counts(s, paper_counts()).unwrap();
         assert_eq!(t.total(), 3428);
         assert_eq!(t.cell_count(), 12);
+    }
+
+    #[test]
+    fn overflowing_counts_are_rejected() {
+        let s = schema();
+        let mut counts = vec![0u64; 12];
+        counts[0] = u64::MAX;
+        counts[1] = 1;
+        assert_eq!(
+            ContingencyTable::from_counts(Arc::clone(&s), counts).unwrap_err(),
+            ContingencyError::CountOverflow,
+        );
+        // Merging two near-maximal tables must fail cleanly, leaving the
+        // target untouched rather than wrapping its counts.
+        let mut big = vec![0u64; 12];
+        big[3] = u64::MAX - 5;
+        let mut a = ContingencyTable::from_counts(Arc::clone(&s), big.clone()).unwrap();
+        let b = ContingencyTable::from_counts(s, big).unwrap();
+        let before = a.clone();
+        assert_eq!(a.merge(&b).unwrap_err(), ContingencyError::CountOverflow);
+        assert_eq!(a, before, "failed merge must not mutate the target");
     }
 
     #[test]

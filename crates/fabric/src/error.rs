@@ -1,0 +1,79 @@
+//! Fabric-level errors.
+
+use pka_serve::ServeError;
+use pka_stream::StreamError;
+use std::fmt;
+
+/// Everything that can go wrong assembling or driving a fabric node.
+#[derive(Debug)]
+pub enum FabricError {
+    /// A protocol-level failure talking to a peer.
+    Serve(ServeError),
+    /// A streaming-engine failure on the local node.
+    Stream(StreamError),
+    /// The fabric configuration is unusable.
+    Config {
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// A retried operation ran out of attempts.
+    Exhausted {
+        /// Attempts made before giving up.
+        attempts: usize,
+        /// The last attempt's error, rendered.
+        last: String,
+    },
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::Serve(e) => write!(f, "fabric peer error: {e}"),
+            FabricError::Stream(e) => write!(f, "fabric engine error: {e}"),
+            FabricError::Config { reason } => write!(f, "fabric config error: {reason}"),
+            FabricError::Exhausted { attempts, last } => {
+                write!(f, "fabric operation failed after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FabricError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FabricError::Serve(e) => Some(e),
+            FabricError::Stream(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServeError> for FabricError {
+    fn from(e: ServeError) -> Self {
+        FabricError::Serve(e)
+    }
+}
+
+impl From<StreamError> for FabricError {
+    fn from(e: StreamError) -> Self {
+        FabricError::Stream(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_cover_all_variants() {
+        let cases: Vec<FabricError> = vec![
+            FabricError::Serve(ServeError::BadResponse { reason: "x".into() }),
+            FabricError::Stream(StreamError::InvalidConfig { reason: "y".into() }),
+            FabricError::Config { reason: "z".into() },
+            FabricError::Exhausted { attempts: 3, last: "timed out".into() },
+        ];
+        for case in cases {
+            assert!(!case.to_string().is_empty());
+        }
+    }
+}

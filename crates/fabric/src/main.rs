@@ -1,0 +1,360 @@
+//! The `pka-fabric` binary: one executable for every fabric role, plus a
+//! `probe` subcommand that drives a running cluster end to end (used by CI
+//! as the mini-cluster smoke test).
+//!
+//! ```text
+//! pka-fabric coordinator [--port N] [--host H] SCHEMA [--policy P]
+//!                        [--replica ADDR]... [--pull ADDR]...
+//!                        [--sync-interval-ms N]
+//! pka-fabric ingest-node [--port N] [--host H] SCHEMA --coordinator ADDR
+//!                        [--name NAME] [--push-interval-ms N]
+//! pka-fabric replica     [--port N] [--host H] SCHEMA [--coordinator ADDR]
+//!                        [--pull-interval-ms N]
+//! pka-fabric probe --coordinator ADDR [--replica ADDR]...
+//!                  [--ingest ADDR]... [--rows N] [--shutdown]
+//! ```
+//!
+//! `SCHEMA` is `--schema name=v1|v2;…`, `--cards 3,2,2` or `--survey`, as
+//! in `pka-serve`; every node of one fabric must be given the same schema.
+//! On startup each node prints `listening on <addr>` to stdout so wrapper
+//! scripts can scrape ephemeral ports.
+//!
+//! The probe ingests deterministic rows (into the `--ingest` nodes if
+//! given, else straight into the coordinator), forces a refresh, waits for
+//! every `--replica` to reach the coordinator's snapshot version, checks
+//! the replicas' answers against the coordinator's, and with `--shutdown`
+//! stops every node (replicas and ingest nodes first, coordinator last).
+
+use pka_contingency::{Attribute, Schema};
+use pka_fabric::{
+    Coordinator, CoordinatorConfig, IngestNode, IngestNodeConfig, Replica, ReplicaConfig,
+};
+use pka_serve::{LineClient, ServeConfig};
+use pka_stream::{RefreshPolicy, StreamConfig};
+use std::io::Write;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("coordinator") => coordinator(&args[1..]),
+        Some("ingest-node") => ingest_node(&args[1..]),
+        Some("replica") => replica(&args[1..]),
+        Some("probe") => probe(&args[1..]),
+        _ => Err("usage: pka-fabric <coordinator|ingest-node|replica|probe> [options]".into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("pka-fabric: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pulls `--flag value` options (repeatable) out of an argument list.
+struct Options {
+    args: Vec<(String, Option<String>)>,
+}
+
+impl Options {
+    fn parse(args: &[String], flags_with_value: &[&str]) -> Result<Self, String> {
+        let mut parsed = Vec::new();
+        let mut iter = args.iter().peekable();
+        while let Some(arg) = iter.next() {
+            if !arg.starts_with("--") {
+                return Err(format!("unexpected argument `{arg}`"));
+            }
+            if flags_with_value.contains(&arg.as_str()) {
+                let value = iter.next().ok_or_else(|| format!("`{arg}` needs a value"))?.clone();
+                parsed.push((arg.clone(), Some(value)));
+            } else {
+                parsed.push((arg.clone(), None));
+            }
+        }
+        Ok(Self { args: parsed })
+    }
+
+    fn value(&self, flag: &str) -> Option<&str> {
+        self.args.iter().rev().find(|(name, _)| name == flag).and_then(|(_, v)| v.as_deref())
+    }
+
+    fn values(&self, flag: &str) -> Vec<&str> {
+        self.args
+            .iter()
+            .filter(|(name, _)| name == flag)
+            .filter_map(|(_, v)| v.as_deref())
+            .collect()
+    }
+
+    fn present(&self, flag: &str) -> bool {
+        self.args.iter().any(|(name, _)| name == flag)
+    }
+}
+
+fn build_schema(options: &Options) -> Result<Arc<Schema>, String> {
+    if options.present("--survey") {
+        return Ok(Schema::new(vec![
+            Attribute::new("smoking", ["smoker", "non-smoker", "married-to-smoker"]),
+            Attribute::yes_no("cancer"),
+            Attribute::yes_no("family-history"),
+        ])
+        .map_err(|e| e.to_string())?
+        .into_shared());
+    }
+    if let Some(spec) = options.value("--schema") {
+        let mut attributes = Vec::new();
+        for attr_spec in spec.split(';').filter(|s| !s.is_empty()) {
+            let (name, values) = attr_spec
+                .split_once('=')
+                .ok_or_else(|| format!("bad --schema attribute `{attr_spec}` (want name=v1|v2)"))?;
+            let values: Vec<&str> = values.split('|').filter(|v| !v.is_empty()).collect();
+            if values.len() < 2 {
+                return Err(format!("attribute `{name}` needs at least two values"));
+            }
+            attributes.push(Attribute::new(name, values));
+        }
+        return Ok(Schema::new(attributes).map_err(|e| e.to_string())?.into_shared());
+    }
+    if let Some(cards) = options.value("--cards") {
+        let cardinalities: Vec<usize> = cards
+            .split(',')
+            .map(|c| c.trim().parse().map_err(|_| format!("bad --cards entry `{c}`")))
+            .collect::<Result<_, _>>()?;
+        return Ok(Schema::uniform(&cardinalities).map_err(|e| e.to_string())?.into_shared());
+    }
+    Err("no schema given: pass --schema, --cards or --survey".to_string())
+}
+
+fn base_serve(options: &Options) -> Result<ServeConfig, String> {
+    let mut config = ServeConfig::new();
+    if let Some(port) = options.value("--port") {
+        config = config.with_port(port.parse().map_err(|_| format!("bad --port `{port}`"))?);
+    }
+    if let Some(host) = options.value("--host") {
+        config = config.with_host(host);
+    }
+    if let Some(name) = options.value("--name") {
+        config = config.with_node_name(name);
+    }
+    Ok(config)
+}
+
+fn parse_policy(policy: &str) -> Result<RefreshPolicy, String> {
+    if policy == "manual" {
+        return Ok(RefreshPolicy::Manual);
+    }
+    if let Some(n) = policy.strip_prefix("every=") {
+        return Ok(RefreshPolicy::EveryNTuples(
+            n.parse().map_err(|_| format!("bad policy `{policy}`"))?,
+        ));
+    }
+    if let Some(f) = policy.strip_prefix("fraction=") {
+        return Ok(RefreshPolicy::DirtyFraction(
+            f.parse().map_err(|_| format!("bad policy `{policy}`"))?,
+        ));
+    }
+    Err(format!("unknown policy `{policy}` (want manual, every=N or fraction=F)"))
+}
+
+fn interval_ms(options: &Options, flag: &str, default_ms: u64) -> Result<Duration, String> {
+    match options.value(flag) {
+        None => Ok(Duration::from_millis(default_ms)),
+        Some(ms) => {
+            Ok(Duration::from_millis(ms.parse().map_err(|_| format!("bad {flag} `{ms}`"))?))
+        }
+    }
+}
+
+const NODE_FLAGS: &[&str] = &[
+    "--port",
+    "--host",
+    "--name",
+    "--schema",
+    "--cards",
+    "--policy",
+    "--coordinator",
+    "--replica",
+    "--pull",
+    "--sync-interval-ms",
+    "--push-interval-ms",
+    "--pull-interval-ms",
+];
+
+fn coordinator(args: &[String]) -> Result<(), String> {
+    let options = Options::parse(args, NODE_FLAGS)?;
+    let schema = build_schema(&options)?;
+    let mut serve = base_serve(&options)?;
+    if let Some(policy) = options.value("--policy") {
+        serve = serve.with_stream(StreamConfig::new().with_policy(parse_policy(policy)?));
+    }
+    let mut config = CoordinatorConfig::new().with_serve(serve).with_sync_interval(interval_ms(
+        &options,
+        "--sync-interval-ms",
+        25,
+    )?);
+    for replica in options.values("--replica") {
+        config = config.with_replica(replica);
+    }
+    for node in options.values("--pull") {
+        config = config.with_ingest_node(node);
+    }
+    let node = Coordinator::start(schema, config).map_err(|e| e.to_string())?;
+    println!("listening on {}", node.addr());
+    std::io::stdout().flush().ok();
+    node.wait().map_err(|e| e.to_string())?;
+    println!("shut down cleanly");
+    Ok(())
+}
+
+fn ingest_node(args: &[String]) -> Result<(), String> {
+    let options = Options::parse(args, NODE_FLAGS)?;
+    let schema = build_schema(&options)?;
+    let coordinator =
+        options.value("--coordinator").ok_or("ingest-node needs --coordinator HOST:PORT")?;
+    let config = IngestNodeConfig::new(coordinator)
+        .with_serve(base_serve(&options)?)
+        .with_push_interval(interval_ms(&options, "--push-interval-ms", 25)?);
+    let node = IngestNode::start(schema, config).map_err(|e| e.to_string())?;
+    println!("listening on {}", node.addr());
+    std::io::stdout().flush().ok();
+    node.wait().map_err(|e| e.to_string())?;
+    println!("shut down cleanly");
+    Ok(())
+}
+
+fn replica(args: &[String]) -> Result<(), String> {
+    let options = Options::parse(args, NODE_FLAGS)?;
+    let schema = build_schema(&options)?;
+    let mut config = ReplicaConfig::new()
+        .with_serve(base_serve(&options)?)
+        .with_pull_interval(interval_ms(&options, "--pull-interval-ms", 50)?);
+    if let Some(coordinator) = options.value("--coordinator") {
+        config = config.with_coordinator(coordinator);
+    }
+    let node = Replica::start(schema, config).map_err(|e| e.to_string())?;
+    println!("listening on {}", node.addr());
+    std::io::stdout().flush().ok();
+    node.wait().map_err(|e| e.to_string())?;
+    println!("shut down cleanly");
+    Ok(())
+}
+
+/// Drives a running fabric end to end and fails loudly on any surprise.
+fn probe(args: &[String]) -> Result<(), String> {
+    let options =
+        Options::parse(args, &["--coordinator", "--replica", "--ingest", "--rows", "--timeout-s"])?;
+    let coordinator_addr =
+        options.value("--coordinator").ok_or("probe needs --coordinator HOST:PORT")?;
+    let replica_addrs = options.values("--replica");
+    let ingest_addrs = options.values("--ingest");
+    let row_count: usize =
+        options.value("--rows").unwrap_or("240").parse().map_err(|_| "bad --rows".to_string())?;
+    let timeout: u64 =
+        options.value("--timeout-s").unwrap_or("30").parse().map_err(|_| "bad --timeout-s")?;
+    let timeout = Duration::from_secs(timeout);
+
+    let mut coordinator = LineClient::connect(coordinator_addr).map_err(|e| e.to_string())?;
+    if !coordinator.ping().map_err(|e| format!("coordinator ping: {e}"))? {
+        return Err("coordinator did not pong".to_string());
+    }
+    println!("probe: coordinator ping ok");
+
+    // Deterministic correlated rows over the coordinator's schema.
+    let schema = coordinator.schema().map_err(|e| format!("schema: {e}"))?;
+    if schema.is_empty() {
+        return Err("coordinator reported an empty schema".to_string());
+    }
+    let cards: Vec<usize> = schema.iter().map(|(_, values)| values.len()).collect();
+    let rows: Vec<Vec<usize>> = (0..row_count)
+        .map(|k| cards.iter().enumerate().map(|(a, &card)| (k + a * (k % 3)) % card).collect())
+        .collect();
+
+    // Ingest: spread across the ingest nodes if any were given, else feed
+    // the coordinator directly.
+    if ingest_addrs.is_empty() {
+        coordinator.ingest(&rows).map_err(|e| format!("coordinator ingest: {e}"))?;
+        println!("probe: ingested {} rows into the coordinator", rows.len());
+    } else {
+        for (i, addr) in ingest_addrs.iter().enumerate() {
+            let share: Vec<Vec<usize>> =
+                rows.iter().skip(i).step_by(ingest_addrs.len()).cloned().collect();
+            let mut node = LineClient::connect(addr).map_err(|e| format!("ingest {addr}: {e}"))?;
+            node.ingest(&share).map_err(|e| format!("ingest {addr}: {e}"))?;
+            println!("probe: ingested {} rows into {addr}", share.len());
+        }
+        // Wait for the pushers to deliver every tuple.
+        wait_for(timeout, "coordinator to hold all pushed tuples", || {
+            let stats = coordinator.stats().map_err(|e| e.to_string())?;
+            Ok(stats.total_ingested >= rows.len() as u64)
+        })?;
+        println!("probe: coordinator holds all {} tuples", rows.len());
+    }
+
+    let refit = coordinator.refresh().map_err(|e| format!("refresh: {e}"))?;
+    println!("probe: coordinator snapshot version {}", refit.version);
+    let (attr0, values0) = &schema[0];
+    let reference = coordinator
+        .query(&[(attr0, &values0[0])], &[])
+        .map_err(|e| format!("coordinator query: {e}"))?;
+
+    for addr in &replica_addrs {
+        let mut replica = LineClient::connect(addr).map_err(|e| format!("replica {addr}: {e}"))?;
+        let mut last_seen = 0u64;
+        wait_for(timeout, "replica to reach the coordinator's version", || {
+            let version = replica.snapshot_version().map_err(|e| e.to_string())?.unwrap_or(0);
+            if version < last_seen {
+                return Err(format!("replica {addr} went backwards: {last_seen} -> {version}"));
+            }
+            last_seen = version;
+            Ok(version >= refit.version)
+        })?;
+        let answer = replica
+            .query(&[(attr0, &values0[0])], &[])
+            .map_err(|e| format!("replica {addr} query: {e}"))?;
+        if (answer.probability - reference.probability).abs() > 1e-9 {
+            return Err(format!(
+                "replica {addr} answered {} where the coordinator answered {}",
+                answer.probability, reference.probability
+            ));
+        }
+        // Writes must be rejected on a replica.
+        match replica.ingest(&rows[..1]) {
+            Err(pka_serve::ServeError::Remote { code, .. }) if code == "role-unsupported" => {}
+            other => return Err(format!("replica {addr} did not refuse ingest: {other:?}")),
+        }
+        println!("probe: replica {addr} converged (version {last_seen})");
+    }
+
+    if options.present("--shutdown") {
+        for addr in replica_addrs.iter().chain(ingest_addrs.iter()) {
+            let mut node =
+                LineClient::connect(addr).map_err(|e| format!("shutdown {addr}: {e}"))?;
+            node.shutdown().map_err(|e| format!("shutdown {addr}: {e}"))?;
+            println!("probe: {addr} shutdown acknowledged");
+        }
+        coordinator.shutdown().map_err(|e| format!("coordinator shutdown: {e}"))?;
+        println!("probe: coordinator shutdown acknowledged");
+    }
+    Ok(())
+}
+
+/// Polls `check` until it returns true or `timeout` elapses.
+fn wait_for(
+    timeout: Duration,
+    what: &str,
+    mut check: impl FnMut() -> Result<bool, String>,
+) -> Result<(), String> {
+    let start = Instant::now();
+    loop {
+        if check()? {
+            return Ok(());
+        }
+        if start.elapsed() > timeout {
+            return Err(format!("timed out waiting for {what}"));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}

@@ -1,0 +1,166 @@
+//! Bounded retry-with-backoff over a reconnecting [`LineClient`].
+//!
+//! Every fabric pump talks to its peers through a [`FabricClient`]: a lazy
+//! connection plus a [`RetryPolicy`].  Transport failures (connect refusal,
+//! socket timeout, a torn response) drop the connection and retry with
+//! exponential backoff; **protocol** errors — the peer answered, and said
+//! no — are returned immediately, because resending the same request would
+//! only earn the same refusal.
+
+use crate::{FabricError, Result};
+use pka_serve::{ClientConfig, LineClient, ServeError};
+use std::time::Duration;
+
+/// How hard a [`FabricClient`] tries before reporting
+/// [`FabricError::Exhausted`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included); at least 1.
+    pub attempts: usize,
+    /// Backoff before the second attempt; doubles each retry.
+    pub initial_backoff: Duration,
+    /// Cap on the doubled backoff.
+    pub max_backoff: Duration,
+    /// Socket deadline (connect, read and write) for each attempt.
+    pub deadline: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 5,
+            initial_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The default policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A policy for tests and tight in-process loops: fewer, faster tries.
+    pub fn fast() -> Self {
+        Self {
+            attempts: 3,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+            deadline: Duration::from_secs(5),
+        }
+    }
+
+    /// Backoff to sleep after the `n`-th failed attempt (0-based).
+    pub fn backoff(&self, n: u32) -> Duration {
+        let doubled = self
+            .initial_backoff
+            .checked_mul(1u32.checked_shl(n).unwrap_or(u32::MAX))
+            .unwrap_or(self.max_backoff);
+        doubled.min(self.max_backoff)
+    }
+}
+
+/// A reconnecting, retrying client for one peer address.
+pub struct FabricClient {
+    addr: String,
+    policy: RetryPolicy,
+    client: Option<LineClient>,
+}
+
+impl FabricClient {
+    /// A client for `addr`; no connection is made until the first call.
+    pub fn new(addr: impl Into<String>, policy: RetryPolicy) -> Self {
+        Self { addr: addr.into(), policy, client: None }
+    }
+
+    /// The peer address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Runs `op` against a connected client, reconnecting and retrying
+    /// transport failures up to the policy's attempt budget.
+    ///
+    /// [`ServeError::Remote`] (the peer answered with a structured error)
+    /// is **not** retried: the request reached the peer and was refused,
+    /// so the refusal is the answer.
+    pub fn call<T>(
+        &mut self,
+        mut op: impl FnMut(&mut LineClient) -> std::result::Result<T, ServeError>,
+    ) -> Result<T> {
+        let attempts = self.policy.attempts.max(1);
+        let mut last = String::from("no attempt was made");
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.policy.backoff(attempt as u32 - 1));
+            }
+            let client = match self.client.as_mut() {
+                Some(client) => client,
+                None => {
+                    let config = ClientConfig::with_deadline(self.policy.deadline);
+                    match LineClient::connect_with(&self.addr, &config) {
+                        Ok(client) => self.client.insert(client),
+                        Err(e) => {
+                            last = e.to_string();
+                            continue;
+                        }
+                    }
+                }
+            };
+            match op(client) {
+                Ok(value) => return Ok(value),
+                Err(e @ ServeError::Remote { .. }) => return Err(FabricError::Serve(e)),
+                Err(e) => {
+                    // Transport or framing trouble: the connection's state
+                    // is unknown, so drop it and reconnect on the retry.
+                    last = e.to_string();
+                    self.client = None;
+                }
+            }
+        }
+        Err(FabricError::Exhausted { attempts, last })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RetryPolicy {
+            attempts: 5,
+            initial_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_millis(300),
+            deadline: Duration::from_secs(1),
+        };
+        assert_eq!(policy.backoff(0), Duration::from_millis(50));
+        assert_eq!(policy.backoff(1), Duration::from_millis(100));
+        assert_eq!(policy.backoff(2), Duration::from_millis(200));
+        assert_eq!(policy.backoff(3), Duration::from_millis(300));
+        assert_eq!(policy.backoff(30), Duration::from_millis(300));
+    }
+
+    #[test]
+    fn unreachable_peer_exhausts_with_the_last_error() {
+        // A port from the dynamic range with nothing listening: connects
+        // are refused immediately, so this stays fast.
+        let mut client = FabricClient::new(
+            "127.0.0.1:1",
+            RetryPolicy {
+                attempts: 2,
+                initial_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(1),
+                deadline: Duration::from_millis(200),
+            },
+        );
+        match client.call(|c| c.ping()) {
+            Err(FabricError::Exhausted { attempts: 2, last }) => {
+                assert!(!last.is_empty());
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+}

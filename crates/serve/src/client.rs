@@ -4,11 +4,66 @@
 
 use crate::error::ServeError;
 use crate::protocol::{self, object};
-use crate::server::{EngineStats, IngestSummary, RefitSummary, ServerStats};
+use crate::server::{EngineStats, IngestSummary, RefitSummary, ServerStats, SyncSummary};
+use pka_core::KnowledgeBase;
+use pka_stream::{CountShard, SnapshotMeta};
 use serde::{Deserialize, Serialize, Value};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Socket-level timeouts for a [`LineClient`].
+///
+/// The defaults match the historical behaviour (no connect/write deadline,
+/// 30 s read deadline); fabric components tighten them so a wedged or
+/// partitioned peer surfaces as a retryable [`ServeError::Io`] instead of
+/// hanging a pump thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Deadline for establishing the TCP connection; `None` uses the OS
+    /// default (which can be minutes).
+    pub connect_timeout: Option<Duration>,
+    /// Deadline for each response read; `None` blocks indefinitely.
+    pub read_timeout: Option<Duration>,
+    /// Deadline for each request write; `None` blocks indefinitely.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: None,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: None,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// A uniform deadline on connect, read and write — what the fabric's
+    /// retry wrapper uses.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        Self {
+            connect_timeout: Some(deadline),
+            read_timeout: Some(deadline),
+            write_timeout: Some(deadline),
+        }
+    }
+}
+
+/// The typed answer to a `shard-pull` request: the serving node's local
+/// cumulative shard, tagged with its source identity and sequence number.
+#[derive(Debug, Clone)]
+pub struct ShardPullAnswer {
+    /// The serving node's self-declared source name.
+    pub source: String,
+    /// Monotone sequence number for coordinator-side staleness gating.
+    pub seq: u64,
+    /// Tuples in the shard (equal to `seq` for a live node).
+    pub tuples: u64,
+    /// The cumulative local counts.
+    pub shard: CountShard,
+}
 
 /// One name-based batch query: `(target pairs, evidence pairs)`.
 pub type NamedQuery<'a> = (&'a [(&'a str, &'a str)], &'a [(&'a str, &'a str)]);
@@ -46,13 +101,49 @@ pub struct LineClient {
 }
 
 impl LineClient {
-    /// Connects to a server.
+    /// Connects to a server with the default [`ClientConfig`] (no connect
+    /// deadline, 30 s read deadline — generous so a wedged server fails
+    /// tests instead of hanging them).
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ServeError> {
-        let writer = TcpStream::connect(addr)?;
+        Self::connect_with(addr, &ClientConfig::default())
+    }
+
+    /// Connects with explicit socket deadlines.  A connect timeout is
+    /// applied to each resolved address in turn until one succeeds.
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        config: &ClientConfig,
+    ) -> Result<Self, ServeError> {
+        let writer = match config.connect_timeout {
+            None => TcpStream::connect(addr)?,
+            Some(deadline) => {
+                let mut last_err: Option<std::io::Error> = None;
+                let mut connected = None;
+                for resolved in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, deadline) {
+                        Ok(stream) => {
+                            connected = Some(stream);
+                            break;
+                        }
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                match connected {
+                    Some(stream) => stream,
+                    None => {
+                        return Err(ServeError::Io(last_err.unwrap_or_else(|| {
+                            std::io::Error::new(
+                                std::io::ErrorKind::InvalidInput,
+                                "address resolved to no socket addresses",
+                            )
+                        })))
+                    }
+                }
+            }
+        };
         writer.set_nodelay(true)?;
-        // A generous timeout so a wedged server fails tests instead of
-        // hanging them.
-        writer.set_read_timeout(Some(Duration::from_secs(30)))?;
+        writer.set_read_timeout(config.read_timeout)?;
+        writer.set_write_timeout(config.write_timeout)?;
         let reader = BufReader::new(writer.try_clone()?);
         Ok(Self { reader, writer, next_id: 1 })
     }
@@ -307,6 +398,88 @@ impl LineClient {
             Some(meta) => meta.get("version").and_then(Value::as_u64).map(Some).ok_or_else(|| {
                 ServeError::BadResponse { reason: "snapshot without version".into() }
             }),
+        }
+    }
+
+    /// `shard-push`: delivers a source's cumulative [`CountShard`] to a
+    /// coordinator (or standalone node) under a monotone sequence number.
+    pub fn shard_push(
+        &mut self,
+        source: &str,
+        seq: u64,
+        shard: &CountShard,
+    ) -> Result<crate::server::ShardPushSummary, ServeError> {
+        let params = object([
+            ("source", Value::Str(source.to_string())),
+            ("seq", Value::U64(seq)),
+            ("shard", Serialize::serialize(shard)),
+        ]);
+        let result = self.call("shard-push", params)?;
+        crate::server::ShardPushSummary::deserialize(&result)
+            .map_err(|e| ServeError::BadResponse { reason: e.to_string() })
+    }
+
+    /// `shard-pull`: fetches the serving node's cumulative local shard.
+    pub fn shard_pull(&mut self) -> Result<ShardPullAnswer, ServeError> {
+        let result = self.call("shard-pull", object([]))?;
+        let source = match result.get("source") {
+            Some(Value::Str(s)) => s.clone(),
+            _ => return Err(ServeError::BadResponse { reason: "missing `source`".into() }),
+        };
+        let field_u64 = |name: &str| -> Result<u64, ServeError> {
+            result
+                .get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| ServeError::BadResponse { reason: format!("missing `{name}`") })
+        };
+        let seq = field_u64("seq")?;
+        let tuples = field_u64("tuples")?;
+        let shard_value = result
+            .get("shard")
+            .ok_or_else(|| ServeError::BadResponse { reason: "missing `shard`".into() })?;
+        let shard = CountShard::from_value(shard_value)
+            .map_err(|e| ServeError::BadResponse { reason: e.to_string() })?;
+        Ok(ShardPullAnswer { source, seq, tuples, shard })
+    }
+
+    /// `snapshot-sync`: offers a snapshot (meta + knowledge base) to a
+    /// replica.  A stale or duplicate offer comes back as
+    /// `SyncSummary { applied: false, .. }`, not an error.
+    pub fn snapshot_sync(
+        &mut self,
+        meta: &SnapshotMeta,
+        knowledge_base: &KnowledgeBase,
+    ) -> Result<SyncSummary, ServeError> {
+        let params = object([
+            ("meta", Serialize::serialize(meta)),
+            ("knowledge_base", Serialize::serialize(knowledge_base)),
+        ]);
+        let result = self.call("snapshot-sync", params)?;
+        SyncSummary::deserialize(&result)
+            .map_err(|e| ServeError::BadResponse { reason: e.to_string() })
+    }
+
+    /// `snapshot-pull`: fetches the serving node's latest published
+    /// snapshot, if any — the replica catch-up path.  The returned
+    /// knowledge base has its runtime indexes rebuilt and is ready to use.
+    pub fn snapshot_pull(&mut self) -> Result<Option<(SnapshotMeta, KnowledgeBase)>, ServeError> {
+        let result = self.call("snapshot-pull", object([]))?;
+        match result.get("snapshot") {
+            None | Some(Value::Null) => Ok(None),
+            Some(snapshot) => {
+                let meta_value = snapshot.get("meta").ok_or_else(|| ServeError::BadResponse {
+                    reason: "snapshot without `meta`".into(),
+                })?;
+                let meta = SnapshotMeta::from_value(meta_value)
+                    .map_err(|e| ServeError::BadResponse { reason: e.to_string() })?;
+                let kb_value = snapshot.get("knowledge_base").ok_or_else(|| {
+                    ServeError::BadResponse { reason: "snapshot without `knowledge_base`".into() }
+                })?;
+                let mut knowledge_base = KnowledgeBase::deserialize(kb_value)
+                    .map_err(|e| ServeError::BadResponse { reason: e.to_string() })?;
+                knowledge_base.rebuild_indexes();
+                Ok(Some((meta, knowledge_base)))
+            }
         }
     }
 

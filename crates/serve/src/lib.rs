@@ -45,11 +45,12 @@ pub mod error;
 pub mod protocol;
 pub mod server;
 
-pub use client::{LineClient, NamedQuery, QueryAnswer};
+pub use client::{ClientConfig, LineClient, NamedQuery, QueryAnswer, ShardPullAnswer};
 pub use error::ServeError;
 pub use protocol::{ErrorCode, Request, DEFAULT_MAX_LINE_BYTES};
 pub use server::{
-    EngineStats, IngestSummary, RefitSummary, ServeConfig, Server, ServerHandle, ServerStats,
+    EngineStats, FabricRole, IngestSummary, RefitSummary, ServeConfig, Server, ServerHandle,
+    ServerStats, ShardPushSummary, SyncSummary,
 };
 
 /// Convenient result alias used throughout the crate.

@@ -46,6 +46,12 @@ pub enum ErrorCode {
     InvalidUtf8,
     /// The server is shutting down and no longer accepts work.
     ShuttingDown,
+    /// A fabric payload (`shard-push` shard, `snapshot-sync` meta) declared
+    /// a wire `format_version` this build does not speak, or none at all.
+    FormatVersion,
+    /// The method exists but this server's fabric role does not serve it
+    /// (e.g. `ingest` sent to a read replica).
+    UnsupportedRole,
 }
 
 impl ErrorCode {
@@ -62,6 +68,8 @@ impl ErrorCode {
             ErrorCode::OverlongLine => "overlong-line",
             ErrorCode::InvalidUtf8 => "invalid-utf8",
             ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::FormatVersion => "format-version-mismatch",
+            ErrorCode::UnsupportedRole => "role-unsupported",
         }
     }
 }

@@ -27,10 +27,11 @@ use crate::protocol::{
     rows_from_value, ErrorCode, Request, DEFAULT_MAX_LINE_BYTES,
 };
 use pka_contingency::{Assignment, Schema};
-use pka_core::Query;
+use pka_core::{KnowledgeBase, Query};
 use pka_expert::explain_query;
 use pka_stream::{
-    RefitOutcome, RefitReport, Snapshot, SnapshotHandle, StreamConfig, StreamingEngine,
+    CountShard, RefitOutcome, RefitReport, Snapshot, SnapshotHandle, SnapshotMeta, StreamConfig,
+    StreamError, StreamingEngine, SyncReport, WIRE_FORMAT_VERSION,
 };
 use serde::{Deserialize, Serialize, Value};
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
@@ -52,6 +53,39 @@ const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 /// How long the accept loop sleeps when no connection is pending.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
 
+/// A server's place in a `pka-fabric` deployment, gating which protocol
+/// methods it serves.  Every role answers the full read protocol (`query`,
+/// `query-batch`, `explain`, `schema`, `snapshot-version`, `snapshot-pull`,
+/// `shard-pull`, `stats`, `ping`); the differences are on the write side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FabricRole {
+    /// A single-node server: everything except `snapshot-sync` (it has no
+    /// coordinator to follow).
+    #[default]
+    Standalone,
+    /// Merges local ingest plus remote `shard-push` deliveries and
+    /// publishes snapshots for replicas; rejects `snapshot-sync`.
+    Coordinator,
+    /// Tabulates local `ingest` for export via `shard-pull`; rejects
+    /// `shard-push` (it is a leaf, not a merge point) and `snapshot-sync`.
+    IngestNode,
+    /// Serves reads from snapshots received via `snapshot-sync`; rejects
+    /// every local write (`ingest`, `refresh`, `shard-push`).
+    Replica,
+}
+
+impl FabricRole {
+    /// Kebab-case spelling used in stats and role-gate error messages.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FabricRole::Standalone => "standalone",
+            FabricRole::Coordinator => "coordinator",
+            FabricRole::IngestNode => "ingest-node",
+            FabricRole::Replica => "replica",
+        }
+    }
+}
+
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -65,6 +99,11 @@ pub struct ServeConfig {
     /// Cap on one request line; longer lines are discarded and answered
     /// with an `overlong-line` error.
     pub max_line_bytes: usize,
+    /// The server's fabric role (default [`FabricRole::Standalone`]).
+    pub role: FabricRole,
+    /// Name this node reports as the `source` of its `shard-pull` exports;
+    /// defaults to the bound address.
+    pub node_name: Option<String>,
 }
 
 impl ServeConfig {
@@ -96,6 +135,18 @@ impl ServeConfig {
         self.max_line_bytes = max_line_bytes;
         self
     }
+
+    /// Sets the fabric role.
+    pub fn with_role(mut self, role: FabricRole) -> Self {
+        self.role = role;
+        self
+    }
+
+    /// Sets the node name reported as this server's `shard-pull` source.
+    pub fn with_node_name(mut self, node_name: impl Into<String>) -> Self {
+        self.node_name = Some(node_name.into());
+        self
+    }
 }
 
 impl Default for ServeConfig {
@@ -105,6 +156,8 @@ impl Default for ServeConfig {
             port: 0,
             stream: StreamConfig::default(),
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            role: FabricRole::Standalone,
+            node_name: None,
         }
     }
 }
@@ -157,6 +210,45 @@ pub struct IngestSummary {
     pub refit_error: Option<String>,
 }
 
+/// What one `shard-push` delivery did, in wire form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardPushSummary {
+    /// Whether the delivery replaced the source's held shard (false: it
+    /// was stale — older or duplicate sequence — and was discarded).
+    pub applied: bool,
+    /// Tuples the source gained over its previously-held shard.
+    pub delta_tuples: u64,
+    /// Tuples now held for the source.
+    pub source_tuples: u64,
+    /// Tuples pending (not yet covered by a published fit) afterwards.
+    pub pending: u64,
+    /// Total tuples the receiving engine now counts (local + remote).
+    pub total_ingested: u64,
+    /// Whether the refresh policy tripped on this delivery.
+    pub refit_triggered: bool,
+    /// The completed refit, if one ran and succeeded.
+    pub refit: Option<RefitSummary>,
+    /// The refit failure, if the policy tripped but the refit failed (the
+    /// delivery itself **is** absorbed either way).
+    pub refit_error: Option<String>,
+}
+
+/// What one `snapshot-sync` delivery did, in wire form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyncSummary {
+    /// Whether the delivery was published (false: its version did not
+    /// exceed the replica's current one and it was discarded as stale).
+    pub applied: bool,
+    /// The replica's current snapshot version after the call.
+    pub version: u64,
+}
+
+impl SyncSummary {
+    fn from_report(report: SyncReport) -> Self {
+        Self { applied: report.applied, version: report.version }
+    }
+}
+
 /// Engine-side counters, in wire form.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EngineStats {
@@ -179,6 +271,12 @@ pub struct EngineStats {
     pub cache_extensions: u64,
     /// Solver incidence-cache rebuilds.
     pub cache_rebuilds: u64,
+    /// Remote sources currently holding a slot in the shard-placement map.
+    pub remote_sources: usize,
+    /// Total tuples held from remote sources.
+    pub remote_tuples: u64,
+    /// Snapshots accepted via `snapshot-sync` (replicas only).
+    pub synced_snapshots: u64,
 }
 
 /// Connection-side counters, in wire form (the `server` object of a
@@ -201,15 +299,42 @@ pub struct ServerStats {
 
 /// Commands forwarded from connection threads to the engine thread.
 enum EngineCommand {
-    Ingest { rows: Vec<Vec<usize>>, reply: mpsc::Sender<Result<IngestSummary, String>> },
-    Refresh { reply: mpsc::Sender<Result<RefitSummary, String>> },
-    Stats { reply: mpsc::Sender<EngineStats> },
+    Ingest {
+        rows: Vec<Vec<usize>>,
+        reply: mpsc::Sender<Result<IngestSummary, String>>,
+    },
+    Refresh {
+        reply: mpsc::Sender<Result<RefitSummary, String>>,
+    },
+    Stats {
+        reply: mpsc::Sender<EngineStats>,
+    },
+    /// A `shard-push` delivery from a remote ingest node.
+    AbsorbShard {
+        source: String,
+        seq: u64,
+        shard: CountShard,
+        reply: mpsc::Sender<Result<ShardPushSummary, String>>,
+    },
+    /// A `shard-pull` export of the engine's local counts.
+    ExportShard {
+        reply: mpsc::Sender<Result<(CountShard, u64), String>>,
+    },
+    /// A `snapshot-sync` delivery from a coordinator.
+    SyncSnapshot {
+        meta: SnapshotMeta,
+        knowledge_base: Box<KnowledgeBase>,
+        reply: mpsc::Sender<Result<SyncSummary, String>>,
+    },
 }
 
 /// State shared by the accept loop and every connection thread.
 struct Shared {
     schema: Arc<Schema>,
     snapshots: SnapshotHandle,
+    role: FabricRole,
+    /// Name reported as this node's `shard-pull` source.
+    node_name: String,
     shutdown: AtomicBool,
     max_line_bytes: usize,
     connections: AtomicU64,
@@ -245,6 +370,8 @@ impl Server {
         let shared = Arc::new(Shared {
             schema,
             snapshots,
+            role: config.role,
+            node_name: config.node_name.clone().unwrap_or_else(|| addr.to_string()),
             shutdown: AtomicBool::new(false),
             max_line_bytes: config.max_line_bytes.max(64),
             connections: AtomicU64::new(0),
@@ -380,7 +507,52 @@ fn run_engine(mut engine: StreamingEngine, rx: mpsc::Receiver<EngineCommand>) ->
                     cache_full_hits: cache.full_hits,
                     cache_extensions: cache.extensions,
                     cache_rebuilds: cache.rebuilds,
+                    remote_sources: engine.remote_source_count(),
+                    remote_tuples: engine.remote_tuples(),
+                    synced_snapshots: engine.synced_snapshots(),
                 });
+            }
+            EngineCommand::AbsorbShard { source, seq, shard, reply } => {
+                let outcome = engine
+                    .accept_remote_shard(&source, seq, shard)
+                    .map(|report| {
+                        let (refit, refit_error, refit_triggered) = match report.refit {
+                            RefitOutcome::NotTriggered => (None, None, false),
+                            RefitOutcome::Completed(ref r) => {
+                                (Some(RefitSummary::from_report(r)), None, true)
+                            }
+                            RefitOutcome::Failed(ref e) => (None, Some(e.to_string()), true),
+                        };
+                        ShardPushSummary {
+                            applied: report.applied,
+                            delta_tuples: report.delta_tuples,
+                            source_tuples: report.source_tuples,
+                            pending: engine.pending(),
+                            total_ingested: engine.total_ingested(),
+                            refit_triggered,
+                            refit,
+                            refit_error,
+                        }
+                    })
+                    .map_err(|e| e.to_string());
+                let _ = reply.send(outcome);
+            }
+            EngineCommand::ExportShard { reply } => {
+                let outcome = engine
+                    .export_local_shard()
+                    .map(|shard| {
+                        let tuples = shard.tuple_count();
+                        (shard, tuples)
+                    })
+                    .map_err(|e| e.to_string());
+                let _ = reply.send(outcome);
+            }
+            EngineCommand::SyncSnapshot { meta, knowledge_base, reply } => {
+                let outcome = engine
+                    .apply_synced_snapshot(&meta, *knowledge_base)
+                    .map(SyncSummary::from_report)
+                    .map_err(|e| e.to_string());
+                let _ = reply.send(outcome);
             }
         }
     }
@@ -746,6 +918,11 @@ fn dispatch(
             ]))
         }
         "ingest" => {
+            require_role(
+                request,
+                shared,
+                &[FabricRole::Standalone, FabricRole::Coordinator, FabricRole::IngestNode],
+            )?;
             let rows = rows_from_value(&request.params)?;
             let (reply_tx, reply_rx) = mpsc::channel();
             send_engine(engine_tx, EngineCommand::Ingest { rows, reply: reply_tx }, request)?;
@@ -758,6 +935,11 @@ fn dispatch(
             open(Serialize::serialize(&summary))
         }
         "refresh" => {
+            require_role(
+                request,
+                shared,
+                &[FabricRole::Standalone, FabricRole::Coordinator, FabricRole::IngestNode],
+            )?;
             let (reply_tx, reply_rx) = mpsc::channel();
             send_engine(engine_tx, EngineCommand::Refresh { reply: reply_tx }, request)?;
             let summary =
@@ -788,6 +970,110 @@ fn dispatch(
                 ("engine", Serialize::serialize(&engine)),
                 ("snapshot", snapshot_meta),
                 ("server", server),
+            ]))
+        }
+        "shard-push" => {
+            require_role(request, shared, &[FabricRole::Standalone, FabricRole::Coordinator])?;
+            let source = match request.params.get("source") {
+                Some(Value::Str(s)) if !s.is_empty() => s.clone(),
+                Some(Value::Str(_)) => {
+                    return Err(invalid_params("`source` must be a non-empty string"))
+                }
+                Some(other) => {
+                    return Err(invalid_params(&format!(
+                        "`source` must be a string, found {}",
+                        other.kind()
+                    )))
+                }
+                None => return Err(invalid_params("missing `source`")),
+            };
+            let seq = match request.params.get("seq") {
+                Some(v) => {
+                    v.as_u64().ok_or_else(|| invalid_params("`seq` must be an unsigned integer"))?
+                }
+                None => return Err(invalid_params("missing `seq`")),
+            };
+            let shard_value =
+                request.params.get("shard").ok_or_else(|| invalid_params("missing `shard`"))?;
+            let shard = CountShard::from_value(shard_value)
+                .map_err(|e| stream_error_to_request(e, request))?;
+            let (reply_tx, reply_rx) = mpsc::channel();
+            send_engine(
+                engine_tx,
+                EngineCommand::AbsorbShard { source, seq, shard, reply: reply_tx },
+                request,
+            )?;
+            let summary =
+                recv_engine(reply_rx, request)?.map_err(|message| protocol::RequestError {
+                    code: ErrorCode::IngestError,
+                    message,
+                    id: request.id.clone(),
+                })?;
+            open(Serialize::serialize(&summary))
+        }
+        "shard-pull" => {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            send_engine(engine_tx, EngineCommand::ExportShard { reply: reply_tx }, request)?;
+            let (shard, tuples) =
+                recv_engine(reply_rx, request)?.map_err(|message| protocol::RequestError {
+                    code: ErrorCode::IngestError,
+                    message,
+                    id: request.id.clone(),
+                })?;
+            // The local tuple count doubles as the monotone sequence number:
+            // local ingestion only ever grows it, so each export is tagged
+            // with a sequence the coordinator's placement map can gate on.
+            open(protocol::object([
+                ("format_version", Value::U64(WIRE_FORMAT_VERSION)),
+                ("source", Value::Str(shared.node_name.clone())),
+                ("seq", Value::U64(tuples)),
+                ("tuples", Value::U64(tuples)),
+                ("shard", Serialize::serialize(&shard)),
+            ]))
+        }
+        "snapshot-sync" => {
+            require_role(request, shared, &[FabricRole::Replica])?;
+            let meta_value =
+                request.params.get("meta").ok_or_else(|| invalid_params("missing `meta`"))?;
+            let meta = SnapshotMeta::from_value(meta_value)
+                .map_err(|e| stream_error_to_request(e, request))?;
+            let kb_value = request
+                .params
+                .get("knowledge_base")
+                .ok_or_else(|| invalid_params("missing `knowledge_base`"))?;
+            let knowledge_base: KnowledgeBase = Deserialize::deserialize(kb_value)
+                .map_err(|e| invalid_params(&format!("`knowledge_base` is malformed: {e}")))?;
+            let (reply_tx, reply_rx) = mpsc::channel();
+            send_engine(
+                engine_tx,
+                EngineCommand::SyncSnapshot {
+                    meta,
+                    knowledge_base: Box::new(knowledge_base),
+                    reply: reply_tx,
+                },
+                request,
+            )?;
+            let summary =
+                recv_engine(reply_rx, request)?.map_err(|message| protocol::RequestError {
+                    code: ErrorCode::IngestError,
+                    message,
+                    id: request.id.clone(),
+                })?;
+            open(Serialize::serialize(&summary))
+        }
+        "snapshot-pull" => {
+            // Read-only: served straight off the wait-free snapshot slot,
+            // no engine round-trip.
+            let snapshot = match shared.snapshots.load() {
+                Some(snapshot) => protocol::object([
+                    ("meta", Serialize::serialize(&snapshot.meta())),
+                    ("knowledge_base", Serialize::serialize(snapshot.knowledge_base())),
+                ]),
+                None => Value::Null,
+            };
+            open(protocol::object([
+                ("format_version", Value::U64(WIRE_FORMAT_VERSION)),
+                ("snapshot", snapshot),
             ]))
         }
         "shutdown" => Ok((protocol::object([("shutting_down", Value::Bool(true))]), false)),
@@ -999,6 +1285,38 @@ fn invalid_params(message: &str) -> protocol::RequestError {
         message: message.to_string(),
         id: Value::Null,
     }
+}
+
+/// Rejects a request whose method the node's fabric role does not serve.
+fn require_role(
+    request: &Request,
+    shared: &Shared,
+    allowed: &[FabricRole],
+) -> Result<(), protocol::RequestError> {
+    if allowed.contains(&shared.role) {
+        Ok(())
+    } else {
+        Err(protocol::RequestError {
+            code: ErrorCode::UnsupportedRole,
+            message: format!(
+                "method `{}` is not served by a {} node",
+                request.method,
+                shared.role.as_str()
+            ),
+            id: request.id.clone(),
+        })
+    }
+}
+
+/// Maps a payload-parsing [`StreamError`] onto the wire error taxonomy:
+/// format-version mismatches keep their structured code so callers can
+/// distinguish an incompatible build from a merely malformed payload.
+fn stream_error_to_request(error: StreamError, request: &Request) -> protocol::RequestError {
+    let code = match error {
+        StreamError::FormatVersion { .. } => ErrorCode::FormatVersion,
+        _ => ErrorCode::InvalidParams,
+    };
+    protocol::RequestError { code, message: error.to_string(), id: request.id.clone() }
 }
 
 fn send_engine(

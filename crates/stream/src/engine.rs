@@ -3,11 +3,12 @@
 use crate::error::StreamError;
 use crate::ingest::tabulate_sharded;
 use crate::policy::RefreshPolicy;
+use crate::remote::{RemoteShardMap, RemoteSource};
 use crate::shard::CountShard;
-use crate::snapshot::{Snapshot, SnapshotHandle};
+use crate::snapshot::{Snapshot, SnapshotHandle, SnapshotMeta};
 use crate::Result;
 use pka_contingency::{ContingencyTable, Dataset, Sample, Schema};
-use pka_core::{Acquisition, AcquisitionConfig};
+use pka_core::{Acquisition, AcquisitionConfig, KnowledgeBase};
 use pka_maxent::{CacheStats, IncidenceCache};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -107,6 +108,33 @@ pub struct IngestReport {
     pub accepted: u64,
     /// What the refresh policy did after the tuples were absorbed.
     pub refit: RefitOutcome,
+}
+
+/// What absorbing one remote shard delivery did — the fabric-facing
+/// counterpart of [`IngestReport`].
+#[derive(Debug)]
+pub struct RemoteShardReport {
+    /// Whether the delivery replaced the source's held shard (false means
+    /// it was stale and discarded — a no-op).
+    pub applied: bool,
+    /// Tuples the source gained over its previously-held shard.
+    pub delta_tuples: u64,
+    /// Tuples now held for the source.
+    pub source_tuples: u64,
+    /// What the refresh policy did after the delivery was absorbed.
+    pub refit: RefitOutcome,
+}
+
+/// What applying one `snapshot-sync` delivery to a replica engine did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncReport {
+    /// Whether the delivery was published (false means it was stale — its
+    /// version did not exceed the replica's current one — and was
+    /// discarded, keeping replica versions monotone under replays and
+    /// reorders).
+    pub applied: bool,
+    /// The replica's current snapshot version after the call.
+    pub version: u64,
 }
 
 /// The refresh-policy outcome attached to an ingest call.
@@ -215,6 +243,12 @@ pub struct StreamingEngine {
     /// Cutoff order of the marginal lattice built into each published
     /// snapshot.
     lattice_order: usize,
+    /// Cumulative shards accepted from remote ingest nodes, one slot per
+    /// source (the coordinator role of `pka-fabric`).
+    remote: RemoteShardMap,
+    /// Snapshots accepted via [`StreamingEngine::apply_synced_snapshot`]
+    /// (the replica role of `pka-fabric`).
+    synced: u64,
 }
 
 impl StreamingEngine {
@@ -237,6 +271,8 @@ impl StreamingEngine {
             solver_iterations: 0,
             solver_cache: IncidenceCache::new(),
             lattice_order: config.lattice_order,
+            remote: RemoteShardMap::new(),
+            synced: 0,
         })
     }
 
@@ -255,9 +291,36 @@ impl StreamingEngine {
         self.shards.len()
     }
 
-    /// Total tuples ingested over the engine's lifetime.
+    /// Total tuples counted by the engine: locally-ingested tuples plus
+    /// everything currently held from remote sources.
     pub fn total_ingested(&self) -> u64 {
+        self.local_tuples() + self.remote.total_tuples()
+    }
+
+    /// Tuples ingested locally (excluding remote shard deliveries).
+    pub fn local_tuples(&self) -> u64 {
         self.shards.iter().map(CountShard::tuple_count).sum()
+    }
+
+    /// Number of remote sources currently holding a slot in the placement
+    /// map.
+    pub fn remote_source_count(&self) -> usize {
+        self.remote.source_count()
+    }
+
+    /// Total tuples held from remote sources.
+    pub fn remote_tuples(&self) -> u64 {
+        self.remote.total_tuples()
+    }
+
+    /// Current standing of every remote source, in name order.
+    pub fn remote_sources(&self) -> Vec<RemoteSource> {
+        self.remote.sources()
+    }
+
+    /// Snapshots accepted via [`StreamingEngine::apply_synced_snapshot`].
+    pub fn synced_snapshots(&self) -> u64 {
+        self.synced
     }
 
     /// Tuples ingested since the last published fit.
@@ -345,13 +408,128 @@ impl StreamingEngine {
         self.ingest_samples(dataset.samples())
     }
 
-    /// The combined contingency table over everything ingested so far.
+    /// The combined contingency table over everything counted so far:
+    /// local shards plus every held remote shard.  Count addition is
+    /// associative and commutative, so the fold order is irrelevant and
+    /// the result equals a single sequential pass over all nodes' tuples.
     pub fn current_table(&self) -> Result<ContingencyTable> {
         ContingencyTable::merged(
             Arc::clone(&self.schema),
-            self.shards.iter().map(|s| s.table().clone()),
+            self.shards.iter().map(|s| s.table().clone()).chain(self.remote.tables()),
         )
         .map_err(StreamError::from)
+    }
+
+    /// Merges the engine's **local** shards into one exportable
+    /// [`CountShard`] — what an ingest node ships to its coordinator.
+    /// Remote deliveries are deliberately excluded so a relaying node can
+    /// never echo another source's counts back into the fabric.
+    pub fn export_local_shard(&self) -> Result<CountShard> {
+        let table = ContingencyTable::merged(
+            Arc::clone(&self.schema),
+            self.shards.iter().map(|s| s.table().clone()),
+        )
+        .map_err(StreamError::from)?;
+        Ok(CountShard::from_table(table))
+    }
+
+    /// Absorbs one remote shard delivery (the coordinator half of the
+    /// fabric's `shard-push`): applies it to the placement map with
+    /// replay/reorder-safe sequence gating, counts the gained tuples as
+    /// pending, and consults the refresh policy exactly like a local
+    /// ingest.
+    ///
+    /// An `Err` always means the delivery was **rejected** (foreign
+    /// schema); a stale delivery is a successful no-op with
+    /// `applied: false`, and a refit failure after an applied delivery is
+    /// reported in `refit`, mirroring [`StreamingEngine::ingest_batch`].
+    pub fn accept_remote_shard(
+        &mut self,
+        source: &str,
+        seq: u64,
+        shard: CountShard,
+    ) -> Result<RemoteShardReport> {
+        let outcome = self.remote.apply(&self.schema, source, seq, shard)?;
+        let source_tuples =
+            self.remote.sources().into_iter().find(|s| s.name == source).map_or(0, |s| s.tuples);
+        if !outcome.applied() {
+            return Ok(RemoteShardReport {
+                applied: false,
+                delta_tuples: 0,
+                source_tuples,
+                refit: RefitOutcome::NotTriggered,
+            });
+        }
+        self.pending += outcome.delta_tuples();
+        let refit = self.maybe_refresh();
+        Ok(RemoteShardReport {
+            applied: true,
+            delta_tuples: outcome.delta_tuples(),
+            source_tuples,
+            refit,
+        })
+    }
+
+    /// Publishes a snapshot received from a coordinator (the replica half
+    /// of the fabric's `snapshot-sync`), version-gated so stale, duplicate
+    /// and reordered deliveries are no-ops and the replica's served
+    /// versions stay monotone.
+    ///
+    /// The payload is treated as hostile until proven otherwise: the wire
+    /// format stamp, schema identity, metadata consistency and the model's
+    /// probability mass are all checked before anything is published.  The
+    /// joint distribution and marginal lattice are rebuilt locally at
+    /// publish — exactly what a local refit would have materialised.
+    pub fn apply_synced_snapshot(
+        &mut self,
+        meta: &SnapshotMeta,
+        mut knowledge_base: KnowledgeBase,
+    ) -> Result<SyncReport> {
+        meta.validate_format()?;
+        if knowledge_base.schema() != self.schema.as_ref() {
+            return Err(StreamError::InvalidConfig {
+                reason: "synced snapshot is over a different schema".to_string(),
+            });
+        }
+        // Derived indexes are never trusted from the wire.
+        knowledge_base.rebuild_indexes();
+        if meta.constraints != knowledge_base.constraints().len()
+            || meta.attributes != knowledge_base.schema().len()
+        {
+            return Err(StreamError::InvalidConfig {
+                reason: "snapshot metadata disagrees with its knowledge base".to_string(),
+            });
+        }
+        let current = self.handle.version().unwrap_or(0);
+        if meta.version <= current {
+            return Ok(SyncReport { applied: false, version: current });
+        }
+        let joint = knowledge_base.joint();
+        let mass: f64 = joint.probabilities().iter().sum();
+        if joint.probabilities().iter().any(|p| !p.is_finite() || *p < 0.0)
+            || (mass - 1.0).abs() > 1e-6
+        {
+            return Err(StreamError::InvalidConfig {
+                reason: format!(
+                    "synced knowledge base does not define a probability distribution \
+                     (mass {mass})"
+                ),
+            });
+        }
+        self.handle.publish(Snapshot::with_lattice_order(
+            knowledge_base,
+            meta.version,
+            meta.observations,
+            meta.warm_started,
+            self.lattice_order,
+        ));
+        self.fitted = meta.observations;
+        // Keep local version numbering ahead of the synced stream so a
+        // hypothetical local refit on this engine could never regress the
+        // served version.
+        self.next_version = meta.version + 1;
+        self.synced += 1;
+        Ok(SyncReport { applied: true, version: meta.version })
     }
 
     /// Consults the refresh policy and refits if it trips.  Refit failures
@@ -614,6 +792,141 @@ mod tests {
         assert_eq!(engine.total_ingested(), 400, "tuples counted exactly once");
         assert_eq!(engine.pending(), 400, "dirty counter preserved for retry");
         assert!(engine.snapshot().is_none());
+    }
+
+    #[test]
+    fn remote_shards_merge_exactly_and_gate_on_sequence() {
+        let manual = StreamConfig::new().with_shard_count(2).with_policy(RefreshPolicy::Manual);
+        // A remote ingest node tabulates 40 tuples locally…
+        let mut node = StreamingEngine::new(schema(), manual.clone()).unwrap();
+        node.ingest_batch(&correlated_rows(40)).unwrap();
+        let exported = node.export_local_shard().unwrap();
+        assert_eq!(exported.tuple_count(), 40);
+
+        // …and the coordinator absorbs the cumulative shard next to its own
+        // local ingestion.
+        let mut coord = StreamingEngine::new(schema(), manual).unwrap();
+        coord.ingest_batch(&correlated_rows(10)).unwrap();
+        let report = coord.accept_remote_shard("node-a", 40, exported.clone()).unwrap();
+        assert!(report.applied);
+        assert_eq!(report.delta_tuples, 40);
+        assert_eq!(report.source_tuples, 40);
+        assert_eq!(coord.total_ingested(), 50);
+        assert_eq!(coord.local_tuples(), 10);
+        assert_eq!(coord.remote_tuples(), 40);
+        assert_eq!(coord.remote_source_count(), 1);
+        assert_eq!(coord.pending(), 50);
+
+        // The merged table is bit-for-bit the single-pass tabulation.
+        let mut single = StreamingEngine::new(schema(), StreamConfig::new()).unwrap();
+        single.ingest_batch(&correlated_rows(40)).unwrap();
+        single.ingest_batch(&correlated_rows(10)).unwrap();
+        assert_eq!(coord.current_table().unwrap(), single.current_table().unwrap());
+
+        // A replayed delivery is a no-op.
+        let dup = coord.accept_remote_shard("node-a", 40, exported).unwrap();
+        assert!(!dup.applied);
+        assert_eq!(coord.total_ingested(), 50);
+        assert_eq!(coord.pending(), 50, "stale deliveries must not inflate the dirty counter");
+    }
+
+    #[test]
+    fn remote_deltas_trip_the_refresh_policy() {
+        let mut node =
+            StreamingEngine::new(schema(), StreamConfig::new().with_policy(RefreshPolicy::Manual))
+                .unwrap();
+        node.ingest_batch(&correlated_rows(100)).unwrap();
+        let mut coord = StreamingEngine::new(
+            schema(),
+            StreamConfig::new().with_policy(RefreshPolicy::EveryNTuples(50)),
+        )
+        .unwrap();
+        let report =
+            coord.accept_remote_shard("node-a", 100, node.export_local_shard().unwrap()).unwrap();
+        assert!(report.refit.is_completed(), "100 remote tuples must trip an every-50 policy");
+        assert_eq!(coord.snapshot().unwrap().observations(), 100);
+        assert_eq!(coord.pending(), 0);
+    }
+
+    #[test]
+    fn export_excludes_remote_deliveries() {
+        let manual = StreamConfig::new().with_policy(RefreshPolicy::Manual);
+        let mut node = StreamingEngine::new(schema(), manual.clone()).unwrap();
+        node.ingest_batch(&correlated_rows(30)).unwrap();
+        let mut relay = StreamingEngine::new(schema(), manual).unwrap();
+        relay.ingest_batch(&correlated_rows(5)).unwrap();
+        relay.accept_remote_shard("node-a", 30, node.export_local_shard().unwrap()).unwrap();
+        // The relay's export carries only its own 5 tuples — it can never
+        // echo node-a's counts back into the fabric.
+        assert_eq!(relay.export_local_shard().unwrap().tuple_count(), 5);
+        assert_eq!(relay.current_table().unwrap().total(), 35);
+    }
+
+    #[test]
+    fn synced_snapshots_are_version_gated() {
+        let manual = StreamConfig::new().with_policy(RefreshPolicy::Manual);
+        let mut leader = StreamingEngine::new(schema(), manual.clone()).unwrap();
+        leader.ingest_batch(&correlated_rows(100)).unwrap();
+        leader.refresh().unwrap();
+        let v1 = leader.snapshot().unwrap();
+        leader.ingest_batch(&correlated_rows(100)).unwrap();
+        leader.refresh().unwrap();
+        let v2 = leader.snapshot().unwrap();
+
+        let mut replica = StreamingEngine::new(schema(), manual).unwrap();
+        let first = replica.apply_synced_snapshot(&v1.meta(), v1.knowledge_base().clone()).unwrap();
+        assert_eq!(first, SyncReport { applied: true, version: 1 });
+        assert_eq!(replica.snapshot().unwrap().version(), 1);
+        // The replica rebuilds the query fast path locally.
+        assert!(replica.snapshot().unwrap().lattice().max_order() >= 1);
+
+        let second =
+            replica.apply_synced_snapshot(&v2.meta(), v2.knowledge_base().clone()).unwrap();
+        assert_eq!(second, SyncReport { applied: true, version: 2 });
+        assert_eq!(replica.synced_snapshots(), 2);
+
+        // Replays and reordered deliveries are no-ops; the served version
+        // never regresses.
+        let replay =
+            replica.apply_synced_snapshot(&v2.meta(), v2.knowledge_base().clone()).unwrap();
+        assert_eq!(replay, SyncReport { applied: false, version: 2 });
+        let reorder =
+            replica.apply_synced_snapshot(&v1.meta(), v1.knowledge_base().clone()).unwrap();
+        assert_eq!(reorder, SyncReport { applied: false, version: 2 });
+        assert_eq!(replica.snapshot().unwrap().version(), 2);
+        assert_eq!(replica.synced_snapshots(), 2, "no-ops are not counted as syncs");
+    }
+
+    #[test]
+    fn synced_snapshots_reject_hostile_payloads() {
+        let manual = StreamConfig::new().with_policy(RefreshPolicy::Manual);
+        let mut leader = StreamingEngine::new(schema(), manual.clone()).unwrap();
+        leader.ingest_batch(&correlated_rows(100)).unwrap();
+        leader.refresh().unwrap();
+        let snap = leader.snapshot().unwrap();
+
+        let mut replica = StreamingEngine::new(schema(), manual.clone()).unwrap();
+        // Wrong wire format.
+        let mut bad_format = snap.meta();
+        bad_format.format_version = 99;
+        assert!(matches!(
+            replica.apply_synced_snapshot(&bad_format, snap.knowledge_base().clone()),
+            Err(StreamError::FormatVersion { found: Some(99) })
+        ));
+        // Metadata that disagrees with the carried knowledge base.
+        let mut lying = snap.meta();
+        lying.constraints += 3;
+        assert!(replica.apply_synced_snapshot(&lying, snap.knowledge_base().clone()).is_err());
+        // Foreign schema.
+        let mut foreign =
+            StreamingEngine::new(Schema::uniform(&[3, 3]).unwrap().into_shared(), manual).unwrap();
+        foreign.ingest_batch(&[[0, 0], [1, 1], [2, 2], [0, 0]]).unwrap();
+        foreign.refresh().unwrap();
+        let foreign_snap = foreign.snapshot().unwrap();
+        assert!(replica
+            .apply_synced_snapshot(&foreign_snap.meta(), foreign_snap.knowledge_base().clone())
+            .is_err());
+        assert!(replica.snapshot().is_none(), "rejected payloads publish nothing");
     }
 
     #[test]

@@ -21,6 +21,13 @@ pub enum StreamError {
         /// Human-readable explanation.
         reason: String,
     },
+    /// A cross-node payload declared a wire format this build does not
+    /// speak (or declared none at all).  Rejected loudly instead of being
+    /// mis-merged across future schema changes.
+    FormatVersion {
+        /// The `format_version` the payload carried, if any.
+        found: Option<u64>,
+    },
 }
 
 impl fmt::Display for StreamError {
@@ -35,6 +42,16 @@ impl fmt::Display for StreamError {
             StreamError::InvalidConfig { reason } => {
                 write!(f, "invalid streaming configuration: {reason}")
             }
+            StreamError::FormatVersion { found: Some(found) } => write!(
+                f,
+                "payload declares wire format_version {found} but this build speaks {}",
+                crate::WIRE_FORMAT_VERSION
+            ),
+            StreamError::FormatVersion { found: None } => write!(
+                f,
+                "payload carries no wire format_version (this build requires {})",
+                crate::WIRE_FORMAT_VERSION
+            ),
         }
     }
 }

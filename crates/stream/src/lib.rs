@@ -44,14 +44,26 @@ pub mod engine;
 pub mod error;
 pub mod ingest;
 pub mod policy;
+pub mod remote;
 pub mod shard;
 pub mod snapshot;
 
-pub use engine::{IngestReport, RefitOutcome, RefitReport, StreamConfig, StreamingEngine};
+pub use engine::{
+    IngestReport, RefitOutcome, RefitReport, RemoteShardReport, StreamConfig, StreamingEngine,
+    SyncReport,
+};
 pub use error::StreamError;
 pub use policy::RefreshPolicy;
+pub use remote::{RemoteApply, RemoteShardMap, RemoteSource};
 pub use shard::CountShard;
 pub use snapshot::{Snapshot, SnapshotHandle, SnapshotMeta};
+
+/// Version stamp embedded in every cross-node payload ([`CountShard`] and
+/// [`SnapshotMeta`] JSON).  Nodes reject payloads declaring any other
+/// version — or none — with [`StreamError::FormatVersion`], so a mixed
+/// deployment fails loudly at the wire instead of silently mis-merging
+/// counts across incompatible encodings.
+pub const WIRE_FORMAT_VERSION: u64 = 1;
 
 /// Convenient result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, StreamError>;

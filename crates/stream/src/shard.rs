@@ -9,9 +9,9 @@
 //! property-tested in `tests/shard_laws.rs` at the workspace root.
 
 use crate::error::StreamError;
-use crate::Result;
+use crate::{Result, WIRE_FORMAT_VERSION};
 use pka_contingency::{ContingencyTable, Sample, Schema};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::sync::Arc;
 
 /// One worker's private slice of the stream's contingency counts.
@@ -19,10 +19,40 @@ use std::sync::Arc;
 /// Shards serialise (schema + dense counts) so they can cross process and
 /// node boundaries: because merge is associative and commutative, a
 /// coordinator can deserialise shards produced anywhere and combine them in
-/// any order — the groundwork for multi-node shard placement.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// any order — the groundwork for multi-node shard placement.  The wire
+/// form is an object `{"format_version": …, "table": …}`; the version
+/// stamp is checked on deserialisation (see [`WIRE_FORMAT_VERSION`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CountShard {
     table: ContingencyTable,
+}
+
+/// Reads the `format_version` stamp of a wire payload, rejecting payloads
+/// that declare a different version than [`WIRE_FORMAT_VERSION`] — or none.
+pub(crate) fn check_format_version(value: &Value) -> Result<()> {
+    let found = value.get("format_version").and_then(Value::as_u64);
+    if found == Some(WIRE_FORMAT_VERSION) {
+        Ok(())
+    } else {
+        Err(StreamError::FormatVersion { found })
+    }
+}
+
+impl Serialize for CountShard {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("format_version".to_string(), Value::U64(WIRE_FORMAT_VERSION)),
+            ("table".to_string(), self.table.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for CountShard {
+    fn deserialize(value: &Value) -> std::result::Result<Self, serde::Error> {
+        check_format_version(value).map_err(|e| serde::Error::custom(e.to_string()))?;
+        let table = serde::de_field(value, "table")?;
+        Ok(Self { table })
+    }
 }
 
 impl CountShard {
@@ -97,9 +127,21 @@ impl CountShard {
 
     /// Restores a shard from [`CountShard::to_json`] output, re-validating
     /// the internal consistency a hostile or corrupted payload could break
-    /// (cell-count arity and the stored total).
+    /// (cell-count arity, overflow, and the stored total).
     pub fn from_json(text: &str) -> Result<Self> {
-        let shard: CountShard = serde_json::from_str(text)
+        let value: Value = serde_json::from_str(text)
+            .map_err(|e| StreamError::InvalidConfig { reason: e.to_string() })?;
+        Self::from_value(&value)
+    }
+
+    /// Restores a shard from its wire [`Value`] form — the in-protocol
+    /// counterpart of [`CountShard::from_json`], with the same format
+    /// version check and hostile-payload re-validation.
+    pub fn from_value(value: &Value) -> Result<Self> {
+        // Checked here (not only inside `Deserialize`) so callers get the
+        // structured `FormatVersion` error rather than message text.
+        check_format_version(value)?;
+        let shard: CountShard = Deserialize::deserialize(value)
             .map_err(|e| StreamError::InvalidConfig { reason: e.to_string() })?;
         let table = shard.table;
         // Rebuild through the checked constructor so counts/schema/total
@@ -200,6 +242,33 @@ mod tests {
         let restored = CountShard::from_json(&forged).unwrap();
         assert_eq!(restored, a, "derived schema state is rebuilt, not trusted");
         assert_eq!(restored.schema().strides(), &[3, 1]);
+    }
+
+    #[test]
+    fn format_version_is_stamped_and_enforced() {
+        let mut a = CountShard::new(schema());
+        a.record(&[1, 1]).unwrap();
+        let json = a.to_json().unwrap();
+        assert!(
+            json.starts_with(&format!("{{\"format_version\":{WIRE_FORMAT_VERSION}")),
+            "wire payload must lead with its version stamp: {json}"
+        );
+        // A mismatched version is a structured error naming what was found.
+        let bumped = json.replace(
+            &format!("\"format_version\":{WIRE_FORMAT_VERSION}"),
+            "\"format_version\":999",
+        );
+        assert!(matches!(
+            CountShard::from_json(&bumped),
+            Err(StreamError::FormatVersion { found: Some(999) })
+        ));
+        // A payload with no stamp at all (e.g. from a pre-fabric build) is
+        // rejected the same way rather than being trusted.
+        let stripped = json.replace(&format!("\"format_version\":{WIRE_FORMAT_VERSION},"), "");
+        assert!(matches!(
+            CountShard::from_json(&stripped),
+            Err(StreamError::FormatVersion { found: None })
+        ));
     }
 
     #[test]

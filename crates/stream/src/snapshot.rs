@@ -48,10 +48,15 @@ pub struct Snapshot {
 }
 
 /// The serialisable identity card of a [`Snapshot`] — what a server reports
-/// for `stats`/`snapshot-version` requests and what a multi-node follower
-/// would exchange to decide whether its replica is current.
+/// for `stats`/`snapshot-version` requests and what `pka-fabric` followers
+/// exchange (inside `snapshot-sync` payloads) to decide whether a replica
+/// is current.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SnapshotMeta {
+    /// Wire-format stamp; always [`crate::WIRE_FORMAT_VERSION`] for
+    /// locally-built metadata.  Checked by [`SnapshotMeta::from_value`] so
+    /// cross-node payloads from an incompatible build fail loudly.
+    pub format_version: u64,
     /// Monotonically increasing publication number (1 for the first fit).
     pub version: u64,
     /// Number of stream tuples the snapshot was fitted on.
@@ -140,11 +145,34 @@ impl Snapshot {
     /// The serialisable metadata of this snapshot.
     pub fn meta(&self) -> SnapshotMeta {
         SnapshotMeta {
+            format_version: crate::WIRE_FORMAT_VERSION,
             version: self.version,
             observations: self.observations,
             warm_started: self.warm_started,
             constraints: self.knowledge_base.constraints().len(),
             attributes: self.knowledge_base.schema().len(),
+        }
+    }
+}
+
+impl SnapshotMeta {
+    /// Restores metadata from its wire [`serde::Value`] form, rejecting
+    /// payloads whose `format_version` is missing or not
+    /// [`crate::WIRE_FORMAT_VERSION`] with the structured
+    /// [`crate::StreamError::FormatVersion`] error.
+    pub fn from_value(value: &serde::Value) -> crate::Result<Self> {
+        crate::shard::check_format_version(value)?;
+        Deserialize::deserialize(value)
+            .map_err(|e| crate::StreamError::InvalidConfig { reason: e.to_string() })
+    }
+
+    /// Checks an already-deserialised stamp (e.g. a meta rebuilt field by
+    /// field) against [`crate::WIRE_FORMAT_VERSION`].
+    pub fn validate_format(&self) -> crate::Result<()> {
+        if self.format_version == crate::WIRE_FORMAT_VERSION {
+            Ok(())
+        } else {
+            Err(crate::StreamError::FormatVersion { found: Some(self.format_version) })
         }
     }
 }
@@ -248,9 +276,34 @@ mod tests {
         assert!(meta.warm_started);
         assert_eq!(meta.attributes, 2);
         assert_eq!(meta.constraints, s.knowledge_base().constraints().len());
+        assert_eq!(meta.format_version, crate::WIRE_FORMAT_VERSION);
+        meta.validate_format().unwrap();
         // The metadata round-trips through the wire format.
         let json = serde_json::to_string(&meta).unwrap();
-        let back: SnapshotMeta = serde_json::from_str(&json).unwrap();
+        let value: serde::Value = serde_json::from_str(&json).unwrap();
+        let back = SnapshotMeta::from_value(&value).unwrap();
         assert_eq!(back, meta);
+    }
+
+    #[test]
+    fn meta_format_version_is_enforced() {
+        use crate::StreamError;
+        let meta = snapshot(1).meta();
+        let json = serde_json::to_string(&meta).unwrap();
+        let bumped = json.replace(
+            &format!("\"format_version\":{}", crate::WIRE_FORMAT_VERSION),
+            "\"format_version\":77",
+        );
+        let value: serde::Value = serde_json::from_str(&bumped).unwrap();
+        assert!(matches!(
+            SnapshotMeta::from_value(&value),
+            Err(StreamError::FormatVersion { found: Some(77) })
+        ));
+        let mut forged = meta;
+        forged.format_version = 0;
+        assert!(matches!(
+            forged.validate_format(),
+            Err(StreamError::FormatVersion { found: Some(0) })
+        ));
     }
 }

@@ -52,3 +52,8 @@ pub use pka_stream as stream;
 /// serving queries, explanations and live ingestion from a streaming
 /// knowledge base.
 pub use pka_serve as serve;
+
+/// The multi-node shard fabric: ingest nodes pushing cumulative count
+/// shards, a coordinator merging them into one model, and read replicas
+/// syncing its published snapshots.
+pub use pka_fabric as fabric;

@@ -1,0 +1,196 @@
+//! Hostile-payload properties of the fabric wire format.
+//!
+//! The `shard-push` / `snapshot-sync` payloads cross machine boundaries,
+//! so everything a corrupted or adversarial peer could send must be
+//! rejected with a structured error — never absorbed, never a panic.
+//! These properties drive [`CountShard::from_json`] and
+//! [`SnapshotMeta::from_value`] with forged counts (cardinality
+//! mismatches, negative and overflowing cells, inconsistent totals),
+//! forged format stamps, and truncated payloads.
+
+use pka::contingency::Schema;
+use pka::stream::{CountShard, SnapshotMeta, StreamError, WIRE_FORMAT_VERSION};
+use proptest::prelude::*;
+use serde::Value;
+use std::sync::Arc;
+
+fn schema() -> Arc<Schema> {
+    Schema::uniform(&[3, 2, 2]).unwrap().into_shared()
+}
+
+fn shard_from_cells(cells: &[usize]) -> CountShard {
+    let s = schema();
+    let mut shard = CountShard::new(Arc::clone(&s));
+    for &cell in cells {
+        let values = s.cell_values(cell % s.cell_count());
+        shard.record(&values).unwrap();
+    }
+    shard
+}
+
+/// Navigates to the `counts` array inside a serialised shard value.
+fn counts_mut(value: &mut Value) -> &mut Vec<Value> {
+    let Value::Object(fields) = value else { panic!("shard is not an object") };
+    let table = fields
+        .iter_mut()
+        .find(|(name, _)| name == "table")
+        .map(|(_, v)| v)
+        .expect("shard without table");
+    let Value::Object(table_fields) = table else { panic!("table is not an object") };
+    let counts = table_fields
+        .iter_mut()
+        .find(|(name, _)| name == "counts")
+        .map(|(_, v)| v)
+        .expect("table without counts");
+    match counts {
+        Value::Array(entries) => entries,
+        _ => panic!("counts is not an array"),
+    }
+}
+
+fn set_field(value: &mut Value, path: &[&str], new_value: Value) {
+    let mut current = value;
+    for (i, segment) in path.iter().enumerate() {
+        let Value::Object(fields) = current else { panic!("not an object at {segment}") };
+        let slot = fields
+            .iter_mut()
+            .find(|(name, _)| name == segment)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("missing field {segment}"));
+        if i == path.len() - 1 {
+            *slot = new_value;
+            return;
+        }
+        current = slot;
+    }
+}
+
+fn reject(value: &Value) -> StreamError {
+    CountShard::from_value(value).expect_err("hostile payload must be rejected")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Valid shards survive the wire bit-for-bit.
+    #[test]
+    fn prop_round_trip_is_exact(cells in proptest::collection::vec(0usize..12, 0..60)) {
+        let shard = shard_from_cells(&cells);
+        let json = shard.to_json().unwrap();
+        prop_assert!(json.contains(&format!("\"format_version\":{WIRE_FORMAT_VERSION}")));
+        let back = CountShard::from_json(&json).unwrap();
+        prop_assert_eq!(back, shard);
+    }
+
+    /// Truncating a payload anywhere produces an error, never a panic or a
+    /// silently-absorbed shard.
+    #[test]
+    fn prop_truncated_payloads_are_rejected(
+        cells in proptest::collection::vec(0usize..12, 1..30),
+        fraction in 0.0f64..1.0,
+    ) {
+        let json = shard_from_cells(&cells).to_json().unwrap();
+        let cut = ((json.len() as f64) * fraction) as usize;
+        // Cut on a char boundary strictly inside the payload.
+        let cut = (0..=cut.min(json.len() - 1)).rev().find(|&i| json.is_char_boundary(i)).unwrap();
+        prop_assert!(CountShard::from_json(&json[..cut]).is_err());
+    }
+
+    /// A counts array of the wrong cardinality is rejected.
+    #[test]
+    fn prop_cardinality_mismatch_is_rejected(
+        cells in proptest::collection::vec(0usize..12, 0..30),
+        extra in 1usize..4,
+        grow in any::<bool>(),
+    ) {
+        let mut value: Value =
+            serde_json::from_str(&shard_from_cells(&cells).to_json().unwrap()).unwrap();
+        let counts = counts_mut(&mut value);
+        if grow {
+            for _ in 0..extra {
+                counts.push(Value::U64(0));
+            }
+        } else {
+            for _ in 0..extra.min(counts.len()) {
+                counts.pop();
+            }
+        }
+        reject(&value);
+    }
+
+    /// Negative cell counts are rejected.
+    #[test]
+    fn prop_negative_counts_are_rejected(
+        cells in proptest::collection::vec(0usize..12, 0..30),
+        cell in 0usize..12,
+        magnitude in 1i64..1_000_000,
+    ) {
+        let mut value: Value =
+            serde_json::from_str(&shard_from_cells(&cells).to_json().unwrap()).unwrap();
+        counts_mut(&mut value)[cell] = Value::I64(-magnitude);
+        reject(&value);
+    }
+
+    /// Cell counts that overflow the 64-bit total are rejected by the
+    /// checked sum, not wrapped into a small "consistent" table.
+    #[test]
+    fn prop_overflowing_counts_are_rejected(
+        cells in proptest::collection::vec(0usize..12, 0..30),
+        first in 0usize..12,
+        second in 0usize..12,
+    ) {
+        let mut value: Value =
+            serde_json::from_str(&shard_from_cells(&cells).to_json().unwrap()).unwrap();
+        {
+            let counts = counts_mut(&mut value);
+            counts[first] = Value::U64(u64::MAX);
+            counts[second.min(11).max((first + 1) % 12)] = Value::U64(u64::MAX);
+        }
+        reject(&value);
+    }
+
+    /// A forged total that disagrees with the counts is rejected.
+    #[test]
+    fn prop_inconsistent_totals_are_rejected(
+        cells in proptest::collection::vec(0usize..12, 1..30),
+        forged_delta in 1u64..1_000,
+    ) {
+        let shard = shard_from_cells(&cells);
+        let mut value: Value = serde_json::from_str(&shard.to_json().unwrap()).unwrap();
+        set_field(
+            &mut value,
+            &["table", "total"],
+            Value::U64(shard.tuple_count() + forged_delta),
+        );
+        reject(&value);
+    }
+
+    /// Any format stamp but the current one is refused with the structured
+    /// error, for shards and snapshot metadata alike.
+    #[test]
+    fn prop_foreign_format_versions_are_refused(stamp in any::<u64>()) {
+        prop_assume!(stamp != WIRE_FORMAT_VERSION);
+        let mut value: Value =
+            serde_json::from_str(&shard_from_cells(&[1, 2, 3]).to_json().unwrap()).unwrap();
+        set_field(&mut value, &["format_version"], Value::U64(stamp));
+        prop_assert!(matches!(
+            CountShard::from_value(&value),
+            Err(StreamError::FormatVersion { found: Some(found) }) if found == stamp
+        ));
+
+        let meta = SnapshotMeta {
+            format_version: stamp,
+            version: 1,
+            observations: 10,
+            warm_started: false,
+            constraints: 4,
+            attributes: 3,
+        };
+        prop_assert!(matches!(
+            meta.validate_format(),
+            Err(StreamError::FormatVersion { found: Some(found) }) if found == stamp
+        ));
+        let forged = serde::Serialize::serialize(&meta);
+        prop_assert!(SnapshotMeta::from_value(&forged).is_err());
+    }
+}
