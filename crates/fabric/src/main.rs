@@ -11,18 +11,23 @@
 //! pka-fabric replica     [--port N] [--host H] SCHEMA [--coordinator ADDR]
 //!                        [--pull-interval-ms N]
 //! pka-fabric probe --coordinator ADDR [--replica ADDR]...
-//!                  [--ingest ADDR]... [--rows N] [--shutdown]
+//!                  [--ingest ADDR]... [--rows N] [--idle-hold N]
+//!                  [--shutdown]
 //! ```
 //!
 //! `SCHEMA` is `--schema name=v1|v2;…`, `--cards 3,2,2` or `--survey`, as
 //! in `pka-serve`; every node of one fabric must be given the same schema.
+//! Every role also accepts the reactor flags `--loop-shards`,
+//! `--max-connections` and `--idle-timeout-ms` (as in `pka-serve`).
 //! On startup each node prints `listening on <addr>` to stdout so wrapper
 //! scripts can scrape ephemeral ports.
 //!
 //! The probe ingests deterministic rows (into the `--ingest` nodes if
 //! given, else straight into the coordinator), forces a refresh, waits for
 //! every `--replica` to reach the coordinator's snapshot version, checks
-//! the replicas' answers against the coordinator's, and with `--shutdown`
+//! the replicas' answers against the coordinator's, with `--idle-hold N`
+//! parks `N` extra idle connections on the coordinator and asserts it
+//! reports them all open (the CI fan-in check), and with `--shutdown`
 //! stops every node (replicas and ingest nodes first, coordinator last).
 
 use pka_contingency::{Attribute, Schema};
@@ -139,6 +144,20 @@ fn base_serve(options: &Options) -> Result<ServeConfig, String> {
     if let Some(name) = options.value("--name") {
         config = config.with_node_name(name);
     }
+    if let Some(shards) = options.value("--loop-shards") {
+        config = config
+            .with_loop_shards(shards.parse().map_err(|_| format!("bad --loop-shards `{shards}`"))?);
+    }
+    if let Some(cap) = options.value("--max-connections") {
+        config = config.with_max_connections(
+            cap.parse().map_err(|_| format!("bad --max-connections `{cap}`"))?,
+        );
+    }
+    if let Some(idle) = options.value("--idle-timeout-ms") {
+        config = config.with_idle_timeout_ms(
+            idle.parse().map_err(|_| format!("bad --idle-timeout-ms `{idle}`"))?,
+        );
+    }
     Ok(config)
 }
 
@@ -181,6 +200,9 @@ const NODE_FLAGS: &[&str] = &[
     "--sync-interval-ms",
     "--push-interval-ms",
     "--pull-interval-ms",
+    "--loop-shards",
+    "--max-connections",
+    "--idle-timeout-ms",
 ];
 
 fn coordinator(args: &[String]) -> Result<(), String> {
@@ -244,8 +266,10 @@ fn replica(args: &[String]) -> Result<(), String> {
 
 /// Drives a running fabric end to end and fails loudly on any surprise.
 fn probe(args: &[String]) -> Result<(), String> {
-    let options =
-        Options::parse(args, &["--coordinator", "--replica", "--ingest", "--rows", "--timeout-s"])?;
+    let options = Options::parse(
+        args,
+        &["--coordinator", "--replica", "--ingest", "--rows", "--timeout-s", "--idle-hold"],
+    )?;
     let coordinator_addr =
         options.value("--coordinator").ok_or("probe needs --coordinator HOST:PORT")?;
     let replica_addrs = options.values("--replica");
@@ -326,6 +350,32 @@ fn probe(args: &[String]) -> Result<(), String> {
             other => return Err(format!("replica {addr} did not refuse ingest: {other:?}")),
         }
         println!("probe: replica {addr} converged (version {last_seen})");
+    }
+
+    // Optional fan-in check: park N extra idle connections on the
+    // coordinator and make it count them, proving the reactor carries the
+    // fabric's connection load without a thread per socket.
+    if let Some(hold) = options.value("--idle-hold") {
+        let hold: usize = hold.parse().map_err(|_| format!("bad --idle-hold `{hold}`"))?;
+        let mut held = Vec::with_capacity(hold);
+        for i in 0..hold {
+            held.push(
+                std::net::TcpStream::connect(coordinator_addr)
+                    .map_err(|e| format!("idle-hold connect {i}: {e}"))?,
+            );
+        }
+        // `+ 1` for the probe's own protocol connection; pusher and pump
+        // connections from the other roles only push the count higher.
+        wait_for(timeout, "coordinator to report every held connection", || {
+            let stats = coordinator.server_stats().map_err(|e| e.to_string())?;
+            Ok(stats.open_connections > hold as u64)
+        })?;
+        let stats = coordinator.server_stats().map_err(|e| e.to_string())?;
+        println!(
+            "probe: idle-hold ok ({} connections open, shard occupancy {:?})",
+            stats.open_connections, stats.shard_connections
+        );
+        drop(held);
     }
 
     if options.present("--shutdown") {

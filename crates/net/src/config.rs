@@ -1,0 +1,65 @@
+//! Reactor configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs of a [`crate::Reactor`].
+///
+/// The derived serde impls make the config round-trippable on the wire
+/// (flag files, stats dumps); [`NetConfig::normalized`] is what the
+/// reactor actually runs with, so a zero or absurd value can never put a
+/// loop into an unservable state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// Number of event-loop shards.  Connections are assigned round-robin
+    /// at accept time and stay on their shard for life.
+    pub loop_shards: usize,
+    /// Cap on concurrently open connections across all shards; past it the
+    /// acceptor refuses new sockets with a structured `server-overloaded`
+    /// line (best effort) and drops them.
+    pub max_connections: usize,
+    /// Idle cutoff in milliseconds: a connection with no read, write, or
+    /// engine-reply progress for this long is reaped by its shard's timer
+    /// wheel.  `0` disables idle sweeping.
+    pub idle_timeout_ms: u64,
+    /// Cap on one request line; longer lines are discarded and answered
+    /// with the service's overlong response.
+    pub max_line_bytes: usize,
+    /// Write-buffer high-water mark in bytes.  Past it the shard stops
+    /// reading (and so stops producing responses) for that connection
+    /// until the peer drains; a never-reading peer therefore stalls only
+    /// itself and is eventually idle-reaped.
+    pub write_high_water: usize,
+}
+
+impl NetConfig {
+    /// Default reactor shape: 2 loop shards, 8192 connections, 60 s idle
+    /// cutoff, 1 MiB lines, 256 KiB write high-water.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The config the reactor actually runs with: every field clamped into
+    /// its servable range (at least one shard, one connection slot, a
+    /// 64-byte line cap and a 4 KiB write buffer).
+    pub fn normalized(&self) -> Self {
+        Self {
+            loop_shards: self.loop_shards.max(1),
+            max_connections: self.max_connections.max(1),
+            idle_timeout_ms: self.idle_timeout_ms,
+            max_line_bytes: self.max_line_bytes.max(64),
+            write_high_water: self.write_high_water.max(4096),
+        }
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            loop_shards: 2,
+            max_connections: 8192,
+            idle_timeout_ms: 60_000,
+            max_line_bytes: 1 << 20,
+            write_high_water: 256 << 10,
+        }
+    }
+}

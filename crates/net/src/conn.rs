@@ -1,0 +1,292 @@
+//! Per-connection state machine: buffered line framing in, buffered
+//! nonblocking writes out.
+
+use polling::Interest;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// What one attempt to extract the next request line produced.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum LineStep {
+    /// A complete line occupies `read_buf[start..end]` (terminator and a
+    /// trailing `\r` excluded).  The range stays valid until the next
+    /// `next_line`/`compact` call.
+    Line { start: usize, end: usize },
+    /// A line exceeded the cap; its bytes have been discarded.  The
+    /// service's overlong response is owed at this position of the
+    /// pipeline.
+    Overlong,
+    /// No complete line buffered: need more bytes, or the peer is done.
+    Pending,
+}
+
+/// One connection owned by a loop shard.
+pub(crate) struct Connection {
+    pub(crate) stream: TcpStream,
+    /// Bytes read but not yet framed; `cursor` marks the consumed prefix.
+    read_buf: Vec<u8>,
+    cursor: usize,
+    /// Queued response bytes; `write_pos` marks the flushed prefix.
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// The interest currently registered with the poll (`None` = not
+    /// registered), so reconciliation only issues epoll_ctl on change.
+    pub(crate) interest: Option<Interest>,
+    /// Mid-discard of an overlong line: swallow bytes until a newline.
+    overlong_drain: bool,
+    /// An engine-bound request is in flight; reads stay paused until its
+    /// completion lands (preserves pipelined response order).
+    pub(crate) await_engine: bool,
+    /// The peer sent EOF; finish the buffered tail, flush, close.
+    pub(crate) peer_eof: bool,
+    /// Close as soon as the write buffer flushes.
+    pub(crate) closing: bool,
+    /// Last read/write/engine-reply progress, for the idle sweep.
+    pub(crate) last_activity: Instant,
+}
+
+impl Connection {
+    pub(crate) fn new(stream: TcpStream, now: Instant) -> Self {
+        Self {
+            stream,
+            read_buf: Vec::new(),
+            cursor: 0,
+            write_buf: Vec::new(),
+            write_pos: 0,
+            interest: None,
+            overlong_drain: false,
+            await_engine: false,
+            peer_eof: false,
+            closing: false,
+            last_activity: now,
+        }
+    }
+
+    /// Appends freshly-read bytes to the framing buffer.
+    pub(crate) fn push_bytes(&mut self, bytes: &[u8]) {
+        self.read_buf.extend_from_slice(bytes);
+    }
+
+    /// The framed slice for a [`LineStep::Line`] result.
+    pub(crate) fn line(&self, start: usize, end: usize) -> &[u8] {
+        &self.read_buf[start..end]
+    }
+
+    /// Extracts the next request line from the framing buffer.
+    ///
+    /// Framing contract (mirrors the blocking reader it replaces): a line
+    /// is terminated by `\n` with an optional preceding `\r`; an empty
+    /// line is a (malformed) request, not a keep-alive; a line longer than
+    /// `max` bytes (CR included, LF excluded) is discarded up to its
+    /// newline and reported as [`LineStep::Overlong`] exactly once; after
+    /// EOF a non-empty unterminated tail is processed as a final line.
+    pub(crate) fn next_line(&mut self, max: usize) -> LineStep {
+        if self.overlong_drain {
+            match find_newline(&self.read_buf[self.cursor..]) {
+                Some(i) => {
+                    self.cursor += i + 1;
+                    self.overlong_drain = false;
+                    return LineStep::Overlong;
+                }
+                None => {
+                    // Keep nothing of a line already known overlong.
+                    self.read_buf.clear();
+                    self.cursor = 0;
+                    if self.peer_eof {
+                        self.overlong_drain = false;
+                        return LineStep::Overlong;
+                    }
+                    return LineStep::Pending;
+                }
+            }
+        }
+        match find_newline(&self.read_buf[self.cursor..]) {
+            Some(i) => {
+                let start = self.cursor;
+                let mut end = self.cursor + i;
+                self.cursor = end + 1;
+                if end - start > max {
+                    return LineStep::Overlong;
+                }
+                if end > start && self.read_buf[end - 1] == b'\r' {
+                    end -= 1;
+                }
+                LineStep::Line { start, end }
+            }
+            None => {
+                let pending = self.read_buf.len() - self.cursor;
+                if pending > max {
+                    self.read_buf.clear();
+                    self.cursor = 0;
+                    if self.peer_eof {
+                        return LineStep::Overlong;
+                    }
+                    self.overlong_drain = true;
+                    return LineStep::Pending;
+                }
+                if self.peer_eof && pending > 0 {
+                    // EOF flushes the unterminated tail as a final request
+                    // (no terminator, so no `\r` stripping either — the
+                    // `\r` was part of what the peer actually sent).
+                    let start = self.cursor;
+                    let end = self.read_buf.len();
+                    self.cursor = end;
+                    return LineStep::Line { start, end };
+                }
+                LineStep::Pending
+            }
+        }
+    }
+
+    /// Drops the consumed prefix of the framing buffer.
+    pub(crate) fn compact(&mut self) {
+        if self.cursor > 0 {
+            self.read_buf.drain(..self.cursor);
+            self.cursor = 0;
+        }
+    }
+
+    /// Queues one response line (newline appended here).
+    pub(crate) fn queue_response(&mut self, line: &str) {
+        self.write_buf.extend_from_slice(line.as_bytes());
+        self.write_buf.push(b'\n');
+    }
+
+    /// Unflushed response bytes currently queued.
+    pub(crate) fn write_backlog(&self) -> usize {
+        self.write_buf.len() - self.write_pos
+    }
+
+    /// Writes as much queued output as the socket accepts right now.
+    /// Returns the bytes written; `WouldBlock` is progress-zero, not an
+    /// error.  A slow or dead peer therefore never blocks the loop.
+    pub(crate) fn try_flush(&mut self) -> std::io::Result<usize> {
+        let mut written = 0;
+        while self.write_pos < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => return Err(ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.write_pos += n;
+                    written += n;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if self.write_pos == self.write_buf.len() {
+            self.write_buf.clear();
+            self.write_pos = 0;
+        } else if self.write_pos >= 64 << 10 {
+            // Keep a long-draining buffer from holding its flushed prefix.
+            self.write_buf.drain(..self.write_pos);
+            self.write_pos = 0;
+        }
+        Ok(written)
+    }
+
+    /// Reads once from the socket into the framing buffer via `scratch`.
+    /// Returns `Ok(true)` if the connection made progress (bytes or EOF),
+    /// `Ok(false)` on `WouldBlock`.  One bounded read per readiness event
+    /// keeps shard time fair across connections; level-triggered polling
+    /// re-reports whatever remains.
+    pub(crate) fn read_once(&mut self, scratch: &mut [u8]) -> std::io::Result<bool> {
+        match self.stream.read(scratch) {
+            Ok(0) => {
+                self.peer_eof = true;
+                Ok(true)
+            }
+            Ok(n) => {
+                self.push_bytes(&scratch[..n]);
+                Ok(true)
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::Interrupted => {
+                Ok(false)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+fn find_newline(buf: &[u8]) -> Option<usize> {
+    buf.iter().position(|&b| b == b'\n')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn conn() -> Connection {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        Connection::new(stream, Instant::now())
+    }
+
+    fn expect_line(c: &mut Connection, max: usize) -> Vec<u8> {
+        match c.next_line(max) {
+            LineStep::Line { start, end } => c.line(start, end).to_vec(),
+            other => panic!("expected a line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frames_pipelined_lines_and_strips_crlf() {
+        let mut c = conn();
+        c.push_bytes(b"alpha\r\nbeta\n\ngamma");
+        assert_eq!(expect_line(&mut c, 1024), b"alpha");
+        assert_eq!(expect_line(&mut c, 1024), b"beta");
+        assert_eq!(expect_line(&mut c, 1024), b"");
+        assert_eq!(c.next_line(1024), LineStep::Pending);
+        c.compact();
+        c.peer_eof = true;
+        assert_eq!(expect_line(&mut c, 1024), b"gamma");
+        assert_eq!(c.next_line(1024), LineStep::Pending);
+    }
+
+    #[test]
+    fn overlong_line_reported_once_and_connection_reusable() {
+        let mut c = conn();
+        let long = vec![b'x'; 100];
+        c.push_bytes(&long);
+        // Cap is 64: the partial 100-byte line is already known overlong,
+        // but the report waits for its newline (response order).
+        assert_eq!(c.next_line(64), LineStep::Pending);
+        c.push_bytes(&long);
+        assert_eq!(c.next_line(64), LineStep::Pending);
+        c.push_bytes(b"tail\nok\n");
+        assert_eq!(c.next_line(64), LineStep::Overlong);
+        assert_eq!(expect_line(&mut c, 64), b"ok");
+    }
+
+    #[test]
+    fn overlong_line_with_newline_in_same_chunk() {
+        let mut c = conn();
+        let mut chunk = vec![b'y'; 80];
+        chunk.push(b'\n');
+        chunk.extend_from_slice(b"next\n");
+        c.push_bytes(&chunk);
+        assert_eq!(c.next_line(64), LineStep::Overlong);
+        assert_eq!(expect_line(&mut c, 64), b"next");
+    }
+
+    #[test]
+    fn overlong_then_eof_still_reports() {
+        let mut c = conn();
+        c.push_bytes(&[b'z'; 80]);
+        assert_eq!(c.next_line(64), LineStep::Pending);
+        c.peer_eof = true;
+        assert_eq!(c.next_line(64), LineStep::Overlong);
+        assert_eq!(c.next_line(64), LineStep::Pending);
+    }
+
+    #[test]
+    fn line_exactly_at_cap_passes() {
+        let mut c = conn();
+        let mut chunk = vec![b'a'; 64];
+        chunk.push(b'\n');
+        c.push_bytes(&chunk);
+        assert_eq!(expect_line(&mut c, 64), vec![b'a'; 64].as_slice());
+    }
+}

@@ -1,0 +1,121 @@
+//! Reactor telemetry: lock-free counters shared by the acceptor, every
+//! loop shard, and whoever serves a stats endpoint.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Why a shard closed a connection (drives the counter taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CloseReason {
+    /// The peer finished cleanly (EOF) or the service asked to close after
+    /// responding (e.g. a `shutdown` acknowledgement) — not a drop.
+    Clean,
+    /// The server gave up on the connection: socket error, failed write,
+    /// or force-close at the end of a shutdown drain.
+    Abnormal,
+    /// The idle timer wheel reaped the connection.
+    IdleTimeout,
+}
+
+/// Connection-lifecycle counters for one reactor.
+///
+/// `accepted` counts sockets handed to a loop shard over the reactor's
+/// lifetime; `open` is the current population (the acceptor increments it
+/// at handoff, the owning shard decrements it at close, so it also gates
+/// the overload cap); `dropped` counts server-initiated closes that were
+/// not clean client EOFs, of which `idle_timeouts` is the idle-reap
+/// subset.  `overload_refusals` counts sockets refused at accept time —
+/// those never reach `accepted`.  `shard_open` is the per-shard share of
+/// `open` (it can transiently lag `open` while a socket is in flight from
+/// the acceptor to its shard).
+#[derive(Debug)]
+pub struct ReactorMetrics {
+    accepted: AtomicU64,
+    open: AtomicU64,
+    dropped: AtomicU64,
+    idle_timeouts: AtomicU64,
+    overload_refusals: AtomicU64,
+    shard_open: Box<[AtomicU64]>,
+}
+
+impl ReactorMetrics {
+    /// Counters for a reactor with `loop_shards` shards, all zero.
+    pub fn new(loop_shards: usize) -> Self {
+        Self {
+            accepted: AtomicU64::new(0),
+            open: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            idle_timeouts: AtomicU64::new(0),
+            overload_refusals: AtomicU64::new(0),
+            shard_open: (0..loop_shards.max(1)).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of loop shards these counters were sized for.
+    pub fn shard_count(&self) -> usize {
+        self.shard_open.len()
+    }
+
+    /// Connections handed to a loop shard over the reactor's lifetime.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently open (or in flight to their shard).
+    pub fn open(&self) -> u64 {
+        self.open.load(Ordering::Relaxed)
+    }
+
+    /// Server-initiated closes that were not clean client EOFs.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Connections reaped by the idle timer wheel (subset of `dropped`).
+    pub fn idle_timeouts(&self) -> u64 {
+        self.idle_timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Sockets refused at accept time because `max_connections` was hit.
+    pub fn overload_refusals(&self) -> u64 {
+        self.overload_refusals.load(Ordering::Relaxed)
+    }
+
+    /// Current open-connection count per loop shard.
+    pub fn shard_open(&self) -> Vec<u64> {
+        self.shard_open.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    pub(crate) fn on_accept(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_refused(&self) {
+        self.overload_refusals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The socket was accepted but never reached a shard slot (handoff or
+    /// registration failed, or the shard was already draining).
+    pub(crate) fn on_handoff_failed(&self) {
+        self.open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_adopt(&self, shard: usize) {
+        self.shard_open[shard].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_close(&self, shard: usize, reason: CloseReason) {
+        self.open.fetch_sub(1, Ordering::Relaxed);
+        self.shard_open[shard].fetch_sub(1, Ordering::Relaxed);
+        match reason {
+            CloseReason::Clean => {}
+            CloseReason::Abnormal => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            CloseReason::IdleTimeout => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                self.idle_timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! A lazy hashed timer wheel for idle-connection sweeping.
+//!
+//! Each live connection keeps exactly one entry in its shard's wheel.
+//! Activity does **not** move the entry (that would cost a removal per
+//! read); instead the entry fires at the connection's *original* deadline
+//! and the shard re-checks the real `last_activity` then — still fresh
+//! means reinsert at the true deadline, stale means reap.  Entries are
+//! `(slot, generation)` pairs, so an entry left behind by a closed
+//! connection is recognised and discarded when it fires.
+
+use std::time::{Duration, Instant};
+
+/// Number of wheel slots.  Any deadline further out than the wheel spans
+/// is clamped to the far edge; lazy re-checking makes that early firing
+/// harmless (the entry is just reinserted).
+const WHEEL_SLOTS: usize = 64;
+
+pub(crate) struct TimerWheel {
+    slots: Vec<Vec<(usize, u64)>>,
+    tick: Duration,
+    cursor: usize,
+    /// The wall-clock time slot `cursor` represents.
+    cursor_time: Instant,
+}
+
+impl TimerWheel {
+    pub(crate) fn new(tick: Duration, now: Instant) -> Self {
+        Self {
+            slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            tick: tick.max(Duration::from_millis(1)),
+            cursor: 0,
+            cursor_time: now,
+        }
+    }
+
+    /// Schedules `(slot, gen)` to fire at or shortly after `deadline`.
+    pub(crate) fn insert(&mut self, deadline: Instant, conn_slot: usize, gen: u64) {
+        let delay = deadline.saturating_duration_since(self.cursor_time);
+        // Ceiling division: an entry must never fire before its deadline
+        // out of mere rounding (early firing is only for clamped far-out
+        // deadlines, where the caller reinserts).
+        let ticks =
+            delay.as_nanos().div_ceil(self.tick.as_nanos()).clamp(1, (WHEEL_SLOTS - 1) as u128)
+                as usize;
+        let idx = (self.cursor + ticks) % WHEEL_SLOTS;
+        self.slots[idx].push((conn_slot, gen));
+    }
+
+    /// Advances the wheel to `now`, collecting every entry whose slot has
+    /// come due into `expired` (cleared first).
+    pub(crate) fn advance(&mut self, now: Instant, expired: &mut Vec<(usize, u64)>) {
+        expired.clear();
+        let mut steps = 0usize;
+        while now.saturating_duration_since(self.cursor_time) >= self.tick {
+            self.cursor = (self.cursor + 1) % WHEEL_SLOTS;
+            self.cursor_time += self.tick;
+            expired.append(&mut self.slots[self.cursor]);
+            steps += 1;
+            // After a full revolution every slot has been drained; fast-
+            // forward the cursor time instead of spinning (e.g. after the
+            // process was suspended for much longer than the wheel spans).
+            if steps == WHEEL_SLOTS {
+                self.cursor_time = now;
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_after_deadline_not_before() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), t0);
+        wheel.insert(t0 + Duration::from_millis(35), 3, 7);
+        let mut expired = Vec::new();
+        wheel.advance(t0 + Duration::from_millis(20), &mut expired);
+        assert!(expired.is_empty());
+        wheel.advance(t0 + Duration::from_millis(60), &mut expired);
+        assert_eq!(expired, vec![(3, 7)]);
+        // One-shot: it does not fire again.
+        wheel.advance(t0 + Duration::from_millis(800), &mut expired);
+        assert!(expired.is_empty());
+    }
+
+    #[test]
+    fn far_deadline_clamps_to_wheel_edge_and_refires_on_reinsert() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), t0);
+        // 10 s is far beyond the 640 ms the wheel spans: clamped to the
+        // far edge, fires early, and the caller reinserts.
+        wheel.insert(t0 + Duration::from_secs(10), 1, 1);
+        let mut expired = Vec::new();
+        wheel.advance(t0 + Duration::from_millis(700), &mut expired);
+        assert_eq!(expired, vec![(1, 1)]);
+        wheel.insert(t0 + Duration::from_secs(10), 1, 1);
+        wheel.advance(t0 + Duration::from_millis(1400), &mut expired);
+        assert_eq!(expired, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn long_suspension_drains_everything_without_spinning() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), t0);
+        for conn in 0..5 {
+            wheel.insert(t0 + Duration::from_millis(10 * (conn as u64 + 1)), conn, 0);
+        }
+        let mut expired = Vec::new();
+        // Hours later: one advance call drains all slots.
+        wheel.advance(t0 + Duration::from_secs(3600), &mut expired);
+        let mut conns: Vec<usize> = expired.iter().map(|&(c, _)| c).collect();
+        conns.sort_unstable();
+        assert_eq!(conns, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,35 @@
+//! Serde/proptest surface of the reactor config: any `NetConfig`
+//! round-trips through the wire format, and normalization is idempotent.
+
+use pka_net::NetConfig;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn roundtrips_through_json_and_normalizes_servable(
+        loop_shards in 0usize..64,
+        max_connections in 0usize..100_000,
+        idle_timeout_ms in 0u64..600_000,
+        max_line_bytes in 0usize..(8 << 20),
+        write_high_water in 0usize..(4 << 20),
+    ) {
+        let config = NetConfig {
+            loop_shards,
+            max_connections,
+            idle_timeout_ms,
+            max_line_bytes,
+            write_high_water,
+        };
+        let encoded = serde_json::to_string(&config).unwrap();
+        let decoded: NetConfig = serde_json::from_str(&encoded).unwrap();
+        prop_assert_eq!(&decoded, &config);
+
+        let normalized = config.normalized();
+        prop_assert!(normalized.loop_shards >= 1);
+        prop_assert!(normalized.max_connections >= 1);
+        prop_assert!(normalized.max_line_bytes >= 64);
+        prop_assert!(normalized.write_high_water >= 4096);
+        prop_assert_eq!(normalized.idle_timeout_ms, config.idle_timeout_ms);
+        prop_assert_eq!(normalized.normalized(), normalized.clone());
+    }
+}

@@ -16,12 +16,18 @@
 //!    atomic-pointer slot ([`pka_stream::SnapshotHandle`]); no lock, no
 //!    retry loop, no contention with refit publishes.
 //! 2. **Single-writer ingest.**  The engine lives on its own thread behind
-//!    an MPSC channel, so policy-triggered refits run off the connection
-//!    threads and concurrent ingesters serialise without locks.
+//!    an MPSC channel, so policy-triggered refits run off the event loops
+//!    and concurrent ingesters serialise without locks.
 //! 3. **Bounded, recoverable protocol handling.**  Request lines are
 //!    length-capped, malformed input (bad JSON, bad UTF-8, unknown
 //!    methods, bad params) is answered with a structured error, and the
 //!    connection stays usable afterwards.
+//! 4. **A bounded-thread reactor front end.**  Connections are served by
+//!    a fixed set of `pka-net` event-loop shards (thread count is
+//!    `loop_shards + 2` at any connection count), with an open-connection
+//!    cap answered by structured `server-overloaded` refusals, idle
+//!    reaping, slow-reader backpressure and a graceful shutdown drain —
+//!    see `docs/net.md`.
 //!
 //! ```
 //! use pka_contingency::Schema;

@@ -5,8 +5,9 @@
 //! ```text
 //! pka-serve [--port N] [--host H] [--shards K] [--policy P] \
 //!           [--schema SPEC | --cards 3,2,2 | --survey] [--max-line-bytes N] \
-//!           [--lattice-order K]
-//! pka-serve probe --addr HOST:PORT [--shutdown]
+//!           [--lattice-order K] [--loop-shards K] [--max-connections N] \
+//!           [--idle-timeout-ms N]
+//! pka-serve probe --addr HOST:PORT [--idle-hold N] [--shutdown]
 //! ```
 //!
 //! * `--policy` is `manual`, `every=N` or `fraction=F`.
@@ -15,6 +16,10 @@
 //! * `--schema` is `name=v1|v2|…;name2=…`; `--cards` builds an anonymous
 //!   uniform schema; `--survey` is the memo's smoking/cancer/family-history
 //!   survey.
+//! * `--loop-shards`, `--max-connections` and `--idle-timeout-ms` shape
+//!   the reactor front end (event loops, connection cap, idle reaping).
+//! * `probe --idle-hold N` opens `N` extra idle connections mid-probe and
+//!   asserts the server reports them all open — the CI concurrency check.
 //!
 //! On startup the server prints `listening on <addr>` to stdout, so a
 //! wrapper script can scrape the ephemeral port.
@@ -86,6 +91,9 @@ fn serve(args: &[String]) -> Result<(), String> {
             "--cards",
             "--max-line-bytes",
             "--lattice-order",
+            "--loop-shards",
+            "--max-connections",
+            "--idle-timeout-ms",
         ],
     )?;
 
@@ -113,6 +121,20 @@ fn serve(args: &[String]) -> Result<(), String> {
     if let Some(max) = options.value("--max-line-bytes") {
         config = config
             .with_max_line_bytes(max.parse().map_err(|_| format!("bad --max-line-bytes `{max}`"))?);
+    }
+    if let Some(shards) = options.value("--loop-shards") {
+        config = config
+            .with_loop_shards(shards.parse().map_err(|_| format!("bad --loop-shards `{shards}`"))?);
+    }
+    if let Some(cap) = options.value("--max-connections") {
+        config = config.with_max_connections(
+            cap.parse().map_err(|_| format!("bad --max-connections `{cap}`"))?,
+        );
+    }
+    if let Some(idle) = options.value("--idle-timeout-ms") {
+        config = config.with_idle_timeout_ms(
+            idle.parse().map_err(|_| format!("bad --idle-timeout-ms `{idle}`"))?,
+        );
     }
 
     let server = Server::start(schema, config).map_err(|e| e.to_string())?;
@@ -178,7 +200,7 @@ fn parse_policy(policy: &str) -> Result<RefreshPolicy, String> {
 /// The integration probe: drives every protocol method against a live
 /// server, including malformed input, and fails loudly on any surprise.
 fn probe(args: &[String]) -> Result<(), String> {
-    let options = Options::parse(args, &["--addr"])?;
+    let options = Options::parse(args, &["--addr", "--idle-hold"])?;
     let addr = options.value("--addr").ok_or("probe needs --addr HOST:PORT")?;
     let mut client = LineClient::connect(addr).map_err(|e| e.to_string())?;
 
@@ -289,7 +311,43 @@ fn probe(args: &[String]) -> Result<(), String> {
         stats.total_ingested, stats.refits, server_stats.lattice_hits
     );
 
-    // 8. Pipelined queries all answer in order.
+    // 8. Optional concurrency check: hold N idle connections open at once
+    //    and make the server report them, proving the event-loop front end
+    //    carries the fan-in without a thread per socket.
+    if let Some(hold) = options.value("--idle-hold") {
+        let hold: usize = hold.parse().map_err(|_| format!("bad --idle-hold `{hold}`"))?;
+        let mut held = Vec::with_capacity(hold);
+        for i in 0..hold {
+            held.push(
+                std::net::TcpStream::connect(addr)
+                    .map_err(|e| format!("idle-hold connect {i}: {e}"))?,
+            );
+        }
+        // The last few sockets may still be in flight from the acceptor to
+        // their shard; ask over the live protocol connection until the
+        // server counts them all.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let open = client
+                .server_stats()
+                .map_err(|e| format!("server stats during idle-hold: {e}"))?
+                .open_connections;
+            // `+ 1` for the probe's own protocol connection.
+            if open > hold as u64 {
+                println!("probe: idle-hold ok ({open} connections open)");
+                break;
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(format!(
+                    "held {hold} idle connections but the server only reports {open} open"
+                ));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        drop(held);
+    }
+
+    // 9. Pipelined queries all answer in order.
     let batch: Vec<(&str, serde::Value)> =
         (0..16).map(|_| ("ping", protocol::object([]))).collect();
     let responses = client.pipeline(&batch).map_err(|e| format!("pipeline: {e}"))?;

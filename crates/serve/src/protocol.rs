@@ -46,6 +46,9 @@ pub enum ErrorCode {
     InvalidUtf8,
     /// The server is shutting down and no longer accepts work.
     ShuttingDown,
+    /// The server is at its connection cap and refused the connection
+    /// (sent best-effort before the refused socket closes).
+    Overloaded,
     /// A fabric payload (`shard-push` shard, `snapshot-sync` meta) declared
     /// a wire `format_version` this build does not speak, or none at all.
     FormatVersion,
@@ -68,6 +71,7 @@ impl ErrorCode {
             ErrorCode::OverlongLine => "overlong-line",
             ErrorCode::InvalidUtf8 => "invalid-utf8",
             ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Overloaded => "server-overloaded",
             ErrorCode::FormatVersion => "format-version-mismatch",
             ErrorCode::UnsupportedRole => "role-unsupported",
         }

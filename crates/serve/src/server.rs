@@ -1,25 +1,39 @@
-//! The TCP server: a thread-per-connection accept loop over a wait-free
-//! read path and a single-writer ingest thread.
+//! The TCP server: a readiness-driven reactor (`pka-net`) over a
+//! wait-free read path and a single-writer ingest thread.
 //!
 //! ## Concurrency shape
 //!
-//! * **Readers never contend.**  Every connection thread answers `query` /
+//! * **Bounded threads, unbounded connections.**  Connection handling
+//!   runs on `pka-net`'s event-loop shards: an acceptor thread hands
+//!   nonblocking sockets round-robin to `loop_shards` epoll loops, so
+//!   the server's thread count is `loop_shards + 2` (loops + acceptor +
+//!   engine) whether ten or ten thousand connections are open.
+//! * **Readers never contend.**  Every loop shard answers `query` /
 //!   `explain` / `snapshot-version` requests from
 //!   [`SnapshotHandle::load`] — a wait-free atomic-pointer load — so a
 //!   million concurrent readers cost a refit publish nothing and vice
 //!   versa.
-//! * **Writes funnel through one thread.**  The [`StreamingEngine`] is
-//!   owned by a dedicated engine thread; `ingest`/`refresh`/`stats`
-//!   requests are forwarded over an MPSC channel and answered over a
-//!   per-request reply channel.  Policy-triggered refits therefore run off
-//!   the connection threads, and two clients ingesting concurrently are
-//!   serialised without any locking in the engine itself.
-//! * **Shutdown is cooperative and leak-free.**  The accept loop and every
-//!   connection loop poll a shutdown flag (connections via a short read
-//!   timeout); [`ServerHandle::shutdown`] sets the flag, joins the accept
-//!   thread (which joins every connection thread), then joins the engine
-//!   thread and returns the engine — if a thread leaked, shutdown would
-//!   hang, which is exactly what the CI smoke test checks with a timeout.
+//! * **Writes funnel through one thread, without stalling readers.**
+//!   The [`StreamingEngine`] is owned by a dedicated engine thread;
+//!   `ingest`/`refresh`/`stats` requests are forwarded over an MPSC
+//!   channel with a responder closure and answered asynchronously
+//!   through the connection's [`pka_net::Completion`].  The loop shard
+//!   never blocks on the engine: while one connection awaits a refit,
+//!   its shard keeps serving every other connection, and the paused
+//!   connection's pipelined requests stay buffered so response order is
+//!   preserved.
+//! * **Robustness policy lives in the reactor.**  Overlong lines,
+//!   slow-reader backpressure, idle-connection reaping, the
+//!   `max_connections` cap with structured `server-overloaded` refusals,
+//!   and the graceful shutdown drain are `pka-net`'s job (see
+//!   `docs/net.md`); this module only supplies the protocol semantics
+//!   via [`pka_net::LineService`].
+//! * **Shutdown is cooperative and leak-free.**  The reactor and the
+//!   engine share one shutdown flag; [`ServerHandle::shutdown`] raises
+//!   it, joins the reactor (which drains and closes every connection),
+//!   then joins the engine thread and returns the engine — if a thread
+//!   leaked, shutdown would hang, which is exactly what the CI smoke
+//!   test checks with a timeout.
 
 use crate::error::ServeError;
 use crate::protocol::{
@@ -29,29 +43,16 @@ use crate::protocol::{
 use pka_contingency::{Assignment, Schema};
 use pka_core::{KnowledgeBase, Query};
 use pka_expert::explain_query;
+use pka_net::{Action, Completion, LineService, NetConfig, Reactor, ReactorHandle, ReactorMetrics};
 use pka_stream::{
     CountShard, RefitOutcome, RefitReport, Snapshot, SnapshotHandle, SnapshotMeta, StreamConfig,
     StreamError, StreamingEngine, SyncReport, WIRE_FORMAT_VERSION,
 };
 use serde::{Deserialize, Serialize, Value};
-use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Duration;
-
-/// How long a blocked connection read waits before re-checking the
-/// shutdown flag.
-const READ_POLL: Duration = Duration::from_millis(50);
-/// Cap on one blocking response write.  A client that pipelines requests
-/// but never reads would otherwise fill the socket buffer and wedge its
-/// connection thread in `write_all` forever — unreachable by the shutdown
-/// flag and therefore unjoinable.  Past this, the client is considered
-/// dead and the connection is dropped.
-const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
-/// How long the accept loop sleeps when no connection is pending.
-const ACCEPT_POLL: Duration = Duration::from_millis(5);
 
 /// A server's place in a `pka-fabric` deployment, gating which protocol
 /// methods it serves.  Every role answers the full read protocol (`query`,
@@ -104,10 +105,19 @@ pub struct ServeConfig {
     /// Name this node reports as the `source` of its `shard-pull` exports;
     /// defaults to the bound address.
     pub node_name: Option<String>,
+    /// Event-loop shards the reactor runs (default 2; clamped to ≥ 1).
+    pub loop_shards: usize,
+    /// Cap on concurrently open connections; further connects are refused
+    /// with a structured `server-overloaded` line (default 8192).
+    pub max_connections: usize,
+    /// Idle-connection timeout in milliseconds; `0` disables reaping
+    /// (default 60 000).
+    pub idle_timeout_ms: u64,
 }
 
 impl ServeConfig {
-    /// Defaults: loopback, ephemeral port, default engine, 1 MiB lines.
+    /// Defaults: loopback, ephemeral port, default engine, 1 MiB lines,
+    /// 2 loop shards, 8192 connections, 60 s idle timeout.
     pub fn new() -> Self {
         Self::default()
     }
@@ -147,6 +157,24 @@ impl ServeConfig {
         self.node_name = Some(node_name.into());
         self
     }
+
+    /// Sets the number of reactor event-loop shards.
+    pub fn with_loop_shards(mut self, loop_shards: usize) -> Self {
+        self.loop_shards = loop_shards;
+        self
+    }
+
+    /// Sets the open-connection cap.
+    pub fn with_max_connections(mut self, max_connections: usize) -> Self {
+        self.max_connections = max_connections;
+        self
+    }
+
+    /// Sets the idle-connection timeout in milliseconds (`0` disables).
+    pub fn with_idle_timeout_ms(mut self, idle_timeout_ms: u64) -> Self {
+        self.idle_timeout_ms = idle_timeout_ms;
+        self
+    }
 }
 
 impl Default for ServeConfig {
@@ -158,6 +186,9 @@ impl Default for ServeConfig {
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
             role: FabricRole::Standalone,
             node_name: None,
+            loop_shards: 2,
+            max_connections: 8192,
+            idle_timeout_ms: 60_000,
         }
     }
 }
@@ -280,11 +311,26 @@ pub struct EngineStats {
 }
 
 /// Connection-side counters, in wire form (the `server` object of a
-/// `stats` response).
+/// `stats` response).  The connection-lifecycle counters come straight
+/// from the reactor's [`ReactorMetrics`]; see `docs/net.md` for the
+/// taxonomy.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServerStats {
     /// Connections accepted over the server's lifetime.
     pub connections: u64,
+    /// Connections currently open.
+    pub open_connections: u64,
+    /// Server-initiated closes that were not clean client EOFs (socket
+    /// errors, shutdown-drain force-closes, idle reaps).
+    pub dropped_connections: u64,
+    /// Connections reaped by the idle timeout (subset of
+    /// `dropped_connections`).
+    pub idle_timeouts: u64,
+    /// Connections refused at accept time because the server was at its
+    /// `max_connections` cap (never counted in `connections`).
+    pub overload_refusals: u64,
+    /// Current open-connection count per event-loop shard.
+    pub shard_connections: Vec<u64>,
     /// Request lines answered.
     pub requests: u64,
     /// Malformed lines answered with a structured error.
@@ -297,47 +343,55 @@ pub struct ServerStats {
     pub lattice_misses: u64,
 }
 
-/// Commands forwarded from connection threads to the engine thread.
+/// How an [`EngineCommand`]'s outcome travels back: a closure built on the
+/// loop shard that formats the response line and delivers it through the
+/// requesting connection's [`Completion`].  Runs on the engine thread.
+type Responder<T> = Box<dyn FnOnce(T) + Send>;
+
+/// Commands forwarded from loop shards to the engine thread.
 enum EngineCommand {
     Ingest {
         rows: Vec<Vec<usize>>,
-        reply: mpsc::Sender<Result<IngestSummary, String>>,
+        reply: Responder<Result<IngestSummary, String>>,
     },
     Refresh {
-        reply: mpsc::Sender<Result<RefitSummary, String>>,
+        reply: Responder<Result<RefitSummary, String>>,
     },
     Stats {
-        reply: mpsc::Sender<EngineStats>,
+        reply: Responder<EngineStats>,
     },
     /// A `shard-push` delivery from a remote ingest node.
     AbsorbShard {
         source: String,
         seq: u64,
         shard: CountShard,
-        reply: mpsc::Sender<Result<ShardPushSummary, String>>,
+        reply: Responder<Result<ShardPushSummary, String>>,
     },
     /// A `shard-pull` export of the engine's local counts.
     ExportShard {
-        reply: mpsc::Sender<Result<(CountShard, u64), String>>,
+        reply: Responder<Result<(CountShard, u64), String>>,
     },
     /// A `snapshot-sync` delivery from a coordinator.
     SyncSnapshot {
         meta: SnapshotMeta,
         knowledge_base: Box<KnowledgeBase>,
-        reply: mpsc::Sender<Result<SyncSummary, String>>,
+        reply: Responder<Result<SyncSummary, String>>,
     },
 }
 
-/// State shared by the accept loop and every connection thread.
+/// State shared by the loop shards, the engine responders, and the
+/// server handle.
 struct Shared {
     schema: Arc<Schema>,
     snapshots: SnapshotHandle,
     role: FabricRole,
     /// Name reported as this node's `shard-pull` source.
     node_name: String,
-    shutdown: AtomicBool,
+    /// Shared with the reactor: raising it drains every reactor thread.
+    shutdown: Arc<AtomicBool>,
     max_line_bytes: usize,
-    connections: AtomicU64,
+    /// The reactor's connection telemetry (accepted/open/dropped/...).
+    net: Arc<ReactorMetrics>,
     requests: AtomicU64,
     protocol_errors: AtomicU64,
     /// Marginal evaluations answered by a snapshot's lattice table
@@ -348,19 +402,47 @@ struct Shared {
     lattice_misses: AtomicU64,
 }
 
+/// The current [`ServerStats`], assembled from the shared counters and
+/// the reactor's metrics.
+fn server_stats(shared: &Shared) -> ServerStats {
+    ServerStats {
+        connections: shared.net.accepted(),
+        open_connections: shared.net.open(),
+        dropped_connections: shared.net.dropped(),
+        idle_timeouts: shared.net.idle_timeouts(),
+        overload_refusals: shared.net.overload_refusals(),
+        shard_connections: shared.net.shard_open(),
+        requests: shared.requests.load(Ordering::Relaxed),
+        protocol_errors: shared.protocol_errors.load(Ordering::Relaxed),
+        lattice_hits: shared.lattice_hits.load(Ordering::Relaxed),
+        lattice_misses: shared.lattice_misses.load(Ordering::Relaxed),
+    }
+}
+
 /// The server constructor namespace.
 pub struct Server;
 
 impl Server {
-    /// Binds the listener, spawns the engine and accept threads, and
-    /// returns a handle.  The server is serving as soon as this returns.
+    /// Binds the listener, spawns the engine thread and the reactor
+    /// (acceptor + loop shards), and returns a handle.  The server is
+    /// serving as soon as this returns.
     pub fn start(schema: Arc<Schema>, config: ServeConfig) -> Result<ServerHandle, ServeError> {
         let engine = StreamingEngine::new(Arc::clone(&schema), config.stream.clone())
             .map_err(|e| ServeError::Config { reason: e.to_string() })?;
         let snapshots = engine.handle();
         let listener = TcpListener::bind((config.host.as_str(), config.port))?;
-        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+
+        let net_config = NetConfig {
+            loop_shards: config.loop_shards,
+            max_connections: config.max_connections,
+            idle_timeout_ms: config.idle_timeout_ms,
+            max_line_bytes: config.max_line_bytes,
+            write_high_water: NetConfig::default().write_high_water,
+        }
+        .normalized();
+        let metrics = Arc::new(ReactorMetrics::new(net_config.loop_shards));
+        let shutdown = Arc::new(AtomicBool::new(false));
 
         let (engine_tx, engine_rx) = mpsc::channel::<EngineCommand>();
         let engine_thread = std::thread::Builder::new()
@@ -372,22 +454,22 @@ impl Server {
             snapshots,
             role: config.role,
             node_name: config.node_name.clone().unwrap_or_else(|| addr.to_string()),
-            shutdown: AtomicBool::new(false),
-            max_line_bytes: config.max_line_bytes.max(64),
-            connections: AtomicU64::new(0),
+            shutdown: Arc::clone(&shutdown),
+            max_line_bytes: net_config.max_line_bytes,
+            net: Arc::clone(&metrics),
             requests: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
             lattice_hits: AtomicU64::new(0),
             lattice_misses: AtomicU64::new(0),
         });
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("pka-serve-accept".to_string())
-                .spawn(move || run_acceptor(listener, shared, engine_tx))?
-        };
+        // The reactor threads hold the only service `Arc`s (and with them
+        // the only `EngineCommand` senders outside in-flight responders):
+        // when the reactor joins, the senders drop and the engine thread
+        // finishes.  The handle deliberately keeps neither.
+        let service = Arc::new(ServeService { shared: Arc::clone(&shared), engine_tx });
+        let reactor = Reactor::start(listener, service, net_config, shutdown, metrics)?;
 
-        Ok(ServerHandle { addr, shared, acceptor: Some(acceptor), engine: Some(engine_thread) })
+        Ok(ServerHandle { addr, shared, reactor: Some(reactor), engine: Some(engine_thread) })
     }
 }
 
@@ -397,7 +479,7 @@ impl Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
+    reactor: Option<ReactorHandle>,
     engine: Option<JoinHandle<StreamingEngine>>,
 }
 
@@ -416,6 +498,12 @@ impl ServerHandle {
     /// readers and tests).
     pub fn snapshots(&self) -> SnapshotHandle {
         self.shared.snapshots.clone()
+    }
+
+    /// The reactor's connection telemetry (also surfaced in `stats`
+    /// responses as the `server` object).
+    pub fn net_metrics(&self) -> Arc<ReactorMetrics> {
+        Arc::clone(&self.shared.net)
     }
 
     /// True once shutdown has been requested (by this handle or by a
@@ -437,10 +525,12 @@ impl ServerHandle {
     }
 
     fn join_threads(&mut self) -> Result<StreamingEngine, ServeError> {
-        if let Some(acceptor) = self.acceptor.take() {
-            acceptor
-                .join()
-                .map_err(|_| ServeError::Config { reason: "accept thread panicked".into() })?;
+        if let Some(mut reactor) = self.reactor.take() {
+            // Blocks until the shutdown flag rises (here, or via a client's
+            // `shutdown` request) and the drain completes; on return the
+            // reactor threads have dropped their service `Arc`s, so the
+            // engine thread's channel closes and it exits next.
+            reactor.join();
         }
         let engine = self
             .engine
@@ -460,8 +550,10 @@ impl Drop for ServerHandle {
 }
 
 /// The engine thread: owns the [`StreamingEngine`], drains commands until
-/// every sender is gone (accept loop and all connections exited), then
-/// returns the engine to [`ServerHandle::shutdown`].
+/// every sender is gone (the reactor threads exited, dropping the service
+/// and with it the channel), then returns the engine to
+/// [`ServerHandle::shutdown`].  Each command carries a [`Responder`] that
+/// formats the response and delivers it to the requesting connection.
 fn run_engine(mut engine: StreamingEngine, rx: mpsc::Receiver<EngineCommand>) -> StreamingEngine {
     while let Ok(command) = rx.recv() {
         match command {
@@ -486,18 +578,18 @@ fn run_engine(mut engine: StreamingEngine, rx: mpsc::Receiver<EngineCommand>) ->
                         }
                     })
                     .map_err(|e| e.to_string());
-                let _ = reply.send(outcome);
+                reply(outcome);
             }
             EngineCommand::Refresh { reply } => {
                 let outcome = engine
                     .refresh()
                     .map(|r| RefitSummary::from_report(&r))
                     .map_err(|e| e.to_string());
-                let _ = reply.send(outcome);
+                reply(outcome);
             }
             EngineCommand::Stats { reply } => {
                 let cache = engine.solver_cache_stats();
-                let _ = reply.send(EngineStats {
+                reply(EngineStats {
                     total_ingested: engine.total_ingested(),
                     pending: engine.pending(),
                     refits: engine.refit_count(),
@@ -535,7 +627,7 @@ fn run_engine(mut engine: StreamingEngine, rx: mpsc::Receiver<EngineCommand>) ->
                         }
                     })
                     .map_err(|e| e.to_string());
-                let _ = reply.send(outcome);
+                reply(outcome);
             }
             EngineCommand::ExportShard { reply } => {
                 let outcome = engine
@@ -545,261 +637,147 @@ fn run_engine(mut engine: StreamingEngine, rx: mpsc::Receiver<EngineCommand>) ->
                         (shard, tuples)
                     })
                     .map_err(|e| e.to_string());
-                let _ = reply.send(outcome);
+                reply(outcome);
             }
             EngineCommand::SyncSnapshot { meta, knowledge_base, reply } => {
                 let outcome = engine
                     .apply_synced_snapshot(&meta, *knowledge_base)
                     .map(SyncSummary::from_report)
                     .map_err(|e| e.to_string());
-                let _ = reply.send(outcome);
+                reply(outcome);
             }
         }
     }
     engine
 }
 
-/// The accept loop: spawns one thread per connection, reaps finished ones,
-/// and on shutdown joins the rest before exiting (dropping its
-/// [`EngineCommand`] sender, which lets the engine thread finish).
-fn run_acceptor(
-    listener: TcpListener,
+/// The protocol implementation behind the reactor's [`LineService`] seam:
+/// frames arrive from `pka-net`, responses leave as [`Action`]s (or later
+/// through a [`Completion`] for engine-bound methods).
+struct ServeService {
     shared: Arc<Shared>,
     engine_tx: mpsc::Sender<EngineCommand>,
-) {
-    let mut workers: Vec<JoinHandle<()>> = Vec::new();
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                shared.connections.fetch_add(1, Ordering::Relaxed);
-                let conn_shared = Arc::clone(&shared);
-                let engine_tx = engine_tx.clone();
-                let worker = std::thread::Builder::new()
-                    .name("pka-serve-conn".to_string())
-                    .spawn(move || handle_connection(stream, conn_shared, engine_tx));
-                match worker {
-                    Ok(handle) => workers.push(handle),
-                    Err(_) => {
-                        shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
-        }
-        // Reap finished connection threads so the vec stays bounded by the
-        // number of *live* connections.
-        workers.retain(|w| !w.is_finished());
+}
+
+impl LineService for ServeService {
+    fn on_line(&self, line: &[u8], completion: Completion) -> Action {
+        self.shared.requests.fetch_add(1, Ordering::Relaxed);
+        respond_to(line, &self.shared, &self.engine_tx, completion)
     }
-    for worker in workers {
-        let _ = worker.join();
+
+    fn overlong_response(&self) -> String {
+        self.shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        error_line(
+            &Value::Null,
+            ErrorCode::OverlongLine,
+            &format!(
+                "request line exceeded the {}-byte cap and was discarded",
+                self.shared.max_line_bytes
+            ),
+        )
+    }
+
+    fn overloaded_response(&self) -> String {
+        error_line(
+            &Value::Null,
+            ErrorCode::Overloaded,
+            "server is at its connection cap; retry later or against another node",
+        )
     }
 }
 
-/// What one bounded line read produced.
-enum LineOutcome {
-    /// A complete line is in the buffer (newline stripped).
-    Line,
-    /// The peer closed the connection.
-    Eof,
-    /// The line exceeded the cap; it has been drained up to its newline.
-    Overlong,
-    /// Shutdown was requested while waiting.
-    Shutdown,
-    /// The socket failed.
-    Closed,
+/// Where one dispatched request's response will come from.
+enum Dispatched {
+    /// Answered on the loop shard: the `result` value, plus whether the
+    /// connection should stay open afterwards.
+    Ready(Value, bool),
+    /// Shipped to the engine thread with a responder that will answer
+    /// through the connection's [`Completion`].
+    Deferred,
 }
 
-/// Reads one `\n`-terminated line into `buf`, never retaining more than
-/// `max` bytes, polling the shutdown flag while the socket is idle.
-fn read_line_bounded(
-    reader: &mut BufReader<TcpStream>,
-    buf: &mut Vec<u8>,
-    max: usize,
-    shutdown: &AtomicBool,
-) -> LineOutcome {
-    loop {
-        let remaining = (max + 1).saturating_sub(buf.len());
-        if remaining == 0 {
-            return drain_overlong(reader, shutdown);
-        }
-        let mut limited = reader.by_ref().take(remaining as u64);
-        match limited.read_until(b'\n', buf) {
-            // The limit is > 0, so 0 bytes means the peer closed.
-            Ok(0) => return if buf.is_empty() { LineOutcome::Eof } else { LineOutcome::Line },
-            Ok(_) => {
-                if buf.last() == Some(&b'\n') {
-                    buf.pop();
-                    if buf.last() == Some(&b'\r') {
-                        buf.pop();
-                    }
-                    return LineOutcome::Line;
-                }
-                // No newline yet: either the take limit was hit (checked at
-                // the top of the loop) or the read was short; keep going.
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                if shutdown.load(Ordering::SeqCst) {
-                    return LineOutcome::Shutdown;
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => return LineOutcome::Closed,
-        }
-    }
-}
-
-/// Discards the rest of an overlong line (up to its newline) in bounded
-/// chunks, so the connection can keep being used afterwards.
-fn drain_overlong(reader: &mut BufReader<TcpStream>, shutdown: &AtomicBool) -> LineOutcome {
-    let mut scratch: Vec<u8> = Vec::with_capacity(4096);
-    loop {
-        scratch.clear();
-        let mut limited = reader.by_ref().take(4096);
-        match limited.read_until(b'\n', &mut scratch) {
-            Ok(0) => return LineOutcome::Overlong,
-            Ok(_) if scratch.last() == Some(&b'\n') => return LineOutcome::Overlong,
-            Ok(_) => {}
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                if shutdown.load(Ordering::SeqCst) {
-                    return LineOutcome::Shutdown;
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => return LineOutcome::Closed,
-        }
-    }
-}
-
-/// One connection's read-dispatch-respond loop.
-fn handle_connection(
-    stream: TcpStream,
-    shared: Arc<Shared>,
-    engine_tx: mpsc::Sender<EngineCommand>,
-) {
-    // On BSD-derived platforms an accepted socket inherits the listener's
-    // nonblocking mode, which would turn the read-timeout poll below into
-    // a busy spin — force blocking mode explicitly.
-    if stream.set_nonblocking(false).is_err() {
-        return;
-    }
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(READ_POLL));
-    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
-    let Ok(read_half) = stream.try_clone() else { return };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    let mut buf: Vec<u8> = Vec::new();
-    // Responses accumulate here and are flushed in one write as soon as no
-    // further pipelined request is already buffered — one syscall per
-    // client batch instead of one per response.
-    let mut out: Vec<u8> = Vec::new();
-
-    loop {
-        buf.clear();
-        match read_line_bounded(&mut reader, &mut buf, shared.max_line_bytes, &shared.shutdown) {
-            LineOutcome::Eof | LineOutcome::Closed | LineOutcome::Shutdown => {
-                let _ = writer.write_all(&out);
-                return;
-            }
-            LineOutcome::Overlong => {
-                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                let line = error_line(
-                    &Value::Null,
-                    ErrorCode::OverlongLine,
-                    &format!(
-                        "request line exceeded the {}-byte cap and was discarded",
-                        shared.max_line_bytes
-                    ),
-                );
-                if queue_response(&mut writer, &mut out, &reader, &line).is_err() {
-                    return;
-                }
-            }
-            LineOutcome::Line => {
-                shared.requests.fetch_add(1, Ordering::Relaxed);
-                let (line, keep_open) = respond_to(&buf, &shared, &engine_tx);
-                if queue_response(&mut writer, &mut out, &reader, &line).is_err() || !keep_open {
-                    let _ = writer.write_all(&out);
-                    return;
-                }
-            }
-        }
-    }
-}
-
-/// Queues one response line, flushing unless another complete pipelined
-/// request is already sitting in the read buffer (or the queue is large).
-fn queue_response(
-    writer: &mut TcpStream,
-    out: &mut Vec<u8>,
-    reader: &BufReader<TcpStream>,
-    line: &str,
-) -> std::io::Result<()> {
-    out.extend_from_slice(line.as_bytes());
-    out.push(b'\n');
-    let another_pending = reader.buffer().contains(&b'\n');
-    if !another_pending || out.len() >= 1 << 16 {
-        writer.write_all(out)?;
-        out.clear();
-    }
-    Ok(())
-}
-
-/// Produces the response line for one raw request line, plus whether the
-/// connection should stay open.
+/// Produces the [`Action`] for one raw request line.
 fn respond_to(
     raw: &[u8],
-    shared: &Shared,
+    shared: &Arc<Shared>,
     engine_tx: &mpsc::Sender<EngineCommand>,
-) -> (String, bool) {
+    completion: Completion,
+) -> Action {
     let Ok(text) = std::str::from_utf8(raw) else {
         shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
-        return (
-            error_line(&Value::Null, ErrorCode::InvalidUtf8, "request line is not valid UTF-8"),
-            true,
-        );
+        return Action::Respond(error_line(
+            &Value::Null,
+            ErrorCode::InvalidUtf8,
+            "request line is not valid UTF-8",
+        ));
     };
     let request = match parse_request(text) {
         Ok(request) => request,
         Err(e) => {
             shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
-            return (error_line(&e.id, e.code, &e.message), true);
+            return Action::Respond(error_line(&e.id, e.code, &e.message));
         }
     };
     if shared.shutdown.load(Ordering::SeqCst) {
-        return (
-            error_line(&request.id, ErrorCode::ShuttingDown, "server is shutting down"),
-            false,
-        );
+        return Action::RespondClose(error_line(
+            &request.id,
+            ErrorCode::ShuttingDown,
+            "server is shutting down",
+        ));
     }
-    match dispatch(&request, shared, engine_tx) {
-        Ok((result, keep_open)) => {
-            if !keep_open {
-                // `shutdown` acknowledged: flip the flag *after* building
-                // the response so this request is answered normally.
-                shared.shutdown.store(true, Ordering::SeqCst);
-            }
-            (ok_line(&request.id, result), keep_open)
+    match dispatch(&request, shared, engine_tx, completion) {
+        Ok(Dispatched::Ready(result, true)) => Action::Respond(ok_line(&request.id, result)),
+        Ok(Dispatched::Ready(result, false)) => {
+            // `shutdown` acknowledged: raise the flag (starting the
+            // reactor's drain) and close this connection once the
+            // acknowledgement has flushed.
+            shared.shutdown.store(true, Ordering::SeqCst);
+            Action::RespondClose(ok_line(&request.id, result))
         }
+        Ok(Dispatched::Deferred) => Action::Deferred,
         Err(e) => {
             shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
             // Dispatch errors always belong to this request, whatever id
             // the deeper helper had available.
-            (error_line(&request.id, e.code, &e.message), true)
+            Action::Respond(error_line(&request.id, e.code, &e.message))
         }
     }
 }
 
-/// Evaluates one request.  Returns the `result` value and whether the
-/// connection should stay open afterwards.
+/// Builds the responder for an engine command whose success is a plain
+/// serialisable summary: format the `ok` line (or an `ingest-error`) and
+/// deliver it through the connection's [`Completion`].  Runs on the
+/// engine thread.
+fn summary_responder<T: Serialize + Send + 'static>(
+    request: &Request,
+    shared: &Arc<Shared>,
+    completion: Completion,
+) -> Responder<Result<T, String>> {
+    let id = request.id.clone();
+    let shared = Arc::clone(shared);
+    Box::new(move |outcome| {
+        let line = match outcome {
+            Ok(summary) => ok_line(&id, Serialize::serialize(&summary)),
+            Err(message) => {
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                error_line(&id, ErrorCode::IngestError, &message)
+            }
+        };
+        completion.respond(line);
+    })
+}
+
+/// Evaluates one request.  Read-path methods answer on the loop shard
+/// ([`Dispatched::Ready`]); engine-bound methods ship an [`EngineCommand`]
+/// carrying a responder and pause the connection
+/// ([`Dispatched::Deferred`]).  An `Err` is always answered on the shard.
 fn dispatch(
     request: &Request,
-    shared: &Shared,
+    shared: &Arc<Shared>,
     engine_tx: &mpsc::Sender<EngineCommand>,
-) -> Result<(Value, bool), protocol::RequestError> {
-    let open = |v| Ok((v, true));
+    completion: Completion,
+) -> Result<Dispatched, protocol::RequestError> {
+    let open = |v| Ok(Dispatched::Ready(v, true));
     match request.method.as_str() {
         "ping" => open(protocol::object([("pong", Value::Bool(true))])),
         "schema" => open(schema_value(&shared.schema)),
@@ -924,15 +902,9 @@ fn dispatch(
                 &[FabricRole::Standalone, FabricRole::Coordinator, FabricRole::IngestNode],
             )?;
             let rows = rows_from_value(&request.params)?;
-            let (reply_tx, reply_rx) = mpsc::channel();
-            send_engine(engine_tx, EngineCommand::Ingest { rows, reply: reply_tx }, request)?;
-            let summary =
-                recv_engine(reply_rx, request)?.map_err(|message| protocol::RequestError {
-                    code: ErrorCode::IngestError,
-                    message,
-                    id: request.id.clone(),
-                })?;
-            open(Serialize::serialize(&summary))
+            let reply = summary_responder::<IngestSummary>(request, shared, completion);
+            send_engine(engine_tx, EngineCommand::Ingest { rows, reply }, request)?;
+            Ok(Dispatched::Deferred)
         }
         "refresh" => {
             require_role(
@@ -940,37 +912,28 @@ fn dispatch(
                 shared,
                 &[FabricRole::Standalone, FabricRole::Coordinator, FabricRole::IngestNode],
             )?;
-            let (reply_tx, reply_rx) = mpsc::channel();
-            send_engine(engine_tx, EngineCommand::Refresh { reply: reply_tx }, request)?;
-            let summary =
-                recv_engine(reply_rx, request)?.map_err(|message| protocol::RequestError {
-                    code: ErrorCode::IngestError,
-                    message,
-                    id: request.id.clone(),
-                })?;
-            open(Serialize::serialize(&summary))
+            let reply = summary_responder::<RefitSummary>(request, shared, completion);
+            send_engine(engine_tx, EngineCommand::Refresh { reply }, request)?;
+            Ok(Dispatched::Deferred)
         }
         "stats" => {
-            let (reply_tx, reply_rx) = mpsc::channel();
-            send_engine(engine_tx, EngineCommand::Stats { reply: reply_tx }, request)?;
-            let engine = recv_engine(reply_rx, request)?;
-            let snapshot_meta = shared
-                .snapshots
-                .load()
-                .map(|s| Serialize::serialize(&s.meta()))
-                .unwrap_or(Value::Null);
-            let server = Serialize::serialize(&ServerStats {
-                connections: shared.connections.load(Ordering::Relaxed),
-                requests: shared.requests.load(Ordering::Relaxed),
-                protocol_errors: shared.protocol_errors.load(Ordering::Relaxed),
-                lattice_hits: shared.lattice_hits.load(Ordering::Relaxed),
-                lattice_misses: shared.lattice_misses.load(Ordering::Relaxed),
+            let id = request.id.clone();
+            let shared = Arc::clone(shared);
+            let reply: Responder<EngineStats> = Box::new(move |engine| {
+                let snapshot_meta = shared
+                    .snapshots
+                    .load()
+                    .map(|s| Serialize::serialize(&s.meta()))
+                    .unwrap_or(Value::Null);
+                let result = protocol::object([
+                    ("engine", Serialize::serialize(&engine)),
+                    ("snapshot", snapshot_meta),
+                    ("server", Serialize::serialize(&server_stats(&shared))),
+                ]);
+                completion.respond(ok_line(&id, result));
             });
-            open(protocol::object([
-                ("engine", Serialize::serialize(&engine)),
-                ("snapshot", snapshot_meta),
-                ("server", server),
-            ]))
+            send_engine(engine_tx, EngineCommand::Stats { reply }, request)?;
+            Ok(Dispatched::Deferred)
         }
         "shard-push" => {
             require_role(request, shared, &[FabricRole::Standalone, FabricRole::Coordinator])?;
@@ -997,39 +960,42 @@ fn dispatch(
                 request.params.get("shard").ok_or_else(|| invalid_params("missing `shard`"))?;
             let shard = CountShard::from_value(shard_value)
                 .map_err(|e| stream_error_to_request(e, request))?;
-            let (reply_tx, reply_rx) = mpsc::channel();
+            let reply = summary_responder::<ShardPushSummary>(request, shared, completion);
             send_engine(
                 engine_tx,
-                EngineCommand::AbsorbShard { source, seq, shard, reply: reply_tx },
+                EngineCommand::AbsorbShard { source, seq, shard, reply },
                 request,
             )?;
-            let summary =
-                recv_engine(reply_rx, request)?.map_err(|message| protocol::RequestError {
-                    code: ErrorCode::IngestError,
-                    message,
-                    id: request.id.clone(),
-                })?;
-            open(Serialize::serialize(&summary))
+            Ok(Dispatched::Deferred)
         }
         "shard-pull" => {
-            let (reply_tx, reply_rx) = mpsc::channel();
-            send_engine(engine_tx, EngineCommand::ExportShard { reply: reply_tx }, request)?;
-            let (shard, tuples) =
-                recv_engine(reply_rx, request)?.map_err(|message| protocol::RequestError {
-                    code: ErrorCode::IngestError,
-                    message,
-                    id: request.id.clone(),
-                })?;
-            // The local tuple count doubles as the monotone sequence number:
-            // local ingestion only ever grows it, so each export is tagged
-            // with a sequence the coordinator's placement map can gate on.
-            open(protocol::object([
-                ("format_version", Value::U64(WIRE_FORMAT_VERSION)),
-                ("source", Value::Str(shared.node_name.clone())),
-                ("seq", Value::U64(tuples)),
-                ("tuples", Value::U64(tuples)),
-                ("shard", Serialize::serialize(&shard)),
-            ]))
+            let id = request.id.clone();
+            let shared = Arc::clone(shared);
+            let reply: Responder<Result<(CountShard, u64), String>> = Box::new(move |outcome| {
+                let line = match outcome {
+                    // The local tuple count doubles as the monotone sequence
+                    // number: local ingestion only ever grows it, so each
+                    // export is tagged with a sequence the coordinator's
+                    // placement map can gate on.
+                    Ok((shard, tuples)) => ok_line(
+                        &id,
+                        protocol::object([
+                            ("format_version", Value::U64(WIRE_FORMAT_VERSION)),
+                            ("source", Value::Str(shared.node_name.clone())),
+                            ("seq", Value::U64(tuples)),
+                            ("tuples", Value::U64(tuples)),
+                            ("shard", Serialize::serialize(&shard)),
+                        ]),
+                    ),
+                    Err(message) => {
+                        shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        error_line(&id, ErrorCode::IngestError, &message)
+                    }
+                };
+                completion.respond(line);
+            });
+            send_engine(engine_tx, EngineCommand::ExportShard { reply }, request)?;
+            Ok(Dispatched::Deferred)
         }
         "snapshot-sync" => {
             require_role(request, shared, &[FabricRole::Replica])?;
@@ -1043,23 +1009,17 @@ fn dispatch(
                 .ok_or_else(|| invalid_params("missing `knowledge_base`"))?;
             let knowledge_base: KnowledgeBase = Deserialize::deserialize(kb_value)
                 .map_err(|e| invalid_params(&format!("`knowledge_base` is malformed: {e}")))?;
-            let (reply_tx, reply_rx) = mpsc::channel();
+            let reply = summary_responder::<SyncSummary>(request, shared, completion);
             send_engine(
                 engine_tx,
                 EngineCommand::SyncSnapshot {
                     meta,
                     knowledge_base: Box::new(knowledge_base),
-                    reply: reply_tx,
+                    reply,
                 },
                 request,
             )?;
-            let summary =
-                recv_engine(reply_rx, request)?.map_err(|message| protocol::RequestError {
-                    code: ErrorCode::IngestError,
-                    message,
-                    id: request.id.clone(),
-                })?;
-            open(Serialize::serialize(&summary))
+            Ok(Dispatched::Deferred)
         }
         "snapshot-pull" => {
             // Read-only: served straight off the wait-free snapshot slot,
@@ -1076,7 +1036,9 @@ fn dispatch(
                 ("snapshot", snapshot),
             ]))
         }
-        "shutdown" => Ok((protocol::object([("shutting_down", Value::Bool(true))]), false)),
+        "shutdown" => {
+            Ok(Dispatched::Ready(protocol::object([("shutting_down", Value::Bool(true))]), false))
+        }
         other => Err(protocol::RequestError {
             code: ErrorCode::UnknownMethod,
             message: format!("unknown method `{other}`"),
@@ -1327,17 +1289,6 @@ fn send_engine(
     engine_tx.send(command).map_err(|_| protocol::RequestError {
         code: ErrorCode::ShuttingDown,
         message: "engine thread is gone".to_string(),
-        id: request.id.clone(),
-    })
-}
-
-fn recv_engine<T>(
-    reply_rx: mpsc::Receiver<T>,
-    request: &Request,
-) -> Result<T, protocol::RequestError> {
-    reply_rx.recv().map_err(|_| protocol::RequestError {
-        code: ErrorCode::ShuttingDown,
-        message: "engine thread dropped the request".to_string(),
         id: request.id.clone(),
     })
 }

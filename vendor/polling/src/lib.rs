@@ -1,0 +1,468 @@
+//! Offline stand-in for mio-style readiness polling: a thin, safe wrapper
+//! over raw Linux **epoll**.
+//!
+//! The build environment has no access to crates.io, so this vendors
+//! exactly the readiness-API surface `pka-net`'s event loops use — the
+//! `Poll` / `Events` / `Token` / `Interest` / `Waker` shape of `mio` —
+//! implemented directly on the `epoll_create1` / `epoll_ctl` /
+//! `epoll_wait` / `eventfd` syscalls (bound as `extern "C"` libc symbols;
+//! std already links libc into every binary).  See `README.md` for the
+//! covered surface and the deliberate deviations.
+//!
+//! # Semantics
+//!
+//! * **Level-triggered.**  Unlike `mio` (edge-triggered), registrations
+//!   are level-triggered: an fd keeps reporting readable/writable for as
+//!   long as the condition holds.  This is a deliberate simplification —
+//!   a consumer re-arms interest around its buffer state (deregister read
+//!   while it refuses input, register write only while output is pending)
+//!   instead of having to drain every fd to `WouldBlock` on every event.
+//!   The cost of level triggering (a spinning loop) only appears if a
+//!   consumer keeps an interest it does not act on; `pka-net`'s
+//!   connection state machines never do.
+//! * **One registration per fd.**  epoll keys registrations by fd, so
+//!   registering the same fd twice is an error (`EEXIST` surfaces as an
+//!   `io::Error`); use [`Poll::reregister`] to change token or interest.
+//! * **Hangup/error are always reported.**  `EPOLLHUP`/`EPOLLERR` are
+//!   unmaskable; they surface as [`Event::is_closed`], and a peer's write
+//!   shutdown (`EPOLLRDHUP`, subscribed with every read interest)
+//!   surfaces as [`Event::is_read_closed`].
+//!
+//! The [`Waker`] is an `eventfd` in non-blocking mode registered on the
+//! poll like any other source: any thread may call [`Waker::wake`] to make
+//! the owning loop's `epoll_wait` return with the waker's token; the loop
+//! calls [`Waker::drain`] before sleeping again (level-triggered, so an
+//! undrained waker would spin the loop).
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Duration;
+
+// Bindings to the libc wrappers of the syscalls this crate is built on.
+// std links libc into every Rust binary, so the symbols are always there.
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+}
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+/// The kernel's `struct epoll_event`.  On x86-64 the kernel ABI packs it
+/// (no padding between the 32-bit mask and the 64-bit payload); other
+/// architectures use natural alignment.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+/// Converts a `-1` libc return into the thread's errno as an `io::Error`.
+fn cvt(result: i32) -> io::Result<i32> {
+    if result < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(result)
+    }
+}
+
+/// Caller-chosen identifier attached to a registration and echoed on every
+/// event for that source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// Which readiness conditions a registration subscribes to.
+///
+/// Build with the [`Interest::READABLE`] / [`Interest::WRITABLE`]
+/// constants and combine with [`Interest::add`]:
+///
+/// ```
+/// use polling::Interest;
+/// let both = Interest::READABLE.add(Interest::WRITABLE);
+/// assert!(both.is_readable() && both.is_writable());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Interest in the source becoming readable (includes peer hangup).
+    pub const READABLE: Interest = Interest(1);
+    /// Interest in the source becoming writable.
+    pub const WRITABLE: Interest = Interest(2);
+
+    /// The union of two interests.
+    pub const fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Whether this interest includes readability.
+    pub const fn is_readable(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Whether this interest includes writability.
+    pub const fn is_writable(self) -> bool {
+        self.0 & 2 != 0
+    }
+
+    fn epoll_mask(self) -> u32 {
+        let mut mask = 0;
+        if self.is_readable() {
+            mask |= EPOLLIN | EPOLLRDHUP;
+        }
+        if self.is_writable() {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+}
+
+/// One readiness event: a [`Token`] plus the conditions that hold for its
+/// source right now.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: usize,
+    mask: u32,
+}
+
+impl Event {
+    /// The token the source was registered under.
+    pub fn token(&self) -> Token {
+        Token(self.token)
+    }
+
+    /// The source has input available (or the peer hung up, which a read
+    /// observes as EOF — callers should attempt the read either way).
+    pub fn is_readable(&self) -> bool {
+        self.mask & (EPOLLIN | EPOLLHUP | EPOLLERR) != 0
+    }
+
+    /// The source can accept output without blocking (or has failed, which
+    /// a write observes as an error).
+    pub fn is_writable(&self) -> bool {
+        self.mask & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0
+    }
+
+    /// The source is in an error state (`EPOLLERR`) or fully hung up
+    /// (`EPOLLHUP`); no further progress is possible.
+    pub fn is_closed(&self) -> bool {
+        self.mask & (EPOLLHUP | EPOLLERR) != 0
+    }
+
+    /// The peer shut down its write half (`EPOLLRDHUP`): reads will drain
+    /// what is buffered and then return EOF.
+    pub fn is_read_closed(&self) -> bool {
+        self.mask & (EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0
+    }
+}
+
+/// A reusable buffer of readiness events filled by [`Poll::poll`].
+pub struct Events {
+    buf: Vec<EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// An event buffer able to report up to `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events { buf: vec![EpollEvent { events: 0, data: 0 }; capacity.max(1)], len: 0 }
+    }
+
+    /// Whether the last poll reported no events (i.e. it timed out).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The events reported by the last poll.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf[..self.len].iter().map(|raw| {
+            // Copy out of the (packed) struct before use.
+            let (events, data) = (raw.events, raw.data);
+            Event { token: data as usize, mask: events }
+        })
+    }
+}
+
+/// An epoll instance: sources are registered with a [`Token`] and an
+/// [`Interest`], and [`Poll::poll`] blocks until one of them is ready.
+#[derive(Debug)]
+pub struct Poll {
+    epfd: RawFd,
+}
+
+// The epoll fd is just a handle; all operations on it are thread-safe at
+// the kernel level.  (pka-net still confines each Poll to one loop thread;
+// Send is what lets the loop be spawned.)
+unsafe impl Send for Poll {}
+unsafe impl Sync for Poll {}
+
+impl Poll {
+    /// Creates a new epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Poll> {
+        let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Poll { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, mask: u32, token: usize) -> io::Result<()> {
+        let mut event = EpollEvent { events: mask, data: token as u64 };
+        let event_ptr =
+            if op == EPOLL_CTL_DEL { std::ptr::null_mut() } else { &mut event as *mut EpollEvent };
+        cvt(unsafe { epoll_ctl(self.epfd, op, fd, event_ptr) }).map(drop)
+    }
+
+    /// Registers a source.  Fails (`EEXIST`) if the fd is already
+    /// registered — use [`Poll::reregister`] to change an existing
+    /// registration.
+    pub fn register(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, source.as_raw_fd(), interest.epoll_mask(), token.0)
+    }
+
+    /// Replaces an existing registration's token and interest.
+    pub fn reregister(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, source.as_raw_fd(), interest.epoll_mask(), token.0)
+    }
+
+    /// Removes a source's registration.  (Closing the fd removes it too;
+    /// explicit deregistration just makes the lifecycle auditable.)
+    pub fn deregister(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, source.as_raw_fd(), 0, 0)
+    }
+
+    /// Blocks until at least one registered source is ready, `timeout`
+    /// elapses (`None` = forever), or the call is interrupted by a signal
+    /// (reported as zero events, like a timeout — callers re-poll).
+    /// Sub-millisecond timeouts are rounded up to 1 ms so a short timer
+    /// deadline cannot turn into a busy spin.
+    pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(d) => {
+                let ms = d.as_millis();
+                if ms == 0 && !d.is_zero() {
+                    1
+                } else {
+                    ms.min(i32::MAX as u128) as i32
+                }
+            }
+        };
+        events.len = 0;
+        let capacity = events.buf.len() as i32;
+        match cvt(unsafe { epoll_wait(self.epfd, events.buf.as_mut_ptr(), capacity, timeout_ms) }) {
+            Ok(n) => {
+                events.len = n as usize;
+                Ok(())
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for Poll {
+    fn drop(&mut self) {
+        unsafe { close(self.epfd) };
+    }
+}
+
+/// A cross-thread wakeup for a [`Poll`]: an `eventfd` registered on the
+/// poll at construction.  Any thread holding (a clone of an `Arc` to) the
+/// waker can make the polling thread's [`Poll::poll`] return with the
+/// waker's token; the polling thread drains it with [`Waker::drain`]
+/// before processing (level-triggered — an undrained waker keeps firing).
+#[derive(Debug)]
+pub struct Waker {
+    fd: RawFd,
+    token: Token,
+}
+
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+impl Waker {
+    /// Creates a waker and registers it on `poll` under `token`.
+    pub fn new(poll: &Poll, token: Token) -> io::Result<Waker> {
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        let waker = Waker { fd, token };
+        poll.register(&waker, token, Interest::READABLE)?;
+        Ok(waker)
+    }
+
+    /// The token wake events carry.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Wakes the polling thread.  Signal-safe and non-blocking; multiple
+    /// wakes before a drain coalesce into one event.
+    pub fn wake(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        let n = unsafe { write(self.fd, &one as *const u64 as *const u8, 8) };
+        // EAGAIN means the counter is saturated — the loop is already
+        // guaranteed to wake, which is all a wake promises.
+        if n == 8 || io::Error::last_os_error().kind() == io::ErrorKind::WouldBlock {
+            Ok(())
+        } else {
+            Err(io::Error::last_os_error())
+        }
+    }
+
+    /// Clears pending wakes so the poll can sleep again.  Called by the
+    /// polling thread when it sees the waker's token.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        unsafe { read(self.fd, buf.as_mut_ptr(), 8) };
+    }
+}
+
+impl AsRawFd for Waker {
+    fn as_raw_fd(&self) -> RawFd {
+        self.fd
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    const CLIENT: Token = Token(7);
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        client.set_nonblocking(true).unwrap();
+        server.set_nonblocking(true).unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn timeout_expires_with_no_events() {
+        let poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(8);
+        let start = Instant::now();
+        poll.poll(&mut events, Some(Duration::from_millis(30))).unwrap();
+        assert!(events.is_empty());
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn readable_when_peer_writes_and_level_triggered_until_drained() {
+        let (client, mut server) = pair();
+        let poll = Poll::new().unwrap();
+        poll.register(&client, CLIENT, Interest::READABLE).unwrap();
+        let mut events = Events::with_capacity(8);
+
+        // Nothing to read yet.
+        poll.poll(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty());
+
+        server.write_all(b"hello").unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(1000))).unwrap();
+        let event = events.iter().next().expect("readable event");
+        assert_eq!(event.token(), CLIENT);
+        assert!(event.is_readable());
+        assert!(!event.is_read_closed());
+
+        // Level-triggered: still readable on the next poll, until drained.
+        poll.poll(&mut events, Some(Duration::from_millis(1000))).unwrap();
+        assert!(events.iter().next().expect("still readable").is_readable());
+        let mut sink = [0u8; 16];
+        let mut client_reader = &client;
+        assert_eq!(client_reader.read(&mut sink).unwrap(), 5);
+        poll.poll(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty(), "drained source must stop reporting");
+    }
+
+    #[test]
+    fn peer_close_reports_read_closed() {
+        let (client, server) = pair();
+        let poll = Poll::new().unwrap();
+        poll.register(&client, CLIENT, Interest::READABLE).unwrap();
+        drop(server);
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(1000))).unwrap();
+        let event = events.iter().next().expect("close event");
+        assert!(event.is_read_closed());
+    }
+
+    #[test]
+    fn writable_reported_and_maskable_by_reregister() {
+        let (client, _server) = pair();
+        let poll = Poll::new().unwrap();
+        poll.register(&client, CLIENT, Interest::READABLE.add(Interest::WRITABLE)).unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(1000))).unwrap();
+        let event = events.iter().next().expect("writable event");
+        assert!(event.is_writable());
+
+        // Dropping write interest silences the (always-writable) socket.
+        poll.reregister(&client, CLIENT, Interest::READABLE).unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty());
+
+        // Double registration is an explicit error.
+        assert!(poll.register(&client, CLIENT, Interest::READABLE).is_err());
+        poll.deregister(&client).unwrap();
+        poll.register(&client, CLIENT, Interest::READABLE).unwrap();
+    }
+
+    #[test]
+    fn waker_wakes_across_threads_and_coalesces() {
+        let poll = Poll::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new(&poll, Token(0)).unwrap());
+        let remote = std::sync::Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            for _ in 0..100 {
+                remote.wake().unwrap();
+            }
+        });
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, None).unwrap();
+        let event = events.iter().next().expect("wake event");
+        assert_eq!(event.token(), Token(0));
+        handle.join().unwrap();
+        waker.drain();
+        // 100 wakes coalesced; after the drain the poll sleeps again.
+        poll.poll(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty());
+    }
+}
