@@ -133,6 +133,13 @@ impl Coordinator {
         self.server.as_ref().expect("server runs until consumed").snapshots()
     }
 
+    /// A trigger for this node's graceful shutdown, used by the binary's
+    /// signal watcher: raising it unblocks [`Coordinator::wait`], which
+    /// drains connections and cuts the final checkpoint.
+    pub fn shutdown_trigger(&self) -> pka_serve::ShutdownTrigger {
+        self.server.as_ref().expect("server runs until consumed").shutdown_trigger()
+    }
+
     /// Blocks until a client asks the server to shut down, then stops the
     /// pump.
     pub fn wait(mut self) -> Result<()> {

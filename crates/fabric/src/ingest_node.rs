@@ -114,6 +114,13 @@ impl IngestNode {
         &self.name
     }
 
+    /// A trigger for this node's graceful shutdown, used by the binary's
+    /// signal watcher: raising it unblocks [`IngestNode::wait`], which
+    /// makes the pusher's final flush attempt and journals local counts.
+    pub fn shutdown_trigger(&self) -> pka_serve::ShutdownTrigger {
+        self.server.as_ref().expect("server runs until consumed").shutdown_trigger()
+    }
+
     /// Blocks until a client asks the server to shut down, then stops the
     /// pusher (which makes one final flush attempt).
     pub fn wait(mut self) -> Result<()> {

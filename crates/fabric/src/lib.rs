@@ -35,12 +35,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod coordinator;
 pub mod error;
 pub mod ingest_node;
 pub mod replica;
 pub mod retry;
 
+pub use chaos::{ChaosProxy, FaultPlan};
 pub use coordinator::{Coordinator, CoordinatorConfig};
 pub use error::FabricError;
 pub use ingest_node::{IngestNode, IngestNodeConfig};

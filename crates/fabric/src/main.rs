@@ -18,9 +18,12 @@
 //! `SCHEMA` is `--schema name=v1|v2;…`, `--cards 3,2,2` or `--survey`, as
 //! in `pka-serve`; every node of one fabric must be given the same schema.
 //! Every role also accepts the reactor flags `--loop-shards`,
-//! `--max-connections` and `--idle-timeout-ms` (as in `pka-serve`).
-//! On startup each node prints `listening on <addr>` to stdout so wrapper
-//! scripts can scrape ephemeral ports.
+//! `--max-connections` and `--idle-timeout-ms`, and the durability flags
+//! `--journal PATH`, `--journal-fsync SPEC`, `--checkpoint PATH` and
+//! `--checkpoint-interval-ms N` (as in `pka-serve`); `SIGTERM`/`SIGINT`
+//! drain gracefully and cut a final checkpoint.  On startup each node
+//! prints `listening on <addr>` to stdout so wrapper scripts can scrape
+//! ephemeral ports.
 //!
 //! The probe ingests deterministic rows (into the `--ingest` nodes if
 //! given, else straight into the coordinator), forces a refresh, waits for
@@ -35,7 +38,7 @@ use pka_fabric::{
     Coordinator, CoordinatorConfig, IngestNode, IngestNodeConfig, Replica, ReplicaConfig,
 };
 use pka_serve::{LineClient, ServeConfig};
-use pka_stream::{RefreshPolicy, StreamConfig};
+use pka_stream::{FsyncPolicy, RefreshPolicy, StreamConfig};
 use std::io::Write;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -158,7 +161,35 @@ fn base_serve(options: &Options) -> Result<ServeConfig, String> {
             idle.parse().map_err(|_| format!("bad --idle-timeout-ms `{idle}`"))?,
         );
     }
+    if let Some(path) = options.value("--journal") {
+        config = config.with_journal(path);
+    }
+    if let Some(spec) = options.value("--journal-fsync") {
+        config = config.with_journal_fsync(FsyncPolicy::parse(spec).map_err(|e| e.to_string())?);
+    }
+    if let Some(path) = options.value("--checkpoint") {
+        config = config.with_checkpoint(path);
+    }
+    if let Some(ms) = options.value("--checkpoint-interval-ms") {
+        let ms: u64 = ms.parse().map_err(|_| format!("bad --checkpoint-interval-ms `{ms}`"))?;
+        config = config.with_checkpoint_interval(Duration::from_millis(ms));
+    }
     Ok(config)
+}
+
+/// Routes `SIGTERM`/`SIGINT` to a node's graceful shutdown: connections
+/// drain, pushers flush, and the engine thread cuts a final checkpoint —
+/// so an orchestrated restart never loses acknowledged work.
+fn drain_on_termination(trigger: pka_serve::ShutdownTrigger) {
+    if let Ok(watch) = pka_serve::watch_termination() {
+        std::thread::Builder::new()
+            .name("pka-fabric-signals".to_string())
+            .spawn(move || {
+                watch.wait();
+                trigger.request();
+            })
+            .ok();
+    }
 }
 
 fn parse_policy(policy: &str) -> Result<RefreshPolicy, String> {
@@ -203,6 +234,10 @@ const NODE_FLAGS: &[&str] = &[
     "--loop-shards",
     "--max-connections",
     "--idle-timeout-ms",
+    "--journal",
+    "--journal-fsync",
+    "--checkpoint",
+    "--checkpoint-interval-ms",
 ];
 
 fn coordinator(args: &[String]) -> Result<(), String> {
@@ -226,6 +261,7 @@ fn coordinator(args: &[String]) -> Result<(), String> {
     let node = Coordinator::start(schema, config).map_err(|e| e.to_string())?;
     println!("listening on {}", node.addr());
     std::io::stdout().flush().ok();
+    drain_on_termination(node.shutdown_trigger());
     node.wait().map_err(|e| e.to_string())?;
     println!("shut down cleanly");
     Ok(())
@@ -242,6 +278,7 @@ fn ingest_node(args: &[String]) -> Result<(), String> {
     let node = IngestNode::start(schema, config).map_err(|e| e.to_string())?;
     println!("listening on {}", node.addr());
     std::io::stdout().flush().ok();
+    drain_on_termination(node.shutdown_trigger());
     node.wait().map_err(|e| e.to_string())?;
     println!("shut down cleanly");
     Ok(())
@@ -259,6 +296,7 @@ fn replica(args: &[String]) -> Result<(), String> {
     let node = Replica::start(schema, config).map_err(|e| e.to_string())?;
     println!("listening on {}", node.addr());
     std::io::stdout().flush().ok();
+    drain_on_termination(node.shutdown_trigger());
     node.wait().map_err(|e| e.to_string())?;
     println!("shut down cleanly");
     Ok(())
@@ -319,6 +357,21 @@ fn probe(args: &[String]) -> Result<(), String> {
 
     let refit = coordinator.refresh().map_err(|e| format!("refresh: {e}"))?;
     println!("probe: coordinator snapshot version {}", refit.version);
+    // Durability counters, for crash-recovery scripts to grep: how much
+    // of the coordinator's state came back from journal/checkpoint at
+    // boot, and how stale its sources are now.
+    let stats = coordinator.stats().map_err(|e| format!("stats: {e}"))?;
+    println!(
+        "probe: recovery recovered_sources={} recovered_tuples={} \
+         journal_truncated_bytes={} journal_records={} checkpoints_written={} \
+         max_push_age_ms={}",
+        stats.recovered_sources,
+        stats.recovered_tuples,
+        stats.journal_truncated_bytes,
+        stats.journal_records,
+        stats.checkpoints_written,
+        stats.max_push_age_ms.map_or_else(|| "none".to_string(), |ms| ms.to_string()),
+    );
     let (attr0, values0) = &schema[0];
     let reference = coordinator
         .query(&[(attr0, &values0[0])], &[])

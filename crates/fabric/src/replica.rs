@@ -128,6 +128,12 @@ impl Replica {
         self.server.as_ref().expect("server runs until consumed").snapshots()
     }
 
+    /// A trigger for this node's graceful shutdown, used by the binary's
+    /// signal watcher: raising it unblocks [`Replica::wait`].
+    pub fn shutdown_trigger(&self) -> pka_serve::ShutdownTrigger {
+        self.server.as_ref().expect("server runs until consumed").shutdown_trigger()
+    }
+
     /// Blocks until a client asks the server to shut down, then stops the
     /// puller.
     pub fn wait(mut self) -> Result<()> {

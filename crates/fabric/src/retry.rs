@@ -9,6 +9,7 @@
 
 use crate::{FabricError, Result};
 use pka_serve::{ClientConfig, LineClient, ServeError};
+use rand::{Rng, SeedableRng, StdRng};
 use std::time::Duration;
 
 /// How hard a [`FabricClient`] tries before reporting
@@ -23,6 +24,12 @@ pub struct RetryPolicy {
     pub max_backoff: Duration,
     /// Socket deadline (connect, read and write) for each attempt.
     pub deadline: Duration,
+    /// Jitter as a percentage of the backoff (0–100): each sleep is scaled
+    /// by a random factor in `[1 − jitter/100, 1]`.  Without it, every
+    /// pusher that watched the same coordinator die retries in lockstep —
+    /// a reconnect thundering herd arriving exactly when the restarted
+    /// node is busiest recovering.
+    pub jitter_percent: u32,
 }
 
 impl Default for RetryPolicy {
@@ -32,6 +39,7 @@ impl Default for RetryPolicy {
             initial_backoff: Duration::from_millis(50),
             max_backoff: Duration::from_secs(2),
             deadline: Duration::from_secs(5),
+            jitter_percent: 50,
         }
     }
 }
@@ -49,16 +57,31 @@ impl RetryPolicy {
             initial_backoff: Duration::from_millis(10),
             max_backoff: Duration::from_millis(100),
             deadline: Duration::from_secs(5),
+            jitter_percent: 50,
         }
     }
 
-    /// Backoff to sleep after the `n`-th failed attempt (0-based).
+    /// Full (un-jittered) backoff after the `n`-th failed attempt
+    /// (0-based) — the deterministic upper envelope of the sleep.
     pub fn backoff(&self, n: u32) -> Duration {
         let doubled = self
             .initial_backoff
             .checked_mul(1u32.checked_shl(n).unwrap_or(u32::MAX))
             .unwrap_or(self.max_backoff);
         doubled.min(self.max_backoff)
+    }
+
+    /// The backoff actually slept: [`RetryPolicy::backoff`] scaled by a
+    /// random factor in `[1 − jitter/100, 1]`, decorrelating the retry
+    /// clocks of peers that failed at the same instant.
+    pub fn jittered_backoff(&self, n: u32, rng: &mut impl Rng) -> Duration {
+        let full = self.backoff(n);
+        let jitter = self.jitter_percent.min(100);
+        if jitter == 0 {
+            return full;
+        }
+        let factor = 1.0 - rng.random::<f64>() * f64::from(jitter) / 100.0;
+        full.mul_f64(factor)
     }
 }
 
@@ -67,12 +90,16 @@ pub struct FabricClient {
     addr: String,
     policy: RetryPolicy,
     client: Option<LineClient>,
+    /// Per-client jitter source, OS-seeded so clients born at the same
+    /// instant (every pusher, after a coordinator outage) still draw
+    /// different backoff factors.
+    rng: StdRng,
 }
 
 impl FabricClient {
     /// A client for `addr`; no connection is made until the first call.
     pub fn new(addr: impl Into<String>, policy: RetryPolicy) -> Self {
-        Self { addr: addr.into(), policy, client: None }
+        Self { addr: addr.into(), policy, client: None, rng: StdRng::from_os_rng() }
     }
 
     /// The peer address this client talks to.
@@ -94,7 +121,7 @@ impl FabricClient {
         let mut last = String::from("no attempt was made");
         for attempt in 0..attempts {
             if attempt > 0 {
-                std::thread::sleep(self.policy.backoff(attempt as u32 - 1));
+                std::thread::sleep(self.policy.jittered_backoff(attempt as u32 - 1, &mut self.rng));
             }
             let client = match self.client.as_mut() {
                 Some(client) => client,
@@ -135,12 +162,32 @@ mod tests {
             initial_backoff: Duration::from_millis(50),
             max_backoff: Duration::from_millis(300),
             deadline: Duration::from_secs(1),
+            jitter_percent: 50,
         };
         assert_eq!(policy.backoff(0), Duration::from_millis(50));
         assert_eq!(policy.backoff(1), Duration::from_millis(100));
         assert_eq!(policy.backoff(2), Duration::from_millis(200));
         assert_eq!(policy.backoff(3), Duration::from_millis(300));
         assert_eq!(policy.backoff(30), Duration::from_millis(300));
+    }
+
+    #[test]
+    fn jittered_backoff_stays_in_band_and_decorrelates() {
+        let policy = RetryPolicy { jitter_percent: 50, ..RetryPolicy::default() };
+        let full = policy.backoff(2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let draws: Vec<Duration> = (0..64).map(|_| policy.jittered_backoff(2, &mut rng)).collect();
+        for d in &draws {
+            assert!(*d <= full, "jitter may only shorten the sleep");
+            assert!(d.as_secs_f64() >= full.as_secs_f64() * 0.5 - 1e-9);
+        }
+        assert!(
+            draws.iter().collect::<std::collections::BTreeSet<_>>().len() > 1,
+            "jitter must actually vary"
+        );
+
+        let none = RetryPolicy { jitter_percent: 0, ..RetryPolicy::default() };
+        assert_eq!(none.jittered_backoff(2, &mut rng), none.backoff(2));
     }
 
     #[test]
@@ -154,6 +201,7 @@ mod tests {
                 initial_backoff: Duration::from_millis(1),
                 max_backoff: Duration::from_millis(1),
                 deadline: Duration::from_millis(200),
+                jitter_percent: 0,
             },
         );
         match client.call(|c| c.ping()) {

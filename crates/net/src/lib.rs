@@ -33,3 +33,11 @@ pub use config::NetConfig;
 pub use metrics::ReactorMetrics;
 pub use reactor::{Reactor, ReactorHandle};
 pub use service::{Action, Completion, LineService};
+
+// Crash-restart plumbing from the vendored polling layer, re-exported so
+// servers and binaries need no direct `polling` dependency: a
+// `SO_REUSEADDR` listener (a killed node can reclaim its port through the
+// previous process's TIME_WAIT sockets) and a SIGTERM/SIGINT watch for
+// graceful drain + final checkpoint.
+pub use polling::net::bind_reuseaddr;
+pub use polling::signal::{watch_termination, TerminationWatch};

@@ -55,9 +55,14 @@ pub use client::{ClientConfig, LineClient, NamedQuery, QueryAnswer, ShardPullAns
 pub use error::ServeError;
 pub use protocol::{ErrorCode, Request, DEFAULT_MAX_LINE_BYTES};
 pub use server::{
-    EngineStats, FabricRole, IngestSummary, RefitSummary, ServeConfig, Server, ServerHandle,
-    ServerStats, ShardPushSummary, SyncSummary,
+    DurabilityConfig, EngineStats, FabricRole, IngestSummary, RefitSummary, ServeConfig, Server,
+    ServerHandle, ServerStats, ShardPushSummary, ShutdownTrigger, SourceStat, SyncSummary,
 };
+
+// Termination-signal plumbing, re-exported so binaries built on this
+// crate (pka-serve itself, pka-fabric) can route SIGTERM to a graceful
+// drain without depending on `pka-net` directly.
+pub use pka_net::{watch_termination, TerminationWatch};
 
 /// Convenient result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, ServeError>;

@@ -6,11 +6,18 @@
 //! pka-serve [--port N] [--host H] [--shards K] [--policy P] \
 //!           [--schema SPEC | --cards 3,2,2 | --survey] [--max-line-bytes N] \
 //!           [--lattice-order K] [--loop-shards K] [--max-connections N] \
-//!           [--idle-timeout-ms N]
+//!           [--idle-timeout-ms N] [--journal PATH] [--journal-fsync SPEC] \
+//!           [--checkpoint PATH] [--checkpoint-interval-ms N]
 //! pka-serve probe --addr HOST:PORT [--idle-hold N] [--shutdown]
 //! ```
 //!
 //! * `--policy` is `manual`, `every=N` or `fraction=F`.
+//! * `--journal PATH` records local counts durably before acknowledging
+//!   ingest; `--journal-fsync` is `per-record`, `interval=<ms>` or `off`.
+//! * `--checkpoint PATH` periodically snapshots the whole engine state
+//!   (including the coordinator's shard-placement map); boot restores
+//!   from both. `SIGTERM`/`SIGINT` drain gracefully and cut a final
+//!   checkpoint.
 //! * `--lattice-order` is the marginal-lattice cutoff each published
 //!   snapshot materialises for the query fast path (default 2).
 //! * `--schema` is `name=v1|v2|…;name2=…`; `--cards` builds an anonymous
@@ -26,7 +33,7 @@
 
 use pka_contingency::{Attribute, Schema};
 use pka_serve::{protocol, LineClient, ServeConfig, Server};
-use pka_stream::{RefreshPolicy, StreamConfig};
+use pka_stream::{FsyncPolicy, RefreshPolicy, StreamConfig};
 use std::io::Write;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -94,6 +101,10 @@ fn serve(args: &[String]) -> Result<(), String> {
             "--loop-shards",
             "--max-connections",
             "--idle-timeout-ms",
+            "--journal",
+            "--journal-fsync",
+            "--checkpoint",
+            "--checkpoint-interval-ms",
         ],
     )?;
 
@@ -136,11 +147,37 @@ fn serve(args: &[String]) -> Result<(), String> {
             idle.parse().map_err(|_| format!("bad --idle-timeout-ms `{idle}`"))?,
         );
     }
+    if let Some(path) = options.value("--journal") {
+        config = config.with_journal(path);
+    }
+    if let Some(spec) = options.value("--journal-fsync") {
+        config = config.with_journal_fsync(FsyncPolicy::parse(spec).map_err(|e| e.to_string())?);
+    }
+    if let Some(path) = options.value("--checkpoint") {
+        config = config.with_checkpoint(path);
+    }
+    if let Some(ms) = options.value("--checkpoint-interval-ms") {
+        let ms: u64 = ms.parse().map_err(|_| format!("bad --checkpoint-interval-ms `{ms}`"))?;
+        config = config.with_checkpoint_interval(std::time::Duration::from_millis(ms));
+    }
 
     let server = Server::start(schema, config).map_err(|e| e.to_string())?;
     println!("listening on {}", server.addr());
     std::io::stdout().flush().ok();
-    // Serve until a client sends `shutdown`.
+    // SIGTERM/SIGINT request the same graceful drain a client `shutdown`
+    // does — the engine thread cuts a final checkpoint before exiting, so
+    // orchestrated restarts (systemd, k8s) never lose acknowledged work.
+    if let Ok(watch) = pka_net::watch_termination() {
+        let trigger = server.shutdown_trigger();
+        std::thread::Builder::new()
+            .name("pka-serve-signals".to_string())
+            .spawn(move || {
+                watch.wait();
+                trigger.request();
+            })
+            .map_err(|e| e.to_string())?;
+    }
+    // Serve until a client sends `shutdown` (or a signal arrives).
     server.wait().map_err(|e| e.to_string())?;
     println!("shut down cleanly");
     Ok(())

@@ -45,14 +45,17 @@ use pka_core::{KnowledgeBase, Query};
 use pka_expert::explain_query;
 use pka_net::{Action, Completion, LineService, NetConfig, Reactor, ReactorHandle, ReactorMetrics};
 use pka_stream::{
-    CountShard, RefitOutcome, RefitReport, Snapshot, SnapshotHandle, SnapshotMeta, StreamConfig,
-    StreamError, StreamingEngine, SyncReport, WIRE_FORMAT_VERSION,
+    CountShard, FabricCheckpoint, FsyncPolicy, RefitOutcome, RefitReport, ShardJournal, Snapshot,
+    SnapshotHandle, SnapshotMeta, StreamConfig, StreamError, StreamingEngine, SyncReport,
+    WIRE_FORMAT_VERSION,
 };
 use serde::{Deserialize, Serialize, Value};
-use std::net::{SocketAddr, TcpListener};
+use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// A server's place in a `pka-fabric` deployment, gating which protocol
 /// methods it serves.  Every role answers the full read protocol (`query`,
@@ -113,6 +116,47 @@ pub struct ServeConfig {
     /// Idle-connection timeout in milliseconds; `0` disables reaping
     /// (default 60 000).
     pub idle_timeout_ms: u64,
+    /// Crash durability: shard journal and checkpoint wiring (default:
+    /// both off — a process-lifetime engine, PR-7 behavior).
+    pub durability: DurabilityConfig,
+}
+
+/// Durable-state configuration of a [`Server`] — what survives `kill -9`.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Journal of this node's local cumulative counts; every ingest is
+    /// recorded before it is acknowledged, and boot resumes from the last
+    /// valid record.  `None` disables journalling.
+    pub journal_path: Option<PathBuf>,
+    /// When journal appends reach stable storage (default: 100 ms
+    /// interval — bounded power-loss window at near-zero cost).
+    pub journal_fsync: FsyncPolicy,
+    /// Periodic checkpoint of the whole engine state (local counts, the
+    /// shard-placement map, the published snapshot version); reloaded on
+    /// boot.  `None` disables checkpointing.
+    pub checkpoint_path: Option<PathBuf>,
+    /// How often the engine thread checkpoints when state changed
+    /// (default 1 s).  A final checkpoint is always written on graceful
+    /// shutdown.
+    pub checkpoint_interval: Duration,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        Self {
+            journal_path: None,
+            journal_fsync: FsyncPolicy::Interval(Duration::from_millis(100)),
+            checkpoint_path: None,
+            checkpoint_interval: Duration::from_secs(1),
+        }
+    }
+}
+
+impl DurabilityConfig {
+    /// True when neither journal nor checkpoint is configured.
+    pub fn is_off(&self) -> bool {
+        self.journal_path.is_none() && self.checkpoint_path.is_none()
+    }
 }
 
 impl ServeConfig {
@@ -175,6 +219,30 @@ impl ServeConfig {
         self.idle_timeout_ms = idle_timeout_ms;
         self
     }
+
+    /// Enables the local shard journal at `path`.
+    pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.durability.journal_path = Some(path.into());
+        self
+    }
+
+    /// Sets the journal fsync policy.
+    pub fn with_journal_fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.durability.journal_fsync = policy;
+        self
+    }
+
+    /// Enables periodic engine checkpoints at `path`.
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.durability.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Sets the checkpoint interval.
+    pub fn with_checkpoint_interval(mut self, interval: Duration) -> Self {
+        self.durability.checkpoint_interval = interval;
+        self
+    }
 }
 
 impl Default for ServeConfig {
@@ -189,6 +257,7 @@ impl Default for ServeConfig {
             loop_shards: 2,
             max_connections: 8192,
             idle_timeout_ms: 60_000,
+            durability: DurabilityConfig::default(),
         }
     }
 }
@@ -308,6 +377,38 @@ pub struct EngineStats {
     pub remote_tuples: u64,
     /// Snapshots accepted via `snapshot-sync` (replicas only).
     pub synced_snapshots: u64,
+    /// Count-sources restored from durable state at boot (0 = fresh
+    /// start).
+    pub recovered_sources: u64,
+    /// Tuples restored from durable state at boot.
+    pub recovered_tuples: u64,
+    /// Bytes of torn/corrupt journal tail discarded during boot recovery.
+    pub journal_truncated_bytes: u64,
+    /// Journal records appended since boot.
+    pub journal_records: u64,
+    /// Checkpoints written since boot.
+    pub checkpoints_written: u64,
+    /// Milliseconds since the *least* recently heard-from remote source
+    /// delivered anything (`None` without remote sources).  A growing max
+    /// age is the first observable sign of a dead ingest node.
+    pub max_push_age_ms: Option<u64>,
+    /// Per-source standing of the shard-placement map, in name order.
+    pub sources: Vec<SourceStat>,
+}
+
+/// One remote source's standing, in wire form (the `sources` array of a
+/// coordinator's `stats` response).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SourceStat {
+    /// The source's self-declared name.
+    pub name: String,
+    /// Highest sequence number accepted from the source.
+    pub seq: u64,
+    /// Tuples in the source's held cumulative shard.
+    pub tuples: u64,
+    /// Milliseconds since the source last delivered anything (stale
+    /// replays count — they still prove the node is alive).
+    pub last_push_age_ms: u64,
 }
 
 /// Connection-side counters, in wire form (the `server` object of a
@@ -427,10 +528,15 @@ impl Server {
     /// (acceptor + loop shards), and returns a handle.  The server is
     /// serving as soon as this returns.
     pub fn start(schema: Arc<Schema>, config: ServeConfig) -> Result<ServerHandle, ServeError> {
-        let engine = StreamingEngine::new(Arc::clone(&schema), config.stream.clone())
+        let mut engine = StreamingEngine::new(Arc::clone(&schema), config.stream.clone())
             .map_err(|e| ServeError::Config { reason: e.to_string() })?;
+        // Recovery runs synchronously, before the listener exists: by the
+        // time a client can connect, every durable tuple is back.
+        let durability = Durability::build(&mut engine, &config.durability)?;
         let snapshots = engine.handle();
-        let listener = TcpListener::bind((config.host.as_str(), config.port))?;
+        // SO_REUSEADDR bind: a crash-restarted node must be able to
+        // reclaim its port through the dead process's TIME_WAIT sockets.
+        let listener = pka_net::bind_reuseaddr(config.host.as_str(), config.port)?;
         let addr = listener.local_addr()?;
 
         let net_config = NetConfig {
@@ -447,7 +553,7 @@ impl Server {
         let (engine_tx, engine_rx) = mpsc::channel::<EngineCommand>();
         let engine_thread = std::thread::Builder::new()
             .name("pka-serve-engine".to_string())
-            .spawn(move || run_engine(engine, engine_rx))?;
+            .spawn(move || run_engine(engine, engine_rx, durability))?;
 
         let shared = Arc::new(Shared {
             schema,
@@ -549,106 +655,343 @@ impl Drop for ServerHandle {
     }
 }
 
-/// The engine thread: owns the [`StreamingEngine`], drains commands until
-/// every sender is gone (the reactor threads exited, dropping the service
-/// and with it the channel), then returns the engine to
-/// [`ServerHandle::shutdown`].  Each command carries a [`Responder`] that
-/// formats the response and delivers it to the requesting connection.
-fn run_engine(mut engine: StreamingEngine, rx: mpsc::Receiver<EngineCommand>) -> StreamingEngine {
-    while let Ok(command) = rx.recv() {
-        match command {
-            EngineCommand::Ingest { rows, reply } => {
-                let outcome = engine
-                    .ingest_batch(&rows)
-                    .map(|report| {
-                        let (refit, refit_error, refit_triggered) = match report.refit {
-                            RefitOutcome::NotTriggered => (None, None, false),
-                            RefitOutcome::Completed(ref r) => {
-                                (Some(RefitSummary::from_report(r)), None, true)
-                            }
-                            RefitOutcome::Failed(ref e) => (None, Some(e.to_string()), true),
-                        };
-                        IngestSummary {
-                            accepted: report.accepted,
-                            pending: engine.pending(),
-                            total_ingested: engine.total_ingested(),
-                            refit_triggered,
-                            refit,
-                            refit_error,
-                        }
-                    })
-                    .map_err(|e| e.to_string());
-                reply(outcome);
-            }
-            EngineCommand::Refresh { reply } => {
-                let outcome = engine
-                    .refresh()
-                    .map(|r| RefitSummary::from_report(&r))
-                    .map_err(|e| e.to_string());
-                reply(outcome);
-            }
-            EngineCommand::Stats { reply } => {
-                let cache = engine.solver_cache_stats();
-                reply(EngineStats {
-                    total_ingested: engine.total_ingested(),
-                    pending: engine.pending(),
-                    refits: engine.refit_count(),
-                    solver_sweeps: engine.total_solver_iterations(),
-                    shard_count: engine.shard_count(),
-                    shard_tuples: engine.shard_tuple_counts(),
-                    cache_full_hits: cache.full_hits,
-                    cache_extensions: cache.extensions,
-                    cache_rebuilds: cache.rebuilds,
-                    remote_sources: engine.remote_source_count(),
-                    remote_tuples: engine.remote_tuples(),
-                    synced_snapshots: engine.synced_snapshots(),
-                });
-            }
-            EngineCommand::AbsorbShard { source, seq, shard, reply } => {
-                let outcome = engine
-                    .accept_remote_shard(&source, seq, shard)
-                    .map(|report| {
-                        let (refit, refit_error, refit_triggered) = match report.refit {
-                            RefitOutcome::NotTriggered => (None, None, false),
-                            RefitOutcome::Completed(ref r) => {
-                                (Some(RefitSummary::from_report(r)), None, true)
-                            }
-                            RefitOutcome::Failed(ref e) => (None, Some(e.to_string()), true),
-                        };
-                        ShardPushSummary {
-                            applied: report.applied,
-                            delta_tuples: report.delta_tuples,
-                            source_tuples: report.source_tuples,
-                            pending: engine.pending(),
-                            total_ingested: engine.total_ingested(),
-                            refit_triggered,
-                            refit,
-                            refit_error,
-                        }
-                    })
-                    .map_err(|e| e.to_string());
-                reply(outcome);
-            }
-            EngineCommand::ExportShard { reply } => {
-                let outcome = engine
-                    .export_local_shard()
-                    .map(|shard| {
-                        let tuples = shard.tuple_count();
-                        (shard, tuples)
-                    })
-                    .map_err(|e| e.to_string());
-                reply(outcome);
-            }
-            EngineCommand::SyncSnapshot { meta, knowledge_base, reply } => {
-                let outcome = engine
-                    .apply_synced_snapshot(&meta, *knowledge_base)
-                    .map(SyncSummary::from_report)
-                    .map_err(|e| e.to_string());
-                reply(outcome);
+/// A cloneable, thread-safe request for graceful shutdown, detached from
+/// the [`ServerHandle`]'s lifetime.  A signal-watcher thread holds one and
+/// raises it on `SIGTERM`, while the main thread blocks in
+/// [`ServerHandle::wait`]; the reactor then drains connections and the
+/// engine thread writes its final checkpoint.
+#[derive(Debug, Clone)]
+pub struct ShutdownTrigger {
+    flag: Arc<AtomicBool>,
+}
+
+impl ShutdownTrigger {
+    /// Requests shutdown.  Idempotent; safe from any thread.
+    pub fn request(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+}
+
+impl ServerHandle {
+    /// A trigger that requests this server's graceful shutdown without
+    /// consuming (or outliving concerns about) the handle itself.
+    pub fn shutdown_trigger(&self) -> ShutdownTrigger {
+        ShutdownTrigger { flag: Arc::clone(&self.shared.shutdown) }
+    }
+}
+
+/// The engine thread's durability state: the open journal, the checkpoint
+/// schedule, and the counters surfaced through `stats`.  Lives on the
+/// engine thread, so nothing here needs a lock.
+struct Durability {
+    journal: Option<ShardJournal>,
+    /// Local tuple count covered by the newest journal record (recovered
+    /// or appended); appends happen only when the engine's count grows
+    /// past it, so replayed batches never re-journal.
+    journaled_seq: u64,
+    checkpoint_path: Option<PathBuf>,
+    checkpoint_interval: Duration,
+    last_checkpoint: Instant,
+    /// Engine-state fingerprint covered by the last checkpoint; an
+    /// unchanged fingerprint skips the write entirely (an idle fabric
+    /// costs zero I/O).
+    checkpoint_state: (u64, u64, u64),
+    journal_records: u64,
+    checkpoints_written: u64,
+}
+
+impl Durability {
+    /// Opens the journal, loads the checkpoint, and restores the engine —
+    /// synchronously, before the server binds.  Durable-state damage that
+    /// recovery cannot repair (an unreadable checkpoint, a schema
+    /// mismatch) refuses to start rather than silently serving a model
+    /// that forgot data.
+    fn build(
+        engine: &mut StreamingEngine,
+        config: &DurabilityConfig,
+    ) -> Result<Durability, ServeError> {
+        let durability_err = |e: StreamError| ServeError::Config { reason: e.to_string() };
+        let mut journal = None;
+        let mut journal_recovery = None;
+        if let Some(path) = &config.journal_path {
+            let (j, recovery) =
+                ShardJournal::open(path, config.journal_fsync).map_err(durability_err)?;
+            journal = Some(j);
+            journal_recovery = Some(recovery);
+        }
+        let mut checkpoint = None;
+        if let Some(path) = &config.checkpoint_path {
+            // A missing file is a fresh start, not an error: the first
+            // checkpoint will create it.
+            if path.exists() {
+                checkpoint = Some(FabricCheckpoint::load(path).map_err(durability_err)?);
             }
         }
+        if journal_recovery.is_some() || checkpoint.is_some() {
+            engine.restore(journal_recovery.as_ref(), checkpoint).map_err(durability_err)?;
+        }
+        Ok(Durability {
+            journaled_seq: engine.local_tuples(),
+            journal,
+            checkpoint_path: config.checkpoint_path.clone(),
+            checkpoint_interval: config.checkpoint_interval.max(Duration::from_millis(10)),
+            last_checkpoint: Instant::now(),
+            checkpoint_state: Self::fingerprint(engine),
+            journal_records: 0,
+            checkpoints_written: 0,
+        })
     }
+
+    /// A cheap digest of everything a checkpoint captures: local counts,
+    /// the placement map's cumulative mass, and the snapshot version
+    /// (tracked via the refit counter).
+    fn fingerprint(engine: &StreamingEngine) -> (u64, u64, u64) {
+        let remote: u64 = engine
+            .remote_sources()
+            .iter()
+            .map(|s| s.seq.wrapping_add(s.tuples))
+            .fold(0u64, u64::wrapping_add);
+        (engine.local_tuples(), remote, engine.refit_count())
+    }
+
+    /// How long `run_engine` may block in `recv` before durability work
+    /// is due; `None` when nothing ever will be (plain blocking `recv`).
+    fn tick_timeout(&self) -> Option<Duration> {
+        let journal_due = self.journal.as_ref().and_then(ShardJournal::next_sync_due);
+        let checkpoint_due = self
+            .checkpoint_path
+            .as_ref()
+            .map(|_| self.checkpoint_interval.saturating_sub(self.last_checkpoint.elapsed()));
+        let due = match (journal_due, checkpoint_due) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => return None,
+        };
+        Some(due.max(Duration::from_millis(5)))
+    }
+
+    /// Journals the engine's local cumulative shard if it grew.  Called
+    /// after a successful ingest, **before** the acknowledgement is sent:
+    /// under `FsyncPolicy::PerRecord` the client's `ok` proves the tuples
+    /// reached stable storage.
+    fn record_local(&mut self, engine: &StreamingEngine) {
+        let Some(journal) = self.journal.as_mut() else { return };
+        let seq = engine.local_tuples();
+        if seq <= self.journaled_seq {
+            return;
+        }
+        let appended = engine
+            .export_local_shard()
+            .map_err(|e| StreamError::Durability { reason: e.to_string() })
+            .and_then(|shard| journal.append(seq, &shard));
+        match appended {
+            Ok(()) => {
+                self.journaled_seq = seq;
+                self.journal_records += 1;
+            }
+            // Non-fatal: the engine already absorbed the batch, and
+            // failing the reply would trigger a client resend and a
+            // double count.  The next append retries the write.
+            Err(e) => eprintln!("pka-serve: journal append failed: {e}"),
+        }
+    }
+
+    /// Interval housekeeping: flush due journal writes, checkpoint if the
+    /// interval elapsed and the engine changed.  Cheap when nothing is
+    /// due, so it also runs after every command (a busy engine would
+    /// otherwise never hit the `recv` timeout that drives it).
+    fn tick(&mut self, engine: &StreamingEngine) {
+        if let Some(journal) = self.journal.as_mut() {
+            if let Err(e) = journal.sync_if_due() {
+                eprintln!("pka-serve: journal sync failed: {e}");
+            }
+        }
+        if self.checkpoint_path.is_some()
+            && self.last_checkpoint.elapsed() >= self.checkpoint_interval
+        {
+            self.checkpoint_now(engine);
+        }
+    }
+
+    /// Final flush + checkpoint when the engine thread exits (graceful
+    /// shutdown): nothing acknowledged is left only in page cache.
+    fn finalize(&mut self, engine: &StreamingEngine) {
+        if let Some(journal) = self.journal.as_mut() {
+            if let Err(e) = journal.sync() {
+                eprintln!("pka-serve: final journal sync failed: {e}");
+            }
+        }
+        self.checkpoint_now(engine);
+    }
+
+    fn checkpoint_now(&mut self, engine: &StreamingEngine) {
+        let Some(path) = self.checkpoint_path.clone() else { return };
+        self.last_checkpoint = Instant::now();
+        let fingerprint = Self::fingerprint(engine);
+        if fingerprint == self.checkpoint_state {
+            return;
+        }
+        match engine.capture_checkpoint().and_then(|cp| cp.save(&path)) {
+            Ok(_) => {
+                self.checkpoint_state = fingerprint;
+                self.checkpoints_written += 1;
+            }
+            Err(e) => eprintln!("pka-serve: checkpoint write failed: {e}"),
+        }
+    }
+}
+
+/// The engine thread: owns the [`StreamingEngine`], drains commands until
+/// every sender is gone (the reactor threads exited, dropping the service
+/// and with it the channel), then writes a final checkpoint and returns
+/// the engine to [`ServerHandle::shutdown`].  Each command carries a
+/// [`Responder`] that formats the response and delivers it to the
+/// requesting connection.  Between commands the thread wakes on a
+/// durability timer to flush journal writes and cut checkpoints.
+fn run_engine(
+    mut engine: StreamingEngine,
+    rx: mpsc::Receiver<EngineCommand>,
+    mut durability: Durability,
+) -> StreamingEngine {
+    loop {
+        let command = match durability.tick_timeout() {
+            None => rx.recv().ok(),
+            Some(timeout) => match rx.recv_timeout(timeout) {
+                Ok(command) => Some(command),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    durability.tick(&engine);
+                    continue;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => None,
+            },
+        };
+        let Some(command) = command else { break };
+        handle_command(&mut engine, &mut durability, command);
+        durability.tick(&engine);
+    }
+    durability.finalize(&engine);
     engine
+}
+
+fn handle_command(
+    engine: &mut StreamingEngine,
+    durability: &mut Durability,
+    command: EngineCommand,
+) {
+    match command {
+        EngineCommand::Ingest { rows, reply } => {
+            let outcome = engine
+                .ingest_batch(&rows)
+                .map(|report| {
+                    let (refit, refit_error, refit_triggered) = match report.refit {
+                        RefitOutcome::NotTriggered => (None, None, false),
+                        RefitOutcome::Completed(ref r) => {
+                            (Some(RefitSummary::from_report(r)), None, true)
+                        }
+                        RefitOutcome::Failed(ref e) => (None, Some(e.to_string()), true),
+                    };
+                    IngestSummary {
+                        accepted: report.accepted,
+                        pending: engine.pending(),
+                        total_ingested: engine.total_ingested(),
+                        refit_triggered,
+                        refit,
+                        refit_error,
+                    }
+                })
+                .map_err(|e| e.to_string());
+            // Journal before acknowledging: under per-record fsync
+            // the `ok` line proves the batch reached stable storage.
+            if outcome.is_ok() {
+                durability.record_local(engine);
+            }
+            reply(outcome);
+        }
+        EngineCommand::Refresh { reply } => {
+            let outcome =
+                engine.refresh().map(|r| RefitSummary::from_report(&r)).map_err(|e| e.to_string());
+            reply(outcome);
+        }
+        EngineCommand::Stats { reply } => {
+            let cache = engine.solver_cache_stats();
+            let recovery = engine.recovery_stats();
+            let sources: Vec<SourceStat> = engine
+                .remote_sources()
+                .into_iter()
+                .map(|s| SourceStat {
+                    name: s.name,
+                    seq: s.seq,
+                    tuples: s.tuples,
+                    last_push_age_ms: s.last_push_age.as_millis() as u64,
+                })
+                .collect();
+            let max_push_age_ms = sources.iter().map(|s| s.last_push_age_ms).max();
+            reply(EngineStats {
+                total_ingested: engine.total_ingested(),
+                pending: engine.pending(),
+                refits: engine.refit_count(),
+                solver_sweeps: engine.total_solver_iterations(),
+                shard_count: engine.shard_count(),
+                shard_tuples: engine.shard_tuple_counts(),
+                cache_full_hits: cache.full_hits,
+                cache_extensions: cache.extensions,
+                cache_rebuilds: cache.rebuilds,
+                remote_sources: engine.remote_source_count(),
+                remote_tuples: engine.remote_tuples(),
+                synced_snapshots: engine.synced_snapshots(),
+                recovered_sources: recovery.recovered_sources,
+                recovered_tuples: recovery.recovered_tuples,
+                journal_truncated_bytes: recovery.journal_truncated_bytes,
+                journal_records: durability.journal_records,
+                checkpoints_written: durability.checkpoints_written,
+                max_push_age_ms,
+                sources,
+            });
+        }
+        EngineCommand::AbsorbShard { source, seq, shard, reply } => {
+            let outcome = engine
+                .accept_remote_shard(&source, seq, shard)
+                .map(|report| {
+                    let (refit, refit_error, refit_triggered) = match report.refit {
+                        RefitOutcome::NotTriggered => (None, None, false),
+                        RefitOutcome::Completed(ref r) => {
+                            (Some(RefitSummary::from_report(r)), None, true)
+                        }
+                        RefitOutcome::Failed(ref e) => (None, Some(e.to_string()), true),
+                    };
+                    ShardPushSummary {
+                        applied: report.applied,
+                        delta_tuples: report.delta_tuples,
+                        source_tuples: report.source_tuples,
+                        pending: engine.pending(),
+                        total_ingested: engine.total_ingested(),
+                        refit_triggered,
+                        refit,
+                        refit_error,
+                    }
+                })
+                .map_err(|e| e.to_string());
+            reply(outcome);
+        }
+        EngineCommand::ExportShard { reply } => {
+            let outcome = engine
+                .export_local_shard()
+                .map(|shard| {
+                    let tuples = shard.tuple_count();
+                    (shard, tuples)
+                })
+                .map_err(|e| e.to_string());
+            reply(outcome);
+        }
+        EngineCommand::SyncSnapshot { meta, knowledge_base, reply } => {
+            let outcome = engine
+                .apply_synced_snapshot(&meta, *knowledge_base)
+                .map(SyncSummary::from_report)
+                .map_err(|e| e.to_string());
+            reply(outcome);
+        }
+    }
 }
 
 /// The protocol implementation behind the reactor's [`LineService`] seam:

@@ -1,7 +1,9 @@
 //! The [`StreamingEngine`]: ingest → maybe-refit → snapshot swap.
 
+use crate::checkpoint::{CheckpointSource, FabricCheckpoint};
 use crate::error::StreamError;
 use crate::ingest::tabulate_sharded;
+use crate::journal::JournalRecovery;
 use crate::policy::RefreshPolicy;
 use crate::remote::{RemoteShardMap, RemoteSource};
 use crate::shard::CountShard;
@@ -137,6 +139,19 @@ pub struct SyncReport {
     pub version: u64,
 }
 
+/// What [`StreamingEngine::restore`] brought back from durable state,
+/// surfaced through `stats` so operators can see a recovery happened.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Count-sources restored: every checkpointed remote source, plus one
+    /// for non-empty locally-journalled (or checkpointed local) counts.
+    pub recovered_sources: u64,
+    /// Total tuples the restored counts carry.
+    pub recovered_tuples: u64,
+    /// Bytes of torn/corrupt journal tail discarded during recovery.
+    pub journal_truncated_bytes: u64,
+}
+
 /// The refresh-policy outcome attached to an ingest call.
 ///
 /// An `Err` from an ingest method always means the batch was **rejected**
@@ -249,6 +264,9 @@ pub struct StreamingEngine {
     /// Snapshots accepted via [`StreamingEngine::apply_synced_snapshot`]
     /// (the replica role of `pka-fabric`).
     synced: u64,
+    /// What [`StreamingEngine::restore`] recovered at boot (all zero when
+    /// the engine started fresh).
+    recovery: RecoveryStats,
 }
 
 impl StreamingEngine {
@@ -273,6 +291,7 @@ impl StreamingEngine {
             lattice_order: config.lattice_order,
             remote: RemoteShardMap::new(),
             synced: 0,
+            recovery: RecoveryStats::default(),
         })
     }
 
@@ -530,6 +549,110 @@ impl StreamingEngine {
         self.next_version = meta.version + 1;
         self.synced += 1;
         Ok(SyncReport { applied: true, version: meta.version })
+    }
+
+    /// What [`StreamingEngine::restore`] recovered at boot — all zero when
+    /// the engine started fresh.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// Captures the engine's durable state as a [`FabricCheckpoint`]: the
+    /// local cumulative counts, every remote source's held shard + seq, and
+    /// the last published snapshot version.  The fitted model itself is
+    /// deliberately *not* captured — it is a pure function of the counts
+    /// and is refitted on demand after a restore.
+    pub fn capture_checkpoint(&self) -> Result<FabricCheckpoint> {
+        let local = self.export_local_shard()?;
+        Ok(FabricCheckpoint {
+            version: self.next_version - 1,
+            local: if local.is_empty() { None } else { Some(local) },
+            sources: self
+                .remote
+                .entries()
+                .map(|(name, seq, shard)| CheckpointSource {
+                    name: name.to_string(),
+                    seq,
+                    shard: shard.clone(),
+                })
+                .collect(),
+        })
+    }
+
+    /// Rehydrates a freshly-created engine from durable state: a journal
+    /// recovery (the node's own counts), a checkpoint (placement map +
+    /// local counts + published version), or both.
+    ///
+    /// When both carry local counts, the one with **more tuples** wins —
+    /// counts are cumulative and monotone, so larger means newer — and the
+    /// other is discarded rather than merged, which is what makes restore
+    /// double-count-proof.  Checkpointed remote sources re-enter through
+    /// the normal strictly-newer seq gate, so a source that outlived the
+    /// crash reconciles on its next push.  The snapshot version sequence
+    /// resumes above the checkpointed version, keeping replica-observed
+    /// versions monotone across the restart.
+    ///
+    /// Restored tuples count as pending: the refresh policy sees them, and
+    /// the first post-recovery refresh rebuilds the model they imply.
+    pub fn restore(
+        &mut self,
+        journal: Option<&JournalRecovery>,
+        checkpoint: Option<FabricCheckpoint>,
+    ) -> Result<RecoveryStats> {
+        if self.total_ingested() != 0 || self.refits != 0 || self.synced != 0 {
+            return Err(StreamError::Durability {
+                reason: "restore requires a pristine engine (counts already present)".to_string(),
+            });
+        }
+        let mut stats = RecoveryStats {
+            journal_truncated_bytes: journal.map_or(0, |r| r.truncated_bytes),
+            ..RecoveryStats::default()
+        };
+
+        let (mut local, mut checkpoint_sources, mut checkpoint_version) = (None, Vec::new(), 0);
+        if let Some(recovery) = journal {
+            local = recovery.shard.clone();
+        }
+        if let Some(checkpoint) = checkpoint {
+            // Larger cumulative count = newer local state; on a tie the
+            // journal wins (it is the node's primary log).
+            let journal_tuples = local.as_ref().map_or(0, CountShard::tuple_count);
+            if let Some(shard) = checkpoint.local {
+                if shard.tuple_count() > journal_tuples {
+                    local = Some(shard);
+                }
+            }
+            checkpoint_sources = checkpoint.sources;
+            checkpoint_version = checkpoint.version;
+        }
+
+        if let Some(shard) = local {
+            if shard.schema() != self.schema.as_ref() {
+                return Err(StreamError::Durability {
+                    reason: "recovered local counts are over a different schema".to_string(),
+                });
+            }
+            if !shard.is_empty() {
+                stats.recovered_sources += 1;
+                stats.recovered_tuples += shard.tuple_count();
+                self.shards[0].absorb(&shard)?;
+            }
+        }
+        for source in checkpoint_sources {
+            let applied = self
+                .remote
+                .apply(&self.schema, &source.name, source.seq, source.shard)
+                .map_err(|e| StreamError::Durability {
+                reason: format!("checkpointed source `{}` is unusable: {e}", source.name),
+            })?;
+            stats.recovered_sources += 1;
+            stats.recovered_tuples += applied.delta_tuples();
+        }
+
+        self.pending = stats.recovered_tuples;
+        self.next_version = self.next_version.max(checkpoint_version + 1);
+        self.recovery = stats;
+        Ok(stats)
     }
 
     /// Consults the refresh policy and refits if it trips.  Refit failures
@@ -927,6 +1050,121 @@ mod tests {
             .apply_synced_snapshot(&foreign_snap.meta(), foreign_snap.knowledge_base().clone())
             .is_err());
         assert!(replica.snapshot().is_none(), "rejected payloads publish nothing");
+    }
+
+    #[test]
+    fn journal_recovery_restores_local_counts_and_replays_are_noops() {
+        let manual = StreamConfig::new().with_shard_count(2).with_policy(RefreshPolicy::Manual);
+        // A node tabulates 40 tuples, "crashes", and its replacement boots
+        // from the journal's last cumulative record.
+        let mut node = StreamingEngine::new(schema(), manual.clone()).unwrap();
+        node.ingest_batch(&correlated_rows(40)).unwrap();
+        let recovery = JournalRecovery {
+            seq: Some(40),
+            shard: Some(node.export_local_shard().unwrap()),
+            valid_records: 3,
+            truncated_bytes: 17,
+        };
+
+        let mut reborn = StreamingEngine::new(schema(), manual.clone()).unwrap();
+        let stats = reborn.restore(Some(&recovery), None).unwrap();
+        assert_eq!(stats.recovered_sources, 1);
+        assert_eq!(stats.recovered_tuples, 40);
+        assert_eq!(stats.journal_truncated_bytes, 17);
+        assert_eq!(reborn.recovery_stats(), stats);
+        assert_eq!(reborn.local_tuples(), 40);
+        assert_eq!(reborn.pending(), 40, "restored tuples must be visible to the policy");
+        assert_eq!(
+            reborn.export_local_shard().unwrap(),
+            node.export_local_shard().unwrap(),
+            "recovered counts are bit-exact"
+        );
+
+        // A coordinator that already saw seq 40 treats the replayed push
+        // from the reborn node as stale — recovery cannot double-count.
+        let mut coord = StreamingEngine::new(schema(), manual).unwrap();
+        coord.accept_remote_shard("node-a", 40, node.export_local_shard().unwrap()).unwrap();
+        let replay =
+            coord.accept_remote_shard("node-a", 40, reborn.export_local_shard().unwrap()).unwrap();
+        assert!(!replay.applied);
+        assert_eq!(coord.remote_tuples(), 40);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_restores_the_placement_map() {
+        let manual = StreamConfig::new().with_shard_count(2).with_policy(RefreshPolicy::Manual);
+        let mut node = StreamingEngine::new(schema(), manual.clone()).unwrap();
+        node.ingest_batch(&correlated_rows(30)).unwrap();
+
+        let mut coord = StreamingEngine::new(schema(), manual.clone()).unwrap();
+        coord.ingest_batch(&correlated_rows(10)).unwrap();
+        coord.accept_remote_shard("node-a", 30, node.export_local_shard().unwrap()).unwrap();
+        coord.refresh().unwrap();
+        let checkpoint = coord.capture_checkpoint().unwrap();
+        assert_eq!(checkpoint.version, 1);
+        assert_eq!(checkpoint.total_tuples(), 40);
+
+        // The restarted coordinator rebuilds the merged table exactly, even
+        // though node-a never pushes again (the dead-source case).
+        let mut reborn = StreamingEngine::new(schema(), manual).unwrap();
+        let stats = reborn.restore(None, Some(checkpoint)).unwrap();
+        assert_eq!(stats.recovered_sources, 2, "local counts + one remote source");
+        assert_eq!(stats.recovered_tuples, 40);
+        assert_eq!(reborn.total_ingested(), 40);
+        assert_eq!(reborn.remote_source_count(), 1);
+        assert_eq!(reborn.current_table().unwrap(), coord.current_table().unwrap());
+
+        // The version sequence resumes above the checkpoint: replicas that
+        // acknowledged version 1 see the next publish as strictly newer.
+        let report = reborn.refresh().unwrap();
+        assert_eq!(report.version, 2);
+
+        // A live source that outlived the crash reconciles via the seq
+        // gate: replaying its checkpointed push is a no-op…
+        let stale =
+            reborn.accept_remote_shard("node-a", 30, node.export_local_shard().unwrap()).unwrap();
+        assert!(!stale.applied);
+        // …and newer cumulative counts supersede the restored entry.
+        node.ingest_batch(&correlated_rows(12)).unwrap();
+        let newer =
+            reborn.accept_remote_shard("node-a", 42, node.export_local_shard().unwrap()).unwrap();
+        assert!(newer.applied);
+        assert_eq!(newer.delta_tuples, 12);
+        assert_eq!(reborn.total_ingested(), 52, "reconciliation never double-counts");
+    }
+
+    #[test]
+    fn restore_prefers_the_larger_local_record() {
+        let manual = StreamConfig::new().with_shard_count(2).with_policy(RefreshPolicy::Manual);
+        // The journal saw 25 tuples; an older checkpoint captured only 10.
+        let mut newer = StreamingEngine::new(schema(), manual.clone()).unwrap();
+        newer.ingest_batch(&correlated_rows(25)).unwrap();
+        let mut older = StreamingEngine::new(schema(), manual.clone()).unwrap();
+        older.ingest_batch(&correlated_rows(10)).unwrap();
+
+        let recovery = JournalRecovery {
+            seq: Some(25),
+            shard: Some(newer.export_local_shard().unwrap()),
+            valid_records: 1,
+            truncated_bytes: 0,
+        };
+        let checkpoint = FabricCheckpoint {
+            version: 0,
+            local: Some(older.export_local_shard().unwrap()),
+            sources: Vec::new(),
+        };
+        let mut reborn = StreamingEngine::new(schema(), manual).unwrap();
+        let stats = reborn.restore(Some(&recovery), Some(checkpoint)).unwrap();
+        assert_eq!(stats.recovered_tuples, 25, "larger cumulative record wins, never the sum");
+        assert_eq!(reborn.local_tuples(), 25);
+    }
+
+    #[test]
+    fn restore_requires_a_pristine_engine() {
+        let mut engine = StreamingEngine::with_defaults(schema()).unwrap();
+        engine.ingest_batch(&correlated_rows(4)).unwrap();
+        let err = engine.restore(None, None).unwrap_err();
+        assert!(matches!(err, StreamError::Durability { .. }));
     }
 
     #[test]

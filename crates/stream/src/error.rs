@@ -28,6 +28,11 @@ pub enum StreamError {
         /// The `format_version` the payload carried, if any.
         found: Option<u64>,
     },
+    /// A durability operation (shard journal or checkpoint I/O) failed.
+    Durability {
+        /// Human-readable explanation, including the underlying I/O error.
+        reason: String,
+    },
 }
 
 impl fmt::Display for StreamError {
@@ -52,6 +57,9 @@ impl fmt::Display for StreamError {
                 "payload carries no wire format_version (this build requires {})",
                 crate::WIRE_FORMAT_VERSION
             ),
+            StreamError::Durability { reason } => {
+                write!(f, "durability error: {reason}")
+            }
         }
     }
 }

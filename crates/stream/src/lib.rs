@@ -40,19 +40,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod engine;
 pub mod error;
 pub mod ingest;
+pub mod journal;
 pub mod policy;
 pub mod remote;
 pub mod shard;
 pub mod snapshot;
 
+pub use checkpoint::{CheckpointSource, FabricCheckpoint};
 pub use engine::{
-    IngestReport, RefitOutcome, RefitReport, RemoteShardReport, StreamConfig, StreamingEngine,
-    SyncReport,
+    IngestReport, RecoveryStats, RefitOutcome, RefitReport, RemoteShardReport, StreamConfig,
+    StreamingEngine, SyncReport,
 };
 pub use error::StreamError;
+pub use journal::{FsyncPolicy, JournalRecovery, ShardJournal};
 pub use policy::RefreshPolicy;
 pub use remote::{RemoteApply, RemoteShardMap, RemoteSource};
 pub use shard::CountShard;

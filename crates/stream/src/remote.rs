@@ -15,6 +15,7 @@ use crate::shard::CountShard;
 use crate::{Result, StreamError};
 use pka_contingency::{ContingencyTable, Schema};
 use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
 
 /// What applying one remote delivery did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,12 +57,19 @@ pub struct RemoteSource {
     pub seq: u64,
     /// Tuples in the source's held cumulative shard.
     pub tuples: u64,
+    /// Time since the source last delivered *anything* — a stale replay
+    /// counts, because it still proves the node is alive and pushing.  A
+    /// growing age is the first observable sign of a dead ingest node.
+    pub last_push_age: Duration,
 }
 
 #[derive(Debug)]
 struct RemoteEntry {
     seq: u64,
     shard: CountShard,
+    /// When the source last delivered (applied *or* stale) — liveness, not
+    /// data freshness.
+    last_update: Instant,
 }
 
 /// Placement map from source name to the latest cumulative [`CountShard`]
@@ -95,6 +103,7 @@ impl RemoteShardMap {
                 name: name.clone(),
                 seq: e.seq,
                 tuples: e.shard.tuple_count(),
+                last_push_age: e.last_update.elapsed(),
             })
             .collect()
     }
@@ -117,7 +126,12 @@ impl RemoteShardMap {
             });
         }
         match self.entries.get_mut(source) {
-            Some(held) if seq <= held.seq => Ok(RemoteApply::Stale { held_seq: held.seq }),
+            Some(held) if seq <= held.seq => {
+                // Stale data is still a liveness signal: the source reached
+                // us, its counts just weren't news.
+                held.last_update = Instant::now();
+                Ok(RemoteApply::Stale { held_seq: held.seq })
+            }
             Some(held) => {
                 // Cumulative counts: the delta is what the source gained.
                 // `saturating_sub` guards against a source that restarted
@@ -126,14 +140,24 @@ impl RemoteShardMap {
                 let delta_tuples = shard.tuple_count().saturating_sub(held.shard.tuple_count());
                 held.seq = seq;
                 held.shard = shard;
+                held.last_update = Instant::now();
                 Ok(RemoteApply::Applied { delta_tuples })
             }
             None => {
                 let delta_tuples = shard.tuple_count();
-                self.entries.insert(source.to_string(), RemoteEntry { seq, shard });
+                self.entries.insert(
+                    source.to_string(),
+                    RemoteEntry { seq, shard, last_update: Instant::now() },
+                );
                 Ok(RemoteApply::Applied { delta_tuples })
             }
         }
+    }
+
+    /// Every held entry as `(name, seq, shard)`, in name order — the raw
+    /// material of a [`FabricCheckpoint`](crate::checkpoint::FabricCheckpoint).
+    pub fn entries(&self) -> impl Iterator<Item = (&str, u64, &CountShard)> {
+        self.entries.iter().map(|(name, e)| (name.as_str(), e.seq, &e.shard))
     }
 
     /// The held cumulative tables, for merging into the engine's fold.
@@ -212,6 +236,18 @@ mod tests {
         let foreign = CountShard::new(Arc::clone(&other));
         assert!(map.apply(&schema(), "node-a", 1, foreign).is_err());
         assert_eq!(map.source_count(), 0, "rejected deliveries leave no trace");
+    }
+
+    #[test]
+    fn stale_deliveries_still_refresh_liveness_age() {
+        let s = schema();
+        let mut map = RemoteShardMap::new();
+        map.apply(&s, "node-a", 8, shard_with(8)).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(map.sources()[0].last_push_age >= Duration::from_millis(25));
+        // A stale replay carries no new data but proves the node is alive.
+        map.apply(&s, "node-a", 8, shard_with(8)).unwrap();
+        assert!(map.sources()[0].last_push_age < Duration::from_millis(25));
     }
 
     #[test]

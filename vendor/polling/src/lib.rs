@@ -77,8 +77,11 @@ struct EpollEvent {
     data: u64,
 }
 
+pub mod net;
+pub mod signal;
+
 /// Converts a `-1` libc return into the thread's errno as an `io::Error`.
-fn cvt(result: i32) -> io::Result<i32> {
+pub(crate) fn cvt(result: i32) -> io::Result<i32> {
     if result < 0 {
         Err(io::Error::last_os_error())
     } else {

@@ -1,0 +1,122 @@
+//! Listener construction with `SO_REUSEADDR` — crash-restart friendliness.
+//!
+//! After `kill -9`, a server's accepted connections linger in `TIME_WAIT`
+//! and a plain `std::net::TcpListener::bind` on the same port fails with
+//! `EADDRINUSE` for up to a minute — exactly when a crash-recovered node
+//! most needs its old address back.  std exposes no socket options, so the
+//! listener is built here from raw libc calls (the same binding style as
+//! the epoll surface in the crate root) with `SO_REUSEADDR` set between
+//! `socket` and `bind`, then handed to std via `FromRawFd`.
+//!
+//! Only IPv4 literals take the raw path; hostnames and IPv6 fall back to
+//! `TcpListener::bind` (no reuse) rather than reimplementing resolution.
+
+use crate::cvt;
+use std::io;
+use std::net::{Ipv4Addr, TcpListener};
+use std::os::fd::FromRawFd;
+
+extern "C" {
+    fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+    fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+    fn bind(fd: i32, addr: *const SockAddrIn, len: u32) -> i32;
+    fn listen(fd: i32, backlog: i32) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+const AF_INET: i32 = 2;
+const SOCK_STREAM: i32 = 1;
+const SOCK_CLOEXEC: i32 = 0o2000000;
+const SOL_SOCKET: i32 = 1;
+const SO_REUSEADDR: i32 = 2;
+
+/// The kernel's `struct sockaddr_in`: family, then port and address in
+/// network byte order, padded to `sockaddr` size.
+#[repr(C)]
+struct SockAddrIn {
+    family: u16,
+    port_be: u16,
+    addr_be: u32,
+    zero: [u8; 8],
+}
+
+fn raw_listen_v4(ip: Ipv4Addr, port: u16) -> io::Result<TcpListener> {
+    let fd = cvt(unsafe { socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0) })?;
+    let guard = |result: i32| {
+        cvt(result).inspect_err(|_| {
+            unsafe { close(fd) };
+        })
+    };
+    let one: i32 = 1;
+    guard(unsafe { setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, 4) })?;
+    let addr = SockAddrIn {
+        family: AF_INET as u16,
+        port_be: port.to_be(),
+        // Network byte order = the octets laid out in address order.
+        addr_be: u32::from_ne_bytes(ip.octets()),
+        zero: [0; 8],
+    };
+    guard(unsafe { bind(fd, &addr, std::mem::size_of::<SockAddrIn>() as u32) })?;
+    guard(unsafe { listen(fd, 1024) })?;
+    // Safety of ownership transfer: fd is a fresh listening socket no other
+    // handle refers to.
+    Ok(unsafe { TcpListener::from_raw_fd(fd) })
+}
+
+/// Binds a TCP listener with `SO_REUSEADDR` set, so a restarted process
+/// can reclaim a port whose previous owner died with connections in
+/// `TIME_WAIT`.  IPv4 literal hosts take the raw socket path; anything
+/// else falls back to [`TcpListener::bind`] semantics (no reuse).
+pub fn bind_reuseaddr(host: &str, port: u16) -> io::Result<TcpListener> {
+    match host.parse::<Ipv4Addr>() {
+        Ok(ip) => raw_listen_v4(ip, port),
+        Err(_) => TcpListener::bind((host, port)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn reuseaddr_listener_accepts_connections() {
+        let listener = bind_reuseaddr("127.0.0.1", 0).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut stream = std::net::TcpStream::connect(addr).unwrap();
+            stream.write_all(b"ping").unwrap();
+            let mut reply = [0u8; 4];
+            stream.read_exact(&mut reply).unwrap();
+            reply
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let mut buf = [0u8; 4];
+        conn.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        conn.write_all(b"pong").unwrap();
+        assert_eq!(&client.join().unwrap(), b"pong");
+    }
+
+    #[test]
+    fn port_is_immediately_rebindable() {
+        let first = bind_reuseaddr("127.0.0.1", 0).unwrap();
+        let port = first.local_addr().unwrap().port();
+        // Leave an accepted connection dangling (its teardown parks the
+        // socket in TIME_WAIT) and drop the listener — the crash-restart
+        // shape, minus the kill.
+        let client = std::net::TcpStream::connect(("127.0.0.1", port)).unwrap();
+        let (conn, _) = first.accept().unwrap();
+        drop(first);
+        drop(conn);
+        drop(client);
+        let again = bind_reuseaddr("127.0.0.1", port).unwrap();
+        assert_eq!(again.local_addr().unwrap().port(), port);
+    }
+
+    #[test]
+    fn hostname_falls_back_to_std_bind() {
+        let listener = bind_reuseaddr("localhost", 0).unwrap();
+        assert!(listener.local_addr().unwrap().port() > 0);
+    }
+}
