@@ -25,6 +25,7 @@
 //!   the proxy, while the surviving peers keep dialling the proxy's
 //!   stable address — exactly how a load balancer hides a failover.
 
+use serde::Value;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -290,6 +291,203 @@ fn pump(mut from: TcpStream, mut to: TcpStream, plan: &FaultPlan, mangle: bool, 
     }
     let _ = from.shutdown(Shutdown::Both);
     let _ = to.shutdown(Shutdown::Both);
+}
+
+/// Shape of an [`ingest_storm`]: a deliberately abusive burst of
+/// pipelined `ingest` traffic for overload tests and benches.
+#[derive(Debug, Clone)]
+pub struct StormConfig {
+    /// Concurrent storm connections (one thread each).
+    pub connections: usize,
+    /// Requests sent per connection (the storm's total offered load is
+    /// `connections × requests_per_conn`).
+    pub requests_per_conn: usize,
+    /// Rows per `ingest` request.
+    pub rows_per_request: usize,
+    /// Attribute cardinalities of the target schema; row values are drawn
+    /// deterministically below these bounds.
+    pub cards: Vec<usize>,
+    /// Optional `deadline_ms` budget stamped on every request.
+    pub deadline_ms: Option<u64>,
+    /// Pipelining window: requests in flight per connection before the
+    /// sender reads responses.
+    pub window: usize,
+    /// Seed decorrelating the row patterns across connections.
+    pub seed: u64,
+}
+
+impl Default for StormConfig {
+    fn default() -> Self {
+        Self {
+            connections: 4,
+            requests_per_conn: 256,
+            rows_per_request: 8,
+            cards: vec![2, 2],
+            deadline_ms: None,
+            window: 32,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// What an [`ingest_storm`] observed, classified by the server's answer.
+/// `offered == accepted + overloaded + deadline_exceeded + other_errors`
+/// unless the connection died mid-storm (`torn_connections` counts the
+/// requests that never received any answer).
+#[derive(Debug, Default, Clone)]
+pub struct StormReport {
+    /// Requests written to the wire.
+    pub offered: u64,
+    /// `ok` answers (the storm's goodput).
+    pub accepted: u64,
+    /// `server-overloaded` refusals (queue sheds and rate limits).
+    pub overloaded: u64,
+    /// `deadline-exceeded` refusals.
+    pub deadline_exceeded: u64,
+    /// Any other error answer.
+    pub other_errors: u64,
+    /// Requests that got no answer before the connection died.
+    pub unanswered: u64,
+    /// Wall-clock of the whole storm.
+    pub elapsed: Duration,
+    /// Highest `engine_queue_depth` gauge observed by the stats sampler
+    /// while the storm ran.
+    pub max_queue_depth: u64,
+}
+
+/// Drives `config.connections × config.requests_per_conn` pipelined
+/// `ingest` requests at `addr` as fast as the sockets accept them, while
+/// a sampler connection polls `stats` for the queue-depth high-water
+/// mark.  Classifies every answer; never panics on refusals — refusals
+/// are the behaviour under test.
+pub fn ingest_storm(addr: SocketAddr, config: &StormConfig) -> std::io::Result<StormReport> {
+    use std::io::BufReader;
+
+    let stop_sampling = Arc::new(AtomicBool::new(false));
+    let max_depth = Arc::new(AtomicU64::new(0));
+    let sampler = {
+        let (stop, max_depth) = (Arc::clone(&stop_sampling), Arc::clone(&max_depth));
+        std::thread::Builder::new().name("storm-sampler".to_string()).spawn(move || {
+            let Ok(mut client) = pka_serve::LineClient::connect(addr) else { return };
+            while !stop.load(Ordering::SeqCst) {
+                if let Ok(stats) = client.server_stats() {
+                    max_depth.fetch_max(stats.engine_queue_depth, Ordering::SeqCst);
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        })?
+    };
+
+    let started = std::time::Instant::now();
+    let mut senders = Vec::with_capacity(config.connections);
+    for conn_index in 0..config.connections {
+        let config = config.clone();
+        senders.push(std::thread::Builder::new().name("storm-conn".to_string()).spawn(
+            move || -> std::io::Result<StormReport> {
+                let stream = TcpStream::connect(addr)?;
+                stream.set_nodelay(true).ok();
+                let mut writer = stream.try_clone()?;
+                let mut reader = BufReader::new(stream);
+                let mut report = StormReport::default();
+                // A tiny multiplicative congruential generator: cheap,
+                // deterministic per (seed, connection) row patterns.
+                let mut state =
+                    config.seed.wrapping_add(conn_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        | 1;
+                let mut next = move || {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state
+                };
+                let mut answer = String::new();
+                let mut in_flight = 0usize;
+                for id in 0..config.requests_per_conn {
+                    let rows: Vec<Value> = (0..config.rows_per_request)
+                        .map(|_| {
+                            Value::Array(
+                                config
+                                    .cards
+                                    .iter()
+                                    .map(|&card| Value::U64(next() % card.max(1) as u64))
+                                    .collect(),
+                            )
+                        })
+                        .collect();
+                    let params = pka_serve::protocol::object([("rows", Value::Array(rows))]);
+                    let line = pka_serve::protocol::request_line_with_deadline(
+                        id as u64,
+                        "ingest",
+                        &params,
+                        config.deadline_ms,
+                    );
+                    if writer.write_all(line.as_bytes()).is_err()
+                        || writer.write_all(b"\n").is_err()
+                    {
+                        break;
+                    }
+                    report.offered += 1;
+                    in_flight += 1;
+                    if in_flight >= config.window.max(1) {
+                        drain_answers(&mut reader, &mut answer, &mut in_flight, &mut report);
+                    }
+                }
+                while in_flight > 0 {
+                    let before = in_flight;
+                    drain_answers(&mut reader, &mut answer, &mut in_flight, &mut report);
+                    if in_flight == before {
+                        break;
+                    }
+                }
+                report.unanswered = in_flight as u64;
+                Ok(report)
+            },
+        )?);
+    }
+
+    let mut total = StormReport::default();
+    for sender in senders {
+        let report =
+            sender.join().map_err(|_| std::io::Error::other("storm connection panicked"))??;
+        total.offered += report.offered;
+        total.accepted += report.accepted;
+        total.overloaded += report.overloaded;
+        total.deadline_exceeded += report.deadline_exceeded;
+        total.other_errors += report.other_errors;
+        total.unanswered += report.unanswered;
+    }
+    total.elapsed = started.elapsed();
+    stop_sampling.store(true, Ordering::SeqCst);
+    let _ = sampler.join();
+    total.max_queue_depth = max_depth.load(Ordering::SeqCst);
+    Ok(total)
+}
+
+/// Reads one response line and books it on the right [`StormReport`]
+/// counter.  Substring classification is deliberate: the storm must stay
+/// cheap enough to outrun the server it is testing.
+fn drain_answers(
+    reader: &mut impl std::io::BufRead,
+    answer: &mut String,
+    in_flight: &mut usize,
+    report: &mut StormReport,
+) {
+    answer.clear();
+    match reader.read_line(answer) {
+        Ok(0) | Err(_) => {}
+        Ok(_) => {
+            *in_flight -= 1;
+            if answer.contains("\"ok\":true") {
+                report.accepted += 1;
+            } else if answer.contains("server-overloaded") {
+                report.overloaded += 1;
+            } else if answer.contains("deadline-exceeded") {
+                report.deadline_exceeded += 1;
+            } else {
+                report.other_errors += 1;
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -42,7 +42,7 @@ pub mod ingest_node;
 pub mod replica;
 pub mod retry;
 
-pub use chaos::{ChaosProxy, FaultPlan};
+pub use chaos::{ingest_storm, ChaosProxy, FaultPlan, StormConfig, StormReport};
 pub use coordinator::{Coordinator, CoordinatorConfig};
 pub use error::FabricError;
 pub use ingest_node::{IngestNode, IngestNodeConfig};

@@ -12,7 +12,7 @@
 //!                        [--pull-interval-ms N]
 //! pka-fabric probe --coordinator ADDR [--replica ADDR]...
 //!                  [--ingest ADDR]... [--rows N] [--idle-hold N]
-//!                  [--shutdown]
+//!                  [--storm-requests N] [--shutdown]
 //! ```
 //!
 //! `SCHEMA` is `--schema name=v1|v2;…`, `--cards 3,2,2` or `--survey`, as
@@ -21,9 +21,13 @@
 //! `--max-connections` and `--idle-timeout-ms`, and the durability flags
 //! `--journal PATH`, `--journal-fsync SPEC`, `--checkpoint PATH` and
 //! `--checkpoint-interval-ms N` (as in `pka-serve`); `SIGTERM`/`SIGINT`
-//! drain gracefully and cut a final checkpoint.  On startup each node
-//! prints `listening on <addr>` to stdout so wrapper scripts can scrape
-//! ephemeral ports.
+//! drain gracefully and cut a final checkpoint.  The overload flags
+//! `--engine-queue N` and `--rate-limit-conn/-read/-write RATE[:BURST]`
+//! also pass through to every role, and `probe --storm-requests N`
+//! hammers the coordinator with pipelined ingest before the functional
+//! steps, printing the shed/rate-limit counters for CI to grep.  On
+//! startup each node prints `listening on <addr>` to stdout so wrapper
+//! scripts can scrape ephemeral ports.
 //!
 //! The probe ingests deterministic rows (into the `--ingest` nodes if
 //! given, else straight into the coordinator), forces a refresh, waits for
@@ -174,6 +178,30 @@ fn base_serve(options: &Options) -> Result<ServeConfig, String> {
         let ms: u64 = ms.parse().map_err(|_| format!("bad --checkpoint-interval-ms `{ms}`"))?;
         config = config.with_checkpoint_interval(Duration::from_millis(ms));
     }
+    if let Some(cap) = options.value("--engine-queue") {
+        config = config
+            .with_engine_queue_cap(cap.parse().map_err(|_| format!("bad --engine-queue `{cap}`"))?);
+    }
+    let mut rate_limit = pka_serve::RateLimitConfig::default();
+    if let Some(spec) = options.value("--rate-limit-conn") {
+        rate_limit.per_conn = Some(
+            pka_serve::BucketSpec::parse(spec)
+                .map_err(|e| format!("bad --rate-limit-conn: {e}"))?,
+        );
+    }
+    if let Some(spec) = options.value("--rate-limit-read") {
+        rate_limit.read = Some(
+            pka_serve::BucketSpec::parse(spec)
+                .map_err(|e| format!("bad --rate-limit-read: {e}"))?,
+        );
+    }
+    if let Some(spec) = options.value("--rate-limit-write") {
+        rate_limit.write = Some(
+            pka_serve::BucketSpec::parse(spec)
+                .map_err(|e| format!("bad --rate-limit-write: {e}"))?,
+        );
+    }
+    config = config.with_rate_limit(rate_limit);
     Ok(config)
 }
 
@@ -238,6 +266,10 @@ const NODE_FLAGS: &[&str] = &[
     "--journal-fsync",
     "--checkpoint",
     "--checkpoint-interval-ms",
+    "--engine-queue",
+    "--rate-limit-conn",
+    "--rate-limit-read",
+    "--rate-limit-write",
 ];
 
 fn coordinator(args: &[String]) -> Result<(), String> {
@@ -306,7 +338,15 @@ fn replica(args: &[String]) -> Result<(), String> {
 fn probe(args: &[String]) -> Result<(), String> {
     let options = Options::parse(
         args,
-        &["--coordinator", "--replica", "--ingest", "--rows", "--timeout-s", "--idle-hold"],
+        &[
+            "--coordinator",
+            "--replica",
+            "--ingest",
+            "--rows",
+            "--timeout-s",
+            "--idle-hold",
+            "--storm-requests",
+        ],
     )?;
     let coordinator_addr =
         options.value("--coordinator").ok_or("probe needs --coordinator HOST:PORT")?;
@@ -330,6 +370,53 @@ fn probe(args: &[String]) -> Result<(), String> {
         return Err("coordinator reported an empty schema".to_string());
     }
     let cards: Vec<usize> = schema.iter().map(|(_, values)| values.len()).collect();
+
+    // Optional overload storm, run *before* the functional steps: drive
+    // the coordinator well past capacity, report the admission counters,
+    // then let the normal probe prove the node recovered.
+    if let Some(total) = options.value("--storm-requests") {
+        let total: usize = total.parse().map_err(|_| format!("bad --storm-requests `{total}`"))?;
+        let connections = 8usize;
+        let storm = pka_fabric::StormConfig {
+            connections,
+            requests_per_conn: total.div_ceil(connections).max(1),
+            rows_per_request: 4,
+            cards: cards.clone(),
+            deadline_ms: None,
+            window: 32,
+            seed: 0x5eed,
+        };
+        let addr = std::net::ToSocketAddrs::to_socket_addrs(coordinator_addr)
+            .map_err(|e| format!("bad coordinator address: {e}"))?
+            .next()
+            .ok_or("coordinator address resolved to nothing")?;
+        let report = pka_fabric::ingest_storm(addr, &storm).map_err(|e| format!("storm: {e}"))?;
+        let stats = coordinator.server_stats().map_err(|e| format!("server stats: {e}"))?;
+        println!(
+            "probe: storm offered={} accepted={} shed={} rate_limited={} \
+             deadline_exceeded={} unanswered={} queue_depth_max={} engine_queue_cap={} \
+             shed_writes={} elapsed_ms={}",
+            report.offered,
+            report.accepted,
+            report.overloaded,
+            stats.rate_limited,
+            stats.deadline_exceeded,
+            report.unanswered,
+            report.max_queue_depth,
+            stats.engine_queue_cap,
+            stats.shed_writes,
+            report.elapsed.as_millis(),
+        );
+        if report.accepted == 0 {
+            return Err("storm: no request was accepted at all".to_string());
+        }
+        // Normal traffic must flow again immediately after the storm.
+        if !coordinator.ping().map_err(|e| format!("post-storm ping: {e}"))? {
+            return Err("coordinator did not pong after the storm".to_string());
+        }
+        println!("probe: post-storm ping ok");
+    }
+
     let rows: Vec<Vec<usize>> = (0..row_count)
         .map(|k| cards.iter().enumerate().map(|(a, &card)| (k + a * (k % 3)) % card).collect())
         .collect();

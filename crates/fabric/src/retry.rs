@@ -111,17 +111,28 @@ impl FabricClient {
     /// transport failures up to the policy's attempt budget.
     ///
     /// [`ServeError::Remote`] (the peer answered with a structured error)
-    /// is **not** retried: the request reached the peer and was refused,
-    /// so the refusal is the answer.
+    /// is **not** retried — the request reached the peer and was refused,
+    /// so the refusal is the answer — with one exception:
+    /// `server-overloaded` sheds are explicitly transient, so they are
+    /// retried on the same connection, sleeping the server's
+    /// `retry_after_ms` hint (jittered, capped at the policy's
+    /// `max_backoff`) instead of the exponential schedule.
     pub fn call<T>(
         &mut self,
         mut op: impl FnMut(&mut LineClient) -> std::result::Result<T, ServeError>,
     ) -> Result<T> {
         let attempts = self.policy.attempts.max(1);
         let mut last = String::from("no attempt was made");
+        let mut sleep_hint: Option<Duration> = None;
         for attempt in 0..attempts {
             if attempt > 0 {
-                std::thread::sleep(self.policy.jittered_backoff(attempt as u32 - 1, &mut self.rng));
+                let backoff = match sleep_hint.take() {
+                    Some(hint) => {
+                        jitter(hint.min(self.policy.max_backoff), &self.policy, &mut self.rng)
+                    }
+                    None => self.policy.jittered_backoff(attempt as u32 - 1, &mut self.rng),
+                };
+                std::thread::sleep(backoff);
             }
             let client = match self.client.as_mut() {
                 Some(client) => client,
@@ -138,7 +149,19 @@ impl FabricClient {
             };
             match op(client) {
                 Ok(value) => return Ok(value),
-                Err(e @ ServeError::Remote { .. }) => return Err(FabricError::Serve(e)),
+                Err(e @ ServeError::Remote { .. }) => {
+                    let ServeError::Remote { code, retry_after_ms, .. } = &e else {
+                        unreachable!()
+                    };
+                    if code != "server-overloaded" {
+                        return Err(FabricError::Serve(e));
+                    }
+                    // A shed, not a verdict: the connection answered and
+                    // stays healthy, so keep it and retry after the
+                    // server's hint (or the normal schedule without one).
+                    sleep_hint = retry_after_ms.map(|ms| Duration::from_millis(ms.max(1)));
+                    last = e.to_string();
+                }
                 Err(e) => {
                     // Transport or framing trouble: the connection's state
                     // is unknown, so drop it and reconnect on the retry.
@@ -149,6 +172,17 @@ impl FabricClient {
         }
         Err(FabricError::Exhausted { attempts, last })
     }
+}
+
+/// Scales a server-supplied backoff hint by the policy's jitter band, so
+/// a fleet of pushers shed at the same instant does not return in
+/// lockstep at exactly `retry_after_ms`.
+fn jitter(full: Duration, policy: &RetryPolicy, rng: &mut impl Rng) -> Duration {
+    let jitter = policy.jitter_percent.min(100);
+    if jitter == 0 {
+        return full;
+    }
+    full.mul_f64(1.0 - rng.random::<f64>() * f64::from(jitter) / 100.0)
 }
 
 #[cfg(test)]
@@ -188,6 +222,62 @@ mod tests {
 
         let none = RetryPolicy { jitter_percent: 0, ..RetryPolicy::default() };
         assert_eq!(none.jittered_backoff(2, &mut rng), none.backoff(2));
+    }
+
+    #[test]
+    fn hint_jitter_stays_under_the_hint() {
+        let policy = RetryPolicy { jitter_percent: 50, ..RetryPolicy::default() };
+        let mut rng = StdRng::seed_from_u64(11);
+        let hint = Duration::from_millis(80);
+        for _ in 0..32 {
+            let slept = jitter(hint, &policy, &mut rng);
+            assert!(slept <= hint);
+            assert!(slept.as_secs_f64() >= hint.as_secs_f64() * 0.5 - 1e-9);
+        }
+        let none = RetryPolicy { jitter_percent: 0, ..RetryPolicy::default() };
+        assert_eq!(jitter(hint, &none, &mut rng), hint);
+    }
+
+    #[test]
+    fn overload_refusals_are_retried_and_other_refusals_are_not() {
+        use pka_contingency::Schema;
+        use pka_serve::{BucketSpec, RateLimitConfig, ServeConfig, Server};
+
+        let schema = Schema::uniform(&[2, 2]).unwrap().into_shared();
+        // One banked request per connection, refilling fast enough for a
+        // bounded test: the second immediate request is always refused
+        // with a `server-overloaded` hint, and honoring the hint makes a
+        // retry succeed.
+        let config = ServeConfig::new().with_rate_limit(RateLimitConfig {
+            per_conn: Some(BucketSpec { rate_per_sec: 20.0, burst: 1.0 }),
+            ..Default::default()
+        });
+        let server = Server::start(schema, config).unwrap();
+        let mut client = FabricClient::new(
+            server.addr().to_string(),
+            RetryPolicy {
+                attempts: 5,
+                initial_backoff: Duration::from_millis(10),
+                max_backoff: Duration::from_millis(500),
+                deadline: Duration::from_secs(5),
+                jitter_percent: 0,
+            },
+        );
+        // Drain the banked token, then ask again: the refusal must be
+        // retried (sleeping the hint) rather than surfaced, and the same
+        // connection must carry the eventual success.
+        client.call(|c| c.ping()).unwrap();
+        client.call(|c| c.ping()).unwrap();
+
+        // A non-overload refusal is the answer: no retry, no exhaustion.
+        match client.call(|c| c.call("no-such-method", pka_serve::protocol::object([])).map(|_| ()))
+        {
+            Err(FabricError::Serve(ServeError::Remote { code, .. })) => {
+                assert_eq!(code, "unknown-method");
+            }
+            other => panic!("expected an immediate refusal, got {other:?}"),
+        }
+        server.shutdown().unwrap();
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! bounded graceful drain on shutdown.  See `docs/net.md` for the
 //! architecture write-up.
 
+mod bucket;
 mod config;
 mod conn;
 mod metrics;
@@ -29,10 +30,11 @@ mod reactor;
 mod service;
 mod timer;
 
+pub use bucket::TokenBucket;
 pub use config::NetConfig;
 pub use metrics::ReactorMetrics;
 pub use reactor::{Reactor, ReactorHandle};
-pub use service::{Action, Completion, LineService};
+pub use service::{Action, Completion, ConnId, Gate, LineMiddleware, LineService, MiddlewareStack};
 
 // Crash-restart plumbing from the vendored polling layer, re-exported so
 // servers and binaries need no direct `polling` dependency: a

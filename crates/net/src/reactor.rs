@@ -34,7 +34,7 @@
 use crate::config::NetConfig;
 use crate::conn::{Connection, LineStep};
 use crate::metrics::{CloseReason, ReactorMetrics};
-use crate::service::{Action, Completion, CompletionKey, LineService};
+use crate::service::{Action, Completion, CompletionKey, ConnId, LineService};
 use crate::timer::TimerWheel;
 use polling::{Events, Interest, Poll, Token, Waker};
 use std::io::{self, ErrorKind, Write};
@@ -452,6 +452,7 @@ impl<S: LineService> Shard<S> {
                     let completion = Completion {
                         tx: self.completion_tx.clone(),
                         key: CompletionKey { slot, gen: self.gens[slot] },
+                        shard: self.idx,
                         waker: Arc::clone(&self.waker),
                     };
                     let action = {
@@ -547,6 +548,9 @@ impl<S: LineService> Shard<S> {
         if conn.await_engine {
             self.in_flight = self.in_flight.saturating_sub(1);
         }
+        // Middleware releases per-connection state under the id the
+        // connection lived as — before the generation bump retires it.
+        self.service.on_close(ConnId { shard: self.idx, slot, gen: self.gens[slot] });
         self.gens[slot] += 1;
         self.free.push(slot);
         self.metrics.on_close(self.idx, reason);

@@ -1,0 +1,317 @@
+//! Admission middleware for the serve front end: token-bucket rate
+//! limiting and arrival-time deadline refusal, composed in front of the
+//! protocol service with [`pka_net::MiddlewareStack`].
+//!
+//! Both layers run on the loop-shard threads and refuse with structured
+//! protocol errors, so a limited client keeps a usable connection and a
+//! machine-readable reason — only the excess traffic is refused, and the
+//! engine never sees it.
+
+use crate::protocol::{self, ErrorCode};
+use pka_net::{ConnId, Gate, LineMiddleware, TokenBucket};
+use serde::Value;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One token bucket's shape: sustained rate plus burst capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketSpec {
+    /// Sustained admissions per second.
+    pub rate_per_sec: f64,
+    /// Maximum banked admissions (the bucket starts full).
+    pub burst: f64,
+}
+
+impl BucketSpec {
+    /// Parses the CLI shape `RATE` or `RATE:BURST` (e.g. `500` or
+    /// `500:64`).  Burst defaults to the rate, floored at 1.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let (rate_text, burst_text) = match text.split_once(':') {
+            Some((r, b)) => (r, Some(b)),
+            None => (text, None),
+        };
+        let rate_per_sec: f64 = rate_text
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad rate `{rate_text}`: expected a number"))?;
+        if !rate_per_sec.is_finite() || rate_per_sec <= 0.0 {
+            return Err(format!("bad rate `{rate_text}`: must be positive"));
+        }
+        let burst = match burst_text {
+            None => rate_per_sec.max(1.0),
+            Some(b) => {
+                let burst: f64 =
+                    b.trim().parse().map_err(|_| format!("bad burst `{b}`: expected a number"))?;
+                if !burst.is_finite() || burst < 1.0 {
+                    return Err(format!("bad burst `{b}`: must be at least 1"));
+                }
+                burst
+            }
+        };
+        Ok(Self { rate_per_sec, burst })
+    }
+
+    fn bucket(&self) -> TokenBucket {
+        TokenBucket::new(self.rate_per_sec, self.burst)
+    }
+}
+
+/// Rate-limit policy for the front end; `None` specs disable that bucket.
+/// Default: everything off — admission control is opt-in via the
+/// `--rate-limit-*` flags.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RateLimitConfig {
+    /// Per-connection limit on all request lines.
+    pub per_conn: Option<BucketSpec>,
+    /// Shared limit on read-class methods (`query`, `explain`, pulls…).
+    pub read: Option<BucketSpec>,
+    /// Shared limit on write-class methods (`ingest`, `shard-push`).
+    pub write: Option<BucketSpec>,
+}
+
+impl RateLimitConfig {
+    /// Whether any bucket is configured.
+    pub fn is_active(&self) -> bool {
+        self.per_conn.is_some() || self.read.is_some() || self.write.is_some()
+    }
+}
+
+/// Admission-control counters surfaced in `stats.server`.
+#[derive(Debug, Default)]
+pub struct AdmissionCounters {
+    /// Requests refused by a token bucket.
+    pub rate_limited: AtomicU64,
+    /// Requests refused because their `deadline_ms` budget expired.
+    pub deadline_exceeded: AtomicU64,
+}
+
+impl AdmissionCounters {
+    pub(crate) fn note_rate_limited(&self) {
+        self.rate_limited.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The wire class a method's rate limit draws from.
+fn method_class(method: &str) -> Option<MethodClass> {
+    match method {
+        "query" | "query-batch" | "explain" | "snapshot-version" | "snapshot-pull"
+        | "shard-pull" | "ping" | "schema" => Some(MethodClass::Read),
+        "ingest" | "shard-push" | "snapshot-sync" => Some(MethodClass::Write),
+        // Control/operator methods (`stats`, `refresh`, `shutdown`, and
+        // anything unknown — the parser will refuse those) are never
+        // rate limited: an overloaded node must stay inspectable.
+        _ => None,
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MethodClass {
+    Read,
+    Write,
+}
+
+/// Token-bucket rate limiting: one optional bucket per connection plus
+/// shared read/write class buckets.  Refusals are `server-overloaded`
+/// lines carrying the bucket's wait hint as `retry_after_ms`.
+pub struct RateLimitLayer {
+    per_conn: Option<BucketSpec>,
+    conns: Mutex<HashMap<ConnId, TokenBucket>>,
+    read: Option<Mutex<TokenBucket>>,
+    write: Option<Mutex<TokenBucket>>,
+    counters: Arc<AdmissionCounters>,
+}
+
+impl RateLimitLayer {
+    /// Builds the layer from policy + the shared counters.
+    pub fn new(config: RateLimitConfig, counters: Arc<AdmissionCounters>) -> Self {
+        Self {
+            per_conn: config.per_conn,
+            conns: Mutex::new(HashMap::new()),
+            read: config.read.map(|spec| Mutex::new(spec.bucket())),
+            write: config.write.map(|spec| Mutex::new(spec.bucket())),
+            counters,
+        }
+    }
+
+    /// The first bucket that refuses this line, as a wait hint.
+    fn check(&self, conn: ConnId, line: &[u8]) -> Option<Duration> {
+        if let Some(spec) = &self.per_conn {
+            let mut conns = self.conns.lock().expect("rate-limit state poisoned");
+            let bucket = conns.entry(conn).or_insert_with(|| spec.bucket());
+            if let Err(wait) = bucket.try_acquire() {
+                return Some(wait);
+            }
+        }
+        let class_bucket = match protocol::peek_method(line).and_then(method_class) {
+            Some(MethodClass::Read) => self.read.as_ref(),
+            Some(MethodClass::Write) => self.write.as_ref(),
+            None => None,
+        };
+        if let Some(bucket) = class_bucket {
+            if let Err(wait) = bucket.lock().expect("rate-limit state poisoned").try_acquire() {
+                return Some(wait);
+            }
+        }
+        None
+    }
+}
+
+impl LineMiddleware for RateLimitLayer {
+    fn gate(&self, conn: ConnId, line: &[u8]) -> Gate {
+        let Some(wait) = self.check(conn, line) else {
+            return Gate::Pass;
+        };
+        self.counters.note_rate_limited();
+        let retry_after_ms = (wait.as_millis() as u64).max(1);
+        Gate::Refuse(protocol::error_line_retry(
+            &recover_id(line),
+            ErrorCode::Overloaded,
+            "rate limit exceeded; excess request refused",
+            retry_after_ms,
+        ))
+    }
+
+    fn on_close(&self, conn: ConnId) {
+        self.conns.lock().expect("rate-limit state poisoned").remove(&conn);
+    }
+}
+
+/// Arrival-time deadline refusal: a request declaring `deadline_ms: 0`
+/// arrives already expired and is answered `deadline-exceeded` without
+/// touching the parser or the engine.  Positive budgets start counting at
+/// arrival and are enforced at the engine queue.
+pub struct DeadlineLayer {
+    counters: Arc<AdmissionCounters>,
+}
+
+impl DeadlineLayer {
+    /// Builds the layer over the shared counters.
+    pub fn new(counters: Arc<AdmissionCounters>) -> Self {
+        Self { counters }
+    }
+}
+
+impl LineMiddleware for DeadlineLayer {
+    fn gate(&self, _conn: ConnId, line: &[u8]) -> Gate {
+        if protocol::peek_deadline_ms(line) != Some(0) {
+            return Gate::Pass;
+        }
+        self.counters.note_deadline_exceeded();
+        Gate::Refuse(protocol::error_line(
+            &recover_id(line),
+            ErrorCode::DeadlineExceeded,
+            "deadline_ms budget expired on arrival",
+        ))
+    }
+}
+
+/// Best-effort id recovery for a refusal line (full parse is fine here —
+/// refusals are off the hot path by definition).
+fn recover_id(line: &[u8]) -> Value {
+    std::str::from_utf8(line)
+        .ok()
+        .and_then(|text| protocol::parse_request(text).map(|r| r.id).ok())
+        .unwrap_or(Value::Null)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_spec_parses_rate_and_burst() {
+        assert_eq!(
+            BucketSpec::parse("500").unwrap(),
+            BucketSpec { rate_per_sec: 500.0, burst: 500.0 }
+        );
+        assert_eq!(
+            BucketSpec::parse("250:32").unwrap(),
+            BucketSpec { rate_per_sec: 250.0, burst: 32.0 }
+        );
+        assert_eq!(BucketSpec::parse("0.5").unwrap(), BucketSpec { rate_per_sec: 0.5, burst: 1.0 });
+        assert!(BucketSpec::parse("0").is_err());
+        assert!(BucketSpec::parse("-3").is_err());
+        assert!(BucketSpec::parse("10:0.5").is_err());
+        assert!(BucketSpec::parse("fast").is_err());
+    }
+
+    fn conn(slot: usize) -> ConnId {
+        ConnId { shard: 0, slot, gen: 1 }
+    }
+
+    #[test]
+    fn per_conn_bucket_refuses_the_excess_with_a_hint() {
+        let counters = Arc::new(AdmissionCounters::default());
+        let layer = RateLimitLayer::new(
+            RateLimitConfig {
+                per_conn: Some(BucketSpec { rate_per_sec: 0.001, burst: 2.0 }),
+                ..Default::default()
+            },
+            Arc::clone(&counters),
+        );
+        let line = b"{\"id\":7,\"method\":\"ping\",\"params\":{}}";
+        assert!(matches!(layer.gate(conn(0), line), Gate::Pass));
+        assert!(matches!(layer.gate(conn(0), line), Gate::Pass));
+        match layer.gate(conn(0), line) {
+            Gate::Refuse(response) => {
+                assert!(response.contains("server-overloaded"), "{response}");
+                assert!(response.contains("retry_after_ms"), "{response}");
+                assert!(response.contains("\"id\":7"), "{response}");
+            }
+            Gate::Pass => panic!("third request should be limited"),
+        }
+        // Another connection has its own bucket.
+        assert!(matches!(layer.gate(conn(1), line), Gate::Pass));
+        assert_eq!(counters.rate_limited.load(Ordering::Relaxed), 1);
+        // Closing releases the per-connection state.
+        layer.on_close(conn(0));
+        assert!(layer.conns.lock().unwrap().len() == 1);
+    }
+
+    #[test]
+    fn write_class_bucket_spares_reads() {
+        let counters = Arc::new(AdmissionCounters::default());
+        let layer = RateLimitLayer::new(
+            RateLimitConfig {
+                write: Some(BucketSpec { rate_per_sec: 0.001, burst: 1.0 }),
+                ..Default::default()
+            },
+            counters,
+        );
+        let write = b"{\"id\":1,\"method\":\"ingest\",\"params\":{\"rows\":[]}}";
+        let read = b"{\"id\":2,\"method\":\"query\",\"params\":{}}";
+        assert!(matches!(layer.gate(conn(0), write), Gate::Pass));
+        assert!(matches!(layer.gate(conn(0), write), Gate::Refuse(_)));
+        // Reads and control keep flowing while writes are limited.
+        assert!(matches!(layer.gate(conn(0), read), Gate::Pass));
+        assert!(matches!(
+            layer.gate(conn(0), b"{\"id\":3,\"method\":\"stats\",\"params\":{}}"),
+            Gate::Pass
+        ));
+    }
+
+    #[test]
+    fn zero_deadline_is_refused_on_arrival() {
+        let counters = Arc::new(AdmissionCounters::default());
+        let layer = DeadlineLayer::new(Arc::clone(&counters));
+        match layer.gate(conn(0), b"{\"id\":5,\"method\":\"ingest\",\"deadline_ms\":0}") {
+            Gate::Refuse(response) => {
+                assert!(response.contains("deadline-exceeded"), "{response}");
+                assert!(response.contains("\"id\":5"), "{response}");
+            }
+            Gate::Pass => panic!("expired budget must not reach the service"),
+        }
+        assert!(matches!(
+            layer.gate(conn(0), b"{\"id\":6,\"method\":\"ingest\",\"deadline_ms\":50}"),
+            Gate::Pass
+        ));
+        assert!(matches!(layer.gate(conn(0), b"{\"id\":7,\"method\":\"ping\"}"), Gate::Pass));
+        assert_eq!(counters.deadline_exceeded.load(Ordering::Relaxed), 1);
+    }
+}

@@ -166,6 +166,23 @@ impl LineClient {
         Self::unwrap_response(response, Some(id))
     }
 
+    /// [`LineClient::call`] with a `deadline_ms` budget in the envelope:
+    /// the server answers `deadline-exceeded` instead of doing the work if
+    /// the budget runs out while the request is still queued.
+    pub fn call_with_deadline(
+        &mut self,
+        method: &str,
+        params: &Value,
+        deadline_ms: u64,
+    ) -> Result<Value, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let line = protocol::request_line_with_deadline(id, method, params, Some(deadline_ms));
+        self.send_line(&line)?;
+        let response = self.read_response()?;
+        Self::unwrap_response(response, Some(id))
+    }
+
     /// Sends a raw line verbatim (malformed-input testing) and returns the
     /// parsed response envelope.
     pub fn call_raw(&mut self, line: &str) -> Result<Value, ServeError> {
@@ -302,7 +319,11 @@ impl LineClient {
                             })
                             .unwrap_or_default()
                     };
-                    Err(ServeError::Remote { code: field("code"), message: field("message") })
+                    Err(ServeError::Remote {
+                        code: field("code"),
+                        message: field("message"),
+                        retry_after_ms: None,
+                    })
                 }
                 None => {
                     // A data entry is the positional row `[probability,
@@ -534,7 +555,13 @@ impl LineClient {
                         })
                         .unwrap_or_default()
                 };
-                Err(ServeError::Remote { code: field("code"), message: field("message") })
+                let retry_after_ms =
+                    error.and_then(|e| e.get("retry_after_ms")).and_then(Value::as_u64);
+                Err(ServeError::Remote {
+                    code: field("code"),
+                    message: field("message"),
+                    retry_after_ms,
+                })
             }
             _ => Err(ServeError::BadResponse { reason: "response has no `ok` field".into() }),
         }

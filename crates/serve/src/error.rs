@@ -14,6 +14,9 @@ pub enum ServeError {
         code: String,
         /// Human-readable explanation.
         message: String,
+        /// Backoff hint in milliseconds, present on `server-overloaded`
+        /// shed refusals: retry no sooner than roughly this long.
+        retry_after_ms: Option<u64>,
     },
     /// The peer sent something that is not a valid protocol line.
     BadResponse {
@@ -33,8 +36,12 @@ impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::Io(e) => write!(f, "serve i/o error: {e}"),
-            ServeError::Remote { code, message } => {
-                write!(f, "server error [{code}]: {message}")
+            ServeError::Remote { code, message, retry_after_ms } => {
+                write!(f, "server error [{code}]: {message}")?;
+                if let Some(ms) = retry_after_ms {
+                    write!(f, " (retry after ~{ms}ms)")?;
+                }
+                Ok(())
             }
             ServeError::BadResponse { reason } => write!(f, "malformed response: {reason}"),
             ServeError::Config { reason } => write!(f, "invalid server configuration: {reason}"),

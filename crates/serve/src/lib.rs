@@ -16,8 +16,10 @@
 //!    atomic-pointer slot ([`pka_stream::SnapshotHandle`]); no lock, no
 //!    retry loop, no contention with refit publishes.
 //! 2. **Single-writer ingest.**  The engine lives on its own thread behind
-//!    an MPSC channel, so policy-triggered refits run off the event loops
-//!    and concurrent ingesters serialise without locks.
+//!    a bounded, two-class admission queue ([`queue`]), so policy-triggered
+//!    refits run off the event loops, concurrent ingesters serialise
+//!    without locks, and overload sheds writes with structured
+//!    `server-overloaded` refusals instead of growing a backlog.
 //! 3. **Bounded, recoverable protocol handling.**  Request lines are
 //!    length-capped, malformed input (bad JSON, bad UTF-8, unknown
 //!    methods, bad params) is answered with a structured error, and the
@@ -46,11 +48,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod client;
 pub mod error;
 pub mod protocol;
+pub mod queue;
 pub mod server;
 
+pub use admission::{
+    AdmissionCounters, BucketSpec, DeadlineLayer, RateLimitConfig, RateLimitLayer,
+};
 pub use client::{ClientConfig, LineClient, NamedQuery, QueryAnswer, ShardPullAnswer};
 pub use error::ServeError;
 pub use protocol::{ErrorCode, Request, DEFAULT_MAX_LINE_BYTES};

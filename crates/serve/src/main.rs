@@ -7,7 +7,9 @@
 //!           [--schema SPEC | --cards 3,2,2 | --survey] [--max-line-bytes N] \
 //!           [--lattice-order K] [--loop-shards K] [--max-connections N] \
 //!           [--idle-timeout-ms N] [--journal PATH] [--journal-fsync SPEC] \
-//!           [--checkpoint PATH] [--checkpoint-interval-ms N]
+//!           [--checkpoint PATH] [--checkpoint-interval-ms N] \
+//!           [--engine-queue N] [--rate-limit-conn SPEC] \
+//!           [--rate-limit-read SPEC] [--rate-limit-write SPEC]
 //! pka-serve probe --addr HOST:PORT [--idle-hold N] [--shutdown]
 //! ```
 //!
@@ -23,6 +25,10 @@
 //! * `--schema` is `name=v1|v2|…;name2=…`; `--cards` builds an anonymous
 //!   uniform schema; `--survey` is the memo's smoking/cancer/family-history
 //!   survey.
+//! * `--engine-queue` caps the write-class engine queue (excess `ingest`
+//!   / `shard-push` traffic is shed with `server-overloaded`);
+//!   `--rate-limit-conn` / `--rate-limit-read` / `--rate-limit-write`
+//!   are token buckets, `RATE` or `RATE:BURST` per second.
 //! * `--loop-shards`, `--max-connections` and `--idle-timeout-ms` shape
 //!   the reactor front end (event loops, connection cap, idle reaping).
 //! * `probe --idle-hold N` opens `N` extra idle connections mid-probe and
@@ -32,7 +38,7 @@
 //! wrapper script can scrape the ephemeral port.
 
 use pka_contingency::{Attribute, Schema};
-use pka_serve::{protocol, LineClient, ServeConfig, Server};
+use pka_serve::{protocol, BucketSpec, LineClient, RateLimitConfig, ServeConfig, Server};
 use pka_stream::{FsyncPolicy, RefreshPolicy, StreamConfig};
 use std::io::Write;
 use std::process::ExitCode;
@@ -86,6 +92,25 @@ impl Options {
     }
 }
 
+/// Builds the opt-in admission policy from the `--rate-limit-*` flags
+/// (each takes `RATE` or `RATE:BURST`).
+fn parse_rate_limits(options: &Options) -> Result<RateLimitConfig, String> {
+    let mut rate_limit = RateLimitConfig::default();
+    if let Some(spec) = options.value("--rate-limit-conn") {
+        rate_limit.per_conn =
+            Some(BucketSpec::parse(spec).map_err(|e| format!("bad --rate-limit-conn: {e}"))?);
+    }
+    if let Some(spec) = options.value("--rate-limit-read") {
+        rate_limit.read =
+            Some(BucketSpec::parse(spec).map_err(|e| format!("bad --rate-limit-read: {e}"))?);
+    }
+    if let Some(spec) = options.value("--rate-limit-write") {
+        rate_limit.write =
+            Some(BucketSpec::parse(spec).map_err(|e| format!("bad --rate-limit-write: {e}"))?);
+    }
+    Ok(rate_limit)
+}
+
 fn serve(args: &[String]) -> Result<(), String> {
     let options = Options::parse(
         args,
@@ -105,6 +130,10 @@ fn serve(args: &[String]) -> Result<(), String> {
             "--journal-fsync",
             "--checkpoint",
             "--checkpoint-interval-ms",
+            "--engine-queue",
+            "--rate-limit-conn",
+            "--rate-limit-read",
+            "--rate-limit-write",
         ],
     )?;
 
@@ -160,6 +189,11 @@ fn serve(args: &[String]) -> Result<(), String> {
         let ms: u64 = ms.parse().map_err(|_| format!("bad --checkpoint-interval-ms `{ms}`"))?;
         config = config.with_checkpoint_interval(std::time::Duration::from_millis(ms));
     }
+    if let Some(cap) = options.value("--engine-queue") {
+        config = config
+            .with_engine_queue_cap(cap.parse().map_err(|_| format!("bad --engine-queue `{cap}`"))?);
+    }
+    config = config.with_rate_limit(parse_rate_limits(&options)?);
 
     let server = Server::start(schema, config).map_err(|e| e.to_string())?;
     println!("listening on {}", server.addr());

@@ -55,6 +55,9 @@ pub enum ErrorCode {
     /// The method exists but this server's fabric role does not serve it
     /// (e.g. `ingest` sent to a read replica).
     UnsupportedRole,
+    /// The request carried a `deadline_ms` budget that expired before the
+    /// server could start working on it.
+    DeadlineExceeded,
 }
 
 impl ErrorCode {
@@ -74,6 +77,7 @@ impl ErrorCode {
             ErrorCode::Overloaded => "server-overloaded",
             ErrorCode::FormatVersion => "format-version-mismatch",
             ErrorCode::UnsupportedRole => "role-unsupported",
+            ErrorCode::DeadlineExceeded => "deadline-exceeded",
         }
     }
 }
@@ -87,6 +91,10 @@ pub struct Request {
     pub method: String,
     /// Method parameters (an empty object when omitted).
     pub params: Value,
+    /// Optional request budget in milliseconds, counted from arrival.  A
+    /// request still waiting for the engine when its budget runs out is
+    /// answered `deadline-exceeded` instead of occupying the engine.
+    pub deadline_ms: Option<u64>,
 }
 
 /// Why a line failed to become a [`Request`].
@@ -98,11 +106,13 @@ pub struct RequestError {
     pub message: String,
     /// The request id, when it could be recovered from the bad line.
     pub id: Value,
+    /// Backoff hint carried by shed (`server-overloaded`) refusals.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl RequestError {
     fn new(code: ErrorCode, message: impl Into<String>) -> Self {
-        Self { code, message: message.into(), id: Value::Null }
+        Self { code, message: message.into(), id: Value::Null, retry_after_ms: None }
     }
 }
 
@@ -124,6 +134,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                 code: ErrorCode::InvalidRequest,
                 message: format!("`method` must be a string, found {}", other.kind()),
                 id,
+                retry_after_ms: None,
             })
         }
         None => {
@@ -131,11 +142,29 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                 code: ErrorCode::InvalidRequest,
                 message: "request has no `method` field".to_string(),
                 id,
+                retry_after_ms: None,
             })
         }
     };
     let params = value.get("params").cloned().unwrap_or_else(|| Value::Object(Vec::new()));
-    Ok(Request { id, method, params })
+    let deadline_ms = match value.get("deadline_ms") {
+        None | Some(Value::Null) => None,
+        Some(v) => match v.as_u64() {
+            Some(ms) => Some(ms),
+            None => {
+                return Err(RequestError {
+                    code: ErrorCode::InvalidRequest,
+                    message: format!(
+                        "`deadline_ms` must be a non-negative integer, found {}",
+                        v.kind()
+                    ),
+                    id,
+                    retry_after_ms: None,
+                })
+            }
+        },
+    };
+    Ok(Request { id, method, params, deadline_ms })
 }
 
 /// Builds a JSON object value from `(key, value)` pairs.
@@ -147,18 +176,143 @@ pub fn object<const N: usize>(fields: [(&str, Value); N]) -> Value {
 /// around a single serialisation of `params` — no deep clone of the params
 /// tree, which matters for large `query-batch` payloads.
 pub fn request_line(id: u64, method: &str, params: &Value) -> String {
+    request_line_with_deadline(id, method, params, None)
+}
+
+/// [`request_line`] with an optional `deadline_ms` budget in the envelope.
+pub fn request_line_with_deadline(
+    id: u64,
+    method: &str,
+    params: &Value,
+    deadline_ms: Option<u64>,
+) -> String {
     let params_json = serde_json::to_string(params).expect("value serialisation is infallible");
     let method_json = serde_json::to_string(&Value::Str(method.to_string()))
         .expect("value serialisation is infallible");
-    let mut line = String::with_capacity(params_json.len() + method_json.len() + 32);
+    let mut line = String::with_capacity(params_json.len() + method_json.len() + 56);
     line.push_str("{\"id\":");
     line.push_str(&id.to_string());
     line.push_str(",\"method\":");
     line.push_str(&method_json);
+    if let Some(ms) = deadline_ms {
+        line.push_str(",\"deadline_ms\":");
+        line.push_str(&ms.to_string());
+    }
     line.push_str(",\"params\":");
     line.push_str(&params_json);
     line.push('}');
     line
+}
+
+/// Extracts the top-level `method` string from a raw request line without
+/// building a JSON value tree.  Used by admission middleware to classify a
+/// line on the loop thread before (and whether) it is fully parsed; any
+/// line this scan cannot read (malformed, escaped method name, nested-only
+/// `method` key) yields `None` and is left for the full parser to refuse.
+pub fn peek_method(line: &[u8]) -> Option<&str> {
+    match peek_top_level(line, b"method")? {
+        PeekToken::Str(body) => std::str::from_utf8(body).ok(),
+        PeekToken::Scalar(_) => None,
+    }
+}
+
+/// Extracts a top-level `deadline_ms` integer from a raw request line, the
+/// same way [`peek_method`] reads the method.  Only a plain non-negative
+/// integer is readable; anything else is left for the full parser.
+pub fn peek_deadline_ms(line: &[u8]) -> Option<u64> {
+    match peek_top_level(line, b"deadline_ms")? {
+        PeekToken::Scalar(token) => std::str::from_utf8(token).ok()?.parse().ok(),
+        PeekToken::Str(_) => None,
+    }
+}
+
+/// A raw top-level value found by the peek scan: a string body (escapes
+/// unresolved — a body containing `\` is never produced) or a bare scalar
+/// token (number, `true`, `null`, …).
+enum PeekToken<'a> {
+    Str(&'a [u8]),
+    Scalar(&'a [u8]),
+}
+
+/// Depth-1, string-aware scan for `"key": value` in a serialized JSON
+/// object, without allocating.  Returns `None` when the key is absent or
+/// the line is too mangled to scan.
+fn peek_top_level<'a>(line: &'a [u8], key: &[u8]) -> Option<PeekToken<'a>> {
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < line.len() {
+        match line[i] {
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => depth = depth.saturating_sub(1),
+            b'"' => {
+                let start = i + 1;
+                let mut j = start;
+                let mut has_escape = false;
+                while j < line.len() {
+                    match line[j] {
+                        b'\\' => {
+                            has_escape = true;
+                            j += 2;
+                            continue;
+                        }
+                        b'"' => break,
+                        _ => j += 1,
+                    }
+                }
+                if j >= line.len() {
+                    return None;
+                }
+                let body = &line[start..j];
+                i = j + 1;
+                // Only a depth-1 string immediately followed by `:` is a
+                // top-level key.
+                if depth != 1 {
+                    continue;
+                }
+                let mut k = i;
+                while k < line.len() && line[k].is_ascii_whitespace() {
+                    k += 1;
+                }
+                if k >= line.len() || line[k] != b':' {
+                    continue;
+                }
+                if has_escape || body != key {
+                    continue;
+                }
+                let mut v = k + 1;
+                while v < line.len() && line[v].is_ascii_whitespace() {
+                    v += 1;
+                }
+                if v >= line.len() {
+                    return None;
+                }
+                if line[v] == b'"' {
+                    let vstart = v + 1;
+                    let mut vend = vstart;
+                    while vend < line.len() {
+                        match line[vend] {
+                            b'\\' => return None,
+                            b'"' => return Some(PeekToken::Str(&line[vstart..vend])),
+                            _ => vend += 1,
+                        }
+                    }
+                    return None;
+                }
+                let vstart = v;
+                let mut vend = v;
+                while vend < line.len()
+                    && !matches!(line[vend], b',' | b'}' | b']' | b'{' | b'[')
+                    && !line[vend].is_ascii_whitespace()
+                {
+                    vend += 1;
+                }
+                return Some(PeekToken::Scalar(&line[vstart..vend]));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
 }
 
 /// Renders a success response line (no trailing newline).
@@ -169,11 +323,31 @@ pub fn ok_line(id: &Value, result: Value) -> String {
 
 /// Renders an error response line (no trailing newline).
 pub fn error_line(id: &Value, code: ErrorCode, message: &str) -> String {
-    let error = object([
-        ("code", Value::Str(code.as_str().to_string())),
-        ("message", Value::Str(message.to_string())),
-    ]);
-    let envelope = object([("id", id.clone()), ("ok", Value::Bool(false)), ("error", error)]);
+    error_line_full(id, code, message, None)
+}
+
+/// Renders an error response line whose error object carries a
+/// `retry_after_ms` hint — the shape of a shed (`server-overloaded`)
+/// refusal: the client should back off roughly that long before retrying.
+pub fn error_line_retry(id: &Value, code: ErrorCode, message: &str, retry_after_ms: u64) -> String {
+    error_line_full(id, code, message, Some(retry_after_ms))
+}
+
+fn error_line_full(
+    id: &Value,
+    code: ErrorCode,
+    message: &str,
+    retry_after_ms: Option<u64>,
+) -> String {
+    let mut fields = vec![
+        ("code".to_string(), Value::Str(code.as_str().to_string())),
+        ("message".to_string(), Value::Str(message.to_string())),
+    ];
+    if let Some(ms) = retry_after_ms {
+        fields.push(("retry_after_ms".to_string(), Value::U64(ms)));
+    }
+    let envelope =
+        object([("id", id.clone()), ("ok", Value::Bool(false)), ("error", Value::Object(fields))]);
     serde_json::to_string(&envelope).expect("value serialisation is infallible")
 }
 
@@ -301,6 +475,57 @@ mod tests {
         let err = error_line(&Value::Null, ErrorCode::UnknownMethod, "nope");
         assert!(err.contains("\"ok\":false"));
         assert!(err.contains("unknown-method"));
+    }
+
+    #[test]
+    fn deadline_budget_parses_and_rejects() {
+        let line = request_line_with_deadline(9, "ingest", &object([]), Some(250));
+        let request = parse_request(&line).unwrap();
+        assert_eq!(request.deadline_ms, Some(250));
+        assert_eq!(parse_request("{\"id\":1,\"method\":\"ping\"}").unwrap().deadline_ms, None);
+        let err = parse_request("{\"id\":1,\"method\":\"ping\",\"deadline_ms\":-5}").unwrap_err();
+        assert_eq!(err.code, ErrorCode::InvalidRequest);
+        assert_eq!(err.id, Value::U64(1));
+    }
+
+    #[test]
+    fn retry_hint_rides_the_error_object() {
+        let line = error_line_retry(&Value::U64(4), ErrorCode::Overloaded, "shed", 120);
+        let value: Value = serde_json::from_str(&line).unwrap();
+        let error = value.get("error").unwrap();
+        assert_eq!(error.get("code"), Some(&Value::Str("server-overloaded".into())));
+        assert_eq!(error.get("retry_after_ms"), Some(&Value::U64(120)));
+        // The plain builder emits no hint field at all.
+        let plain = error_line(&Value::U64(4), ErrorCode::Overloaded, "cap");
+        assert!(!plain.contains("retry_after_ms"));
+    }
+
+    #[test]
+    fn method_peek_reads_only_the_top_level() {
+        assert_eq!(peek_method(b"{\"id\":1,\"method\":\"query\",\"params\":{}}"), Some("query"));
+        assert_eq!(peek_method(b"{ \"method\" : \"ingest\" }"), Some("ingest"));
+        // A nested `method` key must not fool the scan.
+        assert_eq!(
+            peek_method(b"{\"params\":{\"method\":\"decoy\"},\"method\":\"stats\"}"),
+            Some("stats")
+        );
+        assert_eq!(peek_method(b"{\"params\":{\"method\":\"decoy\"}}"), None);
+        // Strings containing braces or escapes don't derail the depth scan.
+        assert_eq!(peek_method(b"{\"id\":\"a{b}c\\\"d\",\"method\":\"ping\"}"), Some("ping"));
+        assert_eq!(peek_method(b"not json"), None);
+        assert_eq!(peek_method(b"{\"method\":42}"), None);
+    }
+
+    #[test]
+    fn deadline_peek_reads_plain_integers_only() {
+        assert_eq!(
+            peek_deadline_ms(b"{\"id\":1,\"method\":\"ingest\",\"deadline_ms\":0,\"params\":{}}"),
+            Some(0)
+        );
+        assert_eq!(peek_deadline_ms(b"{\"deadline_ms\": 250 }"), Some(250));
+        assert_eq!(peek_deadline_ms(b"{\"method\":\"ping\"}"), None);
+        assert_eq!(peek_deadline_ms(b"{\"deadline_ms\":\"soon\"}"), None);
+        assert_eq!(peek_deadline_ms(b"{\"params\":{\"deadline_ms\":0}}"), None);
     }
 
     #[test]

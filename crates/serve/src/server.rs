@@ -15,13 +15,25 @@
 //!   versa.
 //! * **Writes funnel through one thread, without stalling readers.**
 //!   The [`StreamingEngine`] is owned by a dedicated engine thread;
-//!   `ingest`/`refresh`/`stats` requests are forwarded over an MPSC
-//!   channel with a responder closure and answered asynchronously
-//!   through the connection's [`pka_net::Completion`].  The loop shard
-//!   never blocks on the engine: while one connection awaits a refit,
-//!   its shard keeps serving every other connection, and the paused
-//!   connection's pipelined requests stay buffered so response order is
-//!   preserved.
+//!   `ingest`/`refresh`/`stats` requests are forwarded over a **bounded
+//!   two-class queue** ([`crate::queue::EngineQueue`]) with a responder
+//!   closure and answered asynchronously through the connection's
+//!   [`pka_net::Completion`].  Control commands (`refresh`, `stats`,
+//!   fabric export/sync) dequeue before write commands
+//!   (`ingest`/`shard-push`); when the write class is at its cap, the
+//!   excess is **shed** with a structured `server-overloaded` refusal
+//!   carrying a `retry_after_ms` hint instead of queueing without bound.
+//!   The loop shard never blocks on the engine: while one connection
+//!   awaits a refit, its shard keeps serving every other connection, and
+//!   the paused connection's pipelined requests stay buffered so
+//!   response order is preserved.
+//! * **Degradation is ordered, reads last.**  Under overload the server
+//!   sheds write work (stale-but-live knowledge base) while `query` and
+//!   the rest of the read path — answered wait-free from the published
+//!   snapshot, never through the queue — keep their latency.  Request
+//!   `deadline_ms` budgets and opt-in token-bucket rate limits
+//!   ([`crate::admission`]) refuse excess work at the loop shard before
+//!   it can occupy the engine.
 //! * **Robustness policy lives in the reactor.**  Overlong lines,
 //!   slow-reader backpressure, idle-connection reaping, the
 //!   `max_connections` cap with structured `server-overloaded` refusals,
@@ -35,25 +47,32 @@
 //!   leaked, shutdown would hang, which is exactly what the CI smoke
 //!   test checks with a timeout.
 
+use crate::admission::{AdmissionCounters, DeadlineLayer, RateLimitConfig, RateLimitLayer};
 use crate::error::ServeError;
 use crate::protocol::{
     self, assignment_from_value, assignment_to_value, error_line, ok_line, parse_request,
     rows_from_value, ErrorCode, Request, DEFAULT_MAX_LINE_BYTES,
 };
+use crate::queue::{
+    engine_channel, CommandClass, EngineQueue, EngineSender, PushRefusal, QueueEntry, RecvOutcome,
+};
 use pka_contingency::{Assignment, Schema};
 use pka_core::{KnowledgeBase, Query};
 use pka_expert::explain_query;
-use pka_net::{Action, Completion, LineService, NetConfig, Reactor, ReactorHandle, ReactorMetrics};
+use pka_net::{
+    Action, Completion, LineMiddleware, LineService, MiddlewareStack, NetConfig, Reactor,
+    ReactorHandle, ReactorMetrics,
+};
 use pka_stream::{
-    CountShard, FabricCheckpoint, FsyncPolicy, RefitOutcome, RefitReport, ShardJournal, Snapshot,
-    SnapshotHandle, SnapshotMeta, StreamConfig, StreamError, StreamingEngine, SyncReport,
-    WIRE_FORMAT_VERSION,
+    CountShard, FabricCheckpoint, FsyncPolicy, RefitOutcome, RefitReport, RemoteDelivery,
+    ShardJournal, Snapshot, SnapshotHandle, SnapshotMeta, StreamConfig, StreamError,
+    StreamingEngine, SyncReport, WIRE_FORMAT_VERSION,
 };
 use serde::{Deserialize, Serialize, Value};
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -116,6 +135,14 @@ pub struct ServeConfig {
     /// Idle-connection timeout in milliseconds; `0` disables reaping
     /// (default 60 000).
     pub idle_timeout_ms: u64,
+    /// Write-class cap of the bounded engine queue: at most this many
+    /// `ingest`/`shard-push` commands may wait for the engine thread;
+    /// further ones are shed with a `server-overloaded` refusal carrying
+    /// a `retry_after_ms` hint (default 1024; clamped to ≥ 1).
+    pub engine_queue_cap: usize,
+    /// Opt-in token-bucket rate limits enforced on the loop shards
+    /// (default: all off).
+    pub rate_limit: RateLimitConfig,
     /// Crash durability: shard journal and checkpoint wiring (default:
     /// both off — a process-lifetime engine, PR-7 behavior).
     pub durability: DurabilityConfig,
@@ -220,6 +247,18 @@ impl ServeConfig {
         self
     }
 
+    /// Sets the write-class cap of the bounded engine queue.
+    pub fn with_engine_queue_cap(mut self, engine_queue_cap: usize) -> Self {
+        self.engine_queue_cap = engine_queue_cap;
+        self
+    }
+
+    /// Sets the token-bucket rate-limit policy.
+    pub fn with_rate_limit(mut self, rate_limit: RateLimitConfig) -> Self {
+        self.rate_limit = rate_limit;
+        self
+    }
+
     /// Enables the local shard journal at `path`.
     pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Self {
         self.durability.journal_path = Some(path.into());
@@ -257,6 +296,8 @@ impl Default for ServeConfig {
             loop_shards: 2,
             max_connections: 8192,
             idle_timeout_ms: 60_000,
+            engine_queue_cap: 1024,
+            rate_limit: RateLimitConfig::default(),
             durability: DurabilityConfig::default(),
         }
     }
@@ -442,6 +483,23 @@ pub struct ServerStats {
     /// Marginal evaluations that fell back to the dense-joint stride walk
     /// (varset above the lattice's cutoff order).
     pub lattice_misses: u64,
+    /// Commands currently queued for the engine thread, both classes (a
+    /// gauge, bounded by `engine_queue_cap` plus the fixed control cap).
+    pub engine_queue_depth: u64,
+    /// The write-class admission cap of the engine queue.
+    pub engine_queue_cap: u64,
+    /// Write-class commands (`ingest`, `shard-push`) shed with
+    /// `server-overloaded` refusals because the queue was full.
+    pub shed_writes: u64,
+    /// Control-class commands shed (normally zero; non-zero means the
+    /// engine was wedged long enough for even control traffic to pile up).
+    pub shed_control: u64,
+    /// Requests refused with `deadline-exceeded` because their
+    /// `deadline_ms` budget expired before the engine could serve them.
+    pub deadline_exceeded: u64,
+    /// Requests refused by a token-bucket rate limit (the connection
+    /// stays usable; only the excess is refused).
+    pub rate_limited: u64,
 }
 
 /// How an [`EngineCommand`]'s outcome travels back: a closure built on the
@@ -449,14 +507,35 @@ pub struct ServerStats {
 /// requesting connection's [`Completion`].  Runs on the engine thread.
 type Responder<T> = Box<dyn FnOnce(T) + Send>;
 
+/// A structured refusal travelling back through a responder: the engine
+/// failed the work (`ingest-error`), or the command's `deadline_ms`
+/// budget expired while it waited in the queue (`deadline-exceeded`).
+struct Refusal {
+    code: ErrorCode,
+    message: String,
+}
+
+impl Refusal {
+    fn engine(message: String) -> Self {
+        Self { code: ErrorCode::IngestError, message }
+    }
+
+    fn deadline() -> Self {
+        Self {
+            code: ErrorCode::DeadlineExceeded,
+            message: "deadline_ms budget expired while the request was queued".to_string(),
+        }
+    }
+}
+
 /// Commands forwarded from loop shards to the engine thread.
 enum EngineCommand {
     Ingest {
         rows: Vec<Vec<usize>>,
-        reply: Responder<Result<IngestSummary, String>>,
+        reply: Responder<Result<IngestSummary, Refusal>>,
     },
     Refresh {
-        reply: Responder<Result<RefitSummary, String>>,
+        reply: Responder<Result<RefitSummary, Refusal>>,
     },
     Stats {
         reply: Responder<EngineStats>,
@@ -466,17 +545,17 @@ enum EngineCommand {
         source: String,
         seq: u64,
         shard: CountShard,
-        reply: Responder<Result<ShardPushSummary, String>>,
+        reply: Responder<Result<ShardPushSummary, Refusal>>,
     },
     /// A `shard-pull` export of the engine's local counts.
     ExportShard {
-        reply: Responder<Result<(CountShard, u64), String>>,
+        reply: Responder<Result<(CountShard, u64), Refusal>>,
     },
     /// A `snapshot-sync` delivery from a coordinator.
     SyncSnapshot {
         meta: SnapshotMeta,
         knowledge_base: Box<KnowledgeBase>,
-        reply: Responder<Result<SyncSummary, String>>,
+        reply: Responder<Result<SyncSummary, Refusal>>,
     },
 }
 
@@ -501,6 +580,12 @@ struct Shared {
     /// Marginal evaluations that fell back to the dense-joint stride walk
     /// (varset above the lattice's cutoff order).
     lattice_misses: AtomicU64,
+    /// The engine queue's gauges and shed counters (shared with the
+    /// engine thread and the senders).
+    queue: Arc<EngineQueue<EngineCommand>>,
+    /// Rate-limit / deadline refusal counters (shared with the admission
+    /// middleware).
+    admission: Arc<AdmissionCounters>,
 }
 
 /// The current [`ServerStats`], assembled from the shared counters and
@@ -517,6 +602,12 @@ fn server_stats(shared: &Shared) -> ServerStats {
         protocol_errors: shared.protocol_errors.load(Ordering::Relaxed),
         lattice_hits: shared.lattice_hits.load(Ordering::Relaxed),
         lattice_misses: shared.lattice_misses.load(Ordering::Relaxed),
+        engine_queue_depth: shared.queue.depth(),
+        engine_queue_cap: shared.queue.write_cap() as u64,
+        shed_writes: shared.queue.shed_writes(),
+        shed_control: shared.queue.shed_control(),
+        deadline_exceeded: shared.admission.deadline_exceeded.load(Ordering::Relaxed),
+        rate_limited: shared.admission.rate_limited.load(Ordering::Relaxed),
     }
 }
 
@@ -550,11 +641,13 @@ impl Server {
         let metrics = Arc::new(ReactorMetrics::new(net_config.loop_shards));
         let shutdown = Arc::new(AtomicBool::new(false));
 
-        let (engine_tx, engine_rx) = mpsc::channel::<EngineCommand>();
+        let (engine_tx, queue) = engine_channel::<EngineCommand>(config.engine_queue_cap);
+        let engine_queue = Arc::clone(&queue);
         let engine_thread = std::thread::Builder::new()
             .name("pka-serve-engine".to_string())
-            .spawn(move || run_engine(engine, engine_rx, durability))?;
+            .spawn(move || run_engine(engine, engine_queue, durability))?;
 
+        let admission = Arc::new(AdmissionCounters::default());
         let shared = Arc::new(Shared {
             schema,
             snapshots,
@@ -567,12 +660,25 @@ impl Server {
             protocol_errors: AtomicU64::new(0),
             lattice_hits: AtomicU64::new(0),
             lattice_misses: AtomicU64::new(0),
+            queue,
+            admission: Arc::clone(&admission),
         });
         // The reactor threads hold the only service `Arc`s (and with them
         // the only `EngineCommand` senders outside in-flight responders):
         // when the reactor joins, the senders drop and the engine thread
         // finishes.  The handle deliberately keeps neither.
-        let service = Arc::new(ServeService { shared: Arc::clone(&shared), engine_tx });
+        //
+        // The deadline layer runs before the rate limiter so a request
+        // that arrives already expired is refused without spending tokens.
+        let mut layers: Vec<Arc<dyn LineMiddleware>> =
+            vec![Arc::new(DeadlineLayer::new(Arc::clone(&admission)))];
+        if config.rate_limit.is_active() {
+            layers.push(Arc::new(RateLimitLayer::new(config.rate_limit, Arc::clone(&admission))));
+        }
+        let service = Arc::new(MiddlewareStack::new(
+            ServeService { shared: Arc::clone(&shared), engine_tx },
+            layers,
+        ));
         let reactor = Reactor::start(listener, service, net_config, shutdown, metrics)?;
 
         Ok(ServerHandle { addr, shared, reactor: Some(reactor), engine: Some(engine_thread) })
@@ -851,27 +957,107 @@ impl Durability {
 /// durability timer to flush journal writes and cut checkpoints.
 fn run_engine(
     mut engine: StreamingEngine,
-    rx: mpsc::Receiver<EngineCommand>,
+    queue: Arc<EngineQueue<EngineCommand>>,
     mut durability: Durability,
 ) -> StreamingEngine {
     loop {
-        let command = match durability.tick_timeout() {
-            None => rx.recv().ok(),
-            Some(timeout) => match rx.recv_timeout(timeout) {
-                Ok(command) => Some(command),
-                Err(mpsc::RecvTimeoutError::Timeout) => {
-                    durability.tick(&engine);
-                    continue;
-                }
-                Err(mpsc::RecvTimeoutError::Disconnected) => None,
-            },
-        };
-        let Some(command) = command else { break };
-        handle_command(&mut engine, &mut durability, command);
-        durability.tick(&engine);
+        match queue.recv(durability.tick_timeout()) {
+            RecvOutcome::TimedOut => durability.tick(&engine),
+            RecvOutcome::Closed => break,
+            RecvOutcome::Item(entry) => {
+                process_entry(&mut engine, &mut durability, &queue, entry);
+                durability.tick(&engine);
+            }
+        }
     }
     durability.finalize(&engine);
     engine
+}
+
+/// Serves one dequeued command: refuse it if its deadline budget expired
+/// in the queue, batch-absorb when it is a `shard-push` (draining every
+/// other queued push so the whole backlog merges in one pass), and feed
+/// the observed service time back into the queue's backoff hint.
+fn process_entry(
+    engine: &mut StreamingEngine,
+    durability: &mut Durability,
+    queue: &EngineQueue<EngineCommand>,
+    entry: QueueEntry<EngineCommand>,
+) {
+    let Some(command) = refuse_if_expired(entry) else { return };
+    let started = Instant::now();
+    if matches!(command, EngineCommand::AbsorbShard { .. }) {
+        let mut batch = vec![command];
+        batch.extend(
+            queue
+                .drain_write_matching(|c| matches!(c, EngineCommand::AbsorbShard { .. }))
+                .into_iter()
+                .filter_map(refuse_if_expired),
+        );
+        absorb_shard_batch(engine, batch);
+    } else {
+        handle_command(engine, durability, command);
+    }
+    queue.note_service_time(started.elapsed());
+}
+
+/// Enforces a queued command's `deadline_ms` budget at dequeue time: an
+/// expired command is answered `deadline-exceeded` through its responder
+/// instead of occupying the engine.
+fn refuse_if_expired(entry: QueueEntry<EngineCommand>) -> Option<EngineCommand> {
+    if entry.deadline.is_none_or(|d| Instant::now() < d) {
+        return Some(entry.item);
+    }
+    match entry.item {
+        EngineCommand::Ingest { reply, .. } => reply(Err(Refusal::deadline())),
+        EngineCommand::Refresh { reply } => reply(Err(Refusal::deadline())),
+        EngineCommand::AbsorbShard { reply, .. } => reply(Err(Refusal::deadline())),
+        EngineCommand::ExportShard { reply } => reply(Err(Refusal::deadline())),
+        EngineCommand::SyncSnapshot { reply, .. } => reply(Err(Refusal::deadline())),
+        // `stats` never carries a deadline (its responder has no error
+        // channel); serve it regardless.
+        stats @ EngineCommand::Stats { .. } => return Some(stats),
+    }
+    None
+}
+
+/// Absorbs a batch of `shard-push` deliveries in one engine pass (at most
+/// one refit for the whole batch) and answers each through its responder.
+fn absorb_shard_batch(engine: &mut StreamingEngine, batch: Vec<EngineCommand>) {
+    let mut deliveries = Vec::with_capacity(batch.len());
+    let mut replies = Vec::with_capacity(batch.len());
+    for command in batch {
+        let EngineCommand::AbsorbShard { source, seq, shard, reply } = command else {
+            unreachable!("absorb_shard_batch is only fed AbsorbShard commands");
+        };
+        deliveries.push(RemoteDelivery { source, seq, shard });
+        replies.push(reply);
+    }
+    let outcomes = engine.accept_remote_shards(deliveries);
+    for (outcome, reply) in outcomes.into_iter().zip(replies) {
+        let outcome = outcome
+            .map(|report| {
+                let (refit, refit_error, refit_triggered) = match report.refit {
+                    RefitOutcome::NotTriggered => (None, None, false),
+                    RefitOutcome::Completed(ref r) => {
+                        (Some(RefitSummary::from_report(r)), None, true)
+                    }
+                    RefitOutcome::Failed(ref e) => (None, Some(e.to_string()), true),
+                };
+                ShardPushSummary {
+                    applied: report.applied,
+                    delta_tuples: report.delta_tuples,
+                    source_tuples: report.source_tuples,
+                    pending: engine.pending(),
+                    total_ingested: engine.total_ingested(),
+                    refit_triggered,
+                    refit,
+                    refit_error,
+                }
+            })
+            .map_err(|e| Refusal::engine(e.to_string()));
+        reply(outcome);
+    }
 }
 
 fn handle_command(
@@ -900,7 +1086,7 @@ fn handle_command(
                         refit_error,
                     }
                 })
-                .map_err(|e| e.to_string());
+                .map_err(|e| Refusal::engine(e.to_string()));
             // Journal before acknowledging: under per-record fsync
             // the `ok` line proves the batch reached stable storage.
             if outcome.is_ok() {
@@ -909,8 +1095,10 @@ fn handle_command(
             reply(outcome);
         }
         EngineCommand::Refresh { reply } => {
-            let outcome =
-                engine.refresh().map(|r| RefitSummary::from_report(&r)).map_err(|e| e.to_string());
+            let outcome = engine
+                .refresh()
+                .map(|r| RefitSummary::from_report(&r))
+                .map_err(|e| Refusal::engine(e.to_string()));
             reply(outcome);
         }
         EngineCommand::Stats { reply } => {
@@ -949,31 +1137,7 @@ fn handle_command(
                 sources,
             });
         }
-        EngineCommand::AbsorbShard { source, seq, shard, reply } => {
-            let outcome = engine
-                .accept_remote_shard(&source, seq, shard)
-                .map(|report| {
-                    let (refit, refit_error, refit_triggered) = match report.refit {
-                        RefitOutcome::NotTriggered => (None, None, false),
-                        RefitOutcome::Completed(ref r) => {
-                            (Some(RefitSummary::from_report(r)), None, true)
-                        }
-                        RefitOutcome::Failed(ref e) => (None, Some(e.to_string()), true),
-                    };
-                    ShardPushSummary {
-                        applied: report.applied,
-                        delta_tuples: report.delta_tuples,
-                        source_tuples: report.source_tuples,
-                        pending: engine.pending(),
-                        total_ingested: engine.total_ingested(),
-                        refit_triggered,
-                        refit,
-                        refit_error,
-                    }
-                })
-                .map_err(|e| e.to_string());
-            reply(outcome);
-        }
+        command @ EngineCommand::AbsorbShard { .. } => absorb_shard_batch(engine, vec![command]),
         EngineCommand::ExportShard { reply } => {
             let outcome = engine
                 .export_local_shard()
@@ -981,14 +1145,14 @@ fn handle_command(
                     let tuples = shard.tuple_count();
                     (shard, tuples)
                 })
-                .map_err(|e| e.to_string());
+                .map_err(|e| Refusal::engine(e.to_string()));
             reply(outcome);
         }
         EngineCommand::SyncSnapshot { meta, knowledge_base, reply } => {
             let outcome = engine
                 .apply_synced_snapshot(&meta, *knowledge_base)
                 .map(SyncSummary::from_report)
-                .map_err(|e| e.to_string());
+                .map_err(|e| Refusal::engine(e.to_string()));
             reply(outcome);
         }
     }
@@ -999,7 +1163,7 @@ fn handle_command(
 /// through a [`Completion`] for engine-bound methods).
 struct ServeService {
     shared: Arc<Shared>,
-    engine_tx: mpsc::Sender<EngineCommand>,
+    engine_tx: EngineSender<EngineCommand>,
 }
 
 impl LineService for ServeService {
@@ -1043,7 +1207,7 @@ enum Dispatched {
 fn respond_to(
     raw: &[u8],
     shared: &Arc<Shared>,
-    engine_tx: &mpsc::Sender<EngineCommand>,
+    engine_tx: &EngineSender<EngineCommand>,
     completion: Completion,
 ) -> Action {
     let Ok(text) = std::str::from_utf8(raw) else {
@@ -1068,7 +1232,11 @@ fn respond_to(
             "server is shutting down",
         ));
     }
-    match dispatch(&request, shared, engine_tx, completion) {
+    // A request's `deadline_ms` budget starts counting at parse time; the
+    // engine re-checks it at dequeue so queued work whose budget expired
+    // is refused instead of served late.
+    let expiry = request.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    match dispatch(&request, shared, engine_tx, expiry, completion) {
         Ok(Dispatched::Ready(result, true)) => Action::Respond(ok_line(&request.id, result)),
         Ok(Dispatched::Ready(result, false)) => {
             // `shutdown` acknowledged: raise the flag (starting the
@@ -1079,10 +1247,19 @@ fn respond_to(
         }
         Ok(Dispatched::Deferred) => Action::Deferred,
         Err(e) => {
-            shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            // Overload sheds and expired budgets are well-formed traffic
+            // answered by policy, not protocol misuse; they have their own
+            // counters.
+            if !matches!(e.code, ErrorCode::Overloaded | ErrorCode::DeadlineExceeded) {
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            }
             // Dispatch errors always belong to this request, whatever id
             // the deeper helper had available.
-            Action::Respond(error_line(&request.id, e.code, &e.message))
+            let line = match e.retry_after_ms {
+                Some(ms) => protocol::error_line_retry(&request.id, e.code, &e.message, ms),
+                None => error_line(&request.id, e.code, &e.message),
+            };
+            Action::Respond(line)
         }
     }
 }
@@ -1095,19 +1272,30 @@ fn summary_responder<T: Serialize + Send + 'static>(
     request: &Request,
     shared: &Arc<Shared>,
     completion: Completion,
-) -> Responder<Result<T, String>> {
+) -> Responder<Result<T, Refusal>> {
     let id = request.id.clone();
     let shared = Arc::clone(shared);
     Box::new(move |outcome| {
         let line = match outcome {
             Ok(summary) => ok_line(&id, Serialize::serialize(&summary)),
-            Err(message) => {
-                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                error_line(&id, ErrorCode::IngestError, &message)
+            Err(refusal) => {
+                note_refusal(&shared, &refusal);
+                error_line(&id, refusal.code, &refusal.message)
             }
         };
         completion.respond(line);
     })
+}
+
+/// Books one responder-path refusal on the right counter: expired budgets
+/// are admission policy (`deadline_exceeded`), everything else is an
+/// engine failure counted with the protocol errors.
+fn note_refusal(shared: &Shared, refusal: &Refusal) {
+    if refusal.code == ErrorCode::DeadlineExceeded {
+        shared.admission.note_deadline_exceeded();
+    } else {
+        shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Evaluates one request.  Read-path methods answer on the loop shard
@@ -1117,7 +1305,8 @@ fn summary_responder<T: Serialize + Send + 'static>(
 fn dispatch(
     request: &Request,
     shared: &Arc<Shared>,
-    engine_tx: &mpsc::Sender<EngineCommand>,
+    engine_tx: &EngineSender<EngineCommand>,
+    expiry: Option<Instant>,
     completion: Completion,
 ) -> Result<Dispatched, protocol::RequestError> {
     let open = |v| Ok(Dispatched::Ready(v, true));
@@ -1205,6 +1394,7 @@ fn dispatch(
                     code: ErrorCode::QueryError,
                     message: e.to_string(),
                     id: request.id.clone(),
+                    retry_after_ms: None,
                 })?;
             let steps = explanation
                 .steps
@@ -1246,7 +1436,13 @@ fn dispatch(
             )?;
             let rows = rows_from_value(&request.params)?;
             let reply = summary_responder::<IngestSummary>(request, shared, completion);
-            send_engine(engine_tx, EngineCommand::Ingest { rows, reply }, request)?;
+            send_engine(
+                engine_tx,
+                CommandClass::Write,
+                expiry,
+                EngineCommand::Ingest { rows, reply },
+                request,
+            )?;
             Ok(Dispatched::Deferred)
         }
         "refresh" => {
@@ -1256,7 +1452,13 @@ fn dispatch(
                 &[FabricRole::Standalone, FabricRole::Coordinator, FabricRole::IngestNode],
             )?;
             let reply = summary_responder::<RefitSummary>(request, shared, completion);
-            send_engine(engine_tx, EngineCommand::Refresh { reply }, request)?;
+            send_engine(
+                engine_tx,
+                CommandClass::Control,
+                expiry,
+                EngineCommand::Refresh { reply },
+                request,
+            )?;
             Ok(Dispatched::Deferred)
         }
         "stats" => {
@@ -1275,7 +1477,15 @@ fn dispatch(
                 ]);
                 completion.respond(ok_line(&id, result));
             });
-            send_engine(engine_tx, EngineCommand::Stats { reply }, request)?;
+            // No deadline: the stats responder has no error channel, and a
+            // stats probe is exactly what an operator needs under overload.
+            send_engine(
+                engine_tx,
+                CommandClass::Control,
+                None,
+                EngineCommand::Stats { reply },
+                request,
+            )?;
             Ok(Dispatched::Deferred)
         }
         "shard-push" => {
@@ -1306,6 +1516,8 @@ fn dispatch(
             let reply = summary_responder::<ShardPushSummary>(request, shared, completion);
             send_engine(
                 engine_tx,
+                CommandClass::Write,
+                expiry,
                 EngineCommand::AbsorbShard { source, seq, shard, reply },
                 request,
             )?;
@@ -1314,7 +1526,7 @@ fn dispatch(
         "shard-pull" => {
             let id = request.id.clone();
             let shared = Arc::clone(shared);
-            let reply: Responder<Result<(CountShard, u64), String>> = Box::new(move |outcome| {
+            let reply: Responder<Result<(CountShard, u64), Refusal>> = Box::new(move |outcome| {
                 let line = match outcome {
                     // The local tuple count doubles as the monotone sequence
                     // number: local ingestion only ever grows it, so each
@@ -1330,14 +1542,20 @@ fn dispatch(
                             ("shard", Serialize::serialize(&shard)),
                         ]),
                     ),
-                    Err(message) => {
-                        shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                        error_line(&id, ErrorCode::IngestError, &message)
+                    Err(refusal) => {
+                        note_refusal(&shared, &refusal);
+                        error_line(&id, refusal.code, &refusal.message)
                     }
                 };
                 completion.respond(line);
             });
-            send_engine(engine_tx, EngineCommand::ExportShard { reply }, request)?;
+            send_engine(
+                engine_tx,
+                CommandClass::Control,
+                expiry,
+                EngineCommand::ExportShard { reply },
+                request,
+            )?;
             Ok(Dispatched::Deferred)
         }
         "snapshot-sync" => {
@@ -1355,6 +1573,8 @@ fn dispatch(
             let reply = summary_responder::<SyncSummary>(request, shared, completion);
             send_engine(
                 engine_tx,
+                CommandClass::Control,
+                expiry,
                 EngineCommand::SyncSnapshot {
                     meta,
                     knowledge_base: Box::new(knowledge_base),
@@ -1386,6 +1606,7 @@ fn dispatch(
             code: ErrorCode::UnknownMethod,
             message: format!("unknown method `{other}`"),
             id: request.id.clone(),
+            retry_after_ms: None,
         }),
     }
 }
@@ -1424,6 +1645,7 @@ fn evaluate_query(
         code: ErrorCode::QueryError,
         message,
         id: Value::Null,
+        retry_after_ms: None,
     };
     if !target.compatible_with(&evidence) {
         return Err(query_error(
@@ -1581,6 +1803,7 @@ fn no_snapshot() -> protocol::RequestError {
         code: ErrorCode::NoSnapshot,
         message: "no snapshot published yet; ingest data and refresh first".to_string(),
         id: Value::Null,
+        retry_after_ms: None,
     }
 }
 
@@ -1589,6 +1812,7 @@ fn invalid_params(message: &str) -> protocol::RequestError {
         code: ErrorCode::InvalidParams,
         message: message.to_string(),
         id: Value::Null,
+        retry_after_ms: None,
     }
 }
 
@@ -1609,6 +1833,7 @@ fn require_role(
                 shared.role.as_str()
             ),
             id: request.id.clone(),
+            retry_after_ms: None,
         })
     }
 }
@@ -1621,17 +1846,38 @@ fn stream_error_to_request(error: StreamError, request: &Request) -> protocol::R
         StreamError::FormatVersion { .. } => ErrorCode::FormatVersion,
         _ => ErrorCode::InvalidParams,
     };
-    protocol::RequestError { code, message: error.to_string(), id: request.id.clone() }
+    protocol::RequestError {
+        code,
+        message: error.to_string(),
+        id: request.id.clone(),
+        retry_after_ms: None,
+    }
 }
 
+/// Admits one command to the engine queue.  A shed (`Full`) refusal turns
+/// into a `server-overloaded` error carrying the queue's backoff hint;
+/// dropping the unanswered responder inside the refused command is safe
+/// because the caller answers the request on the loop shard instead (the
+/// connection was never paused).
 fn send_engine(
-    engine_tx: &mpsc::Sender<EngineCommand>,
+    engine_tx: &EngineSender<EngineCommand>,
+    class: CommandClass,
+    deadline: Option<Instant>,
     command: EngineCommand,
     request: &Request,
 ) -> Result<(), protocol::RequestError> {
-    engine_tx.send(command).map_err(|_| protocol::RequestError {
-        code: ErrorCode::ShuttingDown,
-        message: "engine thread is gone".to_string(),
-        id: request.id.clone(),
+    engine_tx.push(class, command, deadline).map_err(|refusal| match refusal {
+        PushRefusal::Full { retry_after } => protocol::RequestError {
+            code: ErrorCode::Overloaded,
+            message: "engine queue is full; request shed".to_string(),
+            id: request.id.clone(),
+            retry_after_ms: Some((retry_after.as_millis() as u64).max(1)),
+        },
+        PushRefusal::Closed => protocol::RequestError {
+            code: ErrorCode::ShuttingDown,
+            message: "engine thread is gone".to_string(),
+            id: request.id.clone(),
+            retry_after_ms: None,
+        },
     })
 }

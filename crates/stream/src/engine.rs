@@ -112,6 +112,18 @@ pub struct IngestReport {
     pub refit: RefitOutcome,
 }
 
+/// One `shard-push` delivery awaiting absorption — the input element of
+/// [`StreamingEngine::accept_remote_shards`].
+#[derive(Debug)]
+pub struct RemoteDelivery {
+    /// The pushing node's self-declared source name.
+    pub source: String,
+    /// The delivery's monotone sequence number.
+    pub seq: u64,
+    /// The source's cumulative counts.
+    pub shard: CountShard,
+}
+
 /// What absorbing one remote shard delivery did — the fabric-facing
 /// counterpart of [`IngestReport`].
 #[derive(Debug)]
@@ -468,25 +480,59 @@ impl StreamingEngine {
         seq: u64,
         shard: CountShard,
     ) -> Result<RemoteShardReport> {
-        let outcome = self.remote.apply(&self.schema, source, seq, shard)?;
-        let source_tuples =
-            self.remote.sources().into_iter().find(|s| s.name == source).map_or(0, |s| s.tuples);
-        if !outcome.applied() {
-            return Ok(RemoteShardReport {
-                applied: false,
-                delta_tuples: 0,
-                source_tuples,
-                refit: RefitOutcome::NotTriggered,
-            });
+        let delivery = RemoteDelivery { source: source.to_string(), seq, shard };
+        self.accept_remote_shards(vec![delivery]).pop().expect("one delivery in, one outcome out")
+    }
+
+    /// Absorbs a whole batch of remote deliveries in one pass: every shard
+    /// is applied to the placement map first, then the refresh policy is
+    /// consulted **once** for the combined pending mass.  This is the
+    /// engine half of the server's queue-drain batching — under a push
+    /// storm the coordinator pays one policy check (and at most one refit)
+    /// per wakeup instead of one per delivery.
+    ///
+    /// Outcomes are per-delivery and positional.  A refit triggered by the
+    /// batch is reported on the **last applied** delivery (the one that
+    /// completed the pending mass); the rest report
+    /// [`RefitOutcome::NotTriggered`], exactly as if the deliveries had
+    /// arrived back-to-back with the policy tripping on the final one.
+    pub fn accept_remote_shards(
+        &mut self,
+        deliveries: Vec<RemoteDelivery>,
+    ) -> Vec<Result<RemoteShardReport>> {
+        let mut outcomes: Vec<Result<RemoteShardReport>> = Vec::with_capacity(deliveries.len());
+        let mut last_applied = None;
+        for delivery in deliveries {
+            let RemoteDelivery { source, seq, shard } = delivery;
+            match self.remote.apply(&self.schema, &source, seq, shard) {
+                Err(e) => outcomes.push(Err(e)),
+                Ok(outcome) => {
+                    let source_tuples = self
+                        .remote
+                        .sources()
+                        .into_iter()
+                        .find(|s| s.name == source)
+                        .map_or(0, |s| s.tuples);
+                    if outcome.applied() {
+                        self.pending += outcome.delta_tuples();
+                        last_applied = Some(outcomes.len());
+                    }
+                    outcomes.push(Ok(RemoteShardReport {
+                        applied: outcome.applied(),
+                        delta_tuples: outcome.delta_tuples(),
+                        source_tuples,
+                        refit: RefitOutcome::NotTriggered,
+                    }));
+                }
+            }
         }
-        self.pending += outcome.delta_tuples();
-        let refit = self.maybe_refresh();
-        Ok(RemoteShardReport {
-            applied: true,
-            delta_tuples: outcome.delta_tuples(),
-            source_tuples,
-            refit,
-        })
+        if let Some(i) = last_applied {
+            let refit = self.maybe_refresh();
+            if let Some(Ok(report)) = outcomes.get_mut(i) {
+                report.refit = refit;
+            }
+        }
+        outcomes
     }
 
     /// Publishes a snapshot received from a coordinator (the replica half
