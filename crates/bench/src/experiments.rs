@@ -11,10 +11,11 @@ use pka_contingency::{Assignment, ContingencyTable, Marginal, Schema, VarSet};
 use pka_core::{Acquisition, AcquisitionConfig, AcquisitionOutcome, KnowledgeBase, RoundTrace};
 use pka_datagen::{
     sample_dataset, sample_table, sampler::seeded_rng, smoking, survey, PlantedExperiment,
+    WideExperiment,
 };
 use pka_maxent::{
-    metrics, solver::Solver, ConstraintSet, ConvergenceCriteria, IncidenceCache, JointDistribution,
-    LogLinearModel, MarginalLattice, SolveReport,
+    metrics, solver::Solver, ConstraintSet, ConvergenceCriteria, FactorGraph, IncidenceCache,
+    JointDistribution, LogLinearModel, MarginalLattice, SolveReport,
 };
 use std::sync::Arc;
 
@@ -751,6 +752,261 @@ impl QueryEvalWorkload {
             "{}: batch mixes diverged: {mix_fast} vs {mix_slow}",
             self.label
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// X8 — wide-schema workloads (the `wide_schema` bench)
+// ---------------------------------------------------------------------------
+
+/// The dense side of a [`WideWorkload`]: only built where the joint is
+/// small enough to materialise (the pre-factored serve path).
+#[derive(Debug)]
+struct DenseSide {
+    model: LogLinearModel,
+    joint: JointDistribution,
+    lattice: MarginalLattice,
+}
+
+/// A factored-vs-dense workload at one schema width.
+///
+/// Fits the same maxent problem (first-order constraints plus a handful of
+/// pairwise ones) with the factored kernel and — where the joint is small
+/// enough — the dense CSR kernel, then evaluates the serve read mix two
+/// ways:
+///
+/// * **factored**: lattice hit when covered, [`FactorGraph`] elimination on
+///   a miss — the wide-snapshot read path;
+/// * **dense**: lattice hit when covered, dense-joint stride walk on a miss
+///   — the read path before factored evaluation existed, and the one that
+///   simply cannot exist above the dense ceiling.
+///
+/// The 20-attribute constructor has no dense side at all: its joint
+/// (2^20 cells) is past the default ceiling, which is the point.
+#[derive(Debug)]
+pub struct WideWorkload {
+    label: &'static str,
+    criteria: ConvergenceCriteria,
+    constraints: ConstraintSet,
+    model: LogLinearModel,
+    graph: FactorGraph,
+    lattice: MarginalLattice,
+    dense: Option<DenseSide>,
+    /// Order ≤ 2 probes, all covered by the lattice.
+    covered: Vec<Assignment>,
+    /// Order-3 probes, all of which miss the lattice (the fallback).
+    fallback: Vec<Assignment>,
+}
+
+impl WideWorkload {
+    /// The memo's 3-attribute survey schema (12 cells).
+    pub fn paper() -> Self {
+        Self::from_counts("paper_3x2x2", &[3, 2, 2])
+    }
+
+    /// 4 attributes, 144 cells — the mid-size acceptance point.
+    pub fn medium() -> Self {
+        Self::from_counts("medium_4x4x3x3", &[4, 4, 3, 3])
+    }
+
+    /// 4 attributes, 480 cells — the large acceptance point.
+    pub fn large() -> Self {
+        Self::from_counts("large_6x5x4x4", &[6, 5, 4, 4])
+    }
+
+    /// 8 binary attributes (256 cells): both kernels still run.
+    pub fn wide8() -> Self {
+        Self::from_wide("wide_2pow8", 8, 2000)
+    }
+
+    /// 12 binary attributes (4096 cells): both kernels still run.
+    pub fn wide12() -> Self {
+        Self::from_wide("wide_2pow12", 12, 2000)
+    }
+
+    /// 20 binary attributes (2^20 cells): past the dense ceiling, so the
+    /// workload is factored-only — the dense side would be a megacell
+    /// allocation per snapshot.
+    pub fn wide20() -> Self {
+        Self::from_wide("wide_2pow20", 20, 500)
+    }
+
+    fn from_counts(label: &'static str, cards: &[usize]) -> Self {
+        let schema = Schema::uniform(cards).expect("schema valid").into_shared();
+        let counts = synthetic_counts(&schema, 11);
+        let table = ContingencyTable::from_counts(Arc::clone(&schema), counts).expect("valid");
+        Self::build(label, &table)
+    }
+
+    fn from_wide(label: &'static str, attributes: usize, samples: u64) -> Self {
+        let experiment = WideExperiment::generate(attributes, 2, 4, 5.0, &mut seeded_rng(31));
+        let table = experiment.sample_table(samples, &mut seeded_rng(32));
+        Self::build(label, &table)
+    }
+
+    fn build(label: &'static str, table: &ContingencyTable) -> Self {
+        let schema = table.shared_schema();
+        let criteria = ConvergenceCriteria::new().with_tolerance(1e-13).with_max_iterations(5000);
+
+        // First-order constraints plus a ring of pairwise ones, so the
+        // factored problem has real (but bounded-width) structure.
+        let mut constraints = ConstraintSet::first_order_from_table(table).expect("valid table");
+        for attr in 0..schema.len().min(4) {
+            let next = (attr + 1) % schema.len();
+            let assignment = Assignment::from_pairs([(attr.min(next), 0), (attr.max(next), 0)]);
+            constraints.add_from_table(table, assignment).expect("pair in schema");
+        }
+
+        let (model, report) = Solver::new(criteria)
+            .with_dense_ceiling(0)
+            .fit(&constraints)
+            .expect("factored fit succeeds");
+        assert!(report.converged, "{label}: factored kernel must converge");
+        let graph = FactorGraph::from_model(&model);
+        let lattice = MarginalLattice::build_factored(&graph, pka_maxent::DEFAULT_LATTICE_ORDER);
+
+        // The dense side only exists below the default ceiling (all sizes
+        // here except 2^20), fitted by the CSR kernel as before this PR.
+        let dense = (schema.cell_count() <= pka_maxent::DEFAULT_DENSE_CEILING).then(|| {
+            let (dense_model, dense_report) =
+                Solver::new(criteria).fit(&constraints).expect("dense fit succeeds");
+            assert!(dense_report.converged, "{label}: dense kernel must converge");
+            let joint = dense_model.to_joint();
+            let lattice = MarginalLattice::build(&joint, pka_maxent::DEFAULT_LATTICE_ORDER);
+            DenseSide { model: dense_model, joint, lattice }
+        });
+
+        // Probes: every order-1 cell, order-2 cells over a bounded varset
+        // sample, and order-3 fallback probes that miss the lattice.
+        let mut covered = Vec::new();
+        for vars in schema.all_vars().subsets_of_size(1) {
+            for values in schema.configurations(vars) {
+                covered.push(Assignment::new(vars, values));
+            }
+        }
+        for vars in schema.all_vars().subsets_of_size(2).into_iter().take(64) {
+            for values in schema.configurations(vars) {
+                covered.push(Assignment::new(vars, values));
+            }
+        }
+        let mut fallback = Vec::new();
+        for (i, vars) in schema.all_vars().subsets_of_size(3).into_iter().take(24).enumerate() {
+            let values: Vec<usize> = vars
+                .iter()
+                .enumerate()
+                .map(|(pos, attr)| (i + pos) % schema.cardinality(attr).expect("in schema"))
+                .collect();
+            fallback.push(Assignment::new(vars, values));
+        }
+
+        Self { label, criteria, constraints, model, graph, lattice, dense, covered, fallback }
+    }
+
+    /// The workload's display label (`wide_2pow20`, …).
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Whether a dense side exists (false only past the dense ceiling).
+    pub fn has_dense(&self) -> bool {
+        self.dense.is_some()
+    }
+
+    /// Probe counts: `(covered, fallback)`.
+    pub fn probe_counts(&self) -> (usize, usize) {
+        (self.covered.len(), self.fallback.len())
+    }
+
+    /// Every covered (order ≤ 2) probe through the factored snapshot's
+    /// lattice.  The tables were built by elimination instead of dense
+    /// summation, but a lookup is a lookup — this is the head-to-head for
+    /// the "factored path within 2× of the lattice" acceptance point.
+    pub fn covered_factored(&self) -> f64 {
+        self.covered.iter().map(|a| self.lattice.probability(a).expect("covered probe")).sum()
+    }
+
+    /// Every covered probe through the dense snapshot's lattice; `None`
+    /// past the ceiling.
+    pub fn covered_dense(&self) -> Option<f64> {
+        let side = self.dense.as_ref()?;
+        Some(self.covered.iter().map(|a| side.lattice.probability(a).expect("covered")).sum())
+    }
+
+    /// Every fallback (order-3, uncovered) probe by variable elimination —
+    /// what a lattice miss costs on a factored snapshot.
+    pub fn fallback_factored(&self) -> f64 {
+        self.fallback.iter().map(|a| self.graph.probability(a)).sum()
+    }
+
+    /// Every fallback probe by the dense-joint stride walk — what a miss
+    /// cost before this PR; `None` past the ceiling, where no dense joint
+    /// exists to walk.
+    pub fn fallback_dense(&self) -> Option<f64> {
+        let side = self.dense.as_ref()?;
+        Some(self.fallback.iter().map(|a| side.joint.probability(a)).sum())
+    }
+
+    /// One factored fit from scratch (what a wide refit pays).
+    pub fn fit_factored(&self) -> SolveReport {
+        let (_, report) = Solver::new(self.criteria)
+            .with_dense_ceiling(0)
+            .fit(&self.constraints)
+            .expect("factored fit succeeds");
+        report
+    }
+
+    /// One dense CSR fit from scratch; `None` past the ceiling.
+    pub fn fit_dense(&self) -> Option<SolveReport> {
+        self.dense.as_ref()?;
+        let (_, report) = Solver::new(self.criteria).fit(&self.constraints).expect("dense fit");
+        Some(report)
+    }
+
+    /// Largest per-cell gap between the factored and dense fixed points;
+    /// `None` past the ceiling (nothing to compare against).
+    pub fn max_fixed_point_delta(&self) -> Option<f64> {
+        let side = self.dense.as_ref()?;
+        let factored = self.model.dense_probabilities();
+        let dense = side.model.dense_probabilities();
+        Some(factored.iter().zip(&dense).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max))
+    }
+
+    /// Correctness gate (runs in CI smoke mode too): wherever both paths
+    /// run they agree ≤ 1e-9 per probe and at the fixed point, and the
+    /// fallback probes really do miss the lattice.
+    pub fn assert_paths_agree(&self) {
+        for a in &self.fallback {
+            assert_eq!(
+                self.lattice.probability(a),
+                None,
+                "{}: order-3 probe unexpectedly covered",
+                self.label
+            );
+        }
+        let Some(side) = self.dense.as_ref() else {
+            // Factored-only: the mix must still be well-formed probability
+            // mass.
+            let total = self.covered_factored() + self.fallback_factored();
+            assert!(total.is_finite() && total >= 0.0, "{}: broken factored mix", self.label);
+            return;
+        };
+        for a in self.covered.iter().chain(&self.fallback) {
+            let factored = match self.lattice.probability(a) {
+                Some(p) => p,
+                None => self.graph.probability(a),
+            };
+            let dense = match side.lattice.probability(a) {
+                Some(p) => p,
+                None => side.joint.probability(a),
+            };
+            assert!(
+                (factored - dense).abs() <= 1e-9,
+                "{}: paths diverged on {a:?}: {factored} vs {dense}",
+                self.label
+            );
+        }
+        let delta = self.max_fixed_point_delta().expect("dense side exists");
+        assert!(delta <= 1e-9, "{}: fixed points diverged by {delta}", self.label);
     }
 }
 

@@ -193,6 +193,13 @@ impl Schema {
         Ok(idx)
     }
 
+    /// The value one attribute takes in the cell at `index` — the
+    /// single-attribute inverse of [`Schema::cell_index`], without the
+    /// allocation of [`Schema::cell_values`].
+    pub fn cell_value(&self, index: usize, attribute: usize) -> usize {
+        (index / self.strides[attribute]) % self.attributes[attribute].cardinality()
+    }
+
     /// Inverse of [`Schema::cell_index`]: the full value assignment of a
     /// dense cell index.
     pub fn cell_values(&self, mut index: usize) -> Vec<usize> {

@@ -18,18 +18,59 @@ use std::sync::Arc;
 /// (Eqs. 1–6 of the memo) are obtained by summation, either one query at a
 /// time ([`ContingencyTable::count_matching`]) or as a whole marginal table
 /// ([`ContingencyTable::marginal`]).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Counts only ever grow (there is no decrement), so the table also keeps
+/// `occupied` — the indices of every cell that has ever been observed, in
+/// first-observation order.  Marginal queries sum over that sparse set, so
+/// their cost scales with the number of *distinct observed cells*, not with
+/// the joint's cell count: on a wide schema (2^20 cells, a few hundred
+/// observed) a [`ContingencyTable::count_matching`] call touches hundreds of
+/// cells, not a million.  `occupied` is derived state: it is skipped on
+/// serialisation (the wire format is just `schema`/`counts`/`total`),
+/// rebuilt on deserialisation, and excluded from equality.
+#[derive(Debug, Clone, Serialize)]
 pub struct ContingencyTable {
     schema: Arc<Schema>,
     counts: Vec<u64>,
     total: u64,
+    #[serde(skip)]
+    occupied: Vec<usize>,
+}
+
+impl PartialEq for ContingencyTable {
+    fn eq(&self, other: &Self) -> bool {
+        // `occupied` is derived (and order-sensitive to ingestion history);
+        // two tables are equal iff their observable counts are.
+        self.schema == other.schema && self.counts == other.counts && self.total == other.total
+    }
+}
+
+impl Eq for ContingencyTable {}
+
+impl Deserialize for ContingencyTable {
+    fn deserialize(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        #[derive(Deserialize)]
+        struct Raw {
+            schema: Arc<Schema>,
+            counts: Vec<u64>,
+            total: u64,
+        }
+        let raw = Raw::deserialize(value)?;
+        let occupied = occupied_of(&raw.counts);
+        Ok(Self { schema: raw.schema, counts: raw.counts, total: raw.total, occupied })
+    }
+}
+
+/// The nonzero cell indices of a dense count vector, in index order.
+fn occupied_of(counts: &[u64]) -> Vec<usize> {
+    counts.iter().enumerate().filter(|&(_, &c)| c > 0).map(|(i, _)| i).collect()
 }
 
 impl ContingencyTable {
     /// Creates an all-zero table over a schema.
     pub fn zeros(schema: Arc<Schema>) -> Self {
         let cells = schema.cell_count();
-        Self { schema, counts: vec![0; cells], total: 0 }
+        Self { schema, counts: vec![0; cells], total: 0, occupied: Vec::new() }
     }
 
     /// Creates a table from explicit cell counts in dense-index order.
@@ -50,7 +91,8 @@ impl ContingencyTable {
             .iter()
             .try_fold(0u64, |acc, &c| acc.checked_add(c))
             .ok_or(ContingencyError::CountOverflow)?;
-        Ok(Self { schema, counts, total })
+        let occupied = occupied_of(&counts);
+        Ok(Self { schema, counts, total, occupied })
     }
 
     /// The schema the table is defined over.
@@ -86,6 +128,9 @@ impl ContingencyTable {
     /// Adds `by` observations with the given full value assignment.
     pub fn increment_by(&mut self, values: &[usize], by: u64) -> Result<()> {
         let idx = self.schema.checked_cell_index(values)?;
+        if by > 0 && self.counts[idx] == 0 {
+            self.occupied.push(idx);
+        }
         self.counts[idx] += by;
         self.total += by;
         Ok(())
@@ -119,14 +164,13 @@ impl ContingencyTable {
             }
             return self.count_values(&full);
         }
+        // Sum over the observed cells only: with no decrements, `occupied`
+        // is exactly the nonzero support, so the walk costs O(distinct
+        // observed cells) however large the joint is.
         let mut sum = 0u64;
-        for (idx, &c) in self.counts.iter().enumerate() {
-            if c == 0 {
-                continue;
-            }
-            let values = self.schema.cell_values(idx);
-            if assignment.matches(&values) {
-                sum += c;
+        for &idx in &self.occupied {
+            if assignment.pairs().all(|(attr, v)| self.schema.cell_value(idx, attr) == v) {
+                sum += self.counts[idx];
             }
         }
         sum
@@ -153,9 +197,13 @@ impl ContingencyTable {
         self.counts.iter().enumerate().map(|(i, &c)| (self.schema.cell_values(i), c))
     }
 
-    /// Iterates over `(full values, count)` for the non-empty cells only.
+    /// Iterates over `(full values, count)` for the non-empty cells only, in
+    /// dense-index order.  Walks the sparse occupancy set, so the cost is
+    /// proportional to the distinct observed cells, not the joint size.
     pub fn nonzero_cells(&self) -> impl Iterator<Item = (Vec<usize>, u64)> + '_ {
-        self.cells().filter(|&(_, c)| c > 0)
+        let mut occupied = self.occupied.clone();
+        occupied.sort_unstable();
+        occupied.into_iter().map(|i| (self.schema.cell_values(i), self.counts[i]))
     }
 
     /// The empirical joint distribution as a dense probability vector in
@@ -186,8 +234,13 @@ impl ContingencyTable {
         // is bounded by its table's total, so if the totals fit in a u64 the
         // per-cell additions cannot overflow either.
         let total = self.total.checked_add(other.total).ok_or(ContingencyError::CountOverflow)?;
-        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *a += *b;
+        // Only `other`'s observed cells can change anything, so a sharded
+        // merge costs O(cells the shard saw), not O(joint size).
+        for &idx in &other.occupied {
+            if self.counts[idx] == 0 {
+                self.occupied.push(idx);
+            }
+            self.counts[idx] += other.counts[idx];
         }
         self.total = total;
         Ok(())
@@ -378,6 +431,39 @@ mod tests {
         t.increment(&[1, 1, 1]).unwrap();
         assert_eq!(t.nonzero_cells().count(), 1);
         assert_eq!(t.cells().count(), 12);
+    }
+
+    #[test]
+    fn nonzero_cells_come_out_in_dense_index_order() {
+        let mut t = ContingencyTable::zeros(schema());
+        // Observed out of index order; iteration must still be index order.
+        t.increment(&[2, 0, 1]).unwrap();
+        t.increment(&[0, 1, 0]).unwrap();
+        t.increment(&[1, 0, 0]).unwrap();
+        let cells: Vec<Vec<usize>> = t.nonzero_cells().map(|(v, _)| v).collect();
+        assert_eq!(cells, vec![vec![0, 1, 0], vec![1, 0, 0], vec![2, 0, 1]]);
+    }
+
+    #[test]
+    fn sparse_occupancy_survives_merge_and_serde() {
+        let s = schema();
+        let mut a = ContingencyTable::zeros(Arc::clone(&s));
+        a.increment(&[0, 1, 0]).unwrap();
+        let mut b = ContingencyTable::zeros(Arc::clone(&s));
+        b.increment(&[0, 1, 0]).unwrap();
+        b.increment(&[2, 0, 1]).unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.count_matching(&Assignment::single(0, 0)), 2);
+        assert_eq!(a.count_matching(&Assignment::single(0, 2)), 1);
+        assert_eq!(a.nonzero_cells().count(), 2);
+        // The wire format carries no derived state, and a round-trip
+        // rebuilds the occupancy set the marginal queries walk.
+        let json = serde_json::to_string(&a).unwrap();
+        assert!(!json.contains("occupied"));
+        let back: ContingencyTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(back.count_matching(&Assignment::single(0, 0)), 2);
+        assert_eq!(back.nonzero_cells().count(), 2);
     }
 
     proptest! {

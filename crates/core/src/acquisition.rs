@@ -7,7 +7,7 @@ use crate::knowledge_base::KnowledgeBase;
 use crate::trace::{AcquisitionTrace, CellEvaluation, RoundTrace};
 use crate::Result;
 use pka_contingency::{Assignment, ContingencyTable, VarSet};
-use pka_maxent::{ConstraintSet, IncidenceCache, LogLinearModel, Solver};
+use pka_maxent::{ConstraintSet, FactorGraph, IncidenceCache, LogLinearModel, Solver};
 use pka_significance::{CandidateCell, MessageLengthTest, RangeContext};
 
 /// Factors of a warm-start seed model are raised to at least this value so
@@ -166,8 +166,12 @@ impl Acquisition {
             }
         }
 
-        let solver = Solver::new(self.config.convergence);
+        let solver =
+            Solver::new(self.config.convergence).with_dense_ceiling(self.config.dense_ceiling);
         let test = MessageLengthTest::new(self.config.priors);
+        // Above the ceiling, candidate scoring never scatters the joint:
+        // each candidate varset gets one eliminated marginal per round.
+        let score_factored = schema.cell_count() > self.config.dense_ceiling;
 
         // Step 1: first-order marginals are always constraints (Eq. 48) and
         // any prior knowledge is added on top; the resulting maximum-entropy
@@ -216,26 +220,35 @@ impl Acquisition {
                 let known_higher = constraints.higher_order_assignments();
                 let range_ctx = RangeContext::new(table, &known_higher, &found_at_order);
 
-                // One dense scatter of the model per round; every candidate
-                // is then scored by a stride walk over its covered cells
-                // instead of an O(factors) product per cell per candidate.
-                let dense = model.dense_probabilities();
+                // Below the ceiling: one dense scatter of the model per
+                // round; every candidate is then scored by a stride walk over
+                // its covered cells instead of an O(factors) product per cell
+                // per candidate.  Above it: no scatter at all — candidates
+                // read their mass out of an eliminated marginal per varset.
+                let dense = if score_factored { Vec::new() } else { model.dense_probabilities() };
+                let graph = score_factored.then(|| FactorGraph::from_model(&model));
 
                 // Score every unconstrained cell at this order.
                 let mut evaluations: Vec<CellEvaluation> = Vec::new();
                 let mut best: Option<(usize, f64)> = None;
                 for &vars in &candidate_sets {
-                    for values in schema.configurations(vars) {
+                    // `FactorGraph::marginal` tables and `configurations`
+                    // share the same row-major layout, so the enumeration
+                    // index doubles as the table index.
+                    let marginal = graph.as_ref().map(|g| g.marginal(vars));
+                    for (config_index, values) in schema.configurations(vars).enumerate() {
                         let assignment = Assignment::new(vars, values);
                         if constraints.contains(&assignment) {
                             continue;
                         }
                         let observed = table.count_matching(&assignment);
-                        let predicted_p = schema
-                            .matching_cells(&assignment)
-                            .map(|i| dense[i])
-                            .sum::<f64>()
-                            .clamp(0.0, 1.0);
+                        let predicted_p = match &marginal {
+                            Some(m) => m[config_index],
+                            None => {
+                                schema.matching_cells(&assignment).map(|i| dense[i]).sum::<f64>()
+                            }
+                        }
+                        .clamp(0.0, 1.0);
                         let range = range_ctx.range_of(&assignment);
                         let lengths = test.evaluate(
                             &CandidateCell {
@@ -629,6 +642,43 @@ mod tests {
             .significant_constraints()
             .iter()
             .any(|c| c.assignment.vars() == ac));
+    }
+
+    #[test]
+    fn factored_scoring_reproduces_the_dense_discoveries() {
+        // dense_ceiling = 0 forces both the solver and candidate scoring
+        // onto the factored path; the acquired knowledge base must match the
+        // dense run constraint-for-constraint.
+        let t = paper_table();
+        let dense = Acquisition::with_defaults().run(&t).unwrap();
+        let factored =
+            Acquisition::new(AcquisitionConfig::new().with_dense_ceiling(0)).run(&t).unwrap();
+        assert_eq!(
+            factored.knowledge_base.order_histogram(),
+            dense.knowledge_base.order_histogram()
+        );
+        let mut dense_cells: Vec<Assignment> = dense
+            .knowledge_base
+            .significant_constraints()
+            .iter()
+            .map(|c| c.assignment.clone())
+            .collect();
+        let mut factored_cells: Vec<Assignment> = factored
+            .knowledge_base
+            .significant_constraints()
+            .iter()
+            .map(|c| c.assignment.clone())
+            .collect();
+        dense_cells.sort_by_key(|a| (a.vars().bits(), a.values().to_vec()));
+        factored_cells.sort_by_key(|a| (a.vars().bits(), a.values().to_vec()));
+        assert_eq!(dense_cells, factored_cells, "the two paths promoted different cells");
+        for c in dense.knowledge_base.constraints().constraints() {
+            assert!(
+                (factored.knowledge_base.probability(&c.assignment) - c.probability).abs() < 1e-6,
+                "constraint {:?} drifted on the factored path",
+                c.assignment
+            );
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::error::CoreError;
 use crate::Result;
-use pka_maxent::ConvergenceCriteria;
+use pka_maxent::{ConvergenceCriteria, DEFAULT_DENSE_CEILING};
 use pka_significance::HypothesisPriors;
 use serde::{Deserialize, Serialize};
 
@@ -28,6 +28,10 @@ pub struct AcquisitionConfig {
     /// Needed to regenerate Table 1; adds memory proportional to the number
     /// of candidate cells per round.
     pub record_evaluations: bool,
+    /// Joint cell count above which the solver and candidate scoring switch
+    /// from dense sweeps to factored (variable-elimination) evaluation.
+    /// `0` forces factored everywhere; `usize::MAX` forces dense.
+    pub dense_ceiling: usize,
 }
 
 impl AcquisitionConfig {
@@ -63,6 +67,12 @@ impl AcquisitionConfig {
     /// Enables recording of every cell evaluation (Table 1 reproduction).
     pub fn with_evaluation_trace(mut self) -> Self {
         self.record_evaluations = true;
+        self
+    }
+
+    /// Sets the joint cell count above which evaluation goes factored.
+    pub fn with_dense_ceiling(mut self, cells: usize) -> Self {
+        self.dense_ceiling = cells;
         self
     }
 
@@ -105,6 +115,7 @@ impl Default for AcquisitionConfig {
             convergence: ConvergenceCriteria::default(),
             max_constraints_per_order: usize::MAX,
             record_evaluations: false,
+            dense_ceiling: DEFAULT_DENSE_CEILING,
         }
     }
 }
@@ -119,6 +130,7 @@ mod tests {
         assert_eq!(c.max_order, None);
         assert_eq!(c.priors, HypothesisPriors::even());
         assert!(!c.record_evaluations);
+        assert_eq!(c.dense_ceiling, DEFAULT_DENSE_CEILING);
         assert_eq!(c.effective_max_order(3), 3);
         assert_eq!(c.effective_max_order(7), 7);
         assert!(c.validate(3).is_ok());
@@ -130,9 +142,11 @@ mod tests {
             .with_max_order(2)
             .with_priors(HypothesisPriors::new(0.6).unwrap())
             .with_max_constraints_per_order(5)
-            .with_evaluation_trace();
+            .with_evaluation_trace()
+            .with_dense_ceiling(0);
         assert_eq!(c.max_order, Some(2));
         assert_eq!(c.max_constraints_per_order, 5);
+        assert_eq!(c.dense_ceiling, 0);
         assert!(c.record_evaluations);
         assert_eq!(c.effective_max_order(3), 2);
         assert_eq!(c.effective_max_order(1), 1);

@@ -37,6 +37,8 @@ pub struct KnowledgeBase {
     sample_size: u64,
     #[serde(skip)]
     lattice: Option<Arc<MarginalLattice>>,
+    #[serde(skip)]
+    graph: Option<Arc<FactorGraph>>,
 }
 
 /// Equality ignores the lattice: it is derived from the model, so two
@@ -65,7 +67,7 @@ impl KnowledgeBase {
                 reason: "constraints, model and knowledge base must share one schema".to_string(),
             });
         }
-        Ok(Self { schema, constraints, model, sample_size, lattice: None })
+        Ok(Self { schema, constraints, model, sample_size, lattice: None, graph: None })
     }
 
     /// Returns the knowledge base with a marginal lattice up to `max_order`
@@ -74,6 +76,18 @@ impl KnowledgeBase {
     pub fn with_lattice(mut self, max_order: usize) -> Self {
         let joint = self.model.to_joint();
         self.lattice = Some(Arc::new(MarginalLattice::build(&joint, max_order)));
+        self
+    }
+
+    /// Returns the knowledge base with the same lattice built **factored**:
+    /// every table is produced by variable elimination over the model's
+    /// factor graph, so the dense joint is never allocated.  The factor
+    /// graph itself is cached, and uncovered assignments thereafter resolve
+    /// through it instead of the model's dense stride walk.
+    pub fn with_factored_lattice(mut self, max_order: usize) -> Self {
+        let graph = Arc::new(FactorGraph::from_model(&self.model));
+        self.lattice = Some(Arc::new(MarginalLattice::build_factored(&graph, max_order)));
+        self.graph = Some(graph);
         self
     }
 
@@ -90,9 +104,28 @@ impl KnowledgeBase {
         Ok(())
     }
 
+    /// Attaches an already-built factor graph (e.g. the one a snapshot
+    /// shares between its lattice build and its query fallback).  With a
+    /// graph attached, assignments the lattice does not cover are answered
+    /// by variable elimination rather than the model's dense stride walk.
+    pub fn attach_factor_graph(&mut self, graph: Arc<FactorGraph>) -> Result<()> {
+        if graph.schema() != self.schema.as_ref() {
+            return Err(CoreError::InvalidInput {
+                reason: "factor graph schema differs from the knowledge base schema".to_string(),
+            });
+        }
+        self.graph = Some(graph);
+        Ok(())
+    }
+
     /// The attached marginal lattice, if one has been materialised.
     pub fn lattice(&self) -> Option<&Arc<MarginalLattice>> {
         self.lattice.as_ref()
+    }
+
+    /// The cached factor graph, if one has been attached or built.
+    pub fn cached_factor_graph(&self) -> Option<&Arc<FactorGraph>> {
+        self.graph.as_ref()
     }
 
     /// The attribute schema.
@@ -128,12 +161,17 @@ impl KnowledgeBase {
 
     /// Probability of a (partial) assignment under the model: one lattice
     /// lookup when a lattice is attached and covers the assignment's
-    /// variable set, the model's stride-walk evaluation otherwise.
+    /// variable set; otherwise variable elimination over the cached factor
+    /// graph when one is attached, and the model's dense stride walk as the
+    /// last resort.
     pub fn probability(&self, assignment: &Assignment) -> f64 {
         if let Some(lattice) = &self.lattice {
             if let Some(p) = lattice.probability(assignment) {
                 return p;
             }
+        }
+        if let Some(graph) = &self.graph {
+            return graph.probability(assignment);
         }
         self.model.probability(assignment)
     }
@@ -307,6 +345,41 @@ mod tests {
         assert!((a - b).abs() < 1e-12);
         // Error contract survives the lattice path.
         assert!(fast.conditional(&Assignment::single(0, 0), &Assignment::single(0, 1)).is_err());
+    }
+
+    #[test]
+    fn factored_lattice_answers_match_the_dense_lattice() {
+        let kb = sample_kb();
+        let dense = kb.clone().with_lattice(2);
+        let factored = kb.clone().with_factored_lattice(2);
+        assert!(factored.cached_factor_graph().is_some());
+        assert_eq!(factored, kb, "derived state does not change identity");
+        let probes = [
+            Assignment::empty(),
+            Assignment::single(1, 0),
+            Assignment::from_pairs([(0, 0), (2, 1)]),
+            // Order 3 misses the lattice: the factored KB answers it by
+            // elimination, the dense one by the model's stride walk.
+            Assignment::from_pairs([(0, 0), (1, 0), (2, 1)]),
+        ];
+        for a in &probes {
+            assert!(
+                (factored.probability(a) - dense.probability(a)).abs() < 1e-9,
+                "probe {a:?} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn attach_factor_graph_rejects_a_foreign_schema() {
+        let mut kb = sample_kb();
+        let foreign = Schema::uniform(&[2, 2]).unwrap().into_shared();
+        let foreign_model = LogLinearModel::uniform(foreign);
+        let graph = Arc::new(FactorGraph::from_model(&foreign_model));
+        assert!(kb.attach_factor_graph(graph).is_err());
+        let own = Arc::new(kb.factor_graph());
+        kb.attach_factor_graph(Arc::clone(&own)).unwrap();
+        assert!(Arc::ptr_eq(kb.cached_factor_graph().unwrap(), &own));
     }
 
     #[test]

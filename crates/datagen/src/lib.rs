@@ -14,6 +14,10 @@
 //! * [`survey`] — a larger, named "health survey" simulator with built-in
 //!   dependency structure, standing in for the memo's "masses of NASA data"
 //!   in the scaling and comparison experiments.
+//! * [`wide`] — wide schemas (N binary/ternary attributes, planted pairwise
+//!   dependencies) whose ground truth stays factored: generation,
+//!   normalisation and sampling all run by variable elimination, so joints
+//!   far past the dense ceiling (e.g. 2^20 cells) never materialise.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +27,8 @@ pub mod sampler;
 pub mod smoking;
 pub mod survey;
 pub mod synthetic;
+pub mod wide;
 
 pub use planted::{PlantedExperiment, PlantedInteraction};
 pub use sampler::{sample_dataset, sample_table};
+pub use wide::WideExperiment;

@@ -31,6 +31,7 @@
 //! the same alignment [`Assignment::values`] uses — so a lookup is
 //! `Σ values[rank] · strides[rank]` with no re-sorting.
 
+use crate::elimination::FactorGraph;
 use crate::joint::JointDistribution;
 use pka_contingency::{lattice_plan, Assignment, LatticeParent, Schema, VarSet};
 use std::collections::HashMap;
@@ -79,6 +80,17 @@ impl MarginalTable {
             }
             self.probabilities[idx] += p;
         }
+    }
+
+    /// Fills the table from a [`FactorGraph`] marginal: variable
+    /// elimination down to this table's variable set, never touching the
+    /// dense joint.  The elimination output uses exactly this table's
+    /// row-major layout (ascending members, last member fastest), so the
+    /// fill is a straight copy.
+    fn fill_from_graph(&mut self, graph: &FactorGraph) {
+        let values = graph.marginal(self.vars);
+        debug_assert_eq!(values.len(), self.probabilities.len());
+        self.probabilities = values;
     }
 
     /// Sums a parent table (this table's variable set plus `sum_out`) down
@@ -130,11 +142,14 @@ impl MarginalTable {
     }
 }
 
-/// Cap on the dense bits→table lookup table: schemas with at most this
-/// many attributes (all realistic ones — the crate's `MAX_CELLS` bound is
-/// hit long before 16 attributes of cardinality ≥ 2) resolve a varset to
-/// its table with one array load instead of a hash.
-const MAX_DENSE_LOOKUP_VARS: usize = 16;
+/// Cap on the dense bits→table lookup table: schemas with at most this many
+/// attributes resolve a varset to its table with **one array load** (the
+/// lookup vector has `2^attrs` entries — 64 KiB of `u32` at 16 attributes,
+/// the largest acceptable per-snapshot cost).  Wider schemas — reachable
+/// since factored evaluation broke the dense-joint ceiling — fall back to
+/// the `HashMap` path of [`MarginalLattice::position`]; both paths answer
+/// identically (covered in this module's tests at 17+ attributes).
+pub const MAX_DENSE_LOOKUP_VARS: usize = 16;
 
 /// All marginal tables of a joint distribution up to a cutoff order `k`,
 /// keyed by variable set.
@@ -163,14 +178,34 @@ impl MarginalLattice {
     /// summation from its cheapest parent — the build invariant in the
     /// module docs).
     pub fn build(joint: &JointDistribution, max_order: usize) -> Self {
-        let schema = joint.shared_schema();
+        Self::build_with(joint.shared_schema(), max_order, |table| table.fill_from_joint(joint))
+    }
+
+    /// Materialises the same lattice **without the dense joint**: every
+    /// top-order table is computed by [`FactorGraph::marginal`] (variable
+    /// elimination down to the planned varset), everything below still by
+    /// single-axis summation from its cheapest parent.  The build cost is
+    /// `C(R, k)` eliminations instead of `C(R, k)` passes over `Π cards`
+    /// cells — which is what makes publish affordable above the dense
+    /// ceiling.  For any normalised model, `build` of its joint and
+    /// `build_factored` of its graph agree table-by-table (property-tested
+    /// in this module and in `tests/lattice_equivalence.rs`).
+    pub fn build_factored(graph: &FactorGraph, max_order: usize) -> Self {
+        Self::build_with(graph.shared_schema(), max_order, |table| table.fill_from_graph(graph))
+    }
+
+    fn build_with(
+        schema: Arc<Schema>,
+        max_order: usize,
+        mut fill_top: impl FnMut(&mut MarginalTable),
+    ) -> Self {
         let plan = lattice_plan(&schema, max_order);
         let mut index = HashMap::with_capacity(plan.len());
         let mut tables = Vec::with_capacity(plan.len());
         for step in plan {
             let mut table = MarginalTable::layout(&schema, step.vars);
             match step.parent {
-                LatticeParent::Joint => table.fill_from_joint(joint),
+                LatticeParent::Joint => fill_top(&mut table),
                 LatticeParent::Table { vars, sum_out } => {
                     let parent_pos =
                         *index.get(&vars).expect("plan materialises parents before children");
@@ -345,5 +380,102 @@ mod tests {
         let lattice = MarginalLattice::build(&joint, 2);
         // 3·2 + 3·2 + 2·2 second-order + 3 + 2 + 2 first-order + 1.
         assert_eq!(lattice.total_cells(), 16 + 7 + 1);
+    }
+
+    /// A small fitted model with pairwise structure for the factored-build
+    /// equivalence tests.
+    fn fitted_model(cards: &[usize]) -> crate::LogLinearModel {
+        use crate::constraint::ConstraintSet;
+        let schema = Schema::uniform(cards).unwrap().into_shared();
+        let counts: Vec<u64> =
+            (0..schema.cell_count()).map(|i| 1 + ((i as u64 * 7 + 3) % 23)).collect();
+        let t = ContingencyTable::from_counts(Arc::clone(&schema), counts).unwrap();
+        let mut constraints = ConstraintSet::first_order_from_table(&t).unwrap();
+        constraints.add_from_table(&t, Assignment::from_pairs([(0, 0), (1, 1)])).unwrap();
+        crate::solver::fit(&constraints).unwrap().0
+    }
+
+    #[test]
+    fn factored_build_matches_dense_build_table_by_table() {
+        let model = fitted_model(&[3, 2, 2, 3]);
+        let joint = model.to_joint();
+        let graph = FactorGraph::from_model(&model);
+        for order in 1..=3 {
+            let dense = MarginalLattice::build(&joint, order);
+            let factored = MarginalLattice::build_factored(&graph, order);
+            assert_eq!(dense.table_count(), factored.table_count());
+            for table in &dense.tables {
+                let other = factored.table(table.vars()).expect("same coverage");
+                for (a, b) in table.probabilities().iter().zip(other.probabilities()) {
+                    assert!(
+                        (a - b).abs() < 1e-9,
+                        "order {order}, table {}: dense {a} vs factored {b}",
+                        table.vars()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_schemas_take_the_hashmap_path_and_answer_identically() {
+        // 17 binary attributes — one past MAX_DENSE_LOOKUP_VARS, so the
+        // dense bits→table LUT must be skipped and every lookup must route
+        // through the HashMap. The dense joint (2^17 cells) is still small
+        // enough to cross-check against.
+        let attrs = MAX_DENSE_LOOKUP_VARS + 1;
+        let cards = vec![2usize; attrs];
+        let schema = Schema::uniform(&cards).unwrap().into_shared();
+        let factors = vec![
+            (Assignment::from_pairs([(0, 1), (16, 1)]), 3.0),
+            (Assignment::from_pairs([(5, 0), (9, 1)]), 0.25),
+            (Assignment::single(11, 1), 2.0),
+        ];
+        let mut model = crate::LogLinearModel::from_factors(schema, 1.0, factors).unwrap();
+        model.normalize().unwrap();
+        let graph = FactorGraph::from_model(&model);
+        let lattice = MarginalLattice::build_factored(&graph, 2);
+        assert!(lattice.dense_lookup.is_empty(), "17 attrs must skip the dense LUT");
+
+        let joint = model.to_joint();
+        let dense_lattice = MarginalLattice::build(&joint, 2);
+        assert!(dense_lattice.dense_lookup.is_empty());
+
+        let probes = [
+            Assignment::single(0, 1),
+            Assignment::single(16, 0),
+            Assignment::from_pairs([(0, 1), (16, 1)]),
+            Assignment::from_pairs([(5, 0), (9, 1)]),
+            Assignment::from_pairs([(3, 0), (11, 1)]),
+            Assignment::empty(),
+        ];
+        for probe in &probes {
+            assert!(lattice.covers(probe.vars()), "probe {probe:?} should be covered");
+            let fast = lattice.probability(probe).unwrap();
+            let from_dense = dense_lattice.probability(probe).unwrap();
+            let truth = joint.probability(probe);
+            assert!((fast - truth).abs() < 1e-9, "probe {probe:?}: {fast} vs {truth}");
+            assert!((fast - from_dense).abs() < 1e-9);
+        }
+        // Uncovered varsets still fall through on the HashMap path.
+        let order3 = Assignment::from_pairs([(0, 0), (1, 0), (2, 0)]);
+        assert_eq!(lattice.probability(&order3), None);
+        assert!(!lattice.covers(order3.vars()));
+        // Out-of-schema bits (attr 17+) are uncovered, not a panic.
+        assert_eq!(lattice.probability(&Assignment::single(attrs, 0)), None);
+    }
+
+    #[test]
+    fn boundary_schema_at_the_lut_cap_still_uses_the_dense_lookup() {
+        // Exactly MAX_DENSE_LOOKUP_VARS attributes: the LUT is built
+        // (2^16 entries) and lookups resolve through it.
+        let cards = vec![2usize; MAX_DENSE_LOOKUP_VARS];
+        let schema = Schema::uniform(&cards).unwrap().into_shared();
+        let model = crate::LogLinearModel::uniform(schema);
+        let graph = FactorGraph::from_model(&model);
+        let lattice = MarginalLattice::build_factored(&graph, 1);
+        assert_eq!(lattice.dense_lookup.len(), 1 << MAX_DENSE_LOOKUP_VARS);
+        let p = lattice.probability(&Assignment::single(15, 1)).unwrap();
+        assert!((p - 0.5).abs() < 1e-12);
     }
 }

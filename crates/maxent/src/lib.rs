@@ -51,7 +51,9 @@ pub use error::MaxEntError;
 pub use joint::JointDistribution;
 pub use lattice::{MarginalLattice, MarginalTable, DEFAULT_LATTICE_ORDER};
 pub use model::LogLinearModel;
-pub use solver::{fit, fit_with_initial, CacheStats, CsrIncidence, IncidenceCache, Solver};
+pub use solver::{
+    fit, fit_with_initial, CacheStats, CsrIncidence, IncidenceCache, Solver, DEFAULT_DENSE_CEILING,
+};
 
 /// Convenient result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, MaxEntError>;

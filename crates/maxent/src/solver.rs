@@ -52,15 +52,24 @@
 
 use crate::constraint::{Constraint, ConstraintSet};
 use crate::convergence::{ConvergenceCriteria, IterationRecord, SolveReport};
+use crate::elimination::FactorGraph;
 use crate::error::MaxEntError;
 use crate::model::LogLinearModel;
 use crate::Result;
-use pka_contingency::{Assignment, Schema};
+use pka_contingency::{Assignment, Schema, VarSet};
 use std::sync::Arc;
 
 /// Constraint targets smaller than this are treated as exactly zero when the
 /// model has already driven the cell's probability to zero.
 const ZERO_TARGET: f64 = 1e-300;
+
+/// The default dense ceiling: joints of at most this many cells are fitted
+/// (and evaluated downstream) through the dense paths, which win on small
+/// schemas where one O(cells) sweep is cheaper than per-constraint variable
+/// eliminations.  Above it every layer switches to factored evaluation so
+/// cost depends on the factors a computation touches, not the total cell
+/// count.  See `docs/factored.md` for the policy and the crossover numbers.
+pub const DEFAULT_DENSE_CEILING: usize = 1_000_000;
 
 /// Every this many sweeps the incrementally-tracked total mass is replaced
 /// by an exact re-sum of the dense vector, bounding floating-point drift of
@@ -228,20 +237,51 @@ impl IncidenceCache {
 }
 
 /// The iterative-scaling solver.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+///
+/// Two kernels share one contract: the dense CSR kernel (this module's
+/// namesake) sweeps a dense `p` vector, and the **factored** kernel updates
+/// a-values from [`FactorGraph`] marginals computed by variable elimination,
+/// never materialising the joint.  [`Solver::fit_from_cached`] picks the
+/// kernel automatically: dense at or below [`Solver::dense_ceiling`] cells
+/// (where one O(cells) sweep is cheaper), factored above it (where the dense
+/// vector would not even fit).  Both converge to the same unique
+/// maximum-entropy fixed point; `tests/solver_equivalence.rs` property-tests
+/// them against each other to ≤ 1e-9 wherever both run.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Solver {
     criteria: ConvergenceCriteria,
+    dense_ceiling: usize,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self { criteria: ConvergenceCriteria::default(), dense_ceiling: DEFAULT_DENSE_CEILING }
+    }
 }
 
 impl Solver {
-    /// Creates a solver with the given convergence criteria.
+    /// Creates a solver with the given convergence criteria and the default
+    /// dense ceiling.
     pub fn new(criteria: ConvergenceCriteria) -> Self {
-        Self { criteria }
+        Self { criteria, dense_ceiling: DEFAULT_DENSE_CEILING }
     }
 
     /// The criteria in use.
     pub fn criteria(&self) -> ConvergenceCriteria {
         self.criteria
+    }
+
+    /// Sets the cell count above which fits run the factored kernel
+    /// instead of the dense CSR kernel.  `0` forces factored everywhere;
+    /// `usize::MAX` forces dense everywhere.
+    pub fn with_dense_ceiling(mut self, cells: usize) -> Self {
+        self.dense_ceiling = cells;
+        self
+    }
+
+    /// The cell count above which the factored kernel is selected.
+    pub fn dense_ceiling(&self) -> usize {
+        self.dense_ceiling
     }
 
     /// Fits a model from scratch: all a-values start at 1 and `a0` at
@@ -267,12 +307,19 @@ impl Solver {
     /// constraint-to-cell incidence lists survive across fits.  A streaming
     /// engine refitting an unchanged (or incrementally grown) constraint
     /// set skips the structural pass entirely.
+    ///
+    /// Joints above [`Solver::dense_ceiling`] cells are routed to the
+    /// factored kernel ([`Solver::fit_factored`]); the cache is untouched in
+    /// that case — the factored kernel needs no incidence lists.
     pub fn fit_from_cached(
         &self,
         mut model: LogLinearModel,
         constraints: &ConstraintSet,
         cache: &mut IncidenceCache,
     ) -> Result<(LogLinearModel, SolveReport)> {
+        if constraints.schema().cell_count() > self.dense_ceiling {
+            return self.fit_factored(model, constraints);
+        }
         if model.schema() != constraints.schema() {
             return Err(MaxEntError::InfeasibleConstraints {
                 reason: "initial model and constraints use different schemas".to_string(),
@@ -411,6 +458,166 @@ impl Solver {
         }
         Ok((model, SolveReport { iterations, max_violation, converged: false, trace }))
     }
+
+    /// The **factored** iterative-scaling kernel: the same cyclic
+    /// multiplicative update, but every fitted probability comes from a
+    /// [`FactorGraph`] marginal (variable elimination over a min-fill
+    /// order) instead of a dense vector gather — no O(cells) allocation
+    /// anywhere.
+    ///
+    /// Constraints sharing a variable set are served from **one** eliminated
+    /// marginal table per sweep, so a sweep costs
+    /// `O(distinct varsets × elimination)` — exponential only in the induced
+    /// width of the constraint graph, independent of the total cell count.
+    /// The fixed point is the unique maximum-entropy distribution for the
+    /// constraint set, i.e. the same model the dense kernel converges to
+    /// (property-tested ≤ 1e-9 in `tests/solver_equivalence.rs`); the sweep
+    /// *count* may differ because violations are re-measured from exact
+    /// marginals each sweep.
+    pub fn fit_factored(
+        &self,
+        mut model: LogLinearModel,
+        constraints: &ConstraintSet,
+    ) -> Result<(LogLinearModel, SolveReport)> {
+        if model.schema() != constraints.schema() {
+            return Err(MaxEntError::InfeasibleConstraints {
+                reason: "initial model and constraints use different schemas".to_string(),
+            });
+        }
+        constraints.check_feasibility(1e-6)?;
+
+        let schema = constraints.shared_schema();
+        let factor_positions: Vec<usize> =
+            constraints.constraints().iter().map(|c| model.ensure_factor(&c.assignment)).collect();
+
+        // Group constraints by variable set (first-seen order) and
+        // precompute each constraint's row-major index into its group's
+        // marginal table, so one elimination per varset serves every
+        // constraint in the group.
+        let mut groups: Vec<(VarSet, Vec<usize>)> = Vec::new();
+        for (ci, c) in constraints.constraints().iter().enumerate() {
+            let vars = c.assignment.vars();
+            match groups.iter_mut().find(|(v, _)| *v == vars) {
+                Some((_, list)) => list.push(ci),
+                None => groups.push((vars, vec![ci])),
+            }
+        }
+        let table_indices: Vec<usize> = constraints
+            .constraints()
+            .iter()
+            .map(|c| marginal_table_index(&schema, &c.assignment))
+            .collect();
+
+        let mut graph = FactorGraph::from_model(&model);
+        renormalize_factored(&mut model, &mut graph)?;
+
+        // One marginal pass gives every constraint's fitted probability; the
+        // convergence check and the trace both read it.
+        let mut fitted = vec![0.0f64; constraints.len()];
+        let gather = |graph: &FactorGraph, fitted: &mut [f64]| {
+            for (vars, group) in &groups {
+                let table = graph.marginal(*vars);
+                for &ci in group {
+                    fitted[ci] = table[table_indices[ci]];
+                }
+            }
+        };
+        gather(&graph, &mut fitted);
+        let mut max_violation = max_violation_of(constraints, &fitted);
+
+        let mut trace = Vec::new();
+        let mut iterations = 0usize;
+
+        if max_violation <= self.criteria.tolerance {
+            if self.criteria.record_trace {
+                trace.push(record_of(0, &model, &fitted, max_violation));
+            }
+            return Ok((
+                model,
+                SolveReport { iterations: 0, max_violation, converged: true, trace },
+            ));
+        }
+
+        for iteration in 1..=self.criteria.max_iterations {
+            iterations = iteration;
+            for (vars, group) in &groups {
+                let table = graph.marginal(*vars);
+                for &ci in group {
+                    let c = &constraints.constraints()[ci];
+                    let q = table[table_indices[ci]];
+                    let target = c.probability;
+                    if (q - target).abs() <= f64::EPSILON {
+                        continue;
+                    }
+                    if q <= 0.0 {
+                        if target > ZERO_TARGET {
+                            return Err(MaxEntError::InfeasibleConstraints {
+                                reason: format!(
+                                    "constraint {} requires probability {target} but the model assigns its cell zero mass",
+                                    c.assignment.describe(constraints.schema())
+                                ),
+                            });
+                        }
+                        continue;
+                    }
+                    let ratio = target / q;
+                    let position = factor_positions[ci];
+                    model.scale_factor(position, ratio);
+                    graph.set_factor_value(position, model.factors()[position].1);
+                }
+            }
+            renormalize_factored(&mut model, &mut graph)?;
+
+            gather(&graph, &mut fitted);
+            max_violation = max_violation_of(constraints, &fitted);
+            if self.criteria.record_trace {
+                trace.push(record_of(iteration, &model, &fitted, max_violation));
+            }
+            if max_violation <= self.criteria.tolerance {
+                return Ok((
+                    model,
+                    SolveReport { iterations, max_violation, converged: true, trace },
+                ));
+            }
+        }
+
+        if self.criteria.fail_on_max_iterations {
+            return Err(MaxEntError::NotConverged {
+                iterations,
+                max_violation,
+                tolerance: self.criteria.tolerance,
+            });
+        }
+        if self.criteria.record_trace && trace.is_empty() {
+            trace.push(record_of(iterations, &model, &fitted, max_violation));
+        }
+        Ok((model, SolveReport { iterations, max_violation, converged: false, trace }))
+    }
+}
+
+/// Row-major index of a constraint's configuration inside the marginal
+/// table over its variable set (ascending members, last member fastest —
+/// the [`FactorGraph::marginal`] layout).
+fn marginal_table_index(schema: &Schema, assignment: &Assignment) -> usize {
+    let mut idx = 0usize;
+    for (attr, &v) in assignment.vars().iter().zip(assignment.values()) {
+        idx = idx * schema.cardinality(attr).expect("constraint attrs in schema") + v;
+    }
+    idx
+}
+
+/// Folds the current partition sum into `a0`, keeping model and graph in
+/// lock-step — the factored kernel's per-sweep renormalisation.
+fn renormalize_factored(model: &mut LogLinearModel, graph: &mut FactorGraph) -> Result<()> {
+    let z = graph.partition();
+    if !(z > 0.0) || !z.is_finite() {
+        return Err(MaxEntError::InfeasibleConstraints {
+            reason: format!("model mass became {z} during fitting"),
+        });
+    }
+    model.scale_a0(1.0 / z);
+    graph.set_a0(model.a0());
+    Ok(())
 }
 
 /// One gather pass: `fitted[ci] = Σ p[i]` over constraint `ci`'s CSR slice.

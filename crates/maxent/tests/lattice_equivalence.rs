@@ -6,9 +6,12 @@
 //! stride-walk fallback there.
 
 use pka_contingency::{Assignment, Schema, VarSet};
-use pka_maxent::{JointDistribution, MarginalLattice};
+use pka_maxent::{FactorGraph, JointDistribution, LogLinearModel, MarginalLattice};
 use proptest::prelude::*;
 use std::sync::Arc;
+
+/// Tolerance between the factored paths and the dense ground truth.
+const FACTORED_TOL: f64 = 1e-9;
 
 /// Reference implementation: scan every cell and test membership.
 fn probability_by_scan(joint: &JointDistribution, assignment: &Assignment) -> f64 {
@@ -107,5 +110,115 @@ proptest! {
         // The fallback still answers.
         let walked = joint.probability(&a);
         prop_assert!((walked - probability_by_scan(&joint, &a)).abs() < 1e-12);
+    }
+
+    /// Random log-linear models: `FactorGraph` marginals and conditionals,
+    /// both lattice builds (dense and factored), and the dense joint must
+    /// all agree on every marginal cell of order ≤ 2.
+    #[test]
+    fn prop_graph_lattice_and_joint_agree(
+        factor_values in proptest::collection::vec(0.05f64..8.0, 5),
+        a0 in 0.2f64..3.0,
+    ) {
+        let schema = Schema::uniform(&[3, 2, 2]).unwrap().into_shared();
+        let factors = vec![
+            (Assignment::single(0, 1), factor_values[0]),
+            (Assignment::single(1, 0), factor_values[1]),
+            (Assignment::single(2, 1), factor_values[2]),
+            (Assignment::from_pairs([(0, 0), (1, 1)]), factor_values[3]),
+            (Assignment::from_pairs([(1, 0), (2, 0)]), factor_values[4]),
+        ];
+        let mut model =
+            LogLinearModel::from_factors(Arc::clone(&schema), a0, factors).unwrap();
+        model.normalize().unwrap();
+
+        let joint = model.to_joint();
+        let graph = FactorGraph::from_model(&model);
+        let from_joint = MarginalLattice::build(&joint, 2);
+        let from_graph = MarginalLattice::build_factored(&graph, 2);
+
+        for bits in 1u32..(1 << schema.len()) {
+            let vars = VarSet::from_bits(bits);
+            if vars.len() > 2 {
+                continue;
+            }
+            // Whole-table comparison: elimination vs both lattice builds.
+            let table = graph.marginal(vars);
+            let dense_table = from_joint.table(vars).expect("covered");
+            let factored_table = from_graph.table(vars).expect("covered");
+            for ((g, d), f) in table
+                .iter()
+                .zip(dense_table.probabilities())
+                .zip(factored_table.probabilities())
+            {
+                prop_assert!((g - d).abs() <= FACTORED_TOL, "graph {} vs dense lattice {}", g, d);
+                prop_assert!((g - f).abs() <= FACTORED_TOL, "graph {} vs factored lattice {}", g, f);
+            }
+            // Cell by cell against the dense joint's stride walk.
+            for values in schema.configurations(vars) {
+                let probe = Assignment::from_pairs(vars.iter().zip(values.iter().copied()));
+                let truth = joint.probability(&probe);
+                prop_assert!((graph.probability(&probe) - truth).abs() <= FACTORED_TOL);
+                prop_assert!(
+                    (from_joint.probability(&probe).unwrap() - truth).abs() <= FACTORED_TOL
+                );
+                prop_assert!(
+                    (from_graph.probability(&probe).unwrap() - truth).abs() <= FACTORED_TOL
+                );
+            }
+        }
+
+        // Conditionals p(attr0 = v | attr2 = w): elimination vs the joint.
+        for v in 0..3usize {
+            for w in 0..2usize {
+                let target = Assignment::single(0, v);
+                let given = Assignment::single(2, w);
+                let via_graph = graph.conditional(&target, &given).unwrap();
+                let via_joint = joint.conditional(&target, &given).unwrap();
+                prop_assert!(
+                    (via_graph - via_joint).abs() <= FACTORED_TOL,
+                    "conditional diverged: {} vs {}", via_graph, via_joint
+                );
+            }
+        }
+    }
+
+    /// Varying schema shapes: the factored lattice build must match the
+    /// dense build table-for-table at every planned varset and order.
+    #[test]
+    fn prop_factored_lattice_build_matches_dense_build(
+        shape_pick in 0usize..3,
+        factor_values in proptest::collection::vec(0.1f64..5.0, 3),
+        order in 1usize..3,
+    ) {
+        let shapes: [&[usize]; 3] = [&[2, 2, 2, 2], &[3, 3, 2], &[4, 2, 3]];
+        let cards = shapes[shape_pick];
+        let schema = Schema::uniform(cards).unwrap().into_shared();
+        let factors = vec![
+            (Assignment::single(0, 0), factor_values[0]),
+            (Assignment::single(cards.len() - 1, 1), factor_values[1]),
+            (Assignment::from_pairs([(0, 1), (1, 0)]), factor_values[2]),
+        ];
+        let mut model =
+            LogLinearModel::from_factors(Arc::clone(&schema), 1.0, factors).unwrap();
+        model.normalize().unwrap();
+
+        let joint = model.to_joint();
+        let graph = FactorGraph::from_model(&model);
+        let dense = MarginalLattice::build(&joint, order);
+        let factored = MarginalLattice::build_factored(&graph, order);
+        prop_assert_eq!(dense.table_count(), factored.table_count());
+        prop_assert_eq!(dense.total_cells(), factored.total_cells());
+
+        for bits in 0u32..(1 << cards.len()) {
+            let vars = VarSet::from_bits(bits);
+            prop_assert_eq!(dense.covers(vars), factored.covers(vars));
+            let (Some(a), Some(b)) = (dense.table(vars), factored.table(vars)) else {
+                continue;
+            };
+            for (x, y) in a.probabilities().iter().zip(b.probabilities()) {
+                prop_assert!((x - y).abs() <= FACTORED_TOL, "table {}: {} vs {}", vars, x, y);
+            }
+        }
     }
 }

@@ -16,6 +16,12 @@ use std::sync::Arc;
 /// same trajectory, differing only in floating-point rounding.
 const CELL_TOL: f64 = 1e-12;
 
+/// Tolerance between the factored kernel's fixed point and the CSR kernel's.
+/// The two kernels take different routes (variable elimination vs dense
+/// sweeps) to the same unique maxent solution, so we compare destinations,
+/// not trajectories.
+const FIXED_POINT_TOL: f64 = 1e-9;
+
 /// Runs both kernels from the same seed model and asserts sweep-for-sweep
 /// equivalence plus per-cell agreement.
 fn assert_kernels_match(
@@ -39,6 +45,40 @@ fn assert_kernels_match(
         assert!(
             (a - b).abs() <= CELL_TOL,
             "{context}: cell {i} diverged: kernel {a} vs reference {b}"
+        );
+    }
+}
+
+/// Runs the CSR kernel and the factored (variable-elimination) kernel on the
+/// same problem and asserts they reach the same fixed point: identical
+/// convergence verdicts and per-cell probabilities within [`FIXED_POINT_TOL`].
+/// `with_dense_ceiling(0)` forces every joint onto the factored path.
+fn assert_factored_matches_csr(
+    criteria: ConvergenceCriteria,
+    seed: &LogLinearModel,
+    constraints: &ConstraintSet,
+    context: &str,
+) {
+    let (dense, dense_report) =
+        Solver::new(criteria).fit_from(seed.clone(), constraints).expect("dense kernel fit");
+    let (factored, factored_report) = Solver::new(criteria)
+        .with_dense_ceiling(0)
+        .fit_from(seed.clone(), constraints)
+        .expect("factored kernel fit");
+    assert_eq!(
+        dense_report.converged, factored_report.converged,
+        "{context}: convergence verdicts diverged"
+    );
+    assert!(
+        dense_report.converged,
+        "{context}: fixed-point comparison needs a converging constraint set"
+    );
+    let a = dense.dense_probabilities();
+    let b = factored.dense_probabilities();
+    for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+        assert!(
+            (x - y).abs() <= FIXED_POINT_TOL,
+            "{context}: cell {i} fixed points diverged: dense {x} vs factored {y}"
         );
     }
 }
@@ -98,8 +138,82 @@ fn traces_match_reference_sweep_for_sweep() {
     }
 }
 
+#[test]
+fn factored_kernel_reaches_the_csr_fixed_point() {
+    let schema = Schema::uniform(&[3, 2, 2]).unwrap().into_shared();
+    let t = ContingencyTable::from_counts(
+        Arc::clone(&schema),
+        vec![130, 110, 410, 640, 62, 31, 580, 460, 78, 22, 520, 385],
+    )
+    .unwrap();
+    let mut constraints = ConstraintSet::first_order_from_table(&t).unwrap();
+    constraints.add_from_table(&t, Assignment::from_pairs([(0, 0), (2, 1)])).unwrap();
+    constraints.add_from_table(&t, Assignment::from_pairs([(1, 1), (2, 0)])).unwrap();
+    let seed = LogLinearModel::uniform(Arc::clone(&schema));
+    // Overlapping pair constraints converge slowly; widen the sweep budget.
+    let criteria = ConvergenceCriteria::new().with_max_iterations(5000);
+    assert_factored_matches_csr(criteria, &seed, &constraints, "fixed cells");
+}
+
+#[test]
+fn factored_kernel_handles_zero_targets_like_the_csr_kernel() {
+    let schema = Schema::uniform(&[2, 2]).unwrap().into_shared();
+    let mut constraints = ConstraintSet::new(Arc::clone(&schema));
+    constraints.add(Constraint::new(Assignment::single(0, 0), 0.5).unwrap()).unwrap();
+    constraints.add(Constraint::new(Assignment::single(0, 1), 0.5).unwrap()).unwrap();
+    constraints
+        .add(Constraint::new(Assignment::from_pairs([(0, 0), (1, 0)]), 0.0).unwrap())
+        .unwrap();
+    let seed = LogLinearModel::uniform(Arc::clone(&schema));
+    assert_factored_matches_csr(ConvergenceCriteria::new(), &seed, &constraints, "zero-target");
+}
+
+#[test]
+fn auto_selection_routes_through_the_factored_kernel_above_the_ceiling() {
+    // A 12-cell joint with the ceiling set just below it: fit_from must take
+    // the factored route and still land on the CSR fixed point.
+    let schema = Schema::uniform(&[3, 2, 2]).unwrap().into_shared();
+    let t = ContingencyTable::from_counts(
+        Arc::clone(&schema),
+        vec![30, 11, 41, 64, 62, 31, 58, 46, 78, 22, 52, 38],
+    )
+    .unwrap();
+    let mut constraints = ConstraintSet::first_order_from_table(&t).unwrap();
+    constraints.add_from_table(&t, Assignment::from_pairs([(0, 2), (1, 0)])).unwrap();
+    let seed = LogLinearModel::uniform(Arc::clone(&schema));
+    let (dense, _) =
+        Solver::new(ConvergenceCriteria::new()).fit_from(seed.clone(), &constraints).unwrap();
+    let (routed, report) = Solver::new(ConvergenceCriteria::new())
+        .with_dense_ceiling(11)
+        .fit_from(seed, &constraints)
+        .unwrap();
+    assert!(report.converged);
+    for (x, y) in dense.dense_probabilities().iter().zip(&routed.dense_probabilities()) {
+        assert!((x - y).abs() <= FIXED_POINT_TOL);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn prop_factored_fixed_point_matches_csr(
+        counts in proptest::collection::vec(1u64..60, 12),
+        extra_cell in 0usize..12,
+        pair_mask in 0usize..3,
+    ) {
+        // Strictly positive tables converge on both kernels; the unique
+        // maxent solution means their fixed points must agree ≤1e-9.
+        let schema = Schema::uniform(&[3, 2, 2]).unwrap().into_shared();
+        let t = ContingencyTable::from_counts(Arc::clone(&schema), counts).unwrap();
+        let mut constraints = ConstraintSet::first_order_from_table(&t).unwrap();
+        let pairs = [[0usize, 1], [0, 2], [1, 2]];
+        let vars = VarSet::from_indices(pairs[pair_mask]);
+        let cell_values = schema.cell_values(extra_cell);
+        constraints.add_from_table(&t, Assignment::project(vars, &cell_values)).unwrap();
+        let seed = LogLinearModel::uniform(Arc::clone(&schema));
+        assert_factored_matches_csr(ConvergenceCriteria::new(), &seed, &constraints, "prop");
+    }
 
     #[test]
     fn prop_cold_fits_match_reference(

@@ -5,12 +5,15 @@
 //! ```text
 //! pka-serve [--port N] [--host H] [--shards K] [--policy P] \
 //!           [--schema SPEC | --cards 3,2,2 | --survey] [--max-line-bytes N] \
-//!           [--lattice-order K] [--loop-shards K] [--max-connections N] \
+//!           [--lattice-order K] [--dense-ceiling N] [--max-order K] \
+//!           [--loop-shards K] \
+//!           [--max-connections N] \
 //!           [--idle-timeout-ms N] [--journal PATH] [--journal-fsync SPEC] \
 //!           [--checkpoint PATH] [--checkpoint-interval-ms N] \
 //!           [--engine-queue N] [--rate-limit-conn SPEC] \
 //!           [--rate-limit-read SPEC] [--rate-limit-write SPEC]
-//! pka-serve probe --addr HOST:PORT [--idle-hold N] [--shutdown]
+//! pka-serve probe --addr HOST:PORT [--idle-hold N] [--expect-factored] \
+//!                 [--shutdown]
 //! ```
 //!
 //! * `--policy` is `manual`, `every=N` or `fraction=F`.
@@ -22,6 +25,13 @@
 //!   checkpoint.
 //! * `--lattice-order` is the marginal-lattice cutoff each published
 //!   snapshot materialises for the query fast path (default 2).
+//! * `--dense-ceiling` is the joint cell count above which the solver,
+//!   lattice build and query fallback all run factored (variable
+//!   elimination) instead of dense — `0` forces factored everywhere
+//!   (default ~1e6; see `docs/factored.md`).
+//! * `--max-order` caps the constraint order the acquisition search
+//!   explores per refit (default: the attribute count) — cap it at 2 or 3
+//!   on wide schemas, where the candidate space grows combinatorially.
 //! * `--schema` is `name=v1|v2|…;name2=…`; `--cards` builds an anonymous
 //!   uniform schema; `--survey` is the memo's smoking/cancer/family-history
 //!   survey.
@@ -33,6 +43,10 @@
 //!   the reactor front end (event loops, connection cap, idle reaping).
 //! * `probe --idle-hold N` opens `N` extra idle connections mid-probe and
 //!   asserts the server reports them all open — the CI concurrency check.
+//! * `probe --expect-factored` issues an above-lattice-order query and
+//!   asserts it was answered by factored evaluation with the dense-joint
+//!   path never taken (`factored_evals > 0`, `dense_evals == 0`) — the CI
+//!   wide-schema check.
 //!
 //! On startup the server prints `listening on <addr>` to stdout, so a
 //! wrapper script can scrape the ephemeral port.
@@ -123,6 +137,8 @@ fn serve(args: &[String]) -> Result<(), String> {
             "--cards",
             "--max-line-bytes",
             "--lattice-order",
+            "--dense-ceiling",
+            "--max-order",
             "--loop-shards",
             "--max-connections",
             "--idle-timeout-ms",
@@ -150,6 +166,15 @@ fn serve(args: &[String]) -> Result<(), String> {
         stream = stream.with_lattice_order(
             order.parse().map_err(|_| format!("bad --lattice-order `{order}`"))?,
         );
+    }
+    if let Some(cells) = options.value("--dense-ceiling") {
+        stream = stream.with_dense_ceiling(
+            cells.parse().map_err(|_| format!("bad --dense-ceiling `{cells}`"))?,
+        );
+    }
+    if let Some(order) = options.value("--max-order") {
+        stream =
+            stream.with_max_order(order.parse().map_err(|_| format!("bad --max-order `{order}`"))?);
     }
     let mut config = ServeConfig::new().with_stream(stream);
     if let Some(port) = options.value("--port") {
@@ -382,7 +407,42 @@ fn probe(args: &[String]) -> Result<(), String> {
         stats.total_ingested, stats.refits, server_stats.lattice_hits
     );
 
-    // 8. Optional concurrency check: hold N idle connections open at once
+    // 8. Optional wide-schema check: an order-3 query misses the default
+    //    order-2 lattice, so its fallback evaluation path is observable in
+    //    the stats.  On a factored snapshot (schema above the dense
+    //    ceiling) that must be variable elimination — and the dense-joint
+    //    stride walk must never have run, which is the structural proof
+    //    that no dense joint exists to walk.
+    if options.present("--expect-factored") {
+        if schema.len() < 3 {
+            return Err("--expect-factored needs a schema with at least 3 attributes".to_string());
+        }
+        let (attr1, values1) = &schema[1];
+        let (attr2, values2) = &schema[2];
+        let deep = client
+            .query(&[(attr0, &values0[0]), (attr1, &values1[0])], &[(attr2, &values2[0])])
+            .map_err(|e| format!("factored query: {e}"))?;
+        if !(deep.probability >= 0.0 && deep.probability <= 1.0) {
+            return Err(format!("factored query probability {} out of range", deep.probability));
+        }
+        let server_stats =
+            client.server_stats().map_err(|e| format!("server stats after factored query: {e}"))?;
+        if server_stats.factored_evals == 0 {
+            return Err("no query was answered by factored evaluation".to_string());
+        }
+        if server_stats.dense_evals > 0 {
+            return Err(format!(
+                "{} queries took the dense-joint walk on a snapshot that should not have one",
+                server_stats.dense_evals
+            ));
+        }
+        println!(
+            "probe: factored path ok ({} factored evals, elimination width {})",
+            server_stats.factored_evals, server_stats.elimination_width_max
+        );
+    }
+
+    // 9. Optional concurrency check: hold N idle connections open at once
     //    and make the server report them, proving the event-loop front end
     //    carries the fan-in without a thread per socket.
     if let Some(hold) = options.value("--idle-hold") {
@@ -418,7 +478,7 @@ fn probe(args: &[String]) -> Result<(), String> {
         drop(held);
     }
 
-    // 9. Pipelined queries all answer in order.
+    // 10. Pipelined queries all answer in order.
     let batch: Vec<(&str, serde::Value)> =
         (0..16).map(|_| ("ping", protocol::object([]))).collect();
     let responses = client.pipeline(&batch).map_err(|e| format!("pipeline: {e}"))?;

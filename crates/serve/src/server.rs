@@ -480,9 +480,21 @@ pub struct ServerStats {
     /// Marginal evaluations answered by a snapshot's lattice table (one
     /// index computation + lookup each).
     pub lattice_hits: u64,
-    /// Marginal evaluations that fell back to the dense-joint stride walk
-    /// (varset above the lattice's cutoff order).
+    /// Marginal evaluations not covered by the lattice (varset above the
+    /// cutoff order); each one is also counted in exactly one of
+    /// `dense_evals` / `factored_evals` depending on which fallback ran.
     pub lattice_misses: u64,
+    /// Lattice misses answered by the dense-joint stride walk (snapshot at
+    /// or below its dense ceiling).
+    pub dense_evals: u64,
+    /// Lattice misses answered by factored evaluation — one
+    /// variable-elimination `FactorGraph::marginal` call each (snapshot
+    /// above its dense ceiling; no dense joint exists).
+    pub factored_evals: u64,
+    /// Largest intermediate-factor width (variables in a single eliminated
+    /// table) any factored evaluation has reached on the served snapshots —
+    /// the exponent that governs factored query cost.
+    pub elimination_width_max: u64,
     /// Commands currently queued for the engine thread, both classes (a
     /// gauge, bounded by `engine_queue_cap` plus the fixed control cap).
     pub engine_queue_depth: u64,
@@ -577,9 +589,16 @@ struct Shared {
     /// Marginal evaluations answered by a snapshot's lattice table
     /// (one lookup each).
     lattice_hits: AtomicU64,
-    /// Marginal evaluations that fell back to the dense-joint stride walk
-    /// (varset above the lattice's cutoff order).
+    /// Marginal evaluations not covered by the lattice (varset above the
+    /// cutoff order).
     lattice_misses: AtomicU64,
+    /// Lattice misses served by the dense-joint stride walk.
+    dense_evals: AtomicU64,
+    /// Lattice misses served by factored (variable-elimination) evaluation.
+    factored_evals: AtomicU64,
+    /// Widest intermediate factor any factored evaluation has built
+    /// (monotone high-water mark across snapshots).
+    elimination_width_max: AtomicU64,
     /// The engine queue's gauges and shed counters (shared with the
     /// engine thread and the senders).
     queue: Arc<EngineQueue<EngineCommand>>,
@@ -602,6 +621,9 @@ fn server_stats(shared: &Shared) -> ServerStats {
         protocol_errors: shared.protocol_errors.load(Ordering::Relaxed),
         lattice_hits: shared.lattice_hits.load(Ordering::Relaxed),
         lattice_misses: shared.lattice_misses.load(Ordering::Relaxed),
+        dense_evals: shared.dense_evals.load(Ordering::Relaxed),
+        factored_evals: shared.factored_evals.load(Ordering::Relaxed),
+        elimination_width_max: shared.elimination_width_max.load(Ordering::Relaxed),
         engine_queue_depth: shared.queue.depth(),
         engine_queue_cap: shared.queue.write_cap() as u64,
         shed_writes: shared.queue.shed_writes(),
@@ -660,6 +682,9 @@ impl Server {
             protocol_errors: AtomicU64::new(0),
             lattice_hits: AtomicU64::new(0),
             lattice_misses: AtomicU64::new(0),
+            dense_evals: AtomicU64::new(0),
+            factored_evals: AtomicU64::new(0),
+            elimination_width_max: AtomicU64::new(0),
             queue,
             admission: Arc::clone(&admission),
         });
@@ -1722,8 +1747,12 @@ fn batch_entry_value(evaluation: QueryEvaluation) -> Value {
 }
 
 /// One marginal probability off a snapshot: the lattice-table lookup when
-/// the assignment's varset is covered (`lattice_hits`), the dense-joint
-/// stride walk otherwise (`lattice_misses`).
+/// the assignment's varset is covered (`lattice_hits`); otherwise a
+/// `lattice_misses` fallback — the dense-joint stride walk when the
+/// snapshot materialised a joint (`dense_evals`), a `FactorGraph::marginal`
+/// variable elimination when it did not (`factored_evals`, wide schemas
+/// above the dense ceiling).  Either way the read stays wait-free: both
+/// fallbacks touch only the immutable snapshot plus relaxed counters.
 fn snapshot_probability(snapshot: &Snapshot, assignment: &Assignment, shared: &Shared) -> f64 {
     match snapshot.lattice().probability(assignment) {
         Some(p) => {
@@ -1732,7 +1761,21 @@ fn snapshot_probability(snapshot: &Snapshot, assignment: &Assignment, shared: &S
         }
         None => {
             shared.lattice_misses.fetch_add(1, Ordering::Relaxed);
-            snapshot.joint().probability(assignment)
+            match snapshot.joint() {
+                Some(joint) => {
+                    shared.dense_evals.fetch_add(1, Ordering::Relaxed);
+                    joint.probability(assignment)
+                }
+                None => {
+                    shared.factored_evals.fetch_add(1, Ordering::Relaxed);
+                    let graph = snapshot.factor_graph();
+                    let p = graph.probability(assignment);
+                    shared
+                        .elimination_width_max
+                        .fetch_max(graph.elimination_width_max() as u64, Ordering::Relaxed);
+                    p
+                }
+            }
         }
     }
 }

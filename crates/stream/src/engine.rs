@@ -63,6 +63,24 @@ impl StreamConfig {
         self
     }
 
+    /// Sets the dense ceiling for both acquisition and snapshot publishing:
+    /// joints above this many cells are solved, lattice-built and served
+    /// factored, never materialised densely (default
+    /// [`pka_maxent::DEFAULT_DENSE_CEILING`]).
+    pub fn with_dense_ceiling(mut self, cells: usize) -> Self {
+        self.acquisition = self.acquisition.with_dense_ceiling(cells);
+        self
+    }
+
+    /// Caps the constraint order the acquisition search explores on each
+    /// refit (default: up to the attribute count).  On wide schemas the
+    /// candidate space explodes combinatorially with order, so servers for
+    /// many-attribute deployments should cap this at 2 or 3.
+    pub fn with_max_order(mut self, order: usize) -> Self {
+        self.acquisition = self.acquisition.with_max_order(order);
+        self
+    }
+
     fn validate(&self) -> Result<()> {
         if self.shard_count == 0 {
             return Err(StreamError::InvalidConfig {
@@ -569,24 +587,41 @@ impl StreamingEngine {
         if meta.version <= current {
             return Ok(SyncReport { applied: false, version: current });
         }
-        let joint = knowledge_base.joint();
-        let mass: f64 = joint.probabilities().iter().sum();
-        if joint.probabilities().iter().any(|p| !p.is_finite() || *p < 0.0)
-            || (mass - 1.0).abs() > 1e-6
-        {
-            return Err(StreamError::InvalidConfig {
-                reason: format!(
-                    "synced knowledge base does not define a probability distribution \
-                     (mass {mass})"
-                ),
-            });
+        let dense_ceiling = self.acquisition.config().dense_ceiling;
+        if knowledge_base.schema().cell_count() <= dense_ceiling {
+            let joint = knowledge_base.joint();
+            let mass: f64 = joint.probabilities().iter().sum();
+            if joint.probabilities().iter().any(|p| !p.is_finite() || *p < 0.0)
+                || (mass - 1.0).abs() > 1e-6
+            {
+                return Err(StreamError::InvalidConfig {
+                    reason: format!(
+                        "synced knowledge base does not define a probability distribution \
+                         (mass {mass})"
+                    ),
+                });
+            }
+        } else {
+            // Above the ceiling the dense joint is never materialised; the
+            // partition function (one variable elimination) carries the same
+            // sanity signal.
+            let z = knowledge_base.factor_graph().partition();
+            if !z.is_finite() || z <= 0.0 {
+                return Err(StreamError::InvalidConfig {
+                    reason: format!(
+                        "synced knowledge base does not define a probability distribution \
+                         (partition {z})"
+                    ),
+                });
+            }
         }
-        self.handle.publish(Snapshot::with_lattice_order(
+        self.handle.publish(Snapshot::with_lattice_order_and_ceiling(
             knowledge_base,
             meta.version,
             meta.observations,
             meta.warm_started,
             self.lattice_order,
+            dense_ceiling,
         ));
         self.fitted = meta.observations;
         // Keep local version numbering ahead of the synced stream so a
@@ -766,12 +801,13 @@ impl StreamingEngine {
             solver_iterations: outcome.trace.total_solver_iterations(),
             wall_time,
         };
-        self.handle.publish(Snapshot::with_lattice_order(
+        self.handle.publish(Snapshot::with_lattice_order_and_ceiling(
             outcome.knowledge_base,
             version,
             table.total(),
             warm_started,
             self.lattice_order,
+            self.acquisition.config().dense_ceiling,
         ));
         Ok(report)
     }

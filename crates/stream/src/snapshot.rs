@@ -20,27 +20,33 @@
 
 use arc_swap::ArcSwapOption;
 use pka_core::KnowledgeBase;
-use pka_maxent::{JointDistribution, MarginalLattice, DEFAULT_LATTICE_ORDER};
+use pka_maxent::{
+    FactorGraph, JointDistribution, MarginalLattice, DEFAULT_DENSE_CEILING, DEFAULT_LATTICE_ORDER,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// One published, immutable state of the streaming knowledge base.
 ///
-/// Beyond the knowledge base itself, a snapshot carries the **dense joint
-/// distribution** the model defines and the **marginal lattice** summed
-/// down from it (every marginal table up to a cutoff order, default
-/// [`DEFAULT_LATTICE_ORDER`]), both materialised once at publish time.
-/// Query serving answers any assignment whose variable set the lattice
-/// covers with one table lookup, and falls back to a stride walk over the
-/// dense joint's matching cells otherwise — the memo's "general formula"
-/// evaluated once per refit, then amortised over every query the snapshot
-/// answers.  A snapshot rebuilt from decayed or re-merged counts simply
-/// rebuilds its lattice at publish, so staleness policies never have to
-/// reason about cached marginals.
+/// Beyond the knowledge base itself, a snapshot carries the model's
+/// **factor graph** (the Appendix-B sum-of-products form), the **marginal
+/// lattice** (every marginal table up to a cutoff order, default
+/// [`DEFAULT_LATTICE_ORDER`]), and — only when the schema's cell count is
+/// at or below the dense ceiling — the **dense joint distribution**, all
+/// materialised once at publish time.  Query serving answers any
+/// assignment whose variable set the lattice covers with one table lookup;
+/// other assignments fall back to a stride walk over the dense joint when
+/// it exists, or to a [`FactorGraph::marginal`] elimination when it does
+/// not.  Above the ceiling the lattice itself is built by eliminating down
+/// to each planned varset, so publishing a wide-schema snapshot never
+/// allocates `O(total cells)`.  A snapshot rebuilt from decayed or
+/// re-merged counts simply rebuilds these caches at publish, so staleness
+/// policies never have to reason about them.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
     knowledge_base: KnowledgeBase,
-    joint: JointDistribution,
+    joint: Option<JointDistribution>,
+    graph: Arc<FactorGraph>,
     lattice: Arc<MarginalLattice>,
     version: u64,
     observations: u64,
@@ -89,23 +95,56 @@ impl Snapshot {
     }
 
     /// Assembles a snapshot, materialising the marginal lattice up to
-    /// `lattice_order` (publish-time cost: one dense-joint build plus the
-    /// lattice summation).  The lattice is also attached to the carried
-    /// knowledge base, so in-process `knowledge_base().probability` calls
-    /// take the lookup path too.
+    /// `lattice_order`, with the default dense ceiling (see
+    /// [`Snapshot::with_lattice_order_and_ceiling`]).
     pub fn with_lattice_order(
-        mut knowledge_base: KnowledgeBase,
+        knowledge_base: KnowledgeBase,
         version: u64,
         observations: u64,
         warm_started: bool,
         lattice_order: usize,
     ) -> Self {
-        let joint = knowledge_base.joint();
-        let lattice = Arc::new(MarginalLattice::build(&joint, lattice_order));
+        Self::with_lattice_order_and_ceiling(
+            knowledge_base,
+            version,
+            observations,
+            warm_started,
+            lattice_order,
+            DEFAULT_DENSE_CEILING,
+        )
+    }
+
+    /// Assembles a snapshot, materialising the marginal lattice up to
+    /// `lattice_order`.  At or below `dense_ceiling` joint cells the
+    /// publish-time cost is one dense-joint build plus the lattice
+    /// summation; above it no dense joint is ever allocated — the lattice
+    /// is built by variable elimination over the model's factor graph.
+    /// Both the lattice and the factor graph are attached to the carried
+    /// knowledge base, so in-process `knowledge_base().probability` calls
+    /// take the same paths queries do.
+    pub fn with_lattice_order_and_ceiling(
+        mut knowledge_base: KnowledgeBase,
+        version: u64,
+        observations: u64,
+        warm_started: bool,
+        lattice_order: usize,
+        dense_ceiling: usize,
+    ) -> Self {
+        let graph = Arc::new(FactorGraph::from_model(knowledge_base.model()));
+        let (joint, lattice) = if knowledge_base.schema().cell_count() > dense_ceiling {
+            (None, Arc::new(MarginalLattice::build_factored(&graph, lattice_order)))
+        } else {
+            let joint = knowledge_base.joint();
+            let lattice = Arc::new(MarginalLattice::build(&joint, lattice_order));
+            (Some(joint), lattice)
+        };
         knowledge_base
             .attach_lattice(Arc::clone(&lattice))
-            .expect("lattice was built from this knowledge base's own joint");
-        Self { knowledge_base, joint, lattice, version, observations, warm_started }
+            .expect("lattice was built from this knowledge base's own model");
+        knowledge_base
+            .attach_factor_graph(Arc::clone(&graph))
+            .expect("graph was built from this knowledge base's own model");
+        Self { knowledge_base, joint, graph, lattice, version, observations, warm_started }
     }
 
     /// The acquired knowledge base: query it freely, it never changes.
@@ -115,9 +154,17 @@ impl Snapshot {
 
     /// The dense joint distribution of the knowledge base, materialised at
     /// publish time — the fallback path for queries the lattice does not
-    /// cover.
-    pub fn joint(&self) -> &JointDistribution {
-        &self.joint
+    /// cover.  `None` when the schema is above the snapshot's dense
+    /// ceiling; such queries go through [`Snapshot::factor_graph`] instead.
+    pub fn joint(&self) -> Option<&JointDistribution> {
+        self.joint.as_ref()
+    }
+
+    /// The model's factor graph, built once at publish time — the fallback
+    /// evaluation path when no dense joint is materialised, and the source
+    /// the factored lattice build eliminates from.
+    pub fn factor_graph(&self) -> &Arc<FactorGraph> {
+        &self.graph
     }
 
     /// The marginal lattice materialised at publish time — the fast path
@@ -255,7 +302,8 @@ mod tests {
         assert_eq!(s.lattice().max_order(), 2);
         let a = Assignment::from_pairs([(0, 0), (1, 0)]);
         let from_lattice = s.lattice().probability(&a).unwrap();
-        assert!((from_lattice - s.joint().probability(&a)).abs() < 1e-12);
+        let joint = s.joint().expect("4 cells is far below the dense ceiling");
+        assert!((from_lattice - joint.probability(&a)).abs() < 1e-12);
         // The carried knowledge base shares the same lattice.
         let kb_lattice = s.knowledge_base().lattice().expect("attached at publish");
         assert!((kb_lattice.probability(&a).unwrap() - from_lattice).abs() < 1e-15);
@@ -265,6 +313,33 @@ mod tests {
         assert_eq!(shallow.lattice().max_order(), 1);
         assert_eq!(shallow.lattice().probability(&a), None);
         assert!(shallow.lattice().probability(&Assignment::single(0, 0)).is_some());
+    }
+
+    #[test]
+    fn factored_publish_skips_the_dense_joint_and_answers_identically() {
+        use pka_contingency::Assignment;
+        let dense = snapshot(1);
+        // Rebuild the same knowledge base with a zero ceiling: the joint
+        // must not be materialised and every query must still agree.
+        let kb = dense.knowledge_base().clone();
+        let factored = Snapshot::with_lattice_order_and_ceiling(kb, 1, 100, false, 2, 0);
+        assert!(factored.joint().is_none(), "ceiling 0 must skip the dense joint");
+        let probes = [
+            Assignment::empty(),
+            Assignment::single(0, 0),
+            Assignment::single(1, 1),
+            Assignment::from_pairs([(0, 0), (1, 0)]),
+            Assignment::from_pairs([(0, 1), (1, 0)]),
+        ];
+        for a in &probes {
+            let fast = factored.lattice().probability(a).unwrap();
+            let truth = dense.joint().unwrap().probability(a);
+            assert!((fast - truth).abs() < 1e-9, "probe {a:?}: {fast} vs {truth}");
+            // The graph fallback agrees too (what uncovered queries use).
+            assert!((factored.factor_graph().probability(a) - truth).abs() < 1e-9);
+            // And so does the carried knowledge base.
+            assert!((factored.knowledge_base().probability(a) - truth).abs() < 1e-9);
+        }
     }
 
     #[test]
